@@ -1,0 +1,172 @@
+"""Ablation benchmarks beyond the paper's evaluation.
+
+Quantifies the design choices DESIGN.md calls out:
+
+* RDFS entailment on/off for the ID-feature lookups of Algorithms 3/5;
+* triple-store index selection (bound-position shapes);
+* UCQ execution cost vs number of union branches (historical depth);
+* LAV-mapping resolution through named graphs (Algorithm 4's hot query).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.evolution.apply import GovernedApi
+from repro.evolution.changes import Change, ChangeKind
+from repro.query.engine import QueryEngine
+from repro.rdf.namespace import SUP
+from repro.rdf.sparql import select
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+
+
+# ---------------------------------------------------------------------------
+# RDFS entailment ablation
+# ---------------------------------------------------------------------------
+
+_ID_QUERY = f"""
+    SELECT ?t WHERE {{
+        <{SUP.Monitor}> G:hasFeature ?t .
+        ?t rdfs:subClassOf sc:identifier
+    }}"""
+
+
+def test_ablation_id_lookup_with_entailment(benchmark):
+    ontology = build_supersede().ontology
+    rows = benchmark(select, ontology.g, _ID_QUERY, True)
+    assert len(rows) == 1
+
+
+def test_ablation_id_lookup_without_entailment(benchmark):
+    """Direct-assertion-only matching: faster but misses deep taxonomies.
+
+    In the SUPERSEDE model the subclass edge is asserted directly, so the
+    answer is identical — the ablation isolates pure matching overhead.
+    """
+    ontology = build_supersede().ontology
+    rows = benchmark(select, ontology.g, _ID_QUERY, False)
+    assert len(rows) == 1
+
+
+def test_ablation_entailment_needed_for_deep_taxonomy(benchmark):
+    """With an intermediate taxonomy level, only entailment answers."""
+    ontology = benchmark.pedantic(lambda: build_supersede().ontology,
+                                  rounds=1, iterations=1)
+    from repro.rdf.namespace import RDFS, SC
+    from repro.rdf.term import IRI
+    # Re-root monitorId under an intermediate toolId domain.
+    ontology.g.remove((SUP.monitorId, RDFS.subClassOf, SC.identifier))
+    tool_id = IRI(str(SUP) + "toolId")
+    ontology.g.add((SUP.monitorId, RDFS.subClassOf, tool_id))
+    ontology.g.add((tool_id, RDFS.subClassOf, SC.identifier))
+    with_entailment = select(ontology.g, _ID_QUERY, entailment=True)
+    without = select(ontology.g, _ID_QUERY, entailment=False)
+    assert len(with_entailment) == 1
+    assert len(without) == 0
+
+
+# ---------------------------------------------------------------------------
+# Triple-store index ablation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    from repro.rdf.graph import Graph
+    from repro.rdf.term import IRI
+    g = Graph()
+    for i in range(2000):
+        g.add((IRI(f"http://x/s{i % 100}"), IRI(f"http://x/p{i % 10}"),
+               IRI(f"http://x/o{i}")))
+    return g
+
+
+def test_ablation_match_bound_subject(benchmark, big_graph):
+    from repro.rdf.term import IRI
+    subject = IRI("http://x/s42")
+    out = benchmark(lambda: list(big_graph.match(subject, None, None)))
+    assert len(out) == 20
+
+
+def test_ablation_match_bound_predicate(benchmark, big_graph):
+    from repro.rdf.term import IRI
+    predicate = IRI("http://x/p3")
+    out = benchmark(lambda: list(big_graph.match(None, predicate, None)))
+    assert len(out) == 200
+
+
+def test_ablation_match_bound_object(benchmark, big_graph):
+    from repro.rdf.term import IRI
+    obj = IRI("http://x/o1234")
+    out = benchmark(lambda: list(big_graph.match(None, None, obj)))
+    assert len(out) == 1
+
+
+def test_ablation_match_full_scan(benchmark, big_graph):
+    out = benchmark(lambda: list(big_graph.match()))
+    assert len(out) == 2000
+
+
+# ---------------------------------------------------------------------------
+# Union-branch scaling (historical query depth)
+# ---------------------------------------------------------------------------
+
+
+def _governed_with_versions(versions: int) -> GovernedApi:
+    api = RestApi("Hist")
+    endpoint = Endpoint("GET /m")
+    endpoint.add_version(ApiVersion("1", [
+        FieldSpec("mid", "int"), FieldSpec("metric_0", "float")]))
+    api.add_endpoint(endpoint)
+    governed = GovernedApi(api)
+    governed.model_endpoint("GET /m", id_field="mid")
+    for index in range(1, versions):
+        governed.apply(Change(
+            ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, "Hist",
+            {"endpoint": "GET /m", "parameter": f"metric_{index - 1}",
+             "new_name": f"metric_{index}"}))
+    return governed
+
+
+_HIST_QUERY = """
+SELECT ?x ?y WHERE {
+    VALUES (?x ?y) { (<urn:api:Hist:GET_m/mid>
+                      <urn:api:Hist:GET_m/metric_0>) }
+    <urn:api:Hist:GET_m> G:hasFeature <urn:api:Hist:GET_m/mid> .
+    <urn:api:Hist:GET_m> G:hasFeature <urn:api:Hist:GET_m/metric_0>
+}
+"""
+
+
+@pytest.mark.parametrize("versions", [1, 4, 8])
+def test_ablation_union_branches(benchmark, versions):
+    """Historical queries scale linearly with the number of versions."""
+    governed = _governed_with_versions(versions)
+    engine = QueryEngine(governed.ontology)
+
+    table = benchmark(engine.answer, _HIST_QUERY)
+
+    result = engine.rewrite(_HIST_QUERY)
+    assert len(result.walks) == versions
+    assert len(table) > 0
+
+
+# ---------------------------------------------------------------------------
+# LAV resolution hot path (Algorithm 4's GRAPH query)
+# ---------------------------------------------------------------------------
+
+
+def test_ablation_lav_resolution(benchmark):
+    ontology = build_supersede(with_evolution=True).ontology
+    providers = benchmark(ontology.wrappers_providing, SUP.Monitor,
+                          SUP.monitorId)
+    assert len(providers) == 3
+
+
+def test_ablation_end_to_end_vs_event_count(benchmark):
+    """Execution over a larger event load (data-volume sensitivity)."""
+    scenario = build_supersede(event_count=500, seed=1)
+    engine = QueryEngine(scenario.ontology)
+    table = benchmark(engine.answer, EXEMPLARY_QUERY)
+    assert len(table) > 0

@@ -1,0 +1,81 @@
+"""Figure 11 (paper §6.4): ontology growth over Wordpress releases.
+
+Replays the reconstructed GET-Posts release history (v1, v2, 13 minor
+v2.x releases) and regenerates the per-release triple-growth chart with
+the cumulative series.
+"""
+
+from __future__ import annotations
+
+from repro.evolution.growth import ascii_chart, replay_wordpress
+from repro.evolution.wordpress import WORDPRESS_RELEASES
+
+
+def test_figure11_replay(benchmark, write_result):
+    ontology, records = benchmark.pedantic(
+        replay_wordpress, rounds=3, iterations=1, warmup_rounds=0)
+
+    lines = [
+        "Figure 11 — growth in number of triples for S per release "
+        "(Wordpress GET Posts)",
+        "",
+        ascii_chart(records),
+        "",
+        "release, +S, +M, +LAV, +G, hasAttribute_edges, new_attributes, "
+        "cumulative_S",
+    ]
+    for r in records:
+        lines.append(
+            f"{r.version}, {r.added_s}, {r.added_m}, {r.added_lav}, "
+            f"{r.added_g}, {r.has_attribute_edges}, {r.new_attributes}, "
+            f"{r.cumulative_s}")
+    write_result("figure11_wordpress_growth.txt", "\n".join(lines))
+
+    # Shape assertions mirroring the paper's §6.4 findings:
+    assert len(records) == len(WORDPRESS_RELEASES)
+    # (1) v1 carries the big overhead;
+    assert records[0].added_s == max(r.added_s for r in records)
+    # (2) minor releases show steady, linear growth dominated by
+    #     S:hasAttribute edges;
+    minors = records[2:]
+    assert max(r.added_s for r in minors) - min(
+        r.added_s for r in minors) <= 8
+    assert all(r.has_attribute_edges >= r.new_attributes for r in minors)
+    # (3) G does not grow;
+    assert all(r.added_g == 0 for r in records)
+    # (4) cumulative S growth is monotone (historical preservation).
+    cumulative = [r.cumulative_s for r in records]
+    assert cumulative == sorted(cumulative)
+    assert ontology.validate() == []
+
+
+def test_figure11_single_release_cost(benchmark):
+    """Cost of Algorithm 1 for one minor release (the steady state)."""
+    from repro.core.release import new_release
+    from repro.evolution.growth import _prepare_global_graph, WP
+    from repro.evolution.release_builder import build_release
+    from repro.core.ontology import BDIOntology
+    from repro.evolution.wordpress import WORDPRESS_RELEASES
+
+    spec = WORDPRESS_RELEASES[5]  # a representative minor release
+
+    def setup():
+        ontology = BDIOntology()
+        _prepare_global_graph(ontology)
+        return (ontology,), {}
+
+    def apply_release(ontology):
+        from repro.evolution.growth import _canonical_feature
+        hints = {name: WP[f"post/{_canonical_feature(name)}"]
+                 for name in spec.fields}
+        hints["id"] = WP["post/id"]
+        release = build_release(
+            ontology, "wordpress_posts", "wp_bench",
+            id_attributes=["id"],
+            non_id_attributes=[f for f in spec.fields if f != "id"],
+            feature_hints=hints)
+        return new_release(ontology, release)
+
+    delta = benchmark.pedantic(apply_release, setup=setup, rounds=10,
+                               iterations=1)
+    assert delta["S"] > 0

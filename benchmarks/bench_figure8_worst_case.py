@@ -1,0 +1,71 @@
+"""Figure 8 (paper §5.3): worst-case query answering time.
+
+Reproduces the controlled experiment: a query over 5 concepts, W disjoint
+wrappers per concept, W swept upward; observed time against the
+theoretical ``k·W^C`` prediction.
+
+The paper sweeps W to 25 on a JVM. Pure Python pays a large constant
+factor, so the default sweep stops at ``FIG8_MAX_W`` (default 6, ≈ 8k
+walks); export ``FIG8_MAX_W=10`` or more to extend — the curve shape is
+already unambiguous at 6.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.worst_case import (
+    ascii_plot, build_worst_case, fit_constant, run_sweep,
+)
+from repro.query.rewriter import rewrite
+
+MAX_W = int(os.environ.get("FIG8_MAX_W", "6"))
+CONCEPTS = int(os.environ.get("FIG8_CONCEPTS", "5"))
+
+
+def test_figure8_sweep(benchmark, write_result):
+    """The full sweep with the theoretical overlay (timed once)."""
+    points = benchmark.pedantic(
+        run_sweep, kwargs={"concepts": CONCEPTS, "max_wrappers": MAX_W},
+        rounds=1, iterations=1, warmup_rounds=0)
+    k = fit_constant(points)
+    lines = [
+        f"Figure 8 — worst-case rewriting time "
+        f"(C={CONCEPTS} concepts, disjoint wrappers)",
+        f"fitted t ≈ k·W^C with k = {k:.3e} s/walk",
+        "",
+        ascii_plot(points),
+        "",
+        "W, seconds, walks, expected_walks",
+    ]
+    for p in points:
+        lines.append(f"{p.wrappers_per_concept}, {p.seconds:.6f}, "
+                     f"{p.walks}, {p.expected_walks}")
+    write_result("figure8_worst_case.txt", "\n".join(lines))
+
+    # Shape assertions: exact W^C walk counts and superlinear growth.
+    for p in points:
+        assert p.walks == p.expected_walks
+    if len(points) >= 4:
+        assert points[-1].seconds > points[1].seconds
+
+
+@pytest.mark.parametrize("wrappers", [1, 2, 4])
+def test_figure8_rewrite_point(benchmark, wrappers):
+    """Micro-benchmark of single sweep points (pytest-benchmark)."""
+    setup = build_worst_case(concepts=CONCEPTS,
+                             wrappers_per_concept=wrappers)
+    result = benchmark.pedantic(
+        rewrite, args=(setup.ontology, setup.query),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result.walks) == wrappers ** CONCEPTS
+
+
+def test_figure8_tractable_case(benchmark):
+    """The paper's closing §5.3 point: realistic event-style scenarios
+    (no disjointness) stay tractable — one wrapper per concept."""
+    setup = build_worst_case(concepts=CONCEPTS, wrappers_per_concept=1)
+    result = benchmark(rewrite, setup.ontology, setup.query)
+    assert len(result.walks) == 1

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the reproduced artifact to ``benchmarks/results/<name>.txt`` so the
+output survives pytest's capture (and can be diffed against the paper).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    def _write(name: str, content: str) -> None:
+        path = results_dir / name
+        path.write_text(content, encoding="utf-8")
+        # Also echo to stdout for `pytest -s` runs.
+        print(f"\n===== {name} =====\n{content}")
+    return _write

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Extension beyond the paper: adapting to *unanticipated* drift.
+
+The paper's closing future-work direction: "extend the ontology with
+richer constructs to semi-automatically adapt to unanticipated schema
+changes". This example shows the implemented loop:
+
+1. the VoD provider silently changes its payloads (no release notes);
+2. the wrapper surfaces the mismatch (`WrapperSchemaMismatchError`);
+3. `detect_drift` classifies the difference into the Table 5 taxonomy,
+   pairing renamed fields by name similarity with a confidence score;
+4. the steward confirms the uncertain rename, `propose_release` builds
+   the release, Algorithm 1 applies it;
+5. the analyst's query — unchanged — now unions both schema versions.
+
+Run with::
+
+    python examples/unanticipated_drift.py
+"""
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.errors import EvolutionError, WrapperSchemaMismatchError
+from repro.mdm import MDM
+from repro.wrappers.base import StaticWrapper
+
+#: What the silently-evolved D1 API now serves (lagRatio is gone).
+DRIFTED_DOCUMENTS = [
+    {"VoDmonitorId": 12, "bufferingRatio": 0.25},
+    {"VoDmonitorId": 18, "bufferingRatio": 0.4},
+]
+
+
+def main() -> None:
+    scenario = build_supersede()
+    mdm = MDM(scenario.ontology)
+
+    print("=== 1. the analyst's world before the drift ===")
+    print(mdm.query(EXEMPLARY_QUERY)
+          .sorted_by("applicationId", "lagRatio").to_ascii())
+
+    print("\n=== 2. the old wrapper meets the new payloads ===")
+    broken = StaticWrapper("w1_broken", "D1", ["VoDmonitorId"],
+                           ["lagRatio"], DRIFTED_DOCUMENTS)
+    try:
+        broken.relation()
+    except WrapperSchemaMismatchError as exc:
+        print(f"wrapper failure surfaced: {exc}")
+
+    print("\n=== 3. drift detection ===")
+    from repro.evolution.drift import detect_drift
+    report = detect_drift("D1", "w1", ["VoDmonitorId", "lagRatio"],
+                          DRIFTED_DOCUMENTS)
+    print(report.summary())
+    print("as taxonomy changes:")
+    for change in report.to_changes():
+        print(f"  {change}")
+
+    print("\n=== 4. steward-confirmed adaptation ===")
+    physical = StaticWrapper("w_drift", "D1", ["VoDmonitorId"],
+                             ["bufferingRatio"], DRIFTED_DOCUMENTS)
+    try:
+        mdm.handle_drift("w1", DRIFTED_DOCUMENTS, "w_drift",
+                         physical_wrapper=physical)
+        print("(rename was confident enough to apply automatically)")
+    except EvolutionError as exc:
+        print(f"steward input needed: {exc}")
+        report, delta = mdm.handle_drift(
+            "w1", DRIFTED_DOCUMENTS, "w_drift",
+            confirmed_renames={"bufferingRatio": "lagRatio"},
+            physical_wrapper=physical)
+        print(f"confirmed; triples added per graph: {delta}")
+
+    print("\n=== 5. the same query after adaptation ===")
+    result = mdm.rewrite(EXEMPLARY_QUERY)
+    print("UCQ:", result.ucq.notation())
+    print(mdm.query(EXEMPLARY_QUERY)
+          .sorted_by("applicationId", "lagRatio").to_ascii())
+
+
+if __name__ == "__main__":
+    main()

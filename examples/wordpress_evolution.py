@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The §6.4 study: replaying 15 Wordpress GET-Posts releases.
+
+Registers one wrapper per release (v1, v2, 2.1 … 2.13) against a fresh
+BDI ontology, prints the Figure 11 growth chart, and demonstrates that a
+*historical* query over a renamed field spans every schema version that
+ever served it.
+
+Run with::
+
+    python examples/wordpress_evolution.py
+"""
+
+from repro.evolution.growth import WP, ascii_chart, replay_wordpress
+from repro.query.engine import QueryEngine
+from repro.query.omq import OMQ
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS
+
+
+def main() -> None:
+    print("Replaying the Wordpress GET-Posts release history...")
+    ontology, records = replay_wordpress()
+
+    print("\n=== Figure 11 — triples added to S per release ===")
+    print(ascii_chart(records))
+
+    total_wrappers = len(ontology.sources.wrappers())
+    print(f"\nwrappers registered: {total_wrappers}")
+    print(f"G triples (stable across releases): {len(ontology.g)}")
+    print("validation problems:", ontology.validate() or "none")
+
+    # A historical query over the post title: the title attribute exists
+    # in every release, so the UCQ unions all 15 wrappers.
+    engine = QueryEngine(ontology)
+    query = OMQ(
+        pi=[WP["post/title"]],
+        phi=Graph([
+            (WP.Post, G_NS.hasFeature, WP["post/title"]),
+        ]))
+    result = engine.rewrite(query)
+    print(f"\nhistorical query over post/title: "
+          f"{len(result.walks)}-branch union")
+
+    # The meta field was renamed twice (meta → meta_fields → meta); the
+    # ontology still routes all versions to the same feature.
+    meta_query = OMQ(
+        pi=[WP["post/meta"]],
+        phi=Graph([(WP.Post, G_NS.hasFeature, WP["post/meta"])]))
+    meta_result = engine.rewrite(meta_query)
+    versions = sorted(w for walk in meta_result.walks
+                      for w in walk.wrapper_names)
+    print(f"wrappers providing post/meta across renames: "
+          f"{len(versions)}")
+    print("  " + ", ".join(versions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments where build isolation cannot fetch a build backend.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'An Integration-Oriented Ontology to Govern "
+        "Evolution in Big Data Ecosystems' (Nadal et al., EDBT 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

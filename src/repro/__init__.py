@@ -1,0 +1,44 @@
+"""repro — reproduction of *An Integration-Oriented Ontology to Govern
+Evolution in Big Data Ecosystems* (Nadal et al., EDBT 2017 /
+arXiv:1801.05161).
+
+The package implements the paper's full stack, from substrates to system:
+
+* :mod:`repro.rdf` — RDF terms, indexed graphs, named-graph datasets,
+  Turtle/N-Quads, RDFS entailment and the accepted SPARQL subset;
+* :mod:`repro.relational` — wrappers as relations, the restricted
+  operators Π̃ / ⋈̃, walks and unions of conjunctive queries;
+* :mod:`repro.sources` / :mod:`repro.wrappers` — simulated document
+  stores, versioned REST APIs and the mediator/wrapper layer;
+* :mod:`repro.core` — the BDI ontology ⟨G, S, M⟩ and Algorithm 1
+  (release-based evolution);
+* :mod:`repro.query` — Algorithms 2-5: well-formedness, expansion,
+  intra-/inter-concept generation, covering & minimal walks, execution;
+* :mod:`repro.evolution` — the change taxonomy (Tables 3-5), the
+  industrial study (Table 6), the Wordpress growth study (Figure 11);
+* :mod:`repro.mdm` — the Metadata Management System facade;
+* :mod:`repro.datasets` — the SUPERSEDE running example.
+
+Quickstart::
+
+    from repro.datasets import build_supersede, EXEMPLARY_QUERY
+    from repro.mdm import MDM
+
+    scenario = build_supersede(with_evolution=True)
+    mdm = MDM(scenario.ontology)
+    table = mdm.query(EXEMPLARY_QUERY)
+    print(table.to_ascii())
+"""
+
+from repro.core import BDIOntology, Release, new_release
+from repro.mdm import MDM
+from repro.query import OMQ, QueryEngine, parse_omq, rewrite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BDIOntology", "Release", "new_release",
+    "MDM",
+    "OMQ", "QueryEngine", "parse_omq", "rewrite",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the Big Data Integration ontology.
+
+* :class:`~repro.core.ontology.BDIOntology` — the two-level ontology
+  ``T = ⟨G, S, M⟩`` over RDF named graphs;
+* :class:`~repro.core.release.Release` / :func:`new_release` — Algorithm 1
+  (release-based semi-automatic evolution);
+* facades for each graph: :class:`GlobalGraph`, :class:`SourceGraph`,
+  :class:`MappingGraph`;
+* the RDF vocabulary of Codes 6-7 and the URI conventions of Algorithm 1.
+"""
+
+from repro.core.global_graph import GlobalGraph
+from repro.core.mapping_graph import MappingGraph
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release, new_release
+from repro.core.source_graph import SourceGraph
+from repro.core.vocabulary import (
+    GLOBAL_GRAPH, GLOBAL_VOCABULARY_TTL, MAPPINGS_GRAPH, SOURCE_GRAPH,
+    SOURCE_VOCABULARY_TTL, attribute_local_name, attribute_uri,
+    global_metamodel, mapping_graph_uri, qualified_attribute_name,
+    source_local_name, source_metamodel, source_uri, wrapper_local_name,
+    wrapper_uri,
+)
+
+__all__ = [
+    "BDIOntology", "GlobalGraph", "MappingGraph", "SourceGraph",
+    "Release", "new_release",
+    "GLOBAL_GRAPH", "SOURCE_GRAPH", "MAPPINGS_GRAPH",
+    "GLOBAL_VOCABULARY_TTL", "SOURCE_VOCABULARY_TTL",
+    "global_metamodel", "source_metamodel",
+    "source_uri", "wrapper_uri", "attribute_uri", "mapping_graph_uri",
+    "qualified_attribute_name", "source_local_name",
+    "wrapper_local_name", "attribute_local_name",
+]

@@ -1,0 +1,187 @@
+"""Management API for the Global graph G (paper §3.1).
+
+G reflects domain concepts, domain-specific object properties between
+them, and features of analysis. Design constraints enforced here:
+
+* a feature belongs to exactly one concept (``G:hasFeature`` is the only
+  concept→feature link and is unique per feature) — required to
+  disambiguate query rewriting;
+* feature taxonomies use ``rdfs:subClassOf``; ID features are (transitive)
+  subclasses of ``sc:identifier``;
+* features may carry an ``xsd`` datatype via ``G:hasDataType``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConstraintViolationError, UnknownConceptError, UnknownFeatureError,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G, RDF, RDFS, SC, XSD
+from repro.rdf.reasoner import subclass_closure, superclasses
+from repro.rdf.term import IRI
+from repro.rdf.triple import Triple
+
+__all__ = ["GlobalGraph"]
+
+
+class GlobalGraph:
+    """Typed facade over the raw triples of G."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # -- registration ---------------------------------------------------------
+
+    def add_concept(self, concept: IRI | str) -> IRI:
+        iri = IRI(str(concept))
+        self.graph.add((iri, RDF.type, G.Concept))
+        return iri
+
+    def add_feature(self, concept: IRI | str, feature: IRI | str,
+                    datatype: IRI | str | None = None,
+                    is_id: bool = False) -> IRI:
+        """Register *feature* and attach it to *concept*.
+
+        Enforces the single-concept constraint: attaching an existing
+        feature to a second concept raises
+        :class:`ConstraintViolationError` (paper: "we restrict features to
+        belong to only one concept").
+        """
+        concept_iri = IRI(str(concept))
+        feature_iri = IRI(str(feature))
+        if not self.is_concept(concept_iri):
+            raise UnknownConceptError(
+                f"{concept_iri} is not a registered G:Concept")
+        current_owner = self.concept_of_feature(feature_iri)
+        if current_owner is not None and current_owner != concept_iri:
+            raise ConstraintViolationError(
+                f"feature {feature_iri} already belongs to concept "
+                f"{current_owner}; features belong to exactly one concept")
+        self.graph.add((feature_iri, RDF.type, G.Feature))
+        self.graph.add((concept_iri, G.hasFeature, feature_iri))
+        if datatype is not None:
+            self.set_datatype(feature_iri, datatype)
+        if is_id:
+            self.add_feature_subclass(feature_iri, SC.identifier)
+        return feature_iri
+
+    def add_property(self, subject: IRI | str, predicate: IRI | str,
+                     obj: IRI | str) -> Triple:
+        """Add a domain object property (edge) between two concepts."""
+        s, p, o = IRI(str(subject)), IRI(str(predicate)), IRI(str(obj))
+        for concept in (s, o):
+            if not self.is_concept(concept):
+                raise UnknownConceptError(
+                    f"{concept} is not a registered G:Concept")
+        triple = Triple(s, p, o)
+        self.graph.add(triple)
+        return triple
+
+    def add_feature_subclass(self, feature: IRI | str,
+                             super_feature: IRI | str) -> None:
+        """Extend the feature taxonomy (semantic domains, §3.1)."""
+        self.graph.add((IRI(str(feature)), RDFS.subClassOf,
+                        IRI(str(super_feature))))
+
+    def set_datatype(self, feature: IRI | str,
+                     datatype: IRI | str) -> None:
+        feature_iri = IRI(str(feature))
+        if not self.is_feature(feature_iri):
+            raise UnknownFeatureError(
+                f"{feature_iri} is not a registered G:Feature")
+        datatype_iri = IRI(str(datatype))
+        self.graph.add((datatype_iri, RDF.type, RDFS.Datatype))
+        self.graph.add((feature_iri, G.hasDataType, datatype_iri))
+
+    # -- inspection ----------------------------------------------------------------
+
+    def is_concept(self, iri: IRI | str) -> bool:
+        return self.graph.contains(IRI(str(iri)), RDF.type, G.Concept)
+
+    def is_feature(self, iri: IRI | str) -> bool:
+        return self.graph.contains(IRI(str(iri)), RDF.type, G.Feature)
+
+    def concepts(self) -> list[IRI]:
+        return sorted(s for s in self.graph.subjects(RDF.type, G.Concept)
+                      if isinstance(s, IRI))
+
+    def features(self) -> list[IRI]:
+        return sorted(s for s in self.graph.subjects(RDF.type, G.Feature)
+                      if isinstance(s, IRI))
+
+    def features_of(self, concept: IRI | str) -> list[IRI]:
+        return sorted(
+            o for o in self.graph.objects(IRI(str(concept)), G.hasFeature)
+            if isinstance(o, IRI))
+
+    def concept_of_feature(self, feature: IRI | str) -> IRI | None:
+        owners = [s for s in
+                  self.graph.subjects(G.hasFeature, IRI(str(feature)))
+                  if isinstance(s, IRI)]
+        return owners[0] if owners else None
+
+    def is_id_feature(self, feature: IRI | str) -> bool:
+        """True when the feature is an (inferred) subclass of
+        ``sc:identifier`` — the paper's ID marker."""
+        return subclass_closure(self.graph, IRI(str(feature)),
+                                SC.identifier) and IRI(
+            str(feature)) != SC.identifier
+
+    def id_features_of(self, concept: IRI | str) -> list[IRI]:
+        """IDs of a concept: its features that subclass ``sc:identifier``.
+
+        Mirrors the SPARQL of Algorithm 3 step 2 (with RDFS entailment on
+        the subclass relation).
+        """
+        return [f for f in self.features_of(concept)
+                if self.is_id_feature(f)]
+
+    def datatype_of(self, feature: IRI | str) -> IRI | None:
+        value = self.graph.value(IRI(str(feature)), G.hasDataType, None)
+        return value if isinstance(value, IRI) else None
+
+    def object_properties(self) -> list[Triple]:
+        """All concept→concept edges (excluding metamodel predicates)."""
+        reserved = {RDF.type, G.hasFeature, G.hasDataType,
+                    RDFS.subClassOf}
+        out = []
+        for concept in self.concepts():
+            for t in self.graph.match(concept, None, None):
+                if t.p in reserved:
+                    continue
+                if isinstance(t.o, IRI) and self.is_concept(t.o):
+                    out.append(t)
+        return sorted(out)
+
+    def feature_superdomains(self, feature: IRI | str) -> set[IRI]:
+        """Transitive semantic domains of a feature (taxonomy ancestors)."""
+        return {s for s in superclasses(self.graph, IRI(str(feature)))
+                if isinstance(s, IRI)}
+
+    # -- validation ------------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Check the design constraints of §3.1; return violation texts."""
+        problems: list[str] = []
+        for feature in self.features():
+            owners = [s for s in self.graph.subjects(G.hasFeature, feature)]
+            if len(owners) > 1:
+                problems.append(
+                    f"feature {feature} belongs to {len(owners)} concepts: "
+                    f"{sorted(str(o) for o in owners)}")
+            elif not owners:
+                problems.append(f"feature {feature} belongs to no concept")
+        for t in self.graph.match(None, G.hasFeature, None):
+            if not self.is_concept(t.s):
+                problems.append(
+                    f"hasFeature subject {t.s} is not typed G:Concept")
+            if not self.is_feature(t.o):
+                problems.append(
+                    f"hasFeature object {t.o} is not typed G:Feature")
+        for t in self.graph.match(None, G.hasDataType, None):
+            if not str(t.o).startswith(str(XSD)) and not self.graph.contains(
+                    t.o, RDF.type, RDFS.Datatype):
+                problems.append(
+                    f"datatype {t.o} of {t.s} is not an rdfs:Datatype")
+        return problems

@@ -1,0 +1,233 @@
+"""The BDI ontology ``T = ⟨G, S, M⟩`` (paper §2.2, §3).
+
+:class:`BDIOntology` owns an RDF dataset with three primary named graphs
+(Global, Source, Mappings) plus one named graph per wrapper holding its
+LAV mapping subgraph. It exposes:
+
+* typed facades (:attr:`globals`, :attr:`sources`, :attr:`mappings`);
+* the ontology-level queries that Algorithms 2-5 issue (ID features of a
+  concept, wrappers providing a feature of a concept, edge-providing
+  wrappers, attribute↔feature resolution) — implemented as *literal*
+  SPARQL queries over the dataset, as in the paper;
+* binding of physical wrappers so that rewritten walks can be executed;
+* growth statistics (triple counts per graph) for the §6.4 study.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.global_graph import GlobalGraph
+from repro.core.mapping_graph import MappingGraph
+from repro.core.source_graph import SourceGraph
+from repro.core.vocabulary import (
+    GLOBAL_GRAPH, MAPPINGS_GRAPH, SOURCE_GRAPH,
+    global_metamodel, mapping_graph_uri,
+    qualified_attribute_name, source_metamodel,
+    wrapper_local_name, wrapper_uri,
+)
+from repro.errors import OntologyError, UnknownWrapperError
+from repro.rdf.dataset import Dataset
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import M as M_NS
+from repro.rdf.sparql import select
+from repro.rdf.term import IRI
+from repro.relational.rows import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrappers.base import Wrapper
+
+__all__ = ["BDIOntology"]
+
+
+class BDIOntology:
+    """The annotated two-level ontology governing the integration system."""
+
+    def __init__(self, include_metamodel: bool = True) -> None:
+        self.dataset = Dataset()
+        self._g = self.dataset.graph(GLOBAL_GRAPH)
+        self._s = self.dataset.graph(SOURCE_GRAPH)
+        self._m = self.dataset.graph(MAPPINGS_GRAPH)
+        self.globals = GlobalGraph(self._g)
+        self.sources = SourceGraph(self._s)
+        self.mappings = MappingGraph(self._m, self.dataset)
+        self._physical: dict[str, "Wrapper"] = {}
+        if include_metamodel:
+            self._g.update(global_metamodel())
+            self._s.update(source_metamodel())
+
+    # -- raw graphs ------------------------------------------------------------
+
+    @property
+    def g(self) -> Graph:
+        """The Global graph G."""
+        return self._g
+
+    @property
+    def s(self) -> Graph:
+        """The Source graph S."""
+        return self._s
+
+    @property
+    def m(self) -> Graph:
+        """The Mappings graph M."""
+        return self._m
+
+    # -- physical binding ---------------------------------------------------------
+
+    def bind_wrapper(self, wrapper: "Wrapper") -> None:
+        """Associate a physical wrapper with its RDF representation."""
+        self._physical[wrapper.name] = wrapper
+
+    def physical_wrapper(self, wrapper_name: str) -> "Wrapper":
+        try:
+            return self._physical[wrapper_name]
+        except KeyError:
+            raise UnknownWrapperError(
+                f"no physical wrapper bound for {wrapper_name!r}") from None
+
+    def has_physical_wrapper(self, wrapper_name: str) -> bool:
+        return wrapper_name in self._physical
+
+    def data_provider(self, wrapper_name: str) -> Relation:
+        """DataProvider callable for walk execution (qualified columns)."""
+        return self.physical_wrapper(wrapper_name).relation(qualified=True)
+
+    # -- ontology-level queries used by the algorithms -----------------------------
+
+    def id_features_of(self, concept: IRI | str) -> list[IRI]:
+        """Algorithm 3 line 10 / Algorithm 5 line 12, literally:
+
+        ``SELECT ?t FROM T WHERE {⟨c, G:hasFeature, ?t⟩ .
+        ⟨?t, rdfs:subClassOf, sc:identifier⟩}`` under RDFS entailment.
+        """
+        rows = select(self._g, f"""
+            SELECT ?t WHERE {{
+                <{concept}> G:hasFeature ?t .
+                ?t rdfs:subClassOf sc:identifier
+            }}""")
+        return sorted({IRI(str(r["t"])) for r in rows})
+
+    def wrappers_providing(self, concept: IRI | str,
+                           feature: IRI | str) -> list[IRI]:
+        """Algorithm 4 line 8: named graphs asserting the hasFeature edge.
+
+        ``SELECT ?g FROM T WHERE { GRAPH ?g {⟨c, G:hasFeature, f⟩} }``;
+        graph names are translated back to wrapper URIs via ``M:mapping``.
+        """
+        rows = select(self.dataset, f"""
+            SELECT ?g WHERE {{
+                GRAPH ?g {{ <{concept}> G:hasFeature <{feature}> }}
+            }}""")
+        return self._graphs_to_wrappers(IRI(str(r["g"])) for r in rows)
+
+    def edge_providers(self, source_concept: IRI | str,
+                       target_concept: IRI | str) -> list[IRI]:
+        """Algorithm 5 lines 9-10: wrappers whose mapping contains the
+        concept-to-concept edge (any predicate)."""
+        rows = select(self.dataset, f"""
+            SELECT ?g WHERE {{
+                GRAPH ?g {{ <{source_concept}> ?x <{target_concept}> }}
+            }}""")
+        return self._graphs_to_wrappers(IRI(str(r["g"])) for r in rows)
+
+    def _graphs_to_wrappers(self, graph_names: Iterable[IRI]) -> list[IRI]:
+        out: set[IRI] = set()
+        for name in graph_names:
+            owners = [s for s in self._m.subjects(M_NS.mapping, name)
+                      if isinstance(s, IRI)]
+            out.update(owners)
+        return sorted(out)
+
+    def attribute_providing(self, wrapper: IRI | str,
+                            feature: IRI | str) -> IRI | None:
+        """Algorithm 4 line 10 / Algorithm 5 lines 14 & 16:
+
+        ``SELECT ?a FROM T WHERE {⟨?a, owl:sameAs, f⟩ .
+        ⟨w, S:hasAttribute, ?a⟩}``
+        """
+        rows = select(self.dataset, f"""
+            SELECT ?a WHERE {{
+                ?a owl:sameAs <{feature}> .
+                <{wrapper}> S:hasAttribute ?a
+            }}""")
+        if not rows:
+            return None
+        return sorted(IRI(str(r["a"])) for r in rows)[0]
+
+    def feature_of_attribute(self, attribute: IRI | str) -> IRI | None:
+        """Algorithm 4 line 18 (``⟨a, owl:sameAs, ?f⟩``)."""
+        return self.mappings.feature_of_attribute(attribute)
+
+    def lav_subgraph(self, wrapper: IRI | str) -> Graph:
+        """The LAV mapping graph of a wrapper (``LAV(w)``)."""
+        name = wrapper_local_name(IRI(str(wrapper))) \
+            if str(wrapper).startswith(str(wrapper_uri(""))) else str(wrapper)
+        graph = self.mappings.mapping_graph_of(name)
+        if graph is None:
+            raise OntologyError(f"wrapper {wrapper} has no LAV mapping")
+        return graph.copy()  # callers must not mutate the stored mapping
+
+    # -- schema reconstruction -------------------------------------------------------
+
+    def wrapper_relation_schema(self, wrapper: IRI | str) -> RelationSchema:
+        """Reconstruct ``w(aID, anID)`` from S, M and G.
+
+        An attribute is an ID attribute iff the feature it maps to
+        (through ``owl:sameAs``) is an ID feature in G. Attribute names
+        are source-qualified, matching the relational layer.
+        """
+        wrapper_iri = (IRI(str(wrapper))
+                       if str(wrapper).startswith(str(wrapper_uri("")))
+                       else wrapper_uri(str(wrapper)))
+        if not self._s.contains(wrapper_iri, None, None) and not any(
+                True for _ in self._s.match(None, None, wrapper_iri)):
+            raise UnknownWrapperError(
+                f"{wrapper_iri} is not registered in the Source graph")
+        name = wrapper_local_name(wrapper_iri)
+        source = self.sources.source_of_wrapper(wrapper_iri)
+        attributes: list[Attribute] = []
+        for attr_iri in self.sources.attributes_of_wrapper(wrapper_iri):
+            qualified = qualified_attribute_name(attr_iri)
+            feature = self.mappings.feature_of_attribute(attr_iri)
+            is_id = bool(feature) and self.globals.is_id_feature(feature)
+            attributes.append(Attribute(qualified, is_id))
+        return RelationSchema(name, tuple(sorted(attributes)),
+                              source=str(source))
+
+    def wrapper_names(self) -> list[str]:
+        return [wrapper_local_name(w) for w in self.sources.wrappers()]
+
+    # -- statistics (§6.4 growth study) -------------------------------------------------
+
+    def triple_counts(self) -> dict[str, int]:
+        """Triple counts per primary graph plus mapping named graphs."""
+        mapping_graphs = sum(
+            len(self.dataset.graph(name))
+            for name in self.dataset.graph_names()
+            if str(name).startswith(str(mapping_graph_uri(""))))
+        return {
+            "G": len(self._g),
+            "S": len(self._s),
+            "M": len(self._m),
+            "lav_graphs": mapping_graphs,
+            "total": self.dataset.quad_count(),
+        }
+
+    # -- validation ---------------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """All constraint checks across G, S and M."""
+        problems = []
+        problems.extend(self.globals.validate())
+        problems.extend(self.sources.validate())
+        problems.extend(self.mappings.validate(self._g, self._s))
+        # Every sameAs feature must be an ID or plain feature of G and the
+        # attribute must belong to a wrapper of the right source.
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.triple_counts()
+        return (f"<BDIOntology G={counts['G']} S={counts['S']} "
+                f"M={counts['M']} lav={counts['lav_graphs']}>")

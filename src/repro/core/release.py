@@ -1,0 +1,182 @@
+"""Releases and Algorithm 1 ("Adapt to Release", paper §4).
+
+A release ``R = ⟨w, G, F⟩`` announces a new wrapper (i.e. a new schema
+version of a data source):
+
+* ``w`` — the wrapper, as a relation ``w(aID, anID)``;
+* ``G`` — the subgraph of the Global graph the wrapper contributes to;
+* ``F`` — a function mapping each wrapper attribute to a feature vertex
+  of ``G`` (``F : a ↦ V(G)``).
+
+:func:`new_release` applies Algorithm 1 literally: it registers the data
+source (if new), the wrapper, the attributes (reusing same-source
+attributes across versions), stores the LAV named graph and serializes
+``F`` as ``owl:sameAs`` triples. The algorithm is linear in the size of
+``R`` and idempotent (re-applying the same release changes nothing — the
+graphs are sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.core.ontology import BDIOntology
+from repro.core.vocabulary import attribute_uri, source_uri
+from repro.errors import ReleaseError
+from repro.rdf.graph import Graph
+from repro.rdf.sparql import select
+from repro.rdf.term import IRI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrappers.base import Wrapper
+
+__all__ = ["Release", "new_release"]
+
+
+@dataclass
+class Release:
+    """The 3-tuple ``R = ⟨w, G, F⟩`` of paper §4.1."""
+
+    wrapper_name: str
+    source_name: str
+    id_attributes: tuple[str, ...]
+    non_id_attributes: tuple[str, ...]
+    subgraph: Graph
+    attribute_to_feature: dict[str, IRI]
+    #: optional physical wrapper to bind for execution
+    wrapper: "Wrapper | None" = field(default=None, compare=False)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def for_wrapper(cls, wrapper: "Wrapper", subgraph: Graph,
+                    attribute_to_feature: Mapping[str, IRI | str],
+                    ) -> "Release":
+        """Build a release from a physical wrapper object."""
+        return cls(
+            wrapper_name=wrapper.name,
+            source_name=wrapper.source_name,
+            id_attributes=tuple(wrapper.id_attributes),
+            non_id_attributes=tuple(wrapper.non_id_attributes),
+            subgraph=subgraph,
+            attribute_to_feature={
+                a: IRI(str(f)) for a, f in attribute_to_feature.items()},
+            wrapper=wrapper,
+        )
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """``R.w.aID ∪ R.w.anID`` in declaration order."""
+        return self.id_attributes + self.non_id_attributes
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self, ontology: BDIOntology) -> None:
+        """Raise :class:`ReleaseError` when the release is inconsistent.
+
+        Checks performed before Algorithm 1 runs:
+
+        * every attribute is mapped by ``F`` and maps to a feature vertex
+          of the release subgraph (``F : a ↦ V(G)``);
+        * the subgraph is a subgraph of the current Global graph;
+        * mapped features are typed ``G:Feature`` in the Global graph.
+        """
+        if not self.wrapper_name:
+            raise ReleaseError("release lacks a wrapper name")
+        if not self.source_name:
+            raise ReleaseError("release lacks a source name")
+        missing = [a for a in self.attributes
+                   if a not in self.attribute_to_feature]
+        if missing:
+            raise ReleaseError(
+                f"release for {self.wrapper_name}: attributes {missing} "
+                "have no feature mapping in F")
+        unknown = [a for a in self.attribute_to_feature
+                   if a not in self.attributes]
+        if unknown:
+            raise ReleaseError(
+                f"release for {self.wrapper_name}: F maps unknown "
+                f"attributes {unknown}")
+
+        subgraph_vertices = {t.s for t in self.subgraph} | {
+            t.o for t in self.subgraph}
+        for attribute, feature in self.attribute_to_feature.items():
+            if feature not in subgraph_vertices:
+                raise ReleaseError(
+                    f"feature {feature} (for attribute {attribute!r}) is "
+                    "not a vertex of the release subgraph")
+            if not ontology.globals.is_feature(feature):
+                raise ReleaseError(
+                    f"feature {feature} (for attribute {attribute!r}) is "
+                    "not a registered G:Feature")
+        for triple in self.subgraph:
+            if triple not in ontology.g:
+                raise ReleaseError(
+                    f"release subgraph triple {triple.n3()} is not part "
+                    "of the Global graph; extend G first")
+
+
+def new_release(ontology: BDIOntology, release: Release) -> dict[str, int]:
+    """Algorithm 1: adapt the BDI ontology ``T`` w.r.t. release ``R``.
+
+    Returns the number of triples added per graph — used by the §6.4
+    ontology-growth study (Figure 11).
+
+    The body follows the paper line by line; the existence checks are the
+    same SPARQL queries over ``T``.
+    """
+    release.validate(ontology)
+    before = ontology.triple_counts()
+
+    # Lines 2-5: register the data source when first seen.
+    src_uri = source_uri(release.source_name)
+    known_sources = {
+        str(r["ds"]) for r in select(
+            ontology.s,
+            "SELECT ?ds WHERE { ?ds rdf:type S:DataSource }")
+    }
+    if str(src_uri) not in known_sources:
+        ontology.sources.add_data_source(release.source_name)
+
+    # Lines 6-8: register the wrapper and link it to its source.
+    wrp_uri = ontology.sources.add_wrapper(release.source_name,
+                                           release.wrapper_name)
+
+    # Lines 9-15: register attributes (reused within the same source).
+    known_attributes = {
+        str(r["a"]) for r in select(
+            ontology.s,
+            "SELECT ?a WHERE { ?a rdf:type S:Attribute }")
+    }
+    for attribute in release.attributes:
+        attr_uri = attribute_uri(release.source_name, attribute)
+        if str(attr_uri) not in known_attributes:
+            ontology.sources.add_attribute(release.source_name, attribute)
+        ontology.sources.link_wrapper_attribute(
+            release.wrapper_name, release.source_name, attribute)
+
+    # Line 16: register the LAV named graph in M.
+    ontology.mappings.set_wrapper_subgraph(release.wrapper_name,
+                                           release.subgraph)
+
+    # Lines 17-21: serialize F as owl:sameAs triples.
+    for attribute, feature in sorted(release.attribute_to_feature.items()):
+        attr_uri = attribute_uri(release.source_name, attribute)
+        existing = ontology.mappings.feature_of_attribute(attr_uri)
+        if existing is not None and existing != feature:
+            raise ReleaseError(
+                f"attribute {attr_uri} is already mapped to {existing}; "
+                f"release tries to remap it to {feature}. Same-source "
+                "attributes keep their semantics across versions (§3.2) — "
+                "use a differently named attribute")
+        if existing is None:
+            ontology.mappings.add_same_as(attr_uri, feature)
+
+    if release.wrapper is not None:
+        ontology.bind_wrapper(release.wrapper)
+
+    after = ontology.triple_counts()
+    return {key: after[key] - before[key] for key in after}

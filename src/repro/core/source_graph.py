@@ -1,0 +1,143 @@
+"""Management API for the Source graph S (paper §3.2).
+
+S models data sources (``S:DataSource``), their wrappers per schema
+version (``S:Wrapper``) and the attributes wrappers project
+(``S:Attribute``). Attribute URIs embed the source prefix so attributes
+are shared *within* a source across versions but never across sources.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownSourceError, UnknownWrapperError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, S
+from repro.rdf.term import IRI
+from repro.core.vocabulary import (
+    attribute_uri, qualified_attribute_name, source_uri, wrapper_uri,
+)
+
+__all__ = ["SourceGraph"]
+
+
+class SourceGraph:
+    """Typed facade over the raw triples of S."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # -- registration (the primitive steps of Algorithm 1) ---------------------
+
+    def add_data_source(self, source_name: str) -> IRI:
+        iri = source_uri(source_name)
+        self.graph.add((iri, RDF.type, S.DataSource))
+        return iri
+
+    def has_data_source(self, source_name: str) -> bool:
+        return self.graph.contains(source_uri(source_name), RDF.type,
+                                   S.DataSource)
+
+    def add_wrapper(self, source_name: str, wrapper_name: str) -> IRI:
+        src = source_uri(source_name)
+        if not self.has_data_source(source_name):
+            raise UnknownSourceError(
+                f"source {source_name!r} is not registered; "
+                "register the data source before its wrappers")
+        wrp = wrapper_uri(wrapper_name)
+        self.graph.add((wrp, RDF.type, S.Wrapper))
+        self.graph.add((src, S.hasWrapper, wrp))
+        return wrp
+
+    def has_wrapper(self, wrapper_name: str) -> bool:
+        return self.graph.contains(wrapper_uri(wrapper_name), RDF.type,
+                                   S.Wrapper)
+
+    def add_attribute(self, source_name: str, attribute_name: str) -> IRI:
+        iri = attribute_uri(source_name, attribute_name)
+        self.graph.add((iri, RDF.type, S.Attribute))
+        return iri
+
+    def has_attribute(self, source_name: str, attribute_name: str) -> bool:
+        return self.graph.contains(
+            attribute_uri(source_name, attribute_name), RDF.type,
+            S.Attribute)
+
+    def link_wrapper_attribute(self, wrapper_name: str,
+                               source_name: str,
+                               attribute_name: str) -> None:
+        self.graph.add((wrapper_uri(wrapper_name), S.hasAttribute,
+                        attribute_uri(source_name, attribute_name)))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def data_sources(self) -> list[IRI]:
+        return sorted(s for s in self.graph.subjects(RDF.type, S.DataSource)
+                      if isinstance(s, IRI))
+
+    def wrappers(self) -> list[IRI]:
+        return sorted(s for s in self.graph.subjects(RDF.type, S.Wrapper)
+                      if isinstance(s, IRI))
+
+    def attributes(self) -> list[IRI]:
+        return sorted(s for s in self.graph.subjects(RDF.type, S.Attribute)
+                      if isinstance(s, IRI))
+
+    def wrappers_of_source(self, source_name: str) -> list[IRI]:
+        return sorted(
+            o for o in self.graph.objects(source_uri(source_name),
+                                          S.hasWrapper)
+            if isinstance(o, IRI))
+
+    def source_of_wrapper(self, wrapper: IRI | str) -> IRI:
+        owners = [s for s in self.graph.subjects(S.hasWrapper,
+                                                 IRI(str(wrapper)))
+                  if isinstance(s, IRI)]
+        if not owners:
+            raise UnknownWrapperError(
+                f"wrapper {wrapper} has no owning data source in S")
+        return owners[0]
+
+    def attributes_of_wrapper(self, wrapper: IRI | str) -> list[IRI]:
+        return sorted(
+            o for o in self.graph.objects(IRI(str(wrapper)),
+                                          S.hasAttribute)
+            if isinstance(o, IRI))
+
+    def qualified_attributes_of_wrapper(self,
+                                        wrapper: IRI | str) -> list[str]:
+        """Source-qualified names (``D1/lagRatio``) of a wrapper's attrs."""
+        return [qualified_attribute_name(a)
+                for a in self.attributes_of_wrapper(wrapper)]
+
+    # -- validation ------------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        for wrapper in self.wrappers():
+            owners = [s for s in self.graph.subjects(S.hasWrapper, wrapper)]
+            if not owners:
+                problems.append(f"wrapper {wrapper} has no data source")
+            elif len(owners) > 1:
+                problems.append(
+                    f"wrapper {wrapper} is owned by several sources: "
+                    f"{sorted(str(o) for o in owners)}")
+        for t in self.graph.match(None, S.hasAttribute, None):
+            if not self.graph.contains(t.o, RDF.type, S.Attribute):
+                problems.append(
+                    f"{t.o} referenced by {t.s} is not typed S:Attribute")
+            try:
+                qualified = qualified_attribute_name(t.o)
+            except ValueError:
+                problems.append(
+                    f"attribute URI {t.o} does not follow the "
+                    "S:DataSource/<source>/<name> convention")
+                continue
+            # The attribute's source prefix must match the wrapper's owner.
+            try:
+                owner = self.source_of_wrapper(t.s)
+            except UnknownWrapperError:
+                continue  # already reported above
+            if not str(t.o).startswith(str(owner) + "/"):
+                problems.append(
+                    f"attribute {qualified} used by wrapper {t.s} does not "
+                    f"belong to the wrapper's source {owner}")
+        return problems

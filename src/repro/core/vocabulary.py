@@ -1,0 +1,180 @@
+"""The BDI RDF vocabulary (paper §3, Codes 6 and 7).
+
+Defines the metamodel triples for the Global and Source graph vocabularies
+— reproduced verbatim from the paper's Turtle listings — plus the URI
+construction conventions of Algorithm 1:
+
+* ``Sourceuri    = S:DataSource/<source>``
+* ``Wrapperuri   = S:Wrapper/<wrapper>``
+* ``Attributeuri = Sourceuri + "/" + <attribute>`` (the paper qualifies
+  attribute names with their source prefix, §3.2)
+* feature/concept URIs come from the domain vocabulary (e.g. ``sup:``).
+
+Named-graph identifiers for the ontology ``T = ⟨G, S, M⟩`` and for
+per-wrapper LAV mapping graphs are also fixed here.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G, M, S
+from repro.rdf.term import IRI
+from repro.rdf.turtle import parse_turtle
+
+__all__ = [
+    "GLOBAL_GRAPH", "SOURCE_GRAPH", "MAPPINGS_GRAPH",
+    "GLOBAL_VOCABULARY_TTL", "SOURCE_VOCABULARY_TTL",
+    "global_metamodel", "source_metamodel",
+    "source_uri", "wrapper_uri", "attribute_uri", "mapping_graph_uri",
+    "qualified_attribute_name", "source_local_name", "wrapper_local_name",
+    "attribute_local_name",
+]
+
+#: Named graph holding the Global graph G.
+GLOBAL_GRAPH = IRI("http://www.essi.upc.edu/~snadal/BDIOntology/Global")
+#: Named graph holding the Source graph S.
+SOURCE_GRAPH = IRI("http://www.essi.upc.edu/~snadal/BDIOntology/Source")
+#: Named graph holding the Mappings graph M.
+MAPPINGS_GRAPH = IRI("http://www.essi.upc.edu/~snadal/BDIOntology/Mapping")
+
+
+#: Code 6 of the paper: metadata model for G in Turtle notation.
+GLOBAL_VOCABULARY_TTL = """
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix voaf: <http://purl.org/vocommons/voaf#> .
+@prefix vann: <http://purl.org/vocab/vann/> .
+@prefix G: <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> .
+
+<http://www.essi.upc.edu/~snadal/BDIOntology/Global/> rdf:type voaf:Vocabulary ;
+    vann:preferredNamespacePrefix "G" ;
+    vann:preferredNamespaceUri "http://www.essi.upc.edu/~snadal/BDIOntology/Global" ;
+    rdfs:label "The Global graph vocabulary" .
+
+G:Concept rdf:type rdfs:Class ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> .
+
+G:Feature rdf:type rdfs:Class ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> .
+
+G:hasFeature rdf:type rdf:Property ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> ;
+    rdfs:domain G:Concept ;
+    rdfs:range G:Feature .
+
+G:hasDataType rdf:type rdf:Property ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Global/> ;
+    rdfs:domain G:Feature ;
+    rdfs:range rdfs:Datatype .
+"""
+
+#: Code 7 of the paper: metadata model for S in Turtle notation.
+SOURCE_VOCABULARY_TTL = """
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix voaf: <http://purl.org/vocommons/voaf#> .
+@prefix vann: <http://purl.org/vocab/vann/> .
+@prefix S: <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> .
+
+<http://www.essi.upc.edu/~snadal/BDIOntology/Source/> rdf:type voaf:Vocabulary ;
+    vann:preferredNamespacePrefix "S" ;
+    vann:preferredNamespaceUri "http://www.essi.upc.edu/~snadal/BDIOntology/Source" ;
+    rdfs:label "The Source graph vocabulary" .
+
+S:DataSource rdf:type rdfs:Class ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> .
+
+S:Wrapper rdf:type rdfs:Class ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> .
+
+S:Attribute rdf:type rdfs:Class ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> .
+
+S:hasWrapper rdf:type rdf:Property ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> ;
+    rdfs:domain S:DataSource ;
+    rdfs:range S:Wrapper .
+
+S:hasAttribute rdf:type rdf:Property ;
+    rdfs:isDefinedBy <http://www.essi.upc.edu/~snadal/BDIOntology/Source/> ;
+    rdfs:domain S:Wrapper ;
+    rdfs:range S:Attribute .
+"""
+
+
+def global_metamodel() -> Graph:
+    """The metamodel triples of Code 6 as a graph."""
+    return parse_turtle(GLOBAL_VOCABULARY_TTL)
+
+
+def source_metamodel() -> Graph:
+    """The metamodel triples of Code 7 as a graph."""
+    return parse_turtle(SOURCE_VOCABULARY_TTL)
+
+
+# ---------------------------------------------------------------------------
+# URI construction (Algorithm 1 conventions)
+# ---------------------------------------------------------------------------
+
+_SOURCE_PREFIX = str(S) + "DataSource/"
+_WRAPPER_PREFIX = str(S) + "Wrapper/"
+
+
+def source_uri(source_name: str) -> IRI:
+    """``"S:DataSource/" + source(R.w)`` of Algorithm 1."""
+    return IRI(_SOURCE_PREFIX + source_name)
+
+
+def wrapper_uri(wrapper_name: str) -> IRI:
+    """``"S:Wrapper/" + R.w`` of Algorithm 1."""
+    return IRI(_WRAPPER_PREFIX + wrapper_name)
+
+
+def attribute_uri(source_name: str, attribute_name: str) -> IRI:
+    """``Sourceuri + a`` of Algorithm 1 (with an explicit separator).
+
+    *attribute_name* is the local name (``lagRatio``); the URI embeds the
+    source prefix so attributes are only shared within a source (§3.2).
+    """
+    return IRI(f"{_SOURCE_PREFIX}{source_name}/{attribute_name}")
+
+
+def mapping_graph_uri(wrapper_name: str) -> IRI:
+    """Named graph holding the LAV mapping subgraph of one wrapper."""
+    return IRI(str(M) + "graph/" + wrapper_name)
+
+
+def source_local_name(uri: IRI | str) -> str:
+    text = str(uri)
+    if not text.startswith(_SOURCE_PREFIX):
+        raise ValueError(f"not a data source URI: {uri}")
+    return text[len(_SOURCE_PREFIX):].split("/", 1)[0]
+
+
+def wrapper_local_name(uri: IRI | str) -> str:
+    text = str(uri)
+    if not text.startswith(_WRAPPER_PREFIX):
+        raise ValueError(f"not a wrapper URI: {uri}")
+    return text[len(_WRAPPER_PREFIX):]
+
+
+def attribute_local_name(uri: IRI | str) -> str:
+    """Local attribute name (``lagRatio``) from an attribute URI."""
+    return qualified_attribute_name(uri).split("/", 1)[1]
+
+
+def qualified_attribute_name(uri: IRI | str) -> str:
+    """Source-qualified name (``D1/lagRatio``) from an attribute URI.
+
+    This is the name under which the relational layer knows the
+    attribute, keeping RDF-side and relational-side identities aligned.
+    """
+    text = str(uri)
+    if not text.startswith(_SOURCE_PREFIX):
+        raise ValueError(f"not an attribute URI: {uri}")
+    qualified = text[len(_SOURCE_PREFIX):]
+    if "/" not in qualified:
+        raise ValueError(f"attribute URI lacks source prefix: {uri}")
+    return qualified

@@ -1,0 +1,10 @@
+"""Bundled scenario datasets (SUPERSEDE, Wordpress history, API studies)."""
+
+from repro.datasets.supersede import (
+    EXEMPLARY_QUERY, SupersedeScenario, build_supersede, register_w4,
+)
+
+__all__ = [
+    "EXEMPLARY_QUERY", "SupersedeScenario", "build_supersede",
+    "register_w4",
+]

@@ -1,0 +1,217 @@
+"""Exception hierarchy for the BDI ontology reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate among substrate-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# RDF substrate
+# ---------------------------------------------------------------------------
+
+
+class RDFError(ReproError):
+    """Base class for errors in the RDF substrate."""
+
+
+class TermError(RDFError):
+    """An RDF term is malformed (bad IRI, bad literal, misuse of a term)."""
+
+
+class TurtleSyntaxError(RDFError):
+    """The Turtle parser found a syntax error.
+
+    Carries the line and column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            location += f", column {column})" if column is not None else ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class NTriplesSyntaxError(RDFError):
+    """The N-Triples/N-Quads parser found a syntax error."""
+
+
+class SparqlSyntaxError(RDFError):
+    """The SPARQL parser rejected the query string."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            location += f", column {column})" if column is not None else ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SparqlEvaluationError(RDFError):
+    """The SPARQL evaluator could not evaluate an (accepted) query."""
+
+
+class GraphNotFoundError(RDFError):
+    """A named graph was requested from a dataset that does not hold it."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for errors in the relational algebra substrate."""
+
+
+class SchemaError(RelationalError):
+    """A relation schema is inconsistent or an attribute is unknown."""
+
+
+class InvalidJoinError(RelationalError):
+    """A restricted equi-join (⋈̃) was attempted on non-ID attributes."""
+
+
+class InvalidProjectionError(RelationalError):
+    """A restricted projection (Π̃) attempted to project out an ID."""
+
+
+class SameSourceJoinError(RelationalError):
+    """A walk attempted to join two wrappers of the same data source."""
+
+
+# ---------------------------------------------------------------------------
+# Sources / wrappers
+# ---------------------------------------------------------------------------
+
+
+class SourceError(ReproError):
+    """Base class for errors in the simulated data sources."""
+
+
+class UnknownCollectionError(SourceError):
+    """A document-store collection does not exist."""
+
+
+class AggregationError(SourceError):
+    """A MongoDB-style aggregation pipeline is malformed."""
+
+
+class EndpointError(SourceError):
+    """A simulated REST endpoint rejected the request."""
+
+
+class UnknownVersionError(EndpointError):
+    """A REST endpoint was asked for a version it does not serve."""
+
+
+class WrapperError(SourceError):
+    """A wrapper failed to produce its relation (schema drift, bad query)."""
+
+
+class WrapperSchemaMismatchError(WrapperError):
+    """A wrapper's output rows do not conform to its declared schema.
+
+    This is exactly the class of failure the BDI ontology is designed to
+    surface early: the source evolved under the wrapper.
+    """
+
+
+# ---------------------------------------------------------------------------
+# BDI ontology core
+# ---------------------------------------------------------------------------
+
+
+class OntologyError(ReproError):
+    """Base class for errors concerning the BDI ontology ⟨G, S, M⟩."""
+
+
+class ConstraintViolationError(OntologyError):
+    """A design constraint of the BDI metamodel is violated.
+
+    For instance a feature linked to two concepts, or a mapping referencing
+    an unregistered wrapper.
+    """
+
+
+class UnknownConceptError(OntologyError):
+    """A concept IRI is not part of the Global graph."""
+
+
+class UnknownFeatureError(OntologyError):
+    """A feature IRI is not part of the Global graph."""
+
+
+class UnknownWrapperError(OntologyError):
+    """A wrapper IRI is not part of the Source graph."""
+
+
+class UnknownSourceError(OntologyError):
+    """A data-source IRI is not part of the Source graph."""
+
+
+class ReleaseError(OntologyError):
+    """A release tuple ⟨w, G, F⟩ is malformed or inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Query answering
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for errors raised by the query answering pipeline."""
+
+
+class MalformedQueryError(QueryError):
+    """The OMQ does not follow the accepted SPARQL template (Code 3)."""
+
+
+class CyclicQueryError(QueryError):
+    """Algorithm 2: the query graph pattern has at least one cycle."""
+
+
+class NoIdentifierError(QueryError):
+    """Algorithm 2: a projected concept has no ID feature to substitute.
+
+    Mirrors the paper's error "QG has at least one concept without any
+    feature included in the query that is mapped to the sources".
+    """
+
+
+class UnanswerableQueryError(QueryError):
+    """No covering and minimal walk exists for the query."""
+
+
+class RewritingError(QueryError):
+    """Internal failure of the three-phase rewriting algorithm."""
+
+
+# ---------------------------------------------------------------------------
+# Evolution management
+# ---------------------------------------------------------------------------
+
+
+class EvolutionError(ReproError):
+    """Base class for errors in the evolution-management module."""
+
+
+class UnknownChangeKindError(EvolutionError):
+    """A change kind outside of the Tables 3-5 taxonomy was used."""
+
+
+class ChangeApplicationError(EvolutionError):
+    """A change could not be applied to the simulated API or ontology."""

@@ -1,0 +1,11 @@
+"""Evaluation harness pieces shared by the benchmarks (paper §5.3, §6)."""
+
+from repro.evaluation.worst_case import (
+    SweepPoint, WorstCaseSetup, ascii_plot, build_worst_case,
+    fit_constant, run_sweep, worst_case_query,
+)
+
+__all__ = [
+    "SweepPoint", "WorstCaseSetup", "ascii_plot", "build_worst_case",
+    "fit_constant", "run_sweep", "worst_case_query",
+]

@@ -1,0 +1,199 @@
+"""Worst-case rewriting complexity study (paper §5.3, Figure 8).
+
+The worst case for query answering arises when, for a query navigating
+``C`` concepts, every concept is served by ``W`` wrappers that are
+pairwise disjoint (each from its own source): phase 3 then generates all
+``W^C`` combinations. This module builds exactly that artificial
+ontology, the query navigating the concept chain, and the timing sweep:
+
+* concepts ``c1 → c2 → ... → cC`` (one object property each);
+* per concept: an ID feature and one value feature;
+* per concept, ``W`` wrappers from ``W`` distinct sources, each
+  providing the concept's features *plus* the outgoing edge and the next
+  concept's ID (the foreign-key shape of event sources).
+
+:func:`run_sweep` measures rewriting time per ``W`` and fits the
+theoretical ``t ≈ k·W^C`` curve (the thin line of Figure 8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release, new_release
+from repro.query.rewriter import RewritingResult, rewrite
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import Namespace, G as G_NS
+from repro.rdf.term import IRI
+from repro.query.omq import OMQ
+from repro.wrappers.base import StaticWrapper
+
+__all__ = ["WorstCaseSetup", "build_worst_case", "worst_case_query",
+           "SweepPoint", "run_sweep", "fit_constant", "ascii_plot"]
+
+WC = Namespace("urn:worstcase:")
+
+
+@dataclass
+class WorstCaseSetup:
+    """The artificial ontology plus its parameters."""
+
+    ontology: BDIOntology
+    concepts: int
+    wrappers_per_concept: int
+    query: OMQ
+
+
+def build_worst_case(concepts: int = 5,
+                     wrappers_per_concept: int = 2,
+                     rows_per_wrapper: int = 0) -> WorstCaseSetup:
+    """Build the §5.3 experiment ontology.
+
+    *rows_per_wrapper* > 0 additionally binds physical wrappers with that
+    many rows each, so execution (not only rewriting) can be measured.
+    """
+    ontology = BDIOntology()
+
+    concept_iris = [WC[f"c{i}"] for i in range(1, concepts + 1)]
+    for index, concept in enumerate(concept_iris, start=1):
+        ontology.globals.add_concept(concept)
+        ontology.globals.add_feature(concept, WC[f"c{index}/id"],
+                                     is_id=True)
+        ontology.globals.add_feature(concept, WC[f"c{index}/val"])
+    for index in range(1, concepts):
+        ontology.globals.add_property(
+            concept_iris[index - 1], WC[f"next{index}"],
+            concept_iris[index])
+
+    for index in range(1, concepts + 1):
+        concept = concept_iris[index - 1]
+        has_next = index < concepts
+        for jndex in range(1, wrappers_per_concept + 1):
+            source = f"S{index}_{jndex}"
+            wrapper_name = f"w{index}_{jndex}"
+            subgraph = Graph()
+            subgraph.add((concept, G_NS.hasFeature, WC[f"c{index}/id"]))
+            subgraph.add((concept, G_NS.hasFeature, WC[f"c{index}/val"]))
+            ids = ["id"]
+            non_ids = ["val"]
+            mapping: dict[str, IRI] = {
+                "id": WC[f"c{index}/id"],
+                "val": WC[f"c{index}/val"],
+            }
+            if has_next:
+                next_concept = concept_iris[index]
+                subgraph.add((concept, WC[f"next{index}"], next_concept))
+                subgraph.add((next_concept, G_NS.hasFeature,
+                              WC[f"c{index + 1}/id"]))
+                ids.append("next_id")
+                mapping["next_id"] = WC[f"c{index + 1}/id"]
+            release = Release(
+                wrapper_name=wrapper_name,
+                source_name=source,
+                id_attributes=tuple(ids),
+                non_id_attributes=tuple(non_ids),
+                subgraph=subgraph,
+                attribute_to_feature=mapping,
+            )
+            if rows_per_wrapper > 0:
+                rows = []
+                for r in range(rows_per_wrapper):
+                    row: dict[str, object] = {
+                        "id": r, "val": f"v{index}.{jndex}.{r}"}
+                    if has_next:
+                        row["next_id"] = r
+                    rows.append(row)
+                release.wrapper = StaticWrapper(
+                    wrapper_name, source, ids, non_ids, rows)
+            new_release(ontology, release)
+
+    return WorstCaseSetup(
+        ontology=ontology,
+        concepts=concepts,
+        wrappers_per_concept=wrappers_per_concept,
+        query=worst_case_query(concepts),
+    )
+
+
+def worst_case_query(concepts: int) -> OMQ:
+    """The query navigating the whole chain, projecting every value."""
+    phi = Graph()
+    pi = []
+    for index in range(1, concepts + 1):
+        phi.add((WC[f"c{index}"], G_NS.hasFeature, WC[f"c{index}/val"]))
+        pi.append(WC[f"c{index}/val"])
+    for index in range(1, concepts):
+        phi.add((WC[f"c{index}"], WC[f"next{index}"], WC[f"c{index + 1}"]))
+    return OMQ(pi=pi, phi=phi)
+
+
+@dataclass
+class SweepPoint:
+    """One measurement of the Figure 8 sweep."""
+
+    wrappers_per_concept: int
+    concepts: int
+    seconds: float
+    walks: int
+
+    @property
+    def expected_walks(self) -> int:
+        return self.wrappers_per_concept ** self.concepts
+
+
+def run_sweep(concepts: int = 5, max_wrappers: int = 8,
+              repeat: int = 1) -> list[SweepPoint]:
+    """Measure rewriting time for W = 1..max_wrappers (Figure 8's x-axis).
+
+    The paper sweeps to 25 on a JVM; pure Python pays a constant factor,
+    so the default stops at 8 (8^5 ≈ 33k walks). Benchmarks can extend
+    the sweep through an environment variable.
+    """
+    points: list[SweepPoint] = []
+    for wrappers in range(1, max_wrappers + 1):
+        setup = build_worst_case(concepts, wrappers)
+        best = float("inf")
+        walks = 0
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            result: RewritingResult = rewrite(setup.ontology, setup.query)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            walks = len(result.walks)
+        points.append(SweepPoint(wrappers, concepts, best, walks))
+    return points
+
+
+def fit_constant(points: list[SweepPoint]) -> float:
+    """Least-squares fit of ``k`` in ``t ≈ k·W^C`` (the thin line)."""
+    numerator = 0.0
+    denominator = 0.0
+    for point in points:
+        x = float(point.expected_walks)
+        numerator += x * point.seconds
+        denominator += x * x
+    return numerator / denominator if denominator else 0.0
+
+
+def ascii_plot(points: list[SweepPoint], width: int = 48) -> str:
+    """Observed (thick, ``#``) vs theoretical (thin, ``·``) bars."""
+    if not points:
+        return "(no points)"
+    k = fit_constant(points)
+    peak = max(max(p.seconds for p in points),
+               max(k * p.expected_walks for p in points)) or 1.0
+    lines = [
+        f"{'W':>3} | observed vs theoretical (k·W^C, k={k:.3e})",
+        "-" * (width + 30),
+    ]
+    for point in points:
+        obs = max(1, round(width * point.seconds / peak))
+        theo = max(1, round(width * k * point.expected_walks / peak))
+        lines.append(f"{point.wrappers_per_concept:>3} | "
+                     f"{'#' * obs:<{width}} {point.seconds * 1e3:9.2f} ms"
+                     f"  ({point.walks} walks)")
+        lines.append(f"{'':>3} | {'·' * theo:<{width}} "
+                     f"{k * point.expected_walks * 1e3:9.2f} ms")
+    return "\n".join(lines)

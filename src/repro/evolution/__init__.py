@@ -1,0 +1,44 @@
+"""Evolution management: taxonomy, classification, releases, studies."""
+
+from repro.evolution.apply import ChangeReport, GovernedApi
+from repro.evolution.changes import (
+    Change, ChangeKind, ChangeLevel, Handler, KIND_HANDLERS,
+    kinds_at_level,
+)
+from repro.evolution.classifier import (
+    Accommodation, AccommodationStats, accommodation_of, classify,
+    classify_batch, handler_table,
+)
+from repro.evolution.drift import (
+    DriftReport, FieldDrift, detect_drift, propose_release,
+)
+from repro.evolution.growth import GrowthRecord, ascii_chart, \
+    replay_wordpress
+from repro.evolution.industrial import (
+    ApiChangeCounts, IndustrialRow, LI_ET_AL_COUNTS, industrial_study,
+    materialize_changes, pooled_stats,
+)
+from repro.evolution.release_builder import (
+    build_release, subgraph_for_features, suggest_feature,
+)
+from repro.evolution.schema_diff import diff_versions
+from repro.evolution.wordpress import (
+    WORDPRESS_RELEASES, WordpressRelease, all_wordpress_fields,
+    build_wordpress_endpoint,
+)
+
+__all__ = [
+    "ChangeReport", "GovernedApi",
+    "Change", "ChangeKind", "ChangeLevel", "Handler", "KIND_HANDLERS",
+    "kinds_at_level",
+    "Accommodation", "AccommodationStats", "accommodation_of",
+    "classify", "classify_batch", "handler_table",
+    "DriftReport", "FieldDrift", "detect_drift", "propose_release",
+    "GrowthRecord", "ascii_chart", "replay_wordpress",
+    "ApiChangeCounts", "IndustrialRow", "LI_ET_AL_COUNTS",
+    "industrial_study", "materialize_changes", "pooled_stats",
+    "build_release", "subgraph_for_features", "suggest_feature",
+    "diff_versions",
+    "WORDPRESS_RELEASES", "WordpressRelease", "all_wordpress_fields",
+    "build_wordpress_endpoint",
+]

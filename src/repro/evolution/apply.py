@@ -1,0 +1,483 @@
+"""Applying taxonomy changes to a live, governed API (§6.2 end to end).
+
+:class:`GovernedApi` binds a simulated :class:`~repro.sources.rest_api.RestApi`
+to a :class:`~repro.core.ontology.BDIOntology` following the paper's
+modeling: **each REST method is an instance of ``S:DataSource``** and each
+of its versions is a wrapper. :meth:`GovernedApi.apply` then executes any
+change of the Tables 3-5 taxonomy:
+
+* wrapper-side changes (auth, URLs, rate limits, error codes, ...) mutate
+  the API/wrapper configuration and must leave the ontology untouched;
+* ontology-side changes trigger a *release*: a new endpoint version, a
+  new wrapper, Algorithm 1 — analyst queries keep working, both on the
+  latest and on historical versions.
+
+The functional evaluation (bench for Tables 3-5) and the integration
+tests drive every change kind through this class and verify the
+invariants above.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import new_release
+from repro.core.vocabulary import attribute_uri
+from repro.errors import ChangeApplicationError
+from repro.evolution.changes import Change, ChangeKind, Handler
+from repro.evolution.release_builder import build_release
+from repro.rdf.namespace import Namespace
+from repro.rdf.term import IRI
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+from repro.wrappers.rest import RestWrapper
+
+__all__ = ["ChangeReport", "GovernedApi"]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "_", text).strip("_")
+
+
+@dataclass
+class ChangeReport:
+    """Outcome of applying one change."""
+
+    change: Change
+    handler: Handler
+    ontology_triples_added: int = 0
+    new_wrapper: str | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def touched_ontology(self) -> bool:
+        return self.ontology_triples_added > 0 or self.new_wrapper is not \
+            None
+
+
+@dataclass
+class _EndpointState:
+    """Bookkeeping per governed endpoint (= per data source)."""
+
+    source_name: str
+    concept: IRI
+    id_field: str
+    #: stable key for feature IRI minting; survives method renames so the
+    #: renamed method keeps its features (and data-source identity)
+    feature_key: str = ""
+    version_counter: int = 1
+    current_wrapper: str | None = None
+    wrapper_config: dict[str, object] = field(default_factory=dict)
+
+
+class GovernedApi:
+    """A simulated API governed by the BDI ontology."""
+
+    def __init__(self, api: RestApi,
+                 ontology: BDIOntology | None = None) -> None:
+        self.api = api
+        self.ontology = ontology or BDIOntology()
+        self.namespace = Namespace(f"urn:api:{_slug(api.name)}:")
+        self._endpoints: dict[str, _EndpointState] = {}
+        self.reports: list[ChangeReport] = []
+
+    # -- modeling ----------------------------------------------------------------
+
+    def model_endpoint(self, endpoint_name: str, id_field: str,
+                       source_name: str | None = None) -> _EndpointState:
+        """Model one endpoint: concept + features in G, first release.
+
+        The endpoint must already exist on the API with at least one
+        version; its latest version's fields become features of a fresh
+        concept, and the first wrapper is registered through Algorithm 1.
+        """
+        endpoint = self.api.endpoint(endpoint_name)
+        version = endpoint.latest_version()
+        if id_field not in version.field_names():
+            raise ChangeApplicationError(
+                f"id field {id_field!r} is not part of "
+                f"{endpoint_name} {version.version}")
+        source = source_name or _slug(f"{self.api.name}_{endpoint_name}")
+        concept = self.namespace[_slug(endpoint_name)]
+        self.ontology.globals.add_concept(concept)
+        state = _EndpointState(source_name=source, concept=concept,
+                               id_field=id_field,
+                               feature_key=_slug(endpoint_name))
+        for spec in version.fields:
+            self._ensure_feature(state, spec.name,
+                                 is_id=(spec.name == id_field))
+        self._endpoints[endpoint_name] = state
+        self._register_version(endpoint_name, version)
+        return state
+
+    def _feature_iri(self, state: _EndpointState, field_name: str) -> IRI:
+        return self.namespace[f"{state.feature_key}/{field_name}"]
+
+    def _ensure_feature(self, state: _EndpointState,
+                        field_name: str, is_id: bool = False) -> IRI:
+        feature = self._feature_iri(state, field_name)
+        if not self.ontology.globals.is_feature(feature):
+            self.ontology.globals.add_feature(state.concept, feature,
+                                              is_id=is_id)
+        return feature
+
+    def state(self, endpoint_name: str) -> _EndpointState:
+        try:
+            return self._endpoints[endpoint_name]
+        except KeyError:
+            raise ChangeApplicationError(
+                f"endpoint {endpoint_name!r} is not modeled; call "
+                "model_endpoint first") from None
+
+    # -- releases -----------------------------------------------------------------
+
+    def _register_version(self, endpoint_name: str,
+                          version: ApiVersion,
+                          rename_hints: dict[str, str] | None = None,
+                          ) -> str:
+        """Create wrapper + release for one endpoint version.
+
+        *rename_hints* maps new field names to the old field names whose
+        feature they inherit (the rename-response-parameter case).
+        """
+        state = self.state(endpoint_name)
+        endpoint = self.api.endpoint(endpoint_name)
+        wrapper_name = f"{state.source_name}_v{state.version_counter}"
+        state.version_counter += 1
+
+        fields = version.field_names()
+        id_attrs = [f for f in fields if f == state.id_field]
+        non_id_attrs = [f for f in fields if f != state.id_field]
+
+        hints: dict[str, IRI] = {}
+        for field_name in fields:
+            # Attribute semantics are stable within a source (§3.2): an
+            # attribute already mapped by a previous version keeps its
+            # feature (covers fields introduced by earlier renames).
+            existing = self.ontology.mappings.feature_of_attribute(
+                attribute_uri(state.source_name, field_name))
+            if existing is not None:
+                hints[field_name] = existing
+                continue
+            feature = self._feature_iri(state, field_name)
+            if self.ontology.globals.is_feature(feature):
+                hints[field_name] = feature
+        for new_name, old_name in (rename_hints or {}).items():
+            inherited = self.ontology.mappings.feature_of_attribute(
+                attribute_uri(state.source_name, old_name))
+            hints[new_name] = (inherited if inherited is not None
+                               else self._feature_iri(state, old_name))
+
+        missing = [f for f in fields if f not in hints]
+        for field_name in missing:
+            # Steward extends G for genuinely new parameters.
+            self._ensure_feature(state, field_name)
+            hints[field_name] = self._feature_iri(state, field_name)
+
+        release = build_release(
+            self.ontology, state.source_name, wrapper_name,
+            id_attributes=id_attrs, non_id_attributes=non_id_attrs,
+            feature_hints=hints)
+        release.wrapper = RestWrapper(
+            wrapper_name, state.source_name, endpoint, version.version,
+            id_attributes=id_attrs, non_id_attributes=non_id_attrs,
+            field_map={f: f for f in fields})
+        new_release(self.ontology, release)
+        state.current_wrapper = wrapper_name
+        return wrapper_name
+
+    # -- change application -----------------------------------------------------------
+
+    def apply(self, change: Change) -> ChangeReport:
+        """Apply one taxonomy change; returns what happened."""
+        before = self.ontology.triple_counts()["total"]
+        handler = change.handler
+        report = ChangeReport(change=change, handler=handler)
+
+        dispatch = {
+            ChangeKind.API_ADD_AUTHENTICATION_MODEL: self._set_auth,
+            ChangeKind.API_CHANGE_AUTHENTICATION_MODEL: self._set_auth,
+            ChangeKind.API_CHANGE_RESOURCE_URL: self._set_resource_url,
+            ChangeKind.API_CHANGE_RATE_LIMIT: self._set_api_rate_limit,
+            ChangeKind.API_ADD_RESPONSE_FORMAT: self._add_response_format,
+            ChangeKind.API_CHANGE_RESPONSE_FORMAT:
+                self._change_response_format_api,
+            ChangeKind.API_DELETE_RESPONSE_FORMAT:
+                self._delete_response_format,
+            ChangeKind.METHOD_ADD_ERROR_CODE: self._add_error_code,
+            ChangeKind.METHOD_CHANGE_RATE_LIMIT:
+                self._set_method_rate_limit,
+            ChangeKind.METHOD_CHANGE_AUTHENTICATION_MODEL: self._set_auth,
+            ChangeKind.METHOD_CHANGE_DOMAIN_URL: self._set_domain_url,
+            ChangeKind.METHOD_ADD_METHOD: self._add_method,
+            ChangeKind.METHOD_DELETE_METHOD: self._delete_method,
+            ChangeKind.METHOD_CHANGE_METHOD_NAME: self._rename_method,
+            ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT:
+                self._change_response_format_method,
+            ChangeKind.PARAM_CHANGE_RATE_LIMIT:
+                self._set_parameter_config,
+            ChangeKind.PARAM_CHANGE_REQUIRE_TYPE:
+                self._set_parameter_config,
+            ChangeKind.PARAM_ADD_PARAMETER: self._add_parameter,
+            ChangeKind.PARAM_DELETE_PARAMETER: self._delete_parameter,
+            ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER:
+                self._rename_parameter,
+            ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE: self._change_type,
+        }
+        handler_fn = dispatch.get(change.kind)
+        if handler_fn is None:  # pragma: no cover - taxonomy is closed
+            raise ChangeApplicationError(
+                f"no applicator for {change.kind}")
+        handler_fn(change, report)
+
+        report.ontology_triples_added = (
+            self.ontology.triple_counts()["total"] - before)
+        if handler is Handler.WRAPPER and report.touched_ontology:
+            raise ChangeApplicationError(
+                f"{change.kind.label} is a wrapper-side change but "
+                "modified the ontology")
+        self.reports.append(report)
+        return report
+
+    # -- wrapper-side applicators ------------------------------------------------------
+
+    def _set_auth(self, change: Change, report: ChangeReport) -> None:
+        model = change.details.get("model", "oauth2")
+        self.api.auth_model = model
+        report.notes.append(f"wrapper reconfigured for auth {model!r}")
+
+    def _set_resource_url(self, change: Change,
+                          report: ChangeReport) -> None:
+        url = change.details.get("url", self.api.resource_url)
+        self.api.resource_url = url
+        report.notes.append(f"wrapper base URL set to {url!r}")
+
+    def _set_api_rate_limit(self, change: Change,
+                            report: ChangeReport) -> None:
+        self.api.rate_limit = change.details.get("limit", 1000)
+        report.notes.append("wrapper throttling reconfigured")
+
+    def _add_error_code(self, change: Change,
+                        report: ChangeReport) -> None:
+        endpoint = self.api.endpoint(change.details["endpoint"])
+        endpoint.error_codes.add(change.details.get("code", 429))
+        report.notes.append("wrapper error handling extended")
+
+    def _set_method_rate_limit(self, change: Change,
+                               report: ChangeReport) -> None:
+        endpoint = self.api.endpoint(change.details["endpoint"])
+        endpoint.rate_limit = change.details.get("limit", 100)
+        report.notes.append("wrapper throttling reconfigured (method)")
+
+    def _set_domain_url(self, change: Change,
+                        report: ChangeReport) -> None:
+        endpoint = self.api.endpoint(change.details["endpoint"])
+        endpoint.domain_url = change.details.get("url", "https://api")
+        report.notes.append("wrapper domain URL updated")
+
+    def _set_parameter_config(self, change: Change,
+                              report: ChangeReport) -> None:
+        state = self.state(change.details["endpoint"])
+        key = (f"{change.details.get('parameter', '?')}:"
+               f"{change.kind.name.lower()}")
+        state.wrapper_config[key] = change.details
+        report.notes.append("wrapper request parametrization updated")
+
+    # -- ontology-side applicators --------------------------------------------------------
+
+    def _next_version(self, endpoint: Endpoint) -> str:
+        latest = endpoint.latest_version().version
+        head = latest.split(".")[0]
+        minors = [int(v.split(".")[1]) for v in endpoint.versions
+                  if v.startswith(head + ".") and
+                  v.split(".")[1].isdigit()]
+        nxt = (max(minors) + 1) if minors else 1
+        return f"{head}.{nxt}"
+
+    def _release_new_version(self, endpoint_name: str,
+                             fields: list[FieldSpec],
+                             report: ChangeReport,
+                             response_format: str = "json",
+                             rename_hints: dict[str, str] | None = None,
+                             ) -> None:
+        endpoint = self.api.endpoint(endpoint_name)
+        version = ApiVersion(self._next_version(endpoint), list(fields),
+                             response_format=response_format)
+        endpoint.add_version(version)
+        wrapper = self._register_version(endpoint_name, version,
+                                         rename_hints)
+        report.new_wrapper = wrapper
+        report.notes.append(
+            f"release {version.version} registered as wrapper {wrapper}")
+
+    def _add_response_format(self, change: Change,
+                             report: ChangeReport) -> None:
+        fmt = change.details.get("format", "xml")
+        self.api.response_formats.add(fmt)
+        for endpoint_name in sorted(self._endpoints):
+            endpoint = self.api.endpoint(endpoint_name)
+            self._release_new_version(
+                endpoint_name, endpoint.latest_version().fields, report,
+                response_format=fmt)
+
+    def _change_response_format_api(self, change: Change,
+                                    report: ChangeReport) -> None:
+        fmt = change.details.get("format", "json-v2")
+        self.api.response_formats = {fmt}
+        for endpoint_name in sorted(self._endpoints):
+            endpoint = self.api.endpoint(endpoint_name)
+            self._release_new_version(
+                endpoint_name, endpoint.latest_version().fields, report,
+                response_format=fmt)
+
+    def _delete_response_format(self, change: Change,
+                                report: ChangeReport) -> None:
+        fmt = change.details.get("format", "xml")
+        self.api.response_formats.discard(fmt)
+        # Historic backwards compatibility: no element leaves T (§6.2).
+        report.notes.append(
+            "no ontology action; historical elements preserved")
+
+    def _add_method(self, change: Change, report: ChangeReport) -> None:
+        name = change.details["endpoint"]
+        raw_fields = change.details.get(
+            "fields", [("id", "int"), ("value", "string")])
+        id_field = change.details.get("id_field", raw_fields[0][0])
+        endpoint = Endpoint(name)
+        endpoint.add_version(ApiVersion(
+            "1", [FieldSpec(n, t) for n, t in raw_fields]))
+        self.api.add_endpoint(endpoint)
+        state = self.model_endpoint(name, id_field)
+        report.new_wrapper = state.current_wrapper
+        report.notes.append(
+            f"method {name} modeled as data source {state.source_name}")
+
+    def _delete_method(self, change: Change,
+                       report: ChangeReport) -> None:
+        name = change.details["endpoint"]
+        self.api.remove_endpoint(name)
+        # Ontology untouched: wrappers stay for historical queries, but
+        # the wrapper stops polling the (gone) endpoint.
+        report.notes.append(
+            "endpoint removed; ontology preserved for historical queries")
+
+    def _rename_method(self, change: Change,
+                       report: ChangeReport) -> None:
+        old = change.details["endpoint"]
+        new = change.details["new_name"]
+        state = self.state(old)
+        self.api.rename_endpoint(old, new)
+        # The concept, features and data-source identity stay (the state
+        # keeps its feature_key and source_name); the renamed method gets
+        # a fresh wrapper for the renamed endpoint (request side). The
+        # paper renames the data-source instance; attribute URIs embed
+        # the source prefix, so identity is preserved by keeping the
+        # source name stable.
+        self._endpoints[new] = state
+        del self._endpoints[old]
+        endpoint = self.api.endpoint(new)
+        self._release_new_version(new, endpoint.latest_version().fields,
+                                  report)
+
+    def _change_response_format_method(self, change: Change,
+                                       report: ChangeReport) -> None:
+        endpoint_name = change.details["endpoint"]
+        endpoint = self.api.endpoint(endpoint_name)
+        fmt = change.details.get("format", "json-v2")
+        self._release_new_version(
+            endpoint_name, endpoint.latest_version().fields, report,
+            response_format=fmt)
+
+    def _add_parameter(self, change: Change,
+                       report: ChangeReport) -> None:
+        endpoint_name = change.details["endpoint"]
+        endpoint = self.api.endpoint(endpoint_name)
+        parameter = change.details["parameter"]
+        field_type = change.details.get("type", "string")
+        fields = list(endpoint.latest_version().fields)
+        if any(f.name == parameter for f in fields):
+            raise ChangeApplicationError(
+                f"parameter {parameter!r} already exists on "
+                f"{endpoint_name}")
+        fields.append(FieldSpec(parameter, field_type))
+        self._release_new_version(endpoint_name, fields, report)
+
+    def _delete_parameter(self, change: Change,
+                          report: ChangeReport) -> None:
+        endpoint_name = change.details["endpoint"]
+        endpoint = self.api.endpoint(endpoint_name)
+        parameter = change.details["parameter"]
+        state = self.state(endpoint_name)
+        if parameter == state.id_field:
+            raise ChangeApplicationError(
+                f"cannot delete the ID parameter {parameter!r}")
+        fields = [f for f in endpoint.latest_version().fields
+                  if f.name != parameter]
+        if len(fields) == len(endpoint.latest_version().fields):
+            raise ChangeApplicationError(
+                f"parameter {parameter!r} does not exist on "
+                f"{endpoint_name}")
+        self._release_new_version(endpoint_name, fields, report)
+
+    def _rename_parameter(self, change: Change,
+                          report: ChangeReport) -> None:
+        endpoint_name = change.details["endpoint"]
+        endpoint = self.api.endpoint(endpoint_name)
+        parameter = change.details["parameter"]
+        new_name = change.details["new_name"]
+        fields = []
+        found = False
+        for spec in endpoint.latest_version().fields:
+            if spec.name == parameter:
+                fields.append(FieldSpec(new_name, spec.field_type,
+                                        spec.generator))
+                found = True
+            else:
+                fields.append(spec)
+        if not found:
+            raise ChangeApplicationError(
+                f"parameter {parameter!r} does not exist on "
+                f"{endpoint_name}")
+        state = self.state(endpoint_name)
+        if parameter == state.id_field:
+            state.id_field = new_name
+        # The renamed attribute inherits the old attribute's feature —
+        # exactly the w4/bufferingRatio pattern of §2.1.
+        self._release_new_version(endpoint_name, fields, report,
+                                  rename_hints={new_name: parameter})
+
+    def _change_type(self, change: Change,
+                     report: ChangeReport) -> None:
+        endpoint_name = change.details["endpoint"]
+        endpoint = self.api.endpoint(endpoint_name)
+        parameter = change.details["parameter"]
+        new_type = change.details.get("new_type", "string")
+        fields = []
+        found = False
+        for spec in endpoint.latest_version().fields:
+            if spec.name == parameter:
+                fields.append(FieldSpec(parameter, new_type))
+                found = True
+            else:
+                fields.append(spec)
+        if not found:
+            raise ChangeApplicationError(
+                f"parameter {parameter!r} does not exist on "
+                f"{endpoint_name}")
+        xsd_map = {"int": "integer", "float": "double", "bool": "boolean",
+                   "string": "string", "timestamp": "long"}
+        state = self.state(endpoint_name)
+        # Renamed attributes inherit another field's feature — resolve
+        # through the serialized F first, then fall back to the minted IRI.
+        feature = self.ontology.mappings.feature_of_attribute(
+            attribute_uri(state.source_name, parameter))
+        if feature is None:
+            feature = self._feature_iri(state, parameter)
+        self.ontology.globals.set_datatype(
+            feature,
+            f"http://www.w3.org/2001/XMLSchema#"
+            f"{xsd_map.get(new_type, 'string')}")
+        self._release_new_version(endpoint_name, fields, report)
+        report.notes.append(
+            f"feature {feature.local_name} datatype updated")

@@ -1,0 +1,169 @@
+"""The REST API change taxonomy of the functional evaluation (§6.2).
+
+Encodes every change kind of Tables 3, 4 and 5 — the structural evolution
+patterns of Wang et al. (ICSOC'14) at API, method and parameter level —
+together with which component handles it (wrapper, BDI ontology, or
+both). The handler assignment *is* the content of those tables; the
+benchmark regenerating them simply walks this taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import UnknownChangeKindError
+
+__all__ = ["ChangeLevel", "Handler", "ChangeKind", "Change",
+           "KIND_HANDLERS", "kinds_at_level"]
+
+
+class ChangeLevel(Enum):
+    """Where in the API surface the change occurs."""
+
+    API = "API-level"
+    METHOD = "method-level"
+    PARAMETER = "parameter-level"
+
+
+class Handler(Enum):
+    """Which component(s) accommodate the change (the table checkmarks)."""
+
+    WRAPPER = "wrapper"
+    ONTOLOGY = "ontology"
+    BOTH = "wrapper & ontology"
+
+
+class ChangeKind(Enum):
+    """All change kinds of Tables 3-5 (paper §6.2)."""
+
+    # --- Table 3: API-level ------------------------------------------------
+    API_ADD_AUTHENTICATION_MODEL = "add authentication model"
+    API_CHANGE_RESOURCE_URL = "change resource URL"
+    API_CHANGE_AUTHENTICATION_MODEL = "change authentication model"
+    API_CHANGE_RATE_LIMIT = "change rate limit"
+    API_DELETE_RESPONSE_FORMAT = "delete response format"
+    API_ADD_RESPONSE_FORMAT = "add response format"
+    API_CHANGE_RESPONSE_FORMAT = "change response format"
+
+    # --- Table 4: method-level ----------------------------------------------
+    METHOD_ADD_ERROR_CODE = "add error code"
+    METHOD_CHANGE_RATE_LIMIT = "change rate limit (method)"
+    METHOD_CHANGE_AUTHENTICATION_MODEL = "change authentication model (method)"
+    METHOD_CHANGE_DOMAIN_URL = "change domain URL"
+    METHOD_ADD_METHOD = "add method"
+    METHOD_DELETE_METHOD = "delete method"
+    METHOD_CHANGE_METHOD_NAME = "change method name"
+    METHOD_CHANGE_RESPONSE_FORMAT = "change response format (method)"
+
+    # --- Table 5: parameter-level ---------------------------------------------
+    PARAM_CHANGE_RATE_LIMIT = "change rate limit (parameter)"
+    PARAM_CHANGE_REQUIRE_TYPE = "change require type"
+    PARAM_ADD_PARAMETER = "add parameter"
+    PARAM_DELETE_PARAMETER = "delete parameter"
+    PARAM_RENAME_RESPONSE_PARAMETER = "rename response parameter"
+    PARAM_CHANGE_FORMAT_OR_TYPE = "change format or type"
+
+    @property
+    def level(self) -> ChangeLevel:
+        if self.name.startswith("API_"):
+            return ChangeLevel.API
+        if self.name.startswith("METHOD_"):
+            return ChangeLevel.METHOD
+        return ChangeLevel.PARAMETER
+
+    @property
+    def label(self) -> str:
+        """Row label as printed in the paper's tables."""
+        return _TABLE_LABELS[self]
+
+
+#: Handler assignment exactly as the checkmarks of Tables 3-5.
+KIND_HANDLERS: dict[ChangeKind, Handler] = {
+    # Table 3
+    ChangeKind.API_ADD_AUTHENTICATION_MODEL: Handler.WRAPPER,
+    ChangeKind.API_CHANGE_RESOURCE_URL: Handler.WRAPPER,
+    ChangeKind.API_CHANGE_AUTHENTICATION_MODEL: Handler.WRAPPER,
+    ChangeKind.API_CHANGE_RATE_LIMIT: Handler.WRAPPER,
+    ChangeKind.API_DELETE_RESPONSE_FORMAT: Handler.ONTOLOGY,
+    ChangeKind.API_ADD_RESPONSE_FORMAT: Handler.ONTOLOGY,
+    ChangeKind.API_CHANGE_RESPONSE_FORMAT: Handler.ONTOLOGY,
+    # Table 4
+    ChangeKind.METHOD_ADD_ERROR_CODE: Handler.WRAPPER,
+    ChangeKind.METHOD_CHANGE_RATE_LIMIT: Handler.WRAPPER,
+    ChangeKind.METHOD_CHANGE_AUTHENTICATION_MODEL: Handler.WRAPPER,
+    ChangeKind.METHOD_CHANGE_DOMAIN_URL: Handler.WRAPPER,
+    ChangeKind.METHOD_ADD_METHOD: Handler.BOTH,
+    ChangeKind.METHOD_DELETE_METHOD: Handler.BOTH,
+    ChangeKind.METHOD_CHANGE_METHOD_NAME: Handler.BOTH,
+    ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT: Handler.ONTOLOGY,
+    # Table 5
+    ChangeKind.PARAM_CHANGE_RATE_LIMIT: Handler.WRAPPER,
+    ChangeKind.PARAM_CHANGE_REQUIRE_TYPE: Handler.WRAPPER,
+    ChangeKind.PARAM_ADD_PARAMETER: Handler.BOTH,
+    ChangeKind.PARAM_DELETE_PARAMETER: Handler.BOTH,
+    ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER: Handler.ONTOLOGY,
+    ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE: Handler.ONTOLOGY,
+}
+
+_TABLE_LABELS: dict[ChangeKind, str] = {
+    ChangeKind.API_ADD_AUTHENTICATION_MODEL: "Add authentication model",
+    ChangeKind.API_CHANGE_RESOURCE_URL: "Change resource URL",
+    ChangeKind.API_CHANGE_AUTHENTICATION_MODEL:
+        "Change authentication model",
+    ChangeKind.API_CHANGE_RATE_LIMIT: "Change rate limit",
+    ChangeKind.API_DELETE_RESPONSE_FORMAT: "Delete response format",
+    ChangeKind.API_ADD_RESPONSE_FORMAT: "Add response format",
+    ChangeKind.API_CHANGE_RESPONSE_FORMAT: "Change response format",
+    ChangeKind.METHOD_ADD_ERROR_CODE: "Add error code",
+    ChangeKind.METHOD_CHANGE_RATE_LIMIT: "Change rate limit",
+    ChangeKind.METHOD_CHANGE_AUTHENTICATION_MODEL:
+        "Change authentication model",
+    ChangeKind.METHOD_CHANGE_DOMAIN_URL: "Change domain URL",
+    ChangeKind.METHOD_ADD_METHOD: "Add method",
+    ChangeKind.METHOD_DELETE_METHOD: "Delete method",
+    ChangeKind.METHOD_CHANGE_METHOD_NAME: "Change method name",
+    ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT: "Change response format",
+    ChangeKind.PARAM_CHANGE_RATE_LIMIT: "Change rate limit",
+    ChangeKind.PARAM_CHANGE_REQUIRE_TYPE: "Change require type",
+    ChangeKind.PARAM_ADD_PARAMETER: "Add parameter",
+    ChangeKind.PARAM_DELETE_PARAMETER: "Delete parameter",
+    ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER:
+        "Rename response parameter",
+    ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE: "Change format or type",
+}
+
+
+def kinds_at_level(level: ChangeLevel) -> list[ChangeKind]:
+    """Change kinds of one table, in row order."""
+    return [kind for kind in ChangeKind if kind.level is level]
+
+
+@dataclass
+class Change:
+    """One concrete change instance against a concrete API.
+
+    *details* carries kind-specific payload, e.g. ``{"endpoint": "GET
+    /posts", "parameter": "lagRatio", "new_name": "bufferingRatio"}``.
+    """
+
+    kind: ChangeKind
+    api: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, ChangeKind):
+            raise UnknownChangeKindError(
+                f"unknown change kind: {self.kind!r}")
+
+    @property
+    def handler(self) -> Handler:
+        return KIND_HANDLERS[self.kind]
+
+    @property
+    def level(self) -> ChangeLevel:
+        return self.kind.level
+
+    def __str__(self) -> str:
+        return f"[{self.api}] {self.kind.label} {self.details or ''}"

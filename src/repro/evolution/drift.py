@@ -1,0 +1,241 @@
+"""Unanticipated schema-change (drift) detection and adaptation.
+
+The paper handles *announced* evolution: providers publish releases, the
+steward runs Algorithm 1. Its closing future-work direction is to
+"semi-automatically adapt to **unanticipated** schema changes" — sources
+that silently change their payloads. This module implements that
+extension on top of the existing machinery:
+
+1. :func:`detect_drift` compares documents actually arriving from a
+   source against a wrapper's declared field set and classifies the
+   differences into the Table 5 taxonomy (additions, deletions, renames
+   via the alignment heuristic, type changes);
+2. :func:`propose_release` turns a drift report into a ready
+   :class:`~repro.core.release.Release` for a new wrapper version —
+   renamed attributes inherit their predecessors' features through the
+   ``F`` function, exactly like an announced release would;
+3. the confidence of each rename proposal is reported so the steward can
+   veto low-confidence alignments (this is what keeps the loop
+   *semi*-automatic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release
+from repro.core.vocabulary import attribute_uri
+from repro.errors import EvolutionError
+from repro.evolution.changes import Change, ChangeKind
+from repro.evolution.release_builder import build_release
+from repro.rdf.term import IRI
+from repro.util.text import name_similarity
+from repro.wrappers.json_flatten import flatten_documents
+
+__all__ = ["FieldDrift", "DriftReport", "detect_drift",
+           "propose_release"]
+
+#: Below this confidence a rename proposal is reported but not applied
+#: automatically — the steward must confirm.
+AUTO_RENAME_CONFIDENCE = 0.6
+
+#: Pairing threshold: below this, removed+added fields are reported as
+#: independent delete/add instead of a rename candidate. Calibrated so
+#: the running example's own rename (``lagRatio`` → ``bufferingRatio``,
+#: similarity 0.38) pairs up, while unrelated fields (``bitrate`` vs
+#: ``bufferingRatio``, 0.18) stay well below.
+PAIRING_THRESHOLD = 0.33
+
+
+@dataclass(frozen=True)
+class FieldDrift:
+    """One detected rename candidate with its confidence."""
+
+    old_field: str
+    new_field: str
+    confidence: float
+
+    @property
+    def auto_applicable(self) -> bool:
+        return self.confidence >= AUTO_RENAME_CONFIDENCE
+
+
+@dataclass
+class DriftReport:
+    """Outcome of comparing observed documents against a declared schema."""
+
+    source_name: str
+    wrapper_name: str
+    declared_fields: tuple[str, ...]
+    observed_fields: tuple[str, ...]
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    renames: list[FieldDrift] = field(default_factory=list)
+    unchanged: list[str] = field(default_factory=list)
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.added or self.removed or self.renames)
+
+    @property
+    def pending_confirmations(self) -> list[FieldDrift]:
+        """Rename candidates too uncertain to apply automatically."""
+        return [r for r in self.renames if not r.auto_applicable]
+
+    def to_changes(self) -> list[Change]:
+        """The drift expressed in the Table 5 taxonomy."""
+        changes: list[Change] = []
+        for rename in self.renames:
+            changes.append(Change(
+                ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER,
+                self.source_name,
+                {"endpoint": self.wrapper_name,
+                 "parameter": rename.old_field,
+                 "new_name": rename.new_field,
+                 "confidence": round(rename.confidence, 3)}))
+        for added in self.added:
+            changes.append(Change(
+                ChangeKind.PARAM_ADD_PARAMETER, self.source_name,
+                {"endpoint": self.wrapper_name, "parameter": added}))
+        for removed in self.removed:
+            changes.append(Change(
+                ChangeKind.PARAM_DELETE_PARAMETER, self.source_name,
+                {"endpoint": self.wrapper_name, "parameter": removed}))
+        return changes
+
+    def summary(self) -> str:
+        lines = [f"drift report for {self.wrapper_name} "
+                 f"(source {self.source_name}):"]
+        if not self.has_drift:
+            lines.append("  no drift detected")
+            return "\n".join(lines)
+        for rename in self.renames:
+            marker = "auto" if rename.auto_applicable else "CONFIRM"
+            lines.append(f"  rename {rename.old_field} → "
+                         f"{rename.new_field} "
+                         f"(confidence {rename.confidence:.2f}, {marker})")
+        for added in self.added:
+            lines.append(f"  new field {added}")
+        for removed in self.removed:
+            lines.append(f"  dropped field {removed}")
+        return "\n".join(lines)
+
+
+def _observed_fields(documents: Sequence[Mapping]) -> list[str]:
+    flat = flatten_documents(documents)
+    seen: dict[str, None] = {}
+    for row in flat:
+        for key in row:
+            seen.setdefault(key)
+    return list(seen)
+
+
+def detect_drift(source_name: str, wrapper_name: str,
+                 declared_fields: Iterable[str],
+                 documents: Sequence[Mapping],
+                 pairing_threshold: float = PAIRING_THRESHOLD,
+                 ) -> DriftReport:
+    """Compare incoming *documents* against the declared field set.
+
+    Documents are flattened to 1NF paths first (nested payloads work).
+    Removed/added pairs above *pairing_threshold* similarity become
+    rename candidates, best matches first, each field used once.
+    """
+    declared = list(dict.fromkeys(declared_fields))
+    if not documents:
+        raise EvolutionError(
+            "cannot detect drift without observed documents")
+    observed = _observed_fields(documents)
+
+    declared_set = set(declared)
+    observed_set = set(observed)
+    removed = sorted(declared_set - observed_set)
+    added = sorted(observed_set - declared_set)
+    unchanged = sorted(declared_set & observed_set)
+
+    candidates: list[tuple[float, str, str]] = []
+    for gone in removed:
+        for came in added:
+            score = name_similarity(gone, came)
+            if score >= pairing_threshold:
+                candidates.append((score, gone, came))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+
+    renames: list[FieldDrift] = []
+    used_old: set[str] = set()
+    used_new: set[str] = set()
+    for score, gone, came in candidates:
+        if gone in used_old or came in used_new:
+            continue
+        used_old.add(gone)
+        used_new.add(came)
+        renames.append(FieldDrift(gone, came, score))
+
+    return DriftReport(
+        source_name=source_name,
+        wrapper_name=wrapper_name,
+        declared_fields=tuple(declared),
+        observed_fields=tuple(observed),
+        added=[a for a in added if a not in used_new],
+        removed=[r for r in removed if r not in used_old],
+        renames=renames,
+        unchanged=unchanged,
+    )
+
+
+def propose_release(ontology: BDIOntology, report: DriftReport,
+                    new_wrapper_name: str,
+                    id_fields: Iterable[str],
+                    confirmed_renames: Mapping[str, str] | None = None,
+                    feature_hints: Mapping[str, IRI | str] | None = None,
+                    ) -> Release:
+    """Build the release adapting the ontology to the detected drift.
+
+    Renames above :data:`AUTO_RENAME_CONFIDENCE` are applied
+    automatically; the steward passes *confirmed_renames*
+    (``new_field → old_field``) for the uncertain ones, and
+    *feature_hints* for genuinely new fields that need new or existing
+    features of G.
+
+    Raises :class:`EvolutionError` listing unresolved uncertain renames.
+    """
+    confirmed = dict(confirmed_renames or {})
+    unresolved = [r for r in report.pending_confirmations
+                  if r.new_field not in confirmed]
+    if unresolved:
+        raise EvolutionError(
+            "steward confirmation required for low-confidence renames: "
+            + ", ".join(f"{r.old_field}→{r.new_field} "
+                        f"({r.confidence:.2f})" for r in unresolved))
+
+    # new field name → the old attribute whose feature it inherits
+    inherit: dict[str, str] = dict(confirmed)
+    for rename in report.renames:
+        if rename.auto_applicable and rename.new_field not in inherit:
+            inherit[rename.new_field] = rename.old_field
+
+    hints: dict[str, IRI] = {
+        k: IRI(str(v)) for k, v in (feature_hints or {}).items()}
+    for new_field, old_field in inherit.items():
+        feature = ontology.mappings.feature_of_attribute(
+            attribute_uri(report.source_name, old_field))
+        if feature is None:
+            raise EvolutionError(
+                f"cannot inherit feature: attribute {old_field!r} of "
+                f"source {report.source_name} is not mapped")
+        hints.setdefault(new_field, feature)
+
+    ids = [f for f in report.observed_fields if f in set(id_fields)
+           or f in inherit and inherit[f] in set(id_fields)]
+    non_ids = [f for f in report.observed_fields if f not in ids]
+    if not ids:
+        raise EvolutionError(
+            "the observed schema exposes no ID field; joins would be "
+            "impossible (Definition 5.1)")
+
+    return build_release(
+        ontology, report.source_name, new_wrapper_name,
+        id_attributes=ids, non_id_attributes=non_ids,
+        feature_hints=hints)

@@ -1,0 +1,124 @@
+"""Industrial applicability study (paper §6.3, Table 6).
+
+The paper takes the 16 change patterns of Li et al. (ICWS'13) observed on
+five widely used APIs and counts, per API, how many changes concern (a)
+the wrappers, (b) the ontology, (c) both. We encode those per-API counts,
+*materialize* them into concrete change instances distributed over the
+taxonomy kinds of each handler class, push every instance through the
+classifier, and re-derive the table — so the benchmark actually exercises
+the classification pipeline rather than echoing constants.
+
+Pooled percentages are weighted by total change count, which is how the
+paper's 48.84% / 22.77% / 71.62% figures arise (we verified the
+arithmetic: e.g. 148 both-changes out of 303 total = 48.84%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evolution.changes import Change, ChangeKind, Handler, \
+    KIND_HANDLERS
+from repro.evolution.classifier import AccommodationStats, classify_batch
+
+__all__ = [
+    "ApiChangeCounts", "LI_ET_AL_COUNTS", "materialize_changes",
+    "IndustrialRow", "industrial_study", "pooled_stats",
+]
+
+
+@dataclass(frozen=True)
+class ApiChangeCounts:
+    """Observed change counts for one API (columns 2-4 of Table 6)."""
+
+    api: str
+    wrapper_only: int
+    ontology_only: int
+    both: int
+
+    @property
+    def total(self) -> int:
+        return self.wrapper_only + self.ontology_only + self.both
+
+
+#: Table 6 input data (from Li et al. 2013 as reported by the paper).
+LI_ET_AL_COUNTS: list[ApiChangeCounts] = [
+    ApiChangeCounts("Google Calendar", 0, 24, 23),
+    ApiChangeCounts("Google Gadgets", 2, 6, 30),
+    ApiChangeCounts("Amazon MWS", 22, 36, 14),
+    ApiChangeCounts("Twitter API", 27, 0, 25),
+    ApiChangeCounts("Sina Weibo", 35, 3, 56),
+]
+
+_KINDS_BY_HANDLER: dict[Handler, list[ChangeKind]] = {
+    handler: [kind for kind in ChangeKind
+              if KIND_HANDLERS[kind] is handler]
+    for handler in Handler
+}
+
+
+def materialize_changes(counts: ApiChangeCounts) -> list[Change]:
+    """Expand per-category counts into concrete change instances.
+
+    Instances are spread round-robin over the taxonomy kinds of each
+    handler class (the per-kind breakdown is not published; only the
+    category totals matter for Table 6, and they are preserved exactly).
+    """
+    changes: list[Change] = []
+    for handler, amount in (
+            (Handler.WRAPPER, counts.wrapper_only),
+            (Handler.ONTOLOGY, counts.ontology_only),
+            (Handler.BOTH, counts.both)):
+        kinds = _KINDS_BY_HANDLER[handler]
+        for index in range(amount):
+            kind = kinds[index % len(kinds)]
+            changes.append(Change(kind, counts.api,
+                                  {"instance": index + 1}))
+    return changes
+
+
+@dataclass
+class IndustrialRow:
+    """One output row of Table 6."""
+
+    api: str
+    wrapper_only: int
+    ontology_only: int
+    both: int
+    partially_pct: float
+    fully_pct: float
+
+    @property
+    def total(self) -> int:
+        return self.wrapper_only + self.ontology_only + self.both
+
+
+def industrial_study(counts: list[ApiChangeCounts] | None = None,
+                     ) -> list[IndustrialRow]:
+    """Run the full pipeline: materialize → classify → aggregate."""
+    data = counts if counts is not None else LI_ET_AL_COUNTS
+    rows: list[IndustrialRow] = []
+    for api_counts in data:
+        stats = classify_batch(materialize_changes(api_counts))
+        rows.append(IndustrialRow(
+            api=api_counts.api,
+            wrapper_only=stats.wrapper_only,
+            ontology_only=stats.ontology_only,
+            both=stats.both,
+            partially_pct=stats.partially_pct,
+            fully_pct=stats.fully_pct,
+        ))
+    return rows
+
+
+def pooled_stats(rows: list[IndustrialRow]) -> AccommodationStats:
+    """Pooled (change-count weighted) statistics over all APIs.
+
+    ``partially_pct`` ≈ 48.84, ``fully_pct`` ≈ 22.77 and
+    ``solved_pct`` ≈ 71.62 on the paper's data.
+    """
+    total = AccommodationStats()
+    for row in rows:
+        total += AccommodationStats(row.wrapper_only, row.ontology_only,
+                                    row.both)
+    return total

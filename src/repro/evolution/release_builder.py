@@ -1,0 +1,129 @@
+"""Semi-automatic construction of releases (the data steward's aid, §4.1).
+
+Given a new endpoint version, build the :class:`~repro.core.release.Release`
+that Algorithm 1 needs:
+
+* the attribute→feature function ``F`` is proposed automatically — reuse
+  the source's existing mappings for unchanged attribute names, align
+  renamed attributes onto features by name similarity (our deterministic
+  analogue of PARIS), and accept explicit steward hints for genuinely new
+  attributes;
+* the LAV subgraph is derived from the mapped features: for every mapped
+  feature its ``hasFeature`` edge, plus the object-property edges of G
+  connecting the concepts involved.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release
+from repro.core.vocabulary import attribute_uri
+from repro.errors import ReleaseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS
+from repro.rdf.term import IRI
+from repro.util.text import name_similarity
+
+__all__ = ["suggest_feature", "subgraph_for_features", "build_release"]
+
+#: Minimum similarity for an automatic attribute→feature alignment.
+ALIGNMENT_THRESHOLD = 0.5
+
+
+def suggest_feature(ontology: BDIOntology, source_name: str,
+                    attribute: str,
+                    candidate_features: list[IRI] | None = None,
+                    threshold: float = ALIGNMENT_THRESHOLD) -> IRI | None:
+    """Propose the feature an attribute should map to.
+
+    Strategy (in order):
+
+    1. the source already maps an attribute of that name — reuse its
+       feature (attribute semantics are stable within a source, §3.2);
+    2. best name-similarity match against *candidate_features* (defaults
+       to every feature of G) above *threshold*.
+    """
+    existing = ontology.mappings.feature_of_attribute(
+        attribute_uri(source_name, attribute))
+    if existing is not None:
+        return existing
+
+    candidates = (candidate_features if candidate_features is not None
+                  else ontology.globals.features())
+    best: tuple[float, IRI] | None = None
+    for feature in candidates:
+        score = name_similarity(attribute, feature.local_name)
+        if best is None or score > best[0]:
+            best = (score, feature)
+    if best is not None and best[0] >= threshold:
+        return best[1]
+    return None
+
+
+def subgraph_for_features(ontology: BDIOntology,
+                          features: list[IRI]) -> Graph:
+    """The minimal LAV subgraph induced by a set of mapped features.
+
+    Contains ``⟨concept, G:hasFeature, feature⟩`` for every feature plus
+    all object-property edges of G between the involved concepts.
+    """
+    subgraph = Graph()
+    concepts: set[IRI] = set()
+    for feature in features:
+        owner = ontology.globals.concept_of_feature(feature)
+        if owner is None:
+            raise ReleaseError(
+                f"feature {feature} belongs to no concept in G")
+        subgraph.add((owner, G_NS.hasFeature, feature))
+        concepts.add(owner)
+    for edge in ontology.globals.object_properties():
+        if edge.s in concepts and edge.o in concepts:
+            subgraph.add(edge)
+    return subgraph
+
+
+def build_release(ontology: BDIOntology, source_name: str,
+                  wrapper_name: str,
+                  id_attributes: list[str],
+                  non_id_attributes: list[str],
+                  feature_hints: Mapping[str, IRI | str] | None = None,
+                  candidate_features: list[IRI] | None = None,
+                  threshold: float = ALIGNMENT_THRESHOLD) -> Release:
+    """Assemble a release for a new wrapper, semi-automatically.
+
+    *feature_hints* lets the steward pin attributes whose alignment the
+    similarity heuristic cannot decide; attributes that remain unmapped
+    raise :class:`ReleaseError` listing them (the steward must intervene —
+    this is the "semi" in semi-automatic).
+    """
+    hints = {k: IRI(str(v)) for k, v in (feature_hints or {}).items()}
+    mapping: dict[str, IRI] = {}
+    unmapped: list[str] = []
+    for attribute in list(id_attributes) + list(non_id_attributes):
+        if attribute in hints:
+            mapping[attribute] = hints[attribute]
+            continue
+        suggestion = suggest_feature(ontology, source_name, attribute,
+                                     candidate_features, threshold)
+        if suggestion is None:
+            unmapped.append(attribute)
+        else:
+            mapping[attribute] = suggestion
+    if unmapped:
+        raise ReleaseError(
+            f"cannot align attributes {unmapped} of wrapper "
+            f"{wrapper_name} to features of G; provide feature_hints "
+            "or extend the Global graph first")
+
+    subgraph = subgraph_for_features(ontology,
+                                     sorted(set(mapping.values())))
+    return Release(
+        wrapper_name=wrapper_name,
+        source_name=source_name,
+        id_attributes=tuple(id_attributes),
+        non_id_attributes=tuple(non_id_attributes),
+        subgraph=subgraph,
+        attribute_to_feature=mapping,
+    )

@@ -1,0 +1,91 @@
+"""Schema diffing between endpoint versions.
+
+Derives the parameter-level changes (Table 5) between two released
+schemas: additions, deletions, renames and type changes. Renames are
+detected by pairing removed and added fields through
+:func:`~repro.util.text.name_similarity` — the deterministic stand-in for
+the probabilistic alignment (PARIS) the paper suggests as a steward aid.
+"""
+
+from __future__ import annotations
+
+from repro.evolution.changes import Change, ChangeKind
+from repro.sources.rest_api import ApiVersion
+from repro.util.text import name_similarity
+
+__all__ = ["diff_versions", "RENAME_SIMILARITY_THRESHOLD"]
+
+#: Minimum similarity for an (added, removed) pair to count as a rename.
+#: Calibrated so realistic renames (``meta`` → ``meta_fields``,
+#: ``featured_image`` → ``featured_media``) pair up while unrelated
+#: add/delete pairs (token-disjoint names) stay far below.
+RENAME_SIMILARITY_THRESHOLD = 0.40
+
+
+def diff_versions(api: str, endpoint: str, old: ApiVersion,
+                  new: ApiVersion,
+                  rename_threshold: float = RENAME_SIMILARITY_THRESHOLD,
+                  ) -> list[Change]:
+    """Parameter-level changes between two versions of one endpoint."""
+    old_fields = {f.name: f for f in old.fields}
+    new_fields = {f.name: f for f in new.fields}
+
+    removed = sorted(set(old_fields) - set(new_fields))
+    added = sorted(set(new_fields) - set(old_fields))
+    kept = sorted(set(old_fields) & set(new_fields))
+
+    changes: list[Change] = []
+
+    # Pair removed/added fields into renames, best similarity first.
+    candidates: list[tuple[float, str, str]] = []
+    for gone in removed:
+        for came in added:
+            score = name_similarity(gone, came)
+            if score >= rename_threshold:
+                candidates.append((score, gone, came))
+    candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+    renamed_from: dict[str, str] = {}
+    used_added: set[str] = set()
+    for score, gone, came in candidates:
+        if gone in renamed_from or came in used_added:
+            continue
+        renamed_from[gone] = came
+        used_added.add(came)
+
+    for gone in removed:
+        if gone in renamed_from:
+            changes.append(Change(
+                ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, api,
+                {"endpoint": endpoint, "parameter": gone,
+                 "new_name": renamed_from[gone],
+                 "from_version": old.version, "to_version": new.version}))
+        else:
+            changes.append(Change(
+                ChangeKind.PARAM_DELETE_PARAMETER, api,
+                {"endpoint": endpoint, "parameter": gone,
+                 "from_version": old.version, "to_version": new.version}))
+
+    for came in added:
+        if came in used_added:
+            continue  # target side of a rename
+        changes.append(Change(
+            ChangeKind.PARAM_ADD_PARAMETER, api,
+            {"endpoint": endpoint, "parameter": came,
+             "from_version": old.version, "to_version": new.version}))
+
+    for name in kept:
+        if old_fields[name].field_type != new_fields[name].field_type:
+            changes.append(Change(
+                ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE, api,
+                {"endpoint": endpoint, "parameter": name,
+                 "old_type": old_fields[name].field_type,
+                 "new_type": new_fields[name].field_type,
+                 "from_version": old.version, "to_version": new.version}))
+
+    if old.response_format != new.response_format:
+        changes.append(Change(
+            ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT, api,
+            {"endpoint": endpoint,
+             "old_format": old.response_format,
+             "new_format": new.response_format}))
+    return changes

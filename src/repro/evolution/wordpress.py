@@ -1,0 +1,120 @@
+"""Reconstructed Wordpress REST API release history (paper §6.4).
+
+The paper studies the structural evolution of the GET-Posts endpoint from
+the (deprecated) version 1 through major version 2 and 13 minor 2.x
+releases, measuring ontology growth per release. The authors' analysis
+file is no longer online, so this module reconstructs a release history
+that is faithful to the qualitative description:
+
+* **v1** — the first occurrence: every element must be added ("carries a
+  big overhead");
+* **v2** — a major rework "where few elements can be reused": most
+  attributes renamed or restructured;
+* **v2.1 … v2.13** — minor releases with "few attribute additions,
+  deletions or renames"; each release re-asserts ``S:hasAttribute`` edges
+  for all attributes it serves, which dominates the per-release growth.
+
+Field sets follow the real WP REST API plugin (v1) and core endpoint
+(v2) schemas where documented, trimmed to response parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec
+
+__all__ = ["WORDPRESS_RELEASES", "WordpressRelease",
+           "build_wordpress_endpoint", "all_wordpress_fields"]
+
+
+@dataclass(frozen=True)
+class WordpressRelease:
+    """One release of the GET-Posts endpoint: version + field list."""
+
+    version: str
+    fields: tuple[str, ...]
+    major: bool = False
+
+
+_V1_FIELDS = (
+    "ID", "title", "status", "type", "author", "content", "parent",
+    "link", "date", "modified", "format", "slug", "guid", "excerpt",
+    "menu_order", "comment_status", "ping_status", "sticky",
+    "date_gmt", "modified_gmt", "terms", "post_meta", "featured_image",
+)
+
+_V2_FIELDS = (
+    "id", "date", "date_gmt", "guid", "modified", "modified_gmt",
+    "slug", "status", "type", "link", "title", "content", "excerpt",
+    "author", "featured_media", "comment_status", "ping_status",
+    "sticky", "format", "meta", "categories", "tags",
+)
+
+
+def _evolve(fields: tuple[str, ...], add: tuple[str, ...] = (),
+            drop: tuple[str, ...] = (),
+            rename: dict[str, str] | None = None) -> tuple[str, ...]:
+    rename = rename or {}
+    out: list[str] = []
+    for name in fields:
+        if name in drop:
+            continue
+        out.append(rename.get(name, name))
+    out.extend(a for a in add if a not in out)
+    return tuple(out)
+
+
+def _build_releases() -> list[WordpressRelease]:
+    releases = [
+        WordpressRelease("1", _V1_FIELDS, major=True),
+        WordpressRelease("2", _V2_FIELDS, major=True),
+    ]
+    current = _V2_FIELDS
+    # Thirteen minor releases; deltas reconstructed from the v2 endpoint
+    # changelog (template/password/permalink additions, occasional
+    # renames/drops), sized to the paper's "few changes per minor".
+    minor_deltas: list[dict] = [
+        {"add": ("template",)},                                  # 2.1
+        {"add": ("password",)},                                  # 2.2
+        {"rename": {"meta": "meta_fields"}},                     # 2.3
+        {"add": ("liveblog_likes",)},                            # 2.4
+        {"drop": ("liveblog_likes",)},                           # 2.5
+        {"add": ("permalink_template", "generated_slug")},       # 2.6
+        {},                                                      # 2.7
+        {"rename": {"meta_fields": "meta"}},                     # 2.8
+        {"add": ("block_version",)},                             # 2.9
+        {},                                                      # 2.10
+        {"add": ("content_raw",)},                               # 2.11
+        {"drop": ("content_raw",)},                              # 2.12
+        {"add": ("menu_order",)},                                # 2.13
+    ]
+    for index, delta in enumerate(minor_deltas, start=1):
+        current = _evolve(current, delta.get("add", ()),
+                          delta.get("drop", ()),
+                          delta.get("rename"))
+        releases.append(WordpressRelease(f"2.{index}", current))
+    return releases
+
+
+#: v1, v2 and the thirteen 2.x minor releases, in order.
+WORDPRESS_RELEASES: list[WordpressRelease] = _build_releases()
+
+
+def all_wordpress_fields() -> list[str]:
+    """Every field name ever served across the release history."""
+    seen: dict[str, None] = {}
+    for release in WORDPRESS_RELEASES:
+        for name in release.fields:
+            seen.setdefault(name)
+    return list(seen)
+
+
+def build_wordpress_endpoint() -> Endpoint:
+    """The simulated ``GET /posts`` endpoint serving every release."""
+    endpoint = Endpoint("GET /posts")
+    for release in WORDPRESS_RELEASES:
+        endpoint.add_version(ApiVersion(
+            release.version,
+            [FieldSpec(name, "string") for name in release.fields]))
+    return endpoint

@@ -1,0 +1,116 @@
+"""Analyst-facing helpers: graph exploration and OMQ construction.
+
+The MDM frontend (paper Figure 10) lets analysts *draw* queries over a
+graph rendering of G; the drawing is converted to the SPARQL template of
+Code 3. :class:`OMQBuilder` is the programmatic equivalent: navigate
+concepts/edges, project features, get the SPARQL (or the parsed OMQ).
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.core.vocabulary import GLOBAL_GRAPH
+from repro.errors import MalformedQueryError, UnknownConceptError, \
+    UnknownFeatureError
+from repro.query.omq import OMQ, parse_omq
+from repro.rdf.namespace import G as G_NS
+from repro.rdf.term import IRI
+
+__all__ = ["OMQBuilder", "describe_global_graph"]
+
+
+class OMQBuilder:
+    """Fluent construction of template-conforming OMQs.
+
+    >>> builder = (OMQBuilder(ontology)
+    ...     .project("sup:applicationId full IRI", "…lagRatio IRI")
+    ...     .edge(app, "sup:hasMonitor IRI", monitor)
+    ...     .edge(monitor, "sup:generatesQoS IRI", info))
+    >>> sparql = builder.to_sparql()
+    """
+
+    def __init__(self, ontology: BDIOntology) -> None:
+        self.ontology = ontology
+        self._projected: list[IRI] = []
+        self._edges: list[tuple[IRI, IRI, IRI]] = []
+
+    # -- building --------------------------------------------------------------
+
+    def project(self, *features: IRI | str) -> "OMQBuilder":
+        """Project features (or concepts — Algorithm 2 will substitute
+        their IDs)."""
+        for feature in features:
+            iri = IRI(str(feature))
+            if not (self.ontology.globals.is_feature(iri)
+                    or self.ontology.globals.is_concept(iri)):
+                raise UnknownFeatureError(
+                    f"{iri} is neither a feature nor a concept of G")
+            if iri not in self._projected:
+                self._projected.append(iri)
+        return self
+
+    def edge(self, subject: IRI | str, predicate: IRI | str,
+             obj: IRI | str) -> "OMQBuilder":
+        """Navigate a domain object property between two concepts."""
+        s, p, o = IRI(str(subject)), IRI(str(predicate)), IRI(str(obj))
+        for concept in (s, o):
+            if not self.ontology.globals.is_concept(concept):
+                raise UnknownConceptError(
+                    f"{concept} is not a concept of G")
+        self._edges.append((s, p, o))
+        return self
+
+    # -- output -----------------------------------------------------------------
+
+    def _pattern_triples(self) -> list[tuple[IRI, IRI, IRI]]:
+        triples = list(self._edges)
+        for feature in self._projected:
+            if self.ontology.globals.is_feature(feature):
+                owner = self.ontology.globals.concept_of_feature(feature)
+                triples.append((owner, IRI(str(G_NS.hasFeature)), feature))
+        if not triples:
+            raise MalformedQueryError(
+                "cannot build an OMQ without any edge or projection")
+        return triples
+
+    def to_sparql(self) -> str:
+        if not self._projected:
+            raise MalformedQueryError("no projected element")
+        variables = [f"?v{i}" for i in range(1, len(self._projected) + 1)]
+        values = " ".join(f"<{p}>" for p in self._projected)
+        lines = [
+            f"SELECT {' '.join(variables)}",
+            f"FROM <{GLOBAL_GRAPH}>",
+            "WHERE {",
+            f"    VALUES ({' '.join(variables)}) {{ ({values}) }}",
+        ]
+        triples = self._pattern_triples()
+        for index, (s, p, o) in enumerate(triples):
+            terminator = " ." if index < len(triples) - 1 else ""
+            lines.append(f"    <{s}> <{p}> <{o}>{terminator}")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_omq(self) -> OMQ:
+        return parse_omq(self.to_sparql())
+
+
+def describe_global_graph(ontology: BDIOntology) -> str:
+    """Readable inventory of G: concepts, features (IDs marked), edges."""
+    lines: list[str] = ["Global graph:"]
+    for concept in ontology.globals.concepts():
+        lines.append(f"  {concept.local_name} <{concept}>")
+        for feature in ontology.globals.features_of(concept):
+            marker = " [ID]" if ontology.globals.is_id_feature(feature) \
+                else ""
+            datatype = ontology.globals.datatype_of(feature)
+            dt_text = f" : {datatype.local_name}" if datatype else ""
+            lines.append(f"    - {feature.local_name}{marker}{dt_text}")
+    edges = ontology.globals.object_properties()
+    if edges:
+        lines.append("  edges:")
+        for edge in edges:
+            lines.append(
+                f"    {edge.s.local_name} —{edge.p.local_name}→ "
+                f"{edge.o.local_name}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Data steward aids (paper §2, §4.1).
+
+The data steward maintains the BDI ontology. Two semi-automatic aids are
+described in the paper; both are implemented here:
+
+* **Subgraph suggestion** — "to define the graph G [of a release], the
+  user can be presented with subgraphs of G that cover all features":
+  :func:`suggest_subgraphs` computes minimal connected subgraphs of the
+  Global graph covering a feature set (a Steiner-tree-style search over
+  the concept graph).
+* **Attribute alignment** — "probabilistic methods to align and match RDF
+  ontologies, such as PARIS, can be used" for the function ``F``:
+  :func:`align_attributes` ranks candidate features per attribute by name
+  similarity and reports a confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.ontology import BDIOntology
+from repro.errors import OntologyError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS
+from repro.rdf.term import IRI
+from repro.util.text import name_similarity
+
+__all__ = ["AlignmentSuggestion", "align_attributes", "suggest_subgraphs"]
+
+
+@dataclass
+class AlignmentSuggestion:
+    """Ranked feature candidates for one source attribute."""
+
+    attribute: str
+    candidates: list[tuple[IRI, float]]  # (feature, confidence), sorted
+
+    @property
+    def best(self) -> IRI | None:
+        return self.candidates[0][0] if self.candidates else None
+
+    @property
+    def confidence(self) -> float:
+        return self.candidates[0][1] if self.candidates else 0.0
+
+
+def align_attributes(ontology: BDIOntology, attributes: list[str],
+                     candidate_features: list[IRI] | None = None,
+                     top_k: int = 3) -> list[AlignmentSuggestion]:
+    """Rank feature candidates for each attribute (mini-PARIS).
+
+    Deterministic: candidates sorted by decreasing similarity, then IRI.
+    """
+    features = (candidate_features if candidate_features is not None
+                else ontology.globals.features())
+    out: list[AlignmentSuggestion] = []
+    for attribute in attributes:
+        scored = sorted(
+            ((feature, name_similarity(attribute, feature.local_name))
+             for feature in features),
+            key=lambda pair: (-pair[1], pair[0]))
+        out.append(AlignmentSuggestion(attribute, scored[:top_k]))
+    return out
+
+
+def _concept_adjacency(ontology: BDIOntology) -> dict[IRI, set[IRI]]:
+    adjacency: dict[IRI, set[IRI]] = {
+        c: set() for c in ontology.globals.concepts()}
+    for edge in ontology.globals.object_properties():
+        adjacency[edge.s].add(edge.o)
+        adjacency[edge.o].add(edge.s)
+    return adjacency
+
+
+def _connects(concepts: set[IRI],
+              adjacency: dict[IRI, set[IRI]]) -> bool:
+    if len(concepts) <= 1:
+        return True
+    start = next(iter(concepts))
+    reached = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour in concepts and neighbour not in reached:
+                reached.add(neighbour)
+                frontier.append(neighbour)
+    return reached == concepts
+
+
+def suggest_subgraphs(ontology: BDIOntology, features: list[IRI | str],
+                      max_extra_concepts: int = 2,
+                      limit: int = 5) -> list[Graph]:
+    """Minimal connected subgraphs of G covering *features*.
+
+    Each suggested graph contains the ``hasFeature`` edge of every
+    requested feature plus the object-property edges connecting the
+    involved concepts; when the owning concepts are not directly
+    connected, up to *max_extra_concepts* intermediate concepts are
+    considered (smallest augmentations first). Returns up to *limit*
+    suggestions ordered by size.
+    """
+    feature_iris = [IRI(str(f)) for f in features]
+    owners: set[IRI] = set()
+    for feature in feature_iris:
+        concept = ontology.globals.concept_of_feature(feature)
+        if concept is None:
+            raise OntologyError(
+                f"feature {feature} belongs to no concept of G")
+        owners.add(concept)
+
+    adjacency = _concept_adjacency(ontology)
+    other_concepts = sorted(set(adjacency) - owners)
+
+    viable_concept_sets: list[set[IRI]] = []
+    for extra_count in range(0, max_extra_concepts + 1):
+        for extra in combinations(other_concepts, extra_count):
+            concept_set = owners | set(extra)
+            if _connects(concept_set, adjacency):
+                viable_concept_sets.append(concept_set)
+        if viable_concept_sets:
+            break  # smallest augmentation level wins
+
+    suggestions: list[Graph] = []
+    for concept_set in viable_concept_sets[:limit]:
+        subgraph = Graph()
+        for feature in feature_iris:
+            owner = ontology.globals.concept_of_feature(feature)
+            subgraph.add((owner, G_NS.hasFeature, feature))
+        for concept in concept_set:
+            for fid in ontology.globals.id_features_of(concept):
+                subgraph.add((concept, G_NS.hasFeature, fid))
+        for edge in ontology.globals.object_properties():
+            if edge.s in concept_set and edge.o in concept_set:
+                subgraph.add(edge)
+        suggestions.append(subgraph)
+    suggestions.sort(key=len)
+    return suggestions

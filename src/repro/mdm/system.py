@@ -1,0 +1,161 @@
+"""The Metadata Management System facade (paper §6.1, Figures 9-10).
+
+:class:`MDM` bundles the full lifecycle behind one object:
+
+* the **steward** registers sources and releases (Algorithm 1), aided by
+  subgraph suggestion and attribute alignment;
+* the **analyst** poses OMQs (SPARQL text or :class:`OMQBuilder`) and
+  receives relational results, with `explain` exposing the rewriting;
+* the ontology can be exported (N-Quads for the whole dataset, Turtle per
+  graph) and inspected (triple counts, validation).
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release, new_release
+from repro.errors import ReleaseError
+from repro.evolution.release_builder import build_release
+from repro.mdm.analyst import OMQBuilder, describe_global_graph
+from repro.mdm.steward import align_attributes, suggest_subgraphs
+from repro.query.engine import QueryEngine
+from repro.query.omq import OMQ
+from repro.query.rewriter import RewritingResult
+from repro.rdf.ntriples import serialize_nquads
+from repro.rdf.term import IRI
+from repro.rdf.turtle import serialize_turtle
+from repro.relational.rows import Relation
+from repro.wrappers.base import Wrapper
+
+__all__ = ["MDM"]
+
+
+class MDM:
+    """One-stop facade over ontology, rewriting and execution."""
+
+    def __init__(self, ontology: BDIOntology | None = None) -> None:
+        self.ontology = ontology or BDIOntology()
+        self.engine = QueryEngine(self.ontology)
+        self.release_log: list[Release] = []
+
+    # -- steward interface ---------------------------------------------------
+
+    def register_release(self, release: Release) -> dict[str, int]:
+        """Apply Algorithm 1; returns triples added per graph."""
+        delta = new_release(self.ontology, release)
+        self.release_log.append(release)
+        return delta
+
+    def register_wrapper(self, wrapper: Wrapper,
+                         attribute_to_feature: dict[str, IRI | str]
+                         | None = None,
+                         subgraph=None) -> dict[str, int]:
+        """Register a physical wrapper, semi-automatically when possible.
+
+        With no explicit ``F``, attribute→feature alignment is attempted
+        (existing source mappings first, then name similarity); with no
+        explicit subgraph, the minimal subgraph induced by the mapped
+        features is used.
+        """
+        if attribute_to_feature is None or subgraph is None:
+            release = build_release(
+                self.ontology, wrapper.source_name, wrapper.name,
+                id_attributes=list(wrapper.id_attributes),
+                non_id_attributes=list(wrapper.non_id_attributes),
+                feature_hints=attribute_to_feature)
+            release.wrapper = wrapper
+        else:
+            release = Release.for_wrapper(wrapper, subgraph,
+                                          attribute_to_feature)
+        return self.register_release(release)
+
+    def suggest_release_subgraphs(self, features: list[IRI | str],
+                                  limit: int = 5):
+        return suggest_subgraphs(self.ontology, features, limit=limit)
+
+    def handle_drift(self, wrapper_name: str, documents: list[dict],
+                     new_wrapper_name: str,
+                     confirmed_renames: dict[str, str] | None = None,
+                     feature_hints: dict[str, IRI | str] | None = None,
+                     physical_wrapper: Wrapper | None = None):
+        """Adapt to an *unanticipated* schema change (future-work ext.).
+
+        Detects drift between *documents* (as served by the evolved
+        source) and the declared schema of *wrapper_name*, proposes a
+        release for *new_wrapper_name* and registers it. Returns the
+        ``(DriftReport, delta)`` pair; raises
+        :class:`~repro.errors.EvolutionError` when uncertain renames
+        need steward confirmation.
+        """
+        from repro.core.vocabulary import attribute_local_name, \
+            source_local_name, wrapper_uri
+        from repro.evolution.drift import detect_drift, propose_release
+
+        wrapper_iri = wrapper_uri(wrapper_name)
+        source = source_local_name(
+            self.ontology.sources.source_of_wrapper(wrapper_iri))
+        declared = [
+            attribute_local_name(a) for a in
+            self.ontology.sources.attributes_of_wrapper(wrapper_iri)]
+        schema = self.ontology.wrapper_relation_schema(wrapper_iri)
+        id_fields = [name.split("/", 1)[1] for name in schema.id_names]
+
+        report = detect_drift(source, wrapper_name, declared, documents)
+        if not report.has_drift:
+            return report, {}
+        release = propose_release(
+            self.ontology, report, new_wrapper_name,
+            id_fields=id_fields, confirmed_renames=confirmed_renames,
+            feature_hints=feature_hints)
+        release.wrapper = physical_wrapper
+        delta = self.register_release(release)
+        return report, delta
+
+    def suggest_alignments(self, attributes: list[str], top_k: int = 3):
+        return align_attributes(self.ontology, attributes, top_k=top_k)
+
+    # -- analyst interface ----------------------------------------------------------
+
+    def query_builder(self) -> OMQBuilder:
+        return OMQBuilder(self.ontology)
+
+    def query(self, omq: str | OMQ, distinct: bool = True) -> Relation:
+        """Pose an OMQ; returns the result relation (Figure 9 pipeline)."""
+        return self.engine.answer(omq, distinct=distinct)
+
+    def rewrite(self, omq: str | OMQ) -> RewritingResult:
+        return self.engine.rewrite(omq)
+
+    def explain(self, omq: str | OMQ) -> str:
+        return self.engine.explain(omq)
+
+    def describe(self) -> str:
+        return describe_global_graph(self.ontology)
+
+    # -- administration ---------------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        return self.ontology.validate()
+
+    def statistics(self) -> dict[str, int]:
+        counts = self.ontology.triple_counts()
+        counts["releases"] = len(self.release_log)
+        counts["concepts"] = len(self.ontology.globals.concepts())
+        counts["features"] = len(self.ontology.globals.features())
+        counts["wrappers"] = len(self.ontology.sources.wrappers())
+        counts["data_sources"] = len(self.ontology.sources.data_sources())
+        return counts
+
+    def export_nquads(self) -> str:
+        """The whole ontology dataset (all named graphs) as N-Quads."""
+        return serialize_nquads(self.ontology.dataset)
+
+    def export_turtle(self, graph: str = "G") -> str:
+        """One primary graph as Turtle (``G``, ``S`` or ``M``)."""
+        graphs = {"G": self.ontology.g, "S": self.ontology.s,
+                  "M": self.ontology.m}
+        try:
+            return serialize_turtle(graphs[graph])
+        except KeyError:
+            raise ReleaseError(
+                f"unknown graph {graph!r}; expected G, S or M") from None

@@ -1,0 +1,25 @@
+"""Ontology-mediated query answering under LAV mappings (paper §5)."""
+
+from repro.query.coverage import (
+    covering_and_minimal, is_covering, is_minimal, lav_union,
+)
+from repro.query.engine import QueryEngine
+from repro.query.expansion import query_expansion
+from repro.query.inter_concept import inter_concept_generation
+from repro.query.intra_concept import ConceptWalks, intra_concept_generation
+from repro.query.omq import OMQ, parse_omq
+from repro.query.rewriter import RewritingResult, rewrite
+from repro.query.ucq import UCQ
+from repro.query.well_formed import is_well_formed, well_formed_query
+
+__all__ = [
+    "covering_and_minimal", "is_covering", "is_minimal", "lav_union",
+    "QueryEngine",
+    "query_expansion",
+    "inter_concept_generation",
+    "ConceptWalks", "intra_concept_generation",
+    "OMQ", "parse_omq",
+    "RewritingResult", "rewrite",
+    "UCQ",
+    "is_well_formed", "well_formed_query",
+]

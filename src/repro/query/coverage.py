@@ -1,0 +1,61 @@
+"""Coverage and minimality of walks (problem statement, paper §2.3).
+
+* *Coverage*: ``⋃_{w ∈ wrappers(W)} LAV(w) ⊇ QG.φ`` — the union of the LAV
+  subgraphs of the participating wrappers subsumes the query pattern.
+* *Minimality*: removing any wrapper from a covering walk breaks
+  coverage — every wrapper contributes something.
+
+The rewriting pipeline uses these as a final filter (and the test suite
+as the correctness invariant of Algorithms 3-5: every emitted walk must
+be covering and minimal).
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.core.vocabulary import wrapper_uri
+from repro.query.omq import OMQ
+from repro.rdf.graph import Graph
+from repro.relational.walk import Walk
+
+__all__ = ["lav_union", "is_covering", "is_minimal",
+           "covering_and_minimal"]
+
+
+def lav_union(ontology: BDIOntology, wrapper_names: set[str] | frozenset[str]
+              ) -> Graph:
+    """``⋃ LAV(w)`` for the given wrappers."""
+    union = Graph()
+    for name in sorted(wrapper_names):
+        union.update(ontology.lav_subgraph(wrapper_uri(name)))
+    return union
+
+
+def is_covering(ontology: BDIOntology, walk: Walk, query: OMQ) -> bool:
+    """Check ``⋃ LAV(w) ⊇ QG.φ`` for the walk's wrappers."""
+    union = lav_union(ontology, walk.wrapper_names)
+    return query.phi.issubset(union)
+
+
+def is_minimal(ontology: BDIOntology, walk: Walk, query: OMQ) -> bool:
+    """Check that no wrapper can be removed while staying covering.
+
+    Per the paper's definition minimality presumes coverage; a
+    non-covering walk is reported non-minimal.
+    """
+    if not is_covering(ontology, walk, query):
+        return False
+    if len(walk.wrapper_names) == 1:
+        return True
+    for dropped in walk.wrapper_names:
+        rest = set(walk.wrapper_names) - {dropped}
+        union = lav_union(ontology, rest)
+        if query.phi.issubset(union):
+            return False
+    return True
+
+
+def covering_and_minimal(ontology: BDIOntology, walk: Walk,
+                         query: OMQ) -> bool:
+    return is_covering(ontology, walk, query) and is_minimal(
+        ontology, walk, query)

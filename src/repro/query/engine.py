@@ -1,0 +1,60 @@
+"""End-to-end query answering (the MDM querying pipeline, Figure 9).
+
+:class:`QueryEngine` ties everything together: an analyst poses a SPARQL
+OMQ; the engine parses it (Code 3 template), rewrites it into a union of
+walks over wrappers (Algorithms 2-5) and evaluates the relational
+expression against the bound physical wrappers.
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.errors import UnanswerableQueryError
+from repro.query.omq import OMQ
+from repro.query.rewriter import RewritingResult, rewrite
+from repro.relational.algebra import DataProvider
+from repro.relational.rows import Relation
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Analyst-facing query interface over a BDI ontology."""
+
+    def __init__(self, ontology: BDIOntology,
+                 prefixes: dict[str, str] | None = None) -> None:
+        self.ontology = ontology
+        self.prefixes = dict(prefixes or {})
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def rewrite(self, query: OMQ | str) -> RewritingResult:
+        """OMQ → union of covering & minimal walks (no execution)."""
+        return rewrite(self.ontology, query, self.prefixes)
+
+    def answer(self, query: OMQ | str,
+               provider: DataProvider | None = None,
+               distinct: bool = True) -> Relation:
+        """OMQ → result relation with feature-named columns.
+
+        Raises :class:`UnanswerableQueryError` when no covering and
+        minimal walk exists for the query.
+        """
+        result = self.rewrite(query)
+        if not result.walks:
+            raise UnanswerableQueryError(
+                "no covering and minimal walk answers the query; "
+                "concepts involved: "
+                f"{[c.local_name for c in result.concepts]}")
+        return result.ucq.execute(self.ontology, provider, distinct)
+
+    def explain(self, query: OMQ | str) -> str:
+        """Textual account of the rewriting phases plus the final UCQ."""
+        result = self.rewrite(query)
+        lines = [result.report(), "", "final UCQ:"]
+        if result.walks:
+            expression = result.ucq.to_expression(self.ontology)
+            lines.append(f"  {expression.notation()}")
+        else:
+            lines.append("  ∅ (unanswerable)")
+        return "\n".join(lines)

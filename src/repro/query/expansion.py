@@ -1,0 +1,56 @@
+"""Algorithm 3 — phase #1 of query rewriting: query expansion (§5.2).
+
+Analyzes the well-formed query w.r.t. the ontology:
+
+1. identify the query-related concepts, visiting ``QG.φ`` in topological
+   order (vertices typed ``G:Concept`` in T);
+2. expand the query with the ID features of those concepts, even when the
+   analyst did not project them — the later phases need IDs to join.
+
+Returns the pair ``⟨concepts, Q'G⟩``.
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.errors import RewritingError
+from repro.query.omq import OMQ
+from repro.rdf.namespace import G as G_NS
+from repro.rdf.term import IRI
+from repro.util.toposort import topological_sort
+
+__all__ = ["query_expansion"]
+
+
+def query_expansion(ontology: BDIOntology,
+                    query: OMQ) -> tuple[list[IRI], OMQ]:
+    """Phase #1. *query* must already be well-formed.
+
+    Step 1 — identify query-related concepts (lines 2-7): topological
+    order keeps adjacent concepts adjacent for linear traversals and
+    generalizes to tree-shaped patterns.
+
+    Step 2 — expand with IDs (lines 8-14): for every concept, its ID
+    features (``rdfs:subClassOf sc:identifier`` under entailment) are
+    added to ``Q'G.φ`` via ``G:hasFeature`` triples.
+    """
+    order = topological_sort(query.vertices(), query.edges())
+
+    concepts: list[IRI] = []
+    for vertex in order:
+        if not isinstance(vertex, IRI):
+            continue
+        # Line 4: ⟨v, rdf:type, G:Concept⟩ ∈ T
+        if ontology.globals.is_concept(vertex):
+            concepts.append(vertex)
+    if not concepts:
+        raise RewritingError(
+            "the query pattern contains no concept of the Global graph")
+
+    expanded = query.copy()
+    for concept in concepts:
+        # Line 10: SPARQL lookup of the concept's ID features in T.
+        for feature_id in ontology.id_features_of(concept):
+            # Line 12: Q'G.φ ∪= ⟨c, G:hasFeature, fID⟩
+            expanded.phi.add((concept, G_NS.hasFeature, feature_id))
+    return concepts, expanded

@@ -1,0 +1,139 @@
+"""Ontology-mediated queries: ``QG = ⟨π, φ⟩`` (paper §2.2).
+
+An OMQ is posed in the restricted SPARQL template of Code 3::
+
+    SELECT ?v1 ... ?vn
+    FROM G
+    WHERE {
+        VALUES (?v1 ... ?vn) { (attr1 ... attrn) }
+        s1 p1 attr1 .
+        ...
+        sm pm om
+    }
+
+and manipulated through its algebra form ``project(join(table, bgp))``
+(Code 4). :func:`parse_omq` validates the template and produces the
+⟨π, φ⟩ pair: ``π`` the projected attribute IRIs, ``φ`` the basic graph
+pattern as an RDF graph (``π ⊆ V(φ)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MalformedQueryError
+from repro.rdf.graph import Graph
+from repro.rdf.sparql.ast import SelectQuery
+from repro.rdf.sparql.parser import parse_sparql
+from repro.rdf.term import IRI, Term, Variable
+from repro.rdf.triple import Triple
+
+__all__ = ["OMQ", "parse_omq"]
+
+
+@dataclass
+class OMQ:
+    """``QG = ⟨π, φ⟩``: projected feature IRIs and the pattern graph."""
+
+    pi: list[IRI]
+    phi: Graph
+    #: original SPARQL text when parsed from a query string
+    sparql: str | None = field(default=None, compare=False)
+
+    # -- views -------------------------------------------------------------
+
+    def vertices(self) -> set[IRI]:
+        """``V(φ)``: every node of the pattern graph."""
+        nodes: set[IRI] = set()
+        for t in self.phi:
+            if isinstance(t.s, IRI):
+                nodes.add(t.s)
+            if isinstance(t.o, IRI):
+                nodes.add(t.o)
+        return nodes
+
+    def edges(self) -> list[tuple[IRI, IRI]]:
+        """Directed node pairs of φ (for DAG checking / traversal)."""
+        return [(t.s, t.o) for t in self.phi
+                if isinstance(t.s, IRI) and isinstance(t.o, IRI)]
+
+    def copy(self) -> "OMQ":
+        return OMQ(list(self.pi), self.phi.copy(), self.sparql)
+
+    def __str__(self) -> str:
+        pi_text = ", ".join(str(p) for p in self.pi)
+        return f"⟨π = {{{pi_text}}}, φ = {len(self.phi)} triples⟩"
+
+
+def _template_error(reason: str) -> MalformedQueryError:
+    return MalformedQueryError(
+        f"query does not follow the accepted template (Code 3): {reason}")
+
+
+def parse_omq(query: str | SelectQuery,
+              prefixes: dict[str, str] | None = None) -> OMQ:
+    """Parse and validate an OMQ against the Code 3 template.
+
+    Checks performed:
+
+    * exactly one ``VALUES`` clause with a single row;
+    * the VALUES variables are exactly the SELECT projection;
+    * every VALUES term is an IRI (the projected attribute URIs);
+    * all WHERE triples are concrete (no variables) — they define a
+      subgraph pattern of G;
+    * every projected attribute occurs in the pattern (``π ⊆ V(φ)``).
+    """
+    text = query if isinstance(query, str) else None
+    parsed = parse_sparql(query, prefixes) if isinstance(query, str) \
+        else query
+
+    values = parsed.values_clause()
+    if values is None:
+        raise _template_error("missing VALUES clause binding the "
+                              "projected variables to attribute URIs")
+    values_count = sum(
+        1 for p in parsed.patterns
+        if p.__class__.__name__ == "ValuesClause")
+    if values_count != 1:
+        raise _template_error("exactly one VALUES clause is allowed")
+    if len(values.rows) != 1:
+        raise _template_error("the VALUES clause must have exactly one row")
+
+    projected = parsed.projected()
+    if tuple(values.variables) != tuple(projected):
+        raise _template_error(
+            f"VALUES variables {[v.n3() for v in values.variables]} must "
+            f"match the SELECT projection "
+            f"{[v.n3() for v in projected]}")
+
+    row = values.rows[0]
+    pi: list[IRI] = []
+    for term in row:
+        if not isinstance(term, IRI):
+            raise _template_error(
+                f"VALUES terms must be attribute URIs, got {term.n3()}")
+        pi.append(term)
+
+    phi = Graph()
+    bgp = parsed.bgp()
+    if not bgp.patterns:
+        raise _template_error("the WHERE clause has no triple patterns")
+    for pattern in bgp.patterns:
+        for position in pattern:
+            if isinstance(position, Variable):
+                raise _template_error(
+                    f"triple patterns must be concrete (no variables); "
+                    f"found {pattern.n3()}")
+        phi.add(Triple(pattern.s, pattern.p, pattern.o))
+
+    vertices: set[Term] = set()
+    for t in phi:
+        vertices.add(t.s)
+        vertices.add(t.o)
+    for attr in pi:
+        if attr not in vertices:
+            raise _template_error(
+                f"projected attribute {attr} does not occur in the WHERE "
+                "pattern (π ⊄ V(φ))")
+
+    return OMQ(pi=pi, phi=phi, sparql=text)

@@ -1,0 +1,104 @@
+"""The three-phase query rewriting algorithm (paper §5.2).
+
+Given an OMQ over G, produce the union of all covering and minimal walks
+over the wrappers:
+
+1. :func:`~repro.query.well_formed.well_formed_query` (Algorithm 2);
+2. :func:`~repro.query.expansion.query_expansion` (Algorithm 3);
+3. :func:`~repro.query.intra_concept.intra_concept_generation`
+   (Algorithm 4);
+4. :func:`~repro.query.inter_concept.inter_concept_generation`
+   (Algorithm 5);
+5. final filter: keep covering & minimal walks (problem statement §2.3)
+   and drop equivalent duplicates.
+
+The :class:`RewritingResult` exposes every intermediate artifact so the
+evaluation harness (and curious users) can inspect each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ontology import BDIOntology
+from repro.query.coverage import is_covering, is_minimal
+from repro.query.expansion import query_expansion
+from repro.query.intra_concept import ConceptWalks, intra_concept_generation
+from repro.query.inter_concept import inter_concept_generation
+from repro.query.omq import OMQ, parse_omq
+from repro.query.ucq import UCQ
+from repro.query.well_formed import well_formed_query
+from repro.rdf.term import IRI
+from repro.relational.walk import Walk
+
+__all__ = ["RewritingResult", "rewrite"]
+
+
+@dataclass
+class RewritingResult:
+    """All artifacts of one rewriting run."""
+
+    original: OMQ
+    well_formed: OMQ
+    concepts: list[IRI]
+    expanded: OMQ
+    partial_walks: list[ConceptWalks]
+    walks: list[Walk]
+    #: walks produced by phase 3 but rejected by the §2.3 filter
+    rejected: list[Walk] = field(default_factory=list)
+
+    @property
+    def ucq(self) -> UCQ:
+        return UCQ(features=list(self.well_formed.pi),
+                   walks=list(self.walks))
+
+    def report(self) -> str:
+        """Human-readable account of the three phases."""
+        lines = [
+            f"OMQ: π = {[str(p) for p in self.well_formed.pi]}",
+            f"     φ = {len(self.well_formed.phi)} triples",
+            f"phase 1: concepts = {[c.local_name for c in self.concepts]}"
+            f", expanded φ = {len(self.expanded.phi)} triples",
+            "phase 2 (partial walks per concept):",
+        ]
+        for cw in self.partial_walks:
+            lines.append(f"  {cw.concept.local_name}:")
+            for walk in cw.walks:
+                lines.append(f"    {walk.notation()}")
+        lines.append(f"phase 3: {len(self.walks)} covering & minimal "
+                     f"walk(s), {len(self.rejected)} rejected")
+        for walk in self.walks:
+            lines.append(f"  {walk.notation()}")
+        return "\n".join(lines)
+
+
+def rewrite(ontology: BDIOntology, query: OMQ | str,
+            prefixes: dict[str, str] | None = None) -> RewritingResult:
+    """Run the full rewriting pipeline over *query*."""
+    original = parse_omq(query, prefixes) if isinstance(query, str) \
+        else query
+
+    well_formed = well_formed_query(ontology, original)
+    concepts, expanded = query_expansion(ontology, well_formed)
+    partial = intra_concept_generation(ontology, concepts, expanded)
+    candidates = inter_concept_generation(ontology, partial, expanded)
+
+    accepted: list[Walk] = []
+    rejected: list[Walk] = []
+    for walk in candidates:
+        if is_covering(ontology, walk, well_formed) and is_minimal(
+                ontology, walk, well_formed):
+            accepted.append(walk)
+        else:
+            rejected.append(walk)
+
+    accepted.sort(key=lambda w: sorted(w.wrapper_names))
+    return RewritingResult(
+        original=original,
+        well_formed=well_formed,
+        concepts=concepts,
+        expanded=expanded,
+        partial_walks=partial,
+        walks=accepted,
+        rejected=rejected,
+    )

@@ -1,0 +1,86 @@
+"""Algorithm 2: well-formed queries (paper §5.1).
+
+Definition 5.1: ``QG`` is well formed iff ``QG.φ`` has a topological
+sorting (it is a DAG) and every projected element refers to a terminal
+node of ``φ`` typed ``G:Feature`` in G.
+
+IDs are the default feature: projecting a *concept* is rewritten into
+projecting the concept's ID feature (adding the ``G:hasFeature`` triple
+to φ). A concept without an ID feature raises
+:class:`~repro.errors.NoIdentifierError`; a cyclic pattern raises
+:class:`~repro.errors.CyclicQueryError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import BDIOntology
+from repro.errors import CyclicQueryError, MalformedQueryError, \
+    NoIdentifierError
+from repro.query.omq import OMQ
+from repro.rdf.namespace import G as G_NS
+from repro.rdf.term import IRI
+from repro.util.toposort import CycleError, topological_sort
+
+__all__ = ["well_formed_query", "is_well_formed"]
+
+
+def well_formed_query(ontology: BDIOntology, query: OMQ) -> OMQ:
+    """Algorithm 2: convert *query* into a well-formed one, or raise.
+
+    Returns a new :class:`OMQ`; the input is not mutated.
+    """
+    result = query.copy()
+
+    # Line 2: the pattern must admit a topological sorting.
+    try:
+        topological_sort(result.vertices(), result.edges())
+    except CycleError as exc:
+        raise CyclicQueryError(
+            f"QG.φ has at least one cycle: {exc}") from None
+
+    for projected in list(result.pi):
+        # Line 6: typeOf(p) ≠ G:Feature
+        if ontology.globals.is_feature(projected):
+            if projected not in result.vertices():
+                raise MalformedQueryError(
+                    f"projected feature {projected} is not part of φ")
+            continue
+        if not ontology.globals.is_concept(projected):
+            raise MalformedQueryError(
+                f"projected element {projected} is neither a G:Feature "
+                "nor a G:Concept of the Global graph")
+
+        # Lines 7-14: look for an ID feature among the concept's
+        # outgoing G:Feature neighbours (in T, under RDFS entailment).
+        has_id = False
+        for feature in ontology.globals.features_of(projected):
+            if ontology.globals.is_id_feature(feature):
+                has_id = True
+                # Line 11: replace the concept by its ID in π.
+                result.pi = [p for p in result.pi if p != projected]
+                if feature not in result.pi:
+                    result.pi.append(IRI(str(feature)))
+                # Line 12: extend φ with the hasFeature edge.
+                result.phi.add((projected, G_NS.hasFeature, feature))
+        if not has_id:
+            # Line 16 (paper wording kept).
+            raise NoIdentifierError(
+                "QG has at least one concept without any feature included "
+                f"in the query that is mapped to the sources: {projected}")
+
+    return result
+
+
+def is_well_formed(ontology: BDIOntology, query: OMQ) -> bool:
+    """Non-throwing check of Definition 5.1 (no rewriting performed)."""
+    try:
+        topological_sort(query.vertices(), query.edges())
+    except CycleError:
+        return False
+    vertices = query.vertices()
+    for projected in query.pi:
+        if projected not in vertices:
+            return False
+        if not ontology.globals.is_feature(projected):
+            return False
+    return True

@@ -1,0 +1,147 @@
+"""RDF datasets: collections of named graphs plus a default graph.
+
+The BDI ontology ``T = ⟨G, S, M⟩`` is stored as a dataset: the Global,
+Source and Mapping graphs are named graphs, and every LAV mapping is *also*
+a named graph (one per wrapper) per paper §3.3. SPARQL ``GRAPH ?g { ... }``
+evaluation therefore needs fast iteration over named graphs, which this
+class provides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import GraphNotFoundError
+from repro.rdf.graph import Graph
+from repro.rdf.term import IRI
+from repro.rdf.triple import Quad
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """A mutable collection of named :class:`Graph` objects.
+
+    >>> ds = Dataset()
+    >>> g = ds.graph("http://example.org/g1")
+    >>> _ = g.add(("http://x/a", "http://x/p", "http://x/b"))
+    >>> ds.quad_count()
+    1
+    """
+
+    __slots__ = ("_default", "_named")
+
+    def __init__(self) -> None:
+        self._default = Graph()
+        self._named: dict[IRI, Graph] = {}
+
+    # -- graph management -------------------------------------------------------
+
+    @property
+    def default_graph(self) -> Graph:
+        return self._default
+
+    def graph(self, name: IRI | str | None = None) -> Graph:
+        """Return the named graph *name*, creating it when missing.
+
+        ``None`` returns the default graph.
+        """
+        if name is None:
+            return self._default
+        iri = IRI(str(name))
+        existing = self._named.get(iri)
+        if existing is None:
+            existing = Graph(iri)
+            self._named[iri] = existing
+        return existing
+
+    def get_graph(self, name: IRI | str) -> Graph:
+        """Return the named graph *name*; raise if absent (no creation)."""
+        iri = IRI(str(name))
+        try:
+            return self._named[iri]
+        except KeyError:
+            raise GraphNotFoundError(f"no named graph {iri}") from None
+
+    def has_graph(self, name: IRI | str) -> bool:
+        return IRI(str(name)) in self._named
+
+    def remove_graph(self, name: IRI | str) -> bool:
+        """Drop a named graph entirely. Returns True when it existed."""
+        return self._named.pop(IRI(str(name)), None) is not None
+
+    def graph_names(self) -> list[IRI]:
+        """Deterministically ordered list of named-graph IRIs."""
+        return sorted(self._named)
+
+    def named_graphs(self) -> Iterator[tuple[IRI, Graph]]:
+        for name in self.graph_names():
+            yield name, self._named[name]
+
+    # -- quad-level operations ----------------------------------------------------
+
+    def add_quad(self, quad: Quad | tuple) -> "Dataset":
+        if not isinstance(quad, Quad):
+            quad = Quad.of(*quad)
+        self.graph(quad.graph).add(quad.triple)
+        return self
+
+    def quads(self, s: object | None = None, p: object | None = None,
+              o: object | None = None,
+              graph: IRI | str | None | type(Ellipsis) = Ellipsis,
+              ) -> Iterator[Quad]:
+        """Yield quads matching the pattern.
+
+        *graph* semantics: ``Ellipsis`` (default) searches everywhere,
+        ``None`` only the default graph, an IRI only that named graph.
+        """
+        if graph is Ellipsis:
+            scopes: list[tuple[Optional[IRI], Graph]] = [(None, self._default)]
+            scopes.extend(self.named_graphs())
+        elif graph is None:
+            scopes = [(None, self._default)]
+        else:
+            scopes = [(IRI(str(graph)), self.graph(graph))]
+        for name, g in scopes:
+            for t in g.match(s, p, o):
+                yield Quad(t.s, t.p, t.o, name)
+
+    def quad_count(self) -> int:
+        return len(self._default) + sum(len(g) for g in self._named.values())
+
+    def graphs_containing(self, s: object | None = None,
+                          p: object | None = None,
+                          o: object | None = None) -> list[IRI]:
+        """Named graphs holding at least one triple matching the pattern.
+
+        This is the primitive behind the paper's
+        ``SELECT ?g WHERE { GRAPH ?g { ... } }`` queries (Algorithms 4-5).
+        """
+        return [name for name, g in self.named_graphs()
+                if g.contains(s, p, o)]
+
+    # -- views ---------------------------------------------------------------------
+
+    def union_graph(self, names: list[IRI | str] | None = None) -> Graph:
+        """A merged copy of the selected named graphs (default: all + default).
+
+        Used to evaluate queries whose ``FROM`` clause spans several graphs.
+        """
+        merged = Graph()
+        if names is None:
+            merged.update(self._default)
+            for _, g in self.named_graphs():
+                merged.update(g)
+        else:
+            for name in names:
+                merged.update(self.graph(name))
+        return merged
+
+    # -- protocols -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.quad_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Dataset with {len(self._named)} named graphs, "
+                f"{self.quad_count()} quads>")

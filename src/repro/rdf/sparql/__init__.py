@@ -1,0 +1,22 @@
+"""SPARQL subset: parser, algebra and evaluator.
+
+See :mod:`repro.rdf.sparql.parser` for the accepted grammar. The usual
+entry points are :func:`select` (dict rows keyed by variable name),
+:func:`evaluate` (raw solution mappings) and :func:`ask`.
+"""
+
+from repro.rdf.sparql.algebra import AlgebraNode, render_algebra, to_algebra
+from repro.rdf.sparql.ast import (
+    BGP, GraphPattern, SelectQuery, TriplePattern, ValuesClause,
+)
+from repro.rdf.sparql.evaluator import (
+    Solution, ask, evaluate, select, select_one,
+)
+from repro.rdf.sparql.parser import parse_sparql
+
+__all__ = [
+    "AlgebraNode", "render_algebra", "to_algebra",
+    "BGP", "GraphPattern", "SelectQuery", "TriplePattern", "ValuesClause",
+    "Solution", "ask", "evaluate", "select", "select_one",
+    "parse_sparql",
+]

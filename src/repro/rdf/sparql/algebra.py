@@ -1,0 +1,116 @@
+"""SPARQL algebra rendering (paper Code 4).
+
+The paper manipulates accepted OMQs through their SPARQL algebra form::
+
+    (project (?v1 ... ?vn)
+      (join
+        (table (vars ?v1 ... ?vn)
+          (row [?v1 attr1] ... [?vn attrn]))
+        (bgp
+          (triple s1 p1 attr1)
+          ...)))
+
+This module renders that s-expression for any accepted query — it is what
+ARQ's ``algebra`` pretty printer produces in the paper — and offers a tiny
+structured form for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.namespace import shrink_iri
+from repro.rdf.sparql.ast import BGP, GraphPattern, SelectQuery, ValuesClause
+from repro.rdf.term import IRI, Term, Variable
+
+__all__ = ["AlgebraNode", "to_algebra", "render_algebra"]
+
+
+@dataclass(frozen=True)
+class AlgebraNode:
+    """One node of the algebra tree: an operator plus children/payload."""
+
+    op: str
+    args: tuple
+
+    def __str__(self) -> str:
+        return render_algebra(self)
+
+
+def _term_text(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.n3()
+    if isinstance(term, IRI):
+        return shrink_iri(str(term))
+    return term.n3()
+
+
+def to_algebra(query: SelectQuery) -> AlgebraNode:
+    """Build the algebra tree ``project(join(table, bgp))`` of a query.
+
+    GRAPH patterns are represented as ``(graph <name> (bgp ...))`` children
+    of the join, which generalizes Code 4 to the internal queries of
+    Algorithms 4-5.
+    """
+    children: list[AlgebraNode] = []
+    for pattern in query.patterns:
+        if isinstance(pattern, ValuesClause):
+            rows = tuple(
+                AlgebraNode("row", tuple(zip(pattern.variables, row)))
+                for row in pattern.rows)
+            children.append(
+                AlgebraNode("table", (tuple(pattern.variables),) + rows))
+        elif isinstance(pattern, BGP):
+            children.append(AlgebraNode("bgp", tuple(pattern.patterns)))
+        elif isinstance(pattern, GraphPattern):
+            children.append(AlgebraNode(
+                "graph",
+                (pattern.graph, AlgebraNode("bgp",
+                                            tuple(pattern.bgp.patterns)))))
+    if len(children) == 1:
+        body = children[0]
+    else:
+        body = AlgebraNode("join", tuple(children))
+    return AlgebraNode("project", (query.projected(), body))
+
+
+def render_algebra(node: AlgebraNode, indent: int = 0) -> str:
+    """Pretty-print an algebra tree as an ARQ-style s-expression."""
+    pad = "  " * indent
+
+    if node.op == "project":
+        variables, body = node.args
+        vars_text = " ".join(v.n3() for v in variables)
+        return (f"{pad}(project ({vars_text})\n"
+                f"{render_algebra(body, indent + 1)}{pad})")
+
+    if node.op == "join":
+        parts = "".join(render_algebra(child, indent + 1)
+                        for child in node.args)
+        return f"{pad}(join\n{parts}{pad})\n"
+
+    if node.op == "table":
+        variables = node.args[0]
+        rows = node.args[1:]
+        vars_text = " ".join(v.n3() for v in variables)
+        lines = [f"{pad}(table (vars {vars_text})"]
+        for row in rows:
+            cells = " ".join(
+                f"[{var.n3()} {_term_text(value)}]"
+                for var, value in row.args)
+            lines.append(f"{pad}  (row {cells})")
+        return "\n".join(lines) + f"\n{pad})\n"
+
+    if node.op == "bgp":
+        lines = [f"{pad}(bgp"]
+        for triple in node.args:
+            parts = " ".join(_term_text(t) for t in triple)
+            lines.append(f"{pad}  (triple {parts})")
+        return "\n".join(lines) + f"\n{pad})\n"
+
+    if node.op == "graph":
+        name, body = node.args
+        return (f"{pad}(graph {_term_text(name)}\n"
+                f"{render_algebra(body, indent + 1)}{pad})\n")
+
+    raise ValueError(f"unknown algebra operator {node.op!r}")

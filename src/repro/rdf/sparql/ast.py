@@ -1,0 +1,154 @@
+"""Abstract syntax tree for the accepted SPARQL subset.
+
+The paper restricts OMQs to the template of Code 3:
+
+.. code-block:: sparql
+
+    SELECT ?v1 ... ?vn
+    FROM G
+    WHERE {
+        VALUES (?v1 ... ?vn) { (attr1 ... attrn) }
+        s1 p1 attr1 .
+        ...
+        sm pm om
+    }
+
+The engine accepts a slightly larger subset (multiple ``FROM``, ``GRAPH``
+blocks, ``SELECT *``, ``DISTINCT``) because the paper's *internal*
+algorithms (Algorithms 1, 4, 5) issue such queries over the ontology
+dataset itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.rdf.term import IRI, Term, Variable
+from repro.rdf.triple import Triple
+
+__all__ = [
+    "TriplePattern",
+    "BGP",
+    "GraphPattern",
+    "ValuesClause",
+    "SelectQuery",
+    "Pattern",
+]
+
+
+#: A triple pattern reuses :class:`Triple`; positions may hold variables.
+TriplePattern = Triple
+
+
+@dataclass(frozen=True)
+class BGP:
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    patterns: tuple[TriplePattern, ...]
+
+    def variables(self) -> list[Variable]:
+        seen: list[Variable] = []
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+
+@dataclass(frozen=True)
+class GraphPattern:
+    """``GRAPH ?g { ... }`` or ``GRAPH <iri> { ... }``."""
+
+    graph: Union[Variable, IRI]
+    bgp: BGP
+
+    def variables(self) -> list[Variable]:
+        result = [self.graph] if isinstance(self.graph, Variable) else []
+        for var in self.bgp.variables():
+            if var not in result:
+                result.append(var)
+        return result
+
+
+@dataclass(frozen=True)
+class ValuesClause:
+    """``VALUES (?v1 ... ?vn) { (t11 ... t1n) (t21 ... t2n) ... }``.
+
+    Encodes an inline solution-sequence table. The paper uses a single-row
+    VALUES to bind projected variables to feature IRIs.
+    """
+
+    variables: tuple[Variable, ...]
+    rows: tuple[tuple[Term, ...], ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.variables):
+                raise ValueError(
+                    "VALUES row arity does not match variable list: "
+                    f"{len(row)} vs {len(self.variables)}")
+
+
+#: Union of the pattern kinds allowed in a WHERE clause.
+Pattern = Union[BGP, GraphPattern, ValuesClause]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed SELECT query.
+
+    Attributes
+    ----------
+    variables:
+        The projection list; empty tuple with ``select_all=True`` encodes
+        ``SELECT *``.
+    from_graphs:
+        Graph IRIs named by ``FROM`` clauses; empty means "query the whole
+        dataset" (default graph union).
+    patterns:
+        WHERE-clause constituents in source order.
+    distinct:
+        Whether ``DISTINCT`` was given.
+    """
+
+    variables: tuple[Variable, ...]
+    patterns: tuple[Pattern, ...]
+    from_graphs: tuple[IRI, ...] = ()
+    select_all: bool = False
+    distinct: bool = False
+    prefixes: dict[str, str] = field(default_factory=dict, compare=False)
+
+    def values_clause(self) -> Optional[ValuesClause]:
+        """The first VALUES clause, if any (the OMQ template has one)."""
+        for pattern in self.patterns:
+            if isinstance(pattern, ValuesClause):
+                return pattern
+        return None
+
+    def bgp(self) -> BGP:
+        """All plain triple patterns merged into a single BGP."""
+        triples: list[TriplePattern] = []
+        for pattern in self.patterns:
+            if isinstance(pattern, BGP):
+                triples.extend(pattern.patterns)
+        return BGP(tuple(triples))
+
+    def projected(self) -> tuple[Variable, ...]:
+        """Variables the query projects (resolves ``SELECT *``)."""
+        if not self.select_all:
+            return self.variables
+        seen: list[Variable] = []
+        for pattern in self.patterns:
+            vars_of: list[Variable]
+            if isinstance(pattern, ValuesClause):
+                vars_of = list(pattern.variables)
+            else:
+                vars_of = pattern.variables()
+            for var in vars_of:
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)

@@ -1,0 +1,71 @@
+"""Tokenizer for the SPARQL subset."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import SparqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "NAMED", "WHERE", "VALUES", "GRAPH",
+    "PREFIX", "BASE", "UNDEF", "ASK", "A",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<STRING>"(?:[^"\\\n]|\\.)*")
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<NUMBER>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<PNAME>(?:[A-Za-z_][A-Za-z0-9_.-]*)?:[A-Za-z0-9_][A-Za-z0-9_.%/-]*)
+  | (?P<PREFIX_NAME>(?:[A-Za-z_][A-Za-z0-9_.-]*)?:)
+  | (?P<BOOL>\b(?:true|false)\b)
+  | (?P<WORD>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<DOUBLE_CARET>\^\^)
+  | (?P<PUNCT>[{}().;,*\[\]])
+  | (?P<WS>\s+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; keywords are uppercased into their own kinds."""
+    line = 1
+    line_start = 0
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup or "BAD"
+        value = m.group()
+        column = m.start() - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = m.start() + value.rfind("\n") + 1
+            continue
+        if kind == "BAD":
+            raise SparqlSyntaxError(
+                f"unexpected character {value!r}", line, column)
+        if kind == "WORD":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                kind = upper if upper != "A" else "A"
+            else:
+                raise SparqlSyntaxError(
+                    f"unexpected bare word {value!r} "
+                    "(did you mean a prefixed name?)", line, column)
+        yield Token(kind, value, line, column)
+    yield Token("EOF", "", line, 0)

@@ -1,0 +1,289 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (EBNF, whitespace/comments elided)::
+
+    Query        := Prologue SelectClause FromClause* WhereClause
+    Prologue     := ("PREFIX" PNAME_NS IRIREF | "BASE" IRIREF)*
+    SelectClause := "SELECT" "DISTINCT"? ( "*" | Var+ )
+    FromClause   := "FROM" "NAMED"? (IRIREF | PNAME)
+    WhereClause  := "WHERE"? "{" Block* "}"
+    Block        := ValuesBlock | GraphBlock | TriplesBlock
+    ValuesBlock  := "VALUES" "(" Var+ ")" "{" ( "(" Term+ ")" )* "}"
+    GraphBlock   := "GRAPH" (Var | IRI) "{" TriplesBlock "}"
+    TriplesBlock := (Triple ".")* Triple "."?
+
+Exactly what Algorithms 1-5 and the OMQ template (Code 3) require.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SparqlSyntaxError
+from repro.rdf.namespace import PREFIXES, RDF
+from repro.rdf.sparql.ast import (
+    BGP, GraphPattern, Pattern, SelectQuery, TriplePattern, ValuesClause,
+)
+from repro.rdf.sparql.lexer import Token, tokenize
+from repro.rdf.term import IRI, Literal, Term, Variable
+from repro.rdf.triple import Triple
+
+__all__ = ["parse_sparql"]
+
+
+class _Parser:
+    def __init__(self, text: str,
+                 extra_prefixes: dict[str, str] | None = None) -> None:
+        self.tokens = list(tokenize(text))
+        self.pos = 0
+        self.prefixes: dict[str, str] = {
+            k: str(v) for k, v in PREFIXES.items()}
+        if extra_prefixes:
+            self.prefixes.update(
+                {k: str(v) for k, v in extra_prefixes.items()})
+
+    # -- plumbing -----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.advance()
+        if tok.kind != kind:
+            raise SparqlSyntaxError(
+                f"expected {kind}, found {tok.kind} ({tok.value!r})",
+                tok.line, tok.column)
+        return tok
+
+    def expect_punct(self, char: str) -> Token:
+        tok = self.advance()
+        if tok.kind != "PUNCT" or tok.value != char:
+            raise SparqlSyntaxError(
+                f"expected {char!r}, found {tok.value!r}",
+                tok.line, tok.column)
+        return tok
+
+    def at_punct(self, char: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "PUNCT" and tok.value == char
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._prologue()
+        distinct, select_all, variables = self._select_clause()
+        from_graphs = self._from_clauses()
+        patterns = self._where_clause()
+        tok = self.peek()
+        if tok.kind != "EOF":
+            raise SparqlSyntaxError(
+                f"trailing content after query: {tok.value!r}",
+                tok.line, tok.column)
+        return SelectQuery(
+            variables=tuple(variables),
+            patterns=tuple(patterns),
+            from_graphs=tuple(from_graphs),
+            select_all=select_all,
+            distinct=distinct,
+            prefixes=dict(self.prefixes),
+        )
+
+    def _prologue(self) -> None:
+        while self.peek().kind in ("PREFIX", "BASE"):
+            tok = self.advance()
+            if tok.kind == "PREFIX":
+                name_tok = self.advance()
+                if name_tok.kind not in ("PREFIX_NAME", "PNAME"):
+                    raise SparqlSyntaxError(
+                        f"expected prefix name, found {name_tok.value!r}",
+                        name_tok.line, name_tok.column)
+                prefix = name_tok.value.split(":", 1)[0]
+                iri_tok = self.expect("IRIREF")
+                self.prefixes[prefix] = iri_tok.value[1:-1]
+            else:  # BASE — accepted and ignored (not needed by the paper)
+                self.expect("IRIREF")
+
+    def _select_clause(self) -> tuple[bool, bool, list[Variable]]:
+        self.expect("SELECT")
+        distinct = False
+        if self.peek().kind == "DISTINCT":
+            self.advance()
+            distinct = True
+        if self.at_punct("*"):
+            self.advance()
+            return distinct, True, []
+        variables: list[Variable] = []
+        while self.peek().kind == "VAR":
+            variables.append(Variable(self.advance().value))
+        if not variables:
+            tok = self.peek()
+            raise SparqlSyntaxError(
+                "SELECT requires at least one variable or *",
+                tok.line, tok.column)
+        return distinct, False, variables
+
+    def _from_clauses(self) -> list[IRI]:
+        graphs: list[IRI] = []
+        while self.peek().kind == "FROM":
+            self.advance()
+            if self.peek().kind == "NAMED":
+                self.advance()
+            graphs.append(self._iri())
+        return graphs
+
+    def _where_clause(self) -> list[Pattern]:
+        if self.peek().kind == "WHERE":
+            self.advance()
+        self.expect_punct("{")
+        patterns: list[Pattern] = []
+        triples: list[TriplePattern] = []
+
+        def flush() -> None:
+            if triples:
+                patterns.append(BGP(tuple(triples)))
+                triples.clear()
+
+        while not self.at_punct("}"):
+            tok = self.peek()
+            if tok.kind == "VALUES":
+                flush()
+                patterns.append(self._values_block())
+            elif tok.kind == "GRAPH":
+                flush()
+                patterns.append(self._graph_block())
+            elif tok.kind == "EOF":
+                raise SparqlSyntaxError("unterminated WHERE block",
+                                        tok.line, tok.column)
+            else:
+                triples.append(self._triple())
+                if self.at_punct("."):
+                    self.advance()
+        self.expect_punct("}")
+        flush()
+        return patterns
+
+    def _values_block(self) -> ValuesClause:
+        self.expect("VALUES")
+        self.expect_punct("(")
+        variables: list[Variable] = []
+        while self.peek().kind == "VAR":
+            variables.append(Variable(self.advance().value))
+        self.expect_punct(")")
+        self.expect_punct("{")
+        rows: list[tuple[Term, ...]] = []
+        while self.at_punct("("):
+            self.advance()
+            row: list[Term] = []
+            while not self.at_punct(")"):
+                row.append(self._term(allow_var=False))
+            self.advance()  # )
+            if len(row) != len(variables):
+                tok = self.peek()
+                raise SparqlSyntaxError(
+                    f"VALUES row has {len(row)} terms for "
+                    f"{len(variables)} variables", tok.line, tok.column)
+            rows.append(tuple(row))
+        self.expect_punct("}")
+        return ValuesClause(tuple(variables), tuple(rows))
+
+    def _graph_block(self) -> GraphPattern:
+        self.expect("GRAPH")
+        tok = self.peek()
+        if tok.kind == "VAR":
+            self.advance()
+            graph: Variable | IRI = Variable(tok.value)
+        else:
+            graph = self._iri()
+        self.expect_punct("{")
+        triples: list[TriplePattern] = []
+        while not self.at_punct("}"):
+            triples.append(self._triple())
+            if self.at_punct("."):
+                self.advance()
+        self.expect_punct("}")
+        return GraphPattern(graph, BGP(tuple(triples)))
+
+    def _triple(self) -> TriplePattern:
+        s = self._term(allow_var=True, allow_literal=False)
+        p = self._predicate()
+        o = self._term(allow_var=True, allow_literal=True)
+        return Triple(s, p, o)
+
+    def _predicate(self) -> Term:
+        if self.peek().kind == "A":
+            self.advance()
+            return RDF.type
+        return self._term(allow_var=True, allow_literal=False)
+
+    def _iri(self) -> IRI:
+        tok = self.advance()
+        if tok.kind == "IRIREF":
+            return IRI(tok.value[1:-1])
+        if tok.kind == "PNAME":
+            return self._expand(tok)
+        raise SparqlSyntaxError(
+            f"expected IRI, found {tok.value!r}", tok.line, tok.column)
+
+    def _expand(self, tok: Token) -> IRI:
+        prefix, _, local = tok.value.partition(":")
+        try:
+            return IRI(self.prefixes[prefix] + local)
+        except KeyError:
+            raise SparqlSyntaxError(
+                f"unknown prefix {prefix!r}", tok.line, tok.column) from None
+
+    def _term(self, allow_var: bool = True,
+              allow_literal: bool = True) -> Term:
+        tok = self.advance()
+        if tok.kind == "VAR":
+            if not allow_var:
+                raise SparqlSyntaxError(
+                    "variable not allowed here", tok.line, tok.column)
+            return Variable(tok.value)
+        if tok.kind == "IRIREF":
+            return IRI(tok.value[1:-1])
+        if tok.kind == "PNAME":
+            return self._expand(tok)
+        if tok.kind == "UNDEF":
+            raise SparqlSyntaxError(
+                "UNDEF is not supported in this subset",
+                tok.line, tok.column)
+        if allow_literal:
+            if tok.kind == "STRING":
+                return self._literal(tok)
+            if tok.kind == "NUMBER":
+                text = tok.value
+                if "." in text or "e" in text or "E" in text:
+                    return Literal(float(text))
+                return Literal(int(text))
+            if tok.kind == "BOOL":
+                return Literal(tok.value == "true")
+        raise SparqlSyntaxError(
+            f"unexpected token {tok.value!r}", tok.line, tok.column)
+
+    def _literal(self, tok: Token) -> Literal:
+        value = tok.value[1:-1]
+        value = (value.replace("\\\\", "\x00").replace('\\"', '"')
+                 .replace("\\n", "\n").replace("\\t", "\t")
+                 .replace("\x00", "\\"))
+        nxt = self.peek()
+        if nxt.kind == "LANGTAG":
+            self.advance()
+            return Literal(value, lang=nxt.value[1:])
+        if nxt.kind == "DOUBLE_CARET":
+            self.advance()
+            return Literal(value, datatype=self._iri())
+        return Literal(value)
+
+
+def parse_sparql(text: str,
+                 prefixes: dict[str, str] | None = None) -> SelectQuery:
+    """Parse a SPARQL SELECT query of the accepted subset.
+
+    *prefixes* extends the default prefix table (``rdf``, ``rdfs``, ``owl``,
+    ``xsd``, ``G``, ``S``, ``M``, ``sup``, ``sc``, ...).
+    """
+    return _Parser(text, prefixes).parse()

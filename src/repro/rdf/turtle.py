@@ -1,0 +1,372 @@
+"""Turtle serialization and parsing.
+
+Supports the Turtle subset used by the paper's listings (Codes 6 and 7) and
+by this library's own persistence needs:
+
+* ``@prefix`` / ``@base`` directives,
+* prefixed names and ``<IRI>`` references,
+* the ``a`` keyword for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* string literals with escapes, ``@lang`` tags and ``^^datatype``,
+* integer / decimal / double / boolean shorthand literals,
+* blank node labels (``_:b0``) and anonymous nodes (``[]``),
+* ``#`` comments.
+
+Not supported (not needed anywhere in the reproduction): collections
+``( ... )``, nested blank-node property lists with content, triple-quoted
+long strings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.errors import TurtleSyntaxError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import PREFIXES, RDF, XSD, Namespace, shrink_iri
+from repro.rdf.term import BlankNode, IRI, Literal, Term
+from repro.rdf.triple import Triple
+
+__all__ = ["parse_turtle", "serialize_turtle"]
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<STRING>"(?:[^"\\\n]|\\.)*")
+  | (?P<PREFIX_DECL>@prefix\b)
+  | (?P<BASE_DECL>@base\b)
+  | (?P<LANGTAG>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<DOUBLE_CARET>\^\^)
+  | (?P<BOOL>\b(?:true|false)\b)
+  | (?P<NUMBER>[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<BNODE>_:[A-Za-z0-9_][A-Za-z0-9_.-]*)
+  | (?P<ANON>\[\s*\])
+  | (?P<PNAME>[A-Za-z_][A-Za-z0-9_.-]*)?:(?P<LOCAL>[A-Za-z0-9_][A-Za-z0-9_.%-]*(?:/[A-Za-z0-9_.%-]+)*)?
+  | (?P<KEYWORD_A>\ba\b)
+  | (?P<PUNCT>[;,.\[\]])
+  | (?P<WS>\s+)
+  | (?P<BAD>.)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line", "column", "extra")
+
+    def __init__(self, kind: str, value: str, line: int, column: int,
+                 extra: str | None = None) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+        self.extra = extra
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    for m in _TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        value = m.group()
+        column = m.start() - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = m.start() + value.rfind("\n") + 1
+            continue
+        if kind == "BAD":
+            raise TurtleSyntaxError(
+                f"unexpected character {value!r}", line, column)
+        if kind == "LOCAL" or (kind is None and ":" in value):
+            kind = "PNAME_FULL"
+        if kind == "PNAME":
+            # The regex puts prefix in PNAME and local in LOCAL; recombine.
+            kind = "PNAME_FULL"
+        if kind == "KEYWORD_A":
+            kind = "A"
+        token = _Token(kind or "PNAME_FULL", value, line, column)
+        yield token
+    yield _Token("EOF", "", line, 0)
+
+
+_STRING_ESCAPES = {
+    "t": "\t", "n": "\n", "r": "\r", '"': '"', "\\": "\\",
+    "b": "\b", "f": "\f", "'": "'",
+}
+
+
+def _unescape(raw: str, line: int) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise TurtleSyntaxError("dangling escape in string", line)
+        nxt = raw[i + 1]
+        if nxt in _STRING_ESCAPES:
+            out.append(_STRING_ESCAPES[nxt])
+            i += 2
+        elif nxt == "u" and i + 6 <= len(raw):
+            out.append(chr(int(raw[i + 2:i + 6], 16)))
+            i += 6
+        elif nxt == "U" and i + 10 <= len(raw):
+            out.append(chr(int(raw[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            raise TurtleSyntaxError(f"bad escape \\{nxt}", line)
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str,
+                 prefixes: dict[str, Namespace] | None = None) -> None:
+        self.tokens = list(_tokenize(text))
+        self.pos = 0
+        self.prefixes: dict[str, str] = {
+            k: str(v) for k, v in (prefixes or PREFIXES).items()}
+        self.base = ""
+        self.graph = Graph()
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> _Token:
+        tok = self.advance()
+        if tok.kind != kind:
+            raise TurtleSyntaxError(
+                f"expected {kind}, found {tok.kind} ({tok.value!r})",
+                tok.line, tok.column)
+        return tok
+
+    def expect_punct(self, char: str) -> _Token:
+        tok = self.advance()
+        if tok.kind != "PUNCT" or tok.value != char:
+            raise TurtleSyntaxError(
+                f"expected {char!r}, found {tok.value!r}",
+                tok.line, tok.column)
+        return tok
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Graph:
+        while self.peek().kind != "EOF":
+            tok = self.peek()
+            if tok.kind == "PREFIX_DECL":
+                self._prefix_decl()
+            elif tok.kind == "BASE_DECL":
+                self._base_decl()
+            else:
+                self._triples_block()
+        return self.graph
+
+    def _prefix_decl(self) -> None:
+        self.expect("PREFIX_DECL")
+        name_tok = self.advance()
+        if name_tok.kind != "PNAME_FULL":
+            raise TurtleSyntaxError(
+                f"expected prefix name, found {name_tok.value!r}",
+                name_tok.line, name_tok.column)
+        prefix = name_tok.value.rstrip(":")
+        iri_tok = self.expect("IRIREF")
+        self.prefixes[prefix] = self._resolve(iri_tok.value[1:-1])
+        self.expect_punct(".")
+
+    def _base_decl(self) -> None:
+        self.expect("BASE_DECL")
+        iri_tok = self.expect("IRIREF")
+        self.base = iri_tok.value[1:-1]
+        self.expect_punct(".")
+
+    def _resolve(self, iri: str) -> str:
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+            return self.base + iri
+        return iri
+
+    def _triples_block(self) -> None:
+        subject = self._node(allow_literal=False)
+        self._predicate_object_list(subject)
+        self.expect_punct(".")
+
+    def _predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._predicate()
+            self._object_list(subject, predicate)
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value == ";":
+                self.advance()
+                # Allow trailing semicolon before the final dot.
+                nxt = self.peek()
+                if nxt.kind == "PUNCT" and nxt.value == ".":
+                    return
+                continue
+            return
+
+    def _object_list(self, subject: Term, predicate: Term) -> None:
+        while True:
+            obj = self._node(allow_literal=True)
+            self.graph.add(Triple(subject, predicate, obj))
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value == ",":
+                self.advance()
+                continue
+            return
+
+    def _predicate(self) -> Term:
+        tok = self.peek()
+        if tok.kind == "A":
+            self.advance()
+            return RDF.type
+        return self._node(allow_literal=False)
+
+    def _node(self, allow_literal: bool) -> Term:
+        tok = self.advance()
+        if tok.kind == "IRIREF":
+            return IRI(self._resolve(tok.value[1:-1]))
+        if tok.kind == "PNAME_FULL":
+            return self._expand_pname(tok)
+        if tok.kind == "BNODE":
+            return BlankNode(tok.value[2:])
+        if tok.kind == "ANON":
+            return BlankNode()
+        if allow_literal:
+            if tok.kind == "STRING":
+                return self._literal(tok)
+            if tok.kind == "NUMBER":
+                return self._number(tok)
+            if tok.kind == "BOOL":
+                return Literal(tok.value == "true")
+        raise TurtleSyntaxError(
+            f"unexpected token {tok.value!r}", tok.line, tok.column)
+
+    def _expand_pname(self, tok: _Token) -> IRI:
+        prefix, _, local = tok.value.partition(":")
+        try:
+            base = self.prefixes[prefix]
+        except KeyError:
+            raise TurtleSyntaxError(
+                f"unknown prefix {prefix!r}", tok.line, tok.column) from None
+        return IRI(base + local)
+
+    def _literal(self, tok: _Token) -> Literal:
+        value = _unescape(tok.value[1:-1], tok.line)
+        nxt = self.peek()
+        if nxt.kind == "LANGTAG":
+            self.advance()
+            return Literal(value, lang=nxt.value[1:])
+        if nxt.kind == "DOUBLE_CARET":
+            self.advance()
+            dt_tok = self.advance()
+            if dt_tok.kind == "IRIREF":
+                datatype = IRI(self._resolve(dt_tok.value[1:-1]))
+            elif dt_tok.kind == "PNAME_FULL":
+                datatype = self._expand_pname(dt_tok)
+            else:
+                raise TurtleSyntaxError(
+                    "expected datatype IRI after ^^",
+                    dt_tok.line, dt_tok.column)
+            return Literal(value, datatype=datatype)
+        return Literal(value)
+
+    def _number(self, tok: _Token) -> Literal:
+        text = tok.value
+        if re.search(r"[eE]", text):
+            return Literal(text, datatype=XSD.double)
+        if "." in text:
+            return Literal(text, datatype=XSD.decimal)
+        return Literal(int(text))
+
+
+def parse_turtle(text: str,
+                 prefixes: dict[str, Namespace] | None = None) -> Graph:
+    """Parse a Turtle document into a :class:`Graph`.
+
+    *prefixes* seeds the prefix table (the library defaults are always
+    available); ``@prefix`` directives in the document override it.
+    """
+    return _Parser(text, prefixes).parse()
+
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+
+def _term_turtle(term: Term, prefixes: dict[str, Namespace]) -> str:
+    if isinstance(term, IRI):
+        if term == RDF.type:
+            return "a"
+        return shrink_iri(str(term), prefixes)
+    return term.n3()
+
+
+def serialize_turtle(graph: Graph,
+                     prefixes: dict[str, Namespace] | None = None,
+                     emit_prefixes: bool = True) -> str:
+    """Serialize *graph* in Turtle, grouped by subject, sorted.
+
+    Only prefixes actually used appear in the ``@prefix`` preamble.
+    """
+    table = PREFIXES if prefixes is None else prefixes
+    lines: list[str] = []
+    used_prefixes: set[str] = set()
+
+    def render(term: Term) -> str:
+        text = _term_turtle(term, table)
+        if ":" in text and not text.startswith(("<", '"', "_:")):
+            used_prefixes.add(text.split(":", 1)[0])
+        return text
+
+    body: list[str] = []
+    subjects = sorted({t.s for t in graph}, key=lambda s: s.n3())
+    for subj in subjects:
+        subj_text = render(subj)
+        pred_groups = []
+        preds = sorted(graph.predicates(subj, None), key=lambda p: p.n3())
+        # rdf:type first, Turtle convention.
+        preds.sort(key=lambda p: (p != RDF.type, p.n3()))
+        for pred in preds:
+            objs = sorted(graph.objects(subj, pred), key=lambda o: o.n3())
+            objs_text = ", ".join(render(o) for o in objs)
+            pred_groups.append(f"{render(pred)} {objs_text}")
+        joined = " ;\n    ".join(pred_groups)
+        body.append(f"{subj_text} {joined} .")
+
+    if emit_prefixes:
+        # 'a' contributes no prefix
+        used_prefixes.discard("a")
+        for prefix in sorted(used_prefixes):
+            ns = table.get(prefix)
+            if ns is not None:
+                lines.append(f"@prefix {prefix}: <{ns}> .")
+        if lines:
+            lines.append("")
+    lines.extend(body)
+    return "\n".join(lines) + ("\n" if body else "")

@@ -1,0 +1,312 @@
+"""Relational algebra over wrappers, with the paper's restricted operators.
+
+§2.2 of the paper defines:
+
+* ``Π̃`` (:class:`Project`) — projection that *keeps all ID attributes*;
+  only non-ID attributes may be selected or dropped.
+* ``⋈̃`` (:class:`Join`) — equi-join valid *only between ID attributes* of
+  the two inputs.
+* walks — select-project-join expressions built from those two operators
+  (see :mod:`repro.relational.walk`), unioned into UCQs.
+
+Additionally :class:`FinalProject` implements the paper's closing step
+("[IDs] can be easily projected out at the final step, when generating the
+union of conjunctive queries"): an ordinary projection with optional
+renaming, used to align walk outputs onto global feature names so that
+:class:`Union` branches are schema-compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Union as TUnion
+
+from repro.errors import (
+    InvalidJoinError, InvalidProjectionError, SchemaError,
+)
+from repro.relational.rows import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+__all__ = [
+    "Expression", "Scan", "Project", "Join", "FinalProject", "Union",
+    "DataProvider", "evaluate",
+]
+
+#: Resolves a relation name (wrapper name) to its materialized rows.
+DataProvider = TUnion[Callable[[str], Relation], Mapping[str, Relation]]
+
+
+def _resolve(provider: DataProvider, name: str) -> Relation:
+    if callable(provider):
+        return provider(name)
+    try:
+        return provider[name]
+    except KeyError:
+        raise SchemaError(f"no data for relation {name!r}") from None
+
+
+class Expression:
+    """Base class of the algebra expression tree."""
+
+    def schema(self) -> RelationSchema:
+        """The output schema of this expression."""
+        raise NotImplementedError
+
+    def wrappers(self) -> set[str]:
+        """Names of the leaf relations (wrappers) used by the expression."""
+        raise NotImplementedError
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        """Materialize this expression using *provider* for leaf data."""
+        raise NotImplementedError
+
+    def notation(self) -> str:
+        """Paper-style notation, e.g. ``Π̃{a}(w1 ⋈̃[x=y] w3)``."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+class Scan(Expression):
+    """A leaf: scan one wrapper relation."""
+
+    __slots__ = ("relation_schema",)
+
+    def __init__(self, relation_schema: RelationSchema) -> None:
+        self.relation_schema = relation_schema
+
+    def schema(self) -> RelationSchema:
+        return self.relation_schema
+
+    def wrappers(self) -> set[str]:
+        return {self.relation_schema.name}
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        relation = _resolve(provider, self.relation_schema.name)
+        expected = set(self.relation_schema.attribute_names)
+        got = set(relation.schema.attribute_names)
+        if expected - got:
+            raise SchemaError(
+                f"wrapper {self.relation_schema.name} is missing attributes "
+                f"{sorted(expected - got)}")
+        return relation
+
+    def notation(self) -> str:
+        return self.relation_schema.name
+
+
+class Project(Expression):
+    """Restricted projection ``Π̃``: selected non-IDs plus *all* IDs."""
+
+    __slots__ = ("child", "non_ids")
+
+    def __init__(self, child: Expression,
+                 non_ids: Iterable[str] = ()) -> None:
+        self.child = child
+        self.non_ids = tuple(dict.fromkeys(non_ids))  # stable unique order
+        child_schema = child.schema()
+        for name in self.non_ids:
+            attr = child_schema.attribute(name)
+            if attr.is_id:
+                raise InvalidProjectionError(
+                    f"Π̃ lists {name!r}, which is an ID attribute; IDs are "
+                    "always retained and may not be listed explicitly")
+
+    def schema(self) -> RelationSchema:
+        child_schema = self.child.schema()
+        attrs = tuple(child_schema.id_attributes) + tuple(
+            Attribute(n, False) for n in self.non_ids)
+        return RelationSchema(
+            f"Π̃({child_schema.name})", attrs, child_schema.source)
+
+    def wrappers(self) -> set[str]:
+        return self.child.wrappers()
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        child_rows = self.child.evaluate(provider)
+        out_schema = self.schema()
+        names = out_schema.attribute_names
+        out = Relation(out_schema)
+        for row in child_rows:
+            out.append({n: row[n] for n in names})
+        return out
+
+    def notation(self) -> str:
+        attrs = ",".join(self.non_ids)
+        return f"Π̃{{{attrs}}}({self.child.notation()})"
+
+
+class Join(Expression):
+    """Restricted equi-join ``⋈̃`` on ID attributes.
+
+    *conditions* is a list of ``(left_attr, right_attr)`` pairs; every
+    attribute must be an ID attribute of its side, per the paper's ``⋈̃``
+    definition.
+    """
+
+    __slots__ = ("left", "right", "conditions")
+
+    def __init__(self, left: Expression, right: Expression,
+                 conditions: Iterable[tuple[str, str]]) -> None:
+        self.left = left
+        self.right = right
+        self.conditions = tuple(conditions)
+        if not self.conditions:
+            raise InvalidJoinError("⋈̃ requires at least one join condition")
+        left_schema = left.schema()
+        right_schema = right.schema()
+        for l_attr, r_attr in self.conditions:
+            if not left_schema.attribute(l_attr).is_id:
+                raise InvalidJoinError(
+                    f"⋈̃ condition uses non-ID attribute {l_attr!r} "
+                    f"on the left side")
+            if not right_schema.attribute(r_attr).is_id:
+                raise InvalidJoinError(
+                    f"⋈̃ condition uses non-ID attribute {r_attr!r} "
+                    f"on the right side")
+        overlap = (set(left_schema.attribute_names)
+                   & set(right_schema.attribute_names))
+        if overlap:
+            raise SchemaError(
+                f"join sides share attribute names {sorted(overlap)}; "
+                "attributes must be source-qualified")
+
+    def schema(self) -> RelationSchema:
+        left_schema = self.left.schema()
+        right_schema = self.right.schema()
+        return RelationSchema(
+            f"({left_schema.name}⋈̃{right_schema.name})",
+            tuple(left_schema.attributes) + tuple(right_schema.attributes),
+            None)
+
+    def wrappers(self) -> set[str]:
+        return self.left.wrappers() | self.right.wrappers()
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        left_rows = self.left.evaluate(provider)
+        right_rows = self.right.evaluate(provider)
+        l_keys = [c[0] for c in self.conditions]
+        r_keys = [c[1] for c in self.conditions]
+
+        # Hash join: build on the smaller side.
+        if len(left_rows) <= len(right_rows):
+            build, probe = left_rows, right_rows
+            build_keys, probe_keys = l_keys, r_keys
+            build_is_left = True
+        else:
+            build, probe = right_rows, left_rows
+            build_keys, probe_keys = r_keys, l_keys
+            build_is_left = False
+
+        table: dict[tuple, list[dict[str, object]]] = {}
+        for row in build:
+            table.setdefault(
+                tuple(row[k] for k in build_keys), []).append(row)
+
+        out = Relation(self.schema())
+        for row in probe:
+            matches = table.get(tuple(row[k] for k in probe_keys), ())
+            for match in matches:
+                left_row, right_row = (
+                    (match, row) if build_is_left else (row, match))
+                merged = dict(left_row)
+                merged.update(right_row)
+                out.append(merged)
+        return out
+
+    def notation(self) -> str:
+        conds = ",".join(f"{l}={r}" for l, r in self.conditions)
+        return f"({self.left.notation()} ⋈̃[{conds}] {self.right.notation()})"
+
+
+class FinalProject(Expression):
+    """Ordinary projection with renaming, applied once per UCQ branch.
+
+    *mapping* maps output column names to input attribute names. Unlike
+    ``Π̃`` it may drop ID attributes — this is the paper's final step that
+    removes the IDs added during query expansion.
+    """
+
+    __slots__ = ("child", "mapping")
+
+    def __init__(self, child: Expression,
+                 mapping: Mapping[str, str]) -> None:
+        self.child = child
+        self.mapping = dict(mapping)
+        child_schema = child.schema()
+        for target in self.mapping.values():
+            child_schema.attribute(target)  # validate
+
+    def schema(self) -> RelationSchema:
+        child_schema = self.child.schema()
+        attrs = tuple(
+            Attribute(out_name,
+                      child_schema.attribute(in_name).is_id)
+            for out_name, in_name in self.mapping.items())
+        return RelationSchema(f"π({child_schema.name})", attrs, None)
+
+    def wrappers(self) -> set[str]:
+        return self.child.wrappers()
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        child_rows = self.child.evaluate(provider)
+        out = Relation(self.schema())
+        for row in child_rows:
+            out.append({out_name: row[in_name]
+                        for out_name, in_name in self.mapping.items()})
+        return out
+
+    def notation(self) -> str:
+        cols = ",".join(f"{src}→{dst}" if src != dst else dst
+                        for dst, src in self.mapping.items())
+        return f"π{{{cols}}}({self.child.notation()})"
+
+
+class Union(Expression):
+    """Union of schema-compatible branches (set semantics by default).
+
+    The result of LAV rewriting is a union of conjunctive queries; every
+    branch is a walk wrapped in a :class:`FinalProject` that aligns its
+    columns.
+    """
+
+    __slots__ = ("branches", "distinct")
+
+    def __init__(self, branches: Iterable[Expression],
+                 distinct: bool = True) -> None:
+        self.branches = tuple(branches)
+        self.distinct = distinct
+        if not self.branches:
+            raise SchemaError("union requires at least one branch")
+        first = set(self.branches[0].schema().attribute_names)
+        for branch in self.branches[1:]:
+            other = set(branch.schema().attribute_names)
+            if other != first:
+                raise SchemaError(
+                    "union branches have incompatible schemas: "
+                    f"{sorted(first)} vs {sorted(other)}")
+
+    def schema(self) -> RelationSchema:
+        return self.branches[0].schema()
+
+    def wrappers(self) -> set[str]:
+        result: set[str] = set()
+        for branch in self.branches:
+            result |= branch.wrappers()
+        return result
+
+    def evaluate(self, provider: DataProvider) -> Relation:
+        names = self.schema().attribute_names
+        out = Relation(self.schema())
+        for branch in self.branches:
+            for row in branch.evaluate(provider):
+                out.append({n: row[n] for n in names})
+        return out.distinct() if self.distinct else out
+
+    def notation(self) -> str:
+        return " ∪ ".join(b.notation() for b in self.branches)
+
+
+def evaluate(expression: Expression, provider: DataProvider) -> Relation:
+    """Convenience top-level evaluation call."""
+    return expression.evaluate(provider)

@@ -1,0 +1,160 @@
+"""Relation instances: a schema plus a bag of rows.
+
+Rows are plain dictionaries keyed by attribute name. The class validates
+rows against the schema (catching wrapper/schema drift early — the very
+failure mode the BDI ontology governs) and renders the ASCII tables used
+to reproduce Tables 1 and 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import RelationSchema
+
+__all__ = ["Relation", "render_table"]
+
+Row = Mapping[str, object]
+
+
+class Relation:
+    """A materialized relation (bag semantics, stable order)."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: RelationSchema,
+                 rows: Iterable[Row] = ()) -> None:
+        self.schema = schema
+        self._rows: list[dict[str, object]] = []
+        for row in rows:
+            self.append(row)
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, row: Row) -> None:
+        expected = set(self.schema.attribute_names)
+        got = set(row)
+        if got != expected:
+            missing = expected - got
+            extra = got - expected
+            parts = []
+            if missing:
+                parts.append(f"missing {sorted(missing)}")
+            if extra:
+                parts.append(f"unexpected {sorted(extra)}")
+            raise SchemaError(
+                f"row does not fit schema {self.schema.name}: "
+                + ", ".join(parts))
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        return list(self._rows)
+
+    def column(self, name: str) -> list[object]:
+        self.schema.attribute(name)  # validate
+        return [row[name] for row in self._rows]
+
+    def distinct(self) -> "Relation":
+        """Set-semantics copy (first occurrence order preserved)."""
+        seen: set[tuple] = set()
+        out = Relation(self.schema)
+        names = self.schema.attribute_names
+        for row in self._rows:
+            key = tuple(row[n] for n in names)
+            if key not in seen:
+                seen.add(key)
+                out._rows.append(dict(row))
+        return out
+
+    def sorted_by(self, *names: str) -> "Relation":
+        for name in names:
+            self.schema.attribute(name)
+        out = Relation(self.schema)
+        out._rows = sorted(
+            (dict(r) for r in self._rows),
+            key=lambda r: tuple(str(r[n]) for n in names))
+        return out
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Relation":
+        out = Relation(self.schema)
+        out._rows = [dict(r) for r in self._rows if predicate(r)]
+        return out
+
+    def as_tuples(self, names: Sequence[str] | None = None) -> list[tuple]:
+        names = list(names or self.schema.attribute_names)
+        return [tuple(row[n] for n in names) for row in self._rows]
+
+    # -- protocols ---------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality over the same attribute set (order-insensitive)."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self.schema.attribute_names) != set(
+                other.schema.attribute_names):
+            return False
+        names = sorted(self.schema.attribute_names)
+        mine = sorted(tuple(str(r[n]) for n in names) for r in self._rows)
+        theirs = sorted(tuple(str(r[n]) for n in names) for r in other._rows)
+        return mine == theirs
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.schema.name}: {len(self._rows)} rows>"
+
+    # -- display -----------------------------------------------------------------
+
+    def to_ascii(self, max_rows: int | None = None) -> str:
+        return render_table(self.schema.attribute_names, self._rows,
+                            title=self.schema.name, max_rows=max_rows)
+
+
+def render_table(columns: Sequence[str], rows: Iterable[Row],
+                 title: str | None = None,
+                 max_rows: int | None = None) -> str:
+    """Render rows as a boxed ASCII table (used by benches and examples)."""
+    material = [dict(r) for r in rows]
+    if max_rows is not None and len(material) > max_rows:
+        shown = material[:max_rows]
+        footer = f"... ({len(material) - max_rows} more rows)"
+    else:
+        shown = material
+        footer = None
+
+    widths = {c: len(str(c)) for c in columns}
+    for row in shown:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (widths[c] + 2) for c in columns) + "+"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append("| " + " | ".join(
+        str(c).ljust(widths[c]) for c in columns) + " |")
+    out.append(line("="))
+    for row in shown:
+        out.append("| " + " | ".join(
+            str(row.get(c, "")).ljust(widths[c]) for c in columns) + " |")
+    out.append(line())
+    if footer:
+        out.append(footer)
+    return "\n".join(out)

@@ -1,0 +1,119 @@
+"""Relation schemas with the paper's ID / non-ID attribute distinction.
+
+A wrapper is formalized as ``w(aID, anID)`` (§2.2): a relation whose
+attributes split into identifier attributes (joinable) and non-identifier
+attributes (projectable). Attribute names are globally qualified with the
+source prefix (e.g. ``D1/lagRatio``) exactly as the Source graph does, so
+equality of names means equality of attributes everywhere in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+__all__ = ["Attribute", "RelationSchema"]
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A named attribute; ``is_id`` marks identifier attributes."""
+
+    name: str
+    is_id: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"invalid attribute name: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered relation schema: name plus attributes.
+
+    >>> w1 = RelationSchema.of("w1", ids=["VoDmonitorId"], non_ids=["lagRatio"])
+    >>> sorted(a.name for a in w1.id_attributes)
+    ['VoDmonitorId']
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    #: Identifier of the data source this relation belongs to, used to
+    #: enforce the paper's "no joins between versions of the same source"
+    #: rule. Optional for plain relations.
+    source: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation schema requires a name")
+        seen: set[str] = set()
+        for attr in self.attributes:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in {self.name}")
+            seen.add(attr.name)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def of(cls, name: str, ids: Iterable[str] = (),
+           non_ids: Iterable[str] = (),
+           source: str | None = None) -> "RelationSchema":
+        attrs = tuple(Attribute(a, True) for a in ids) + tuple(
+            Attribute(a, False) for a in non_ids)
+        return cls(name, attrs, source)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def id_attributes(self) -> tuple[Attribute, ...]:
+        """The set ``aID`` of the paper."""
+        return tuple(a for a in self.attributes if a.is_id)
+
+    @property
+    def non_id_attributes(self) -> tuple[Attribute, ...]:
+        """The set ``anID`` of the paper."""
+        return tuple(a for a in self.attributes if not a.is_id)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def id_names(self) -> frozenset[str]:
+        return frozenset(a.name for a in self.id_attributes)
+
+    @property
+    def non_id_names(self) -> frozenset[str]:
+        return frozenset(a.name for a in self.non_id_attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise SchemaError(f"{self.name} has no attribute {name!r}")
+
+    def is_id_attribute(self, name: str) -> bool:
+        return self.attribute(name).is_id
+
+    # -- notation ---------------------------------------------------------------
+
+    def notation(self) -> str:
+        """The paper's ``w({ids}, {non_ids})`` notation."""
+        ids = ", ".join(a.name for a in self.id_attributes)
+        non_ids = ", ".join(a.name for a in self.non_id_attributes)
+        return f"{self.name}({{{ids}}}, {{{non_ids}}})"
+
+    def __str__(self) -> str:
+        return self.notation()

@@ -1,0 +1,105 @@
+"""Deterministic synthetic data for the SUPERSEDE running example.
+
+Generates the three event streams of paper §2.1:
+
+* VoD monitor events (Code 1): ``monitorId``, ``timestamp``, ``bitrate``,
+  ``waitTime``, ``watchTime``;
+* user feedback events: ``feedbackGatheringId``, ``tweet`` texts;
+* application relationships: ``TargetApp`` → monitor/feedback tool IDs.
+
+Everything is seeded, so Tables 1 and 2 of the paper reproduce verbatim
+when the ``paper_sample=True`` fixtures are used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+__all__ = [
+    "vod_monitor_events",
+    "feedback_events",
+    "application_relationships",
+    "PAPER_VOD_EVENTS",
+    "PAPER_FEEDBACK_EVENTS",
+    "PAPER_RELATIONSHIPS",
+]
+
+#: The exact documents behind Table 1 of the paper (w1 sample output).
+PAPER_VOD_EVENTS: list[dict] = [
+    {"monitorId": 12, "timestamp": 1475010424, "bitrate": 6,
+     "waitTime": 3, "watchTime": 4},
+    {"monitorId": 12, "timestamp": 1475010460, "bitrate": 6,
+     "waitTime": 9, "watchTime": 10},
+    {"monitorId": 18, "timestamp": 1475010502, "bitrate": 8,
+     "waitTime": 1, "watchTime": 10},
+]
+
+#: The documents behind Table 1's w2 sample output.
+PAPER_FEEDBACK_EVENTS: list[dict] = [
+    {"feedbackGatheringId": 77,
+     "text": "I continuously see the loading symbol"},
+    {"feedbackGatheringId": 45,
+     "text": "Your video player is great!"},
+]
+
+#: The rows behind Table 1's w3 sample output.
+PAPER_RELATIONSHIPS: list[dict] = [
+    {"appId": 1, "monitorTool": 12, "feedbackTool": 77},
+    {"appId": 2, "monitorTool": 18, "feedbackTool": 45},
+]
+
+_TWEET_SNIPPETS = [
+    "the stream keeps buffering",
+    "video quality dropped again",
+    "love the new interface",
+    "subtitles are out of sync",
+    "playback is smooth today",
+    "app crashed during the match",
+    "loading takes forever tonight",
+    "great picture quality!",
+]
+
+
+def vod_monitor_events(count: int, monitor_ids: Iterable[int] = (12, 18),
+                       seed: int = 0) -> list[dict]:
+    """Synthetic VoD monitor events shaped like Code 1 of the paper."""
+    rng = random.Random(("vod", seed).__repr__())
+    ids = list(monitor_ids)
+    events = []
+    for i in range(count):
+        wait = rng.randint(0, 12)
+        watch = rng.randint(1, 60)
+        events.append({
+            "monitorId": ids[i % len(ids)],
+            "timestamp": 1_475_010_000 + 37 * i,
+            "bitrate": rng.choice([2, 4, 6, 8, 16]),
+            "waitTime": wait,
+            "watchTime": watch,
+        })
+    return events
+
+
+def feedback_events(count: int, gathering_ids: Iterable[int] = (77, 45),
+                    seed: int = 0) -> list[dict]:
+    """Synthetic textual feedback events (tweets)."""
+    rng = random.Random(("feedback", seed).__repr__())
+    ids = list(gathering_ids)
+    return [{
+        "feedbackGatheringId": ids[i % len(ids)],
+        "text": rng.choice(_TWEET_SNIPPETS),
+    } for i in range(count)]
+
+
+def application_relationships(app_count: int,
+                              seed: int = 0) -> list[dict]:
+    """Synthetic SoftwareApplication → tool relationships."""
+    rng = random.Random(("apps", seed).__repr__())
+    out = []
+    for app_id in range(1, app_count + 1):
+        out.append({
+            "appId": app_id,
+            "monitorTool": 10 + rng.randint(0, 9),
+            "feedbackTool": 40 + rng.randint(0, 39),
+        })
+    return out

@@ -1,0 +1,113 @@
+"""Physical registry of data sources and their wrappers.
+
+The paper defines ``D = {D1, ..., Dn}``, each source a set of wrappers
+representing views over different schema versions, with the operator
+``source(w)`` returning the source a wrapper belongs to (§2.2). This
+module is that bookkeeping layer on the *physical* side; its RDF mirror is
+the Source graph maintained by :mod:`repro.core.source_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.errors import SourceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrappers.base import Wrapper
+
+__all__ = ["DataSource", "SourceRegistry"]
+
+
+class DataSource:
+    """A data source: a named provider with wrappers per schema version."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name or "/" in name:
+            raise SourceError(f"invalid source name {name!r}")
+        self.name = name
+        self.description = description
+        self._wrappers: dict[str, "Wrapper"] = {}
+
+    def register_wrapper(self, wrapper: "Wrapper") -> "Wrapper":
+        if wrapper.name in self._wrappers:
+            raise SourceError(
+                f"source {self.name} already has wrapper {wrapper.name}")
+        if wrapper.source_name != self.name:
+            raise SourceError(
+                f"wrapper {wrapper.name} declares source "
+                f"{wrapper.source_name!r}, not {self.name!r}")
+        self._wrappers[wrapper.name] = wrapper
+        return wrapper
+
+    def wrapper(self, name: str) -> "Wrapper":
+        try:
+            return self._wrappers[name]
+        except KeyError:
+            raise SourceError(
+                f"source {self.name} has no wrapper {name!r}") from None
+
+    def wrappers(self) -> list["Wrapper"]:
+        return [self._wrappers[k] for k in sorted(self._wrappers)]
+
+    def __iter__(self) -> Iterator["Wrapper"]:
+        return iter(self.wrappers())
+
+    def __len__(self) -> int:
+        return len(self._wrappers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataSource {self.name}: {len(self)} wrappers>"
+
+
+class SourceRegistry:
+    """All known sources; implements the ``source(w)`` operator."""
+
+    def __init__(self, sources: Iterable[DataSource] = ()) -> None:
+        self._sources: dict[str, DataSource] = {}
+        for source in sources:
+            self.add(source)
+
+    def add(self, source: DataSource) -> DataSource:
+        if source.name in self._sources:
+            raise SourceError(f"duplicate source {source.name!r}")
+        self._sources[source.name] = source
+        return source
+
+    def get_or_create(self, name: str) -> DataSource:
+        if name not in self._sources:
+            self._sources[name] = DataSource(name)
+        return self._sources[name]
+
+    def source(self, name: str) -> DataSource:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise SourceError(f"unknown source {name!r}") from None
+
+    def source_of(self, wrapper: "Wrapper") -> DataSource:
+        """The paper's ``source(w)`` operator."""
+        return self.source(wrapper.source_name)
+
+    def wrapper(self, name: str) -> "Wrapper":
+        for source in self._sources.values():
+            try:
+                return source.wrapper(name)
+            except SourceError:
+                continue
+        raise SourceError(f"no source holds wrapper {name!r}")
+
+    def all_wrappers(self) -> list["Wrapper"]:
+        out: list["Wrapper"] = []
+        for name in sorted(self._sources):
+            out.extend(self._sources[name].wrappers())
+        return out
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)

@@ -1,0 +1,171 @@
+"""Simulated versioned REST APIs.
+
+The paper's ecosystem ingests JSON events from third-party REST endpoints
+(VoD monitors, Twitter-like feedback gatherers, the Wordpress API study of
+§6.4). Live services are obviously unavailable offline, so this module
+simulates them faithfully for the purposes of the reproduction:
+
+* an :class:`Endpoint` (paper: *method*) serves documents under one or
+  more :class:`ApiVersion` schemas — new versions model releases;
+* a :class:`RestApi` (paper: *API / data source owner*) groups endpoints
+  and carries the request-side properties whose evolution is handled by
+  wrappers, not the ontology (auth model, rate limits, resource URL);
+* deterministic generation: documents are derived from a seed, so tests
+  and benchmarks are reproducible.
+
+The evolution module mutates these objects through the change taxonomy of
+Tables 3-5 (add/rename/delete response parameters, add/remove methods,
+change auth, ...), driving end-to-end functional tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import EndpointError, UnknownVersionError
+
+__all__ = ["FieldSpec", "ApiVersion", "Endpoint", "RestApi"]
+
+#: Generates one field value given a seeded RNG and the record index.
+ValueGenerator = Callable[[random.Random, int], Any]
+
+
+def _default_generator(field_type: str) -> ValueGenerator:
+    if field_type == "int":
+        return lambda rng, i: rng.randint(1, 100)
+    if field_type == "float":
+        return lambda rng, i: round(rng.uniform(0, 1), 3)
+    if field_type == "bool":
+        return lambda rng, i: rng.random() < 0.5
+    if field_type == "timestamp":
+        return lambda rng, i: 1_475_000_000 + i * 60 + rng.randint(0, 59)
+    # strings by default
+    return lambda rng, i: f"value-{i}-{rng.randint(0, 999)}"
+
+
+@dataclass
+class FieldSpec:
+    """One response field: name, declared type, optional generator."""
+
+    name: str
+    field_type: str = "string"
+    generator: ValueGenerator | None = None
+
+    def generate(self, rng: random.Random, index: int) -> Any:
+        gen = self.generator or _default_generator(self.field_type)
+        return gen(rng, index)
+
+
+@dataclass
+class ApiVersion:
+    """One released response schema of an endpoint."""
+
+    version: str
+    fields: list[FieldSpec]
+    response_format: str = "json"
+    deprecated: bool = False
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def generate_documents(self, count: int, seed: int = 0) -> list[dict]:
+        rng = random.Random((self.version, seed).__repr__())
+        return [
+            {f.name: f.generate(rng, i) for f in self.fields}
+            for i in range(count)
+        ]
+
+    def copy_with(self, version: str,
+                  fields: Iterable[FieldSpec] | None = None) -> "ApiVersion":
+        return ApiVersion(
+            version=version,
+            fields=list(fields if fields is not None else self.fields),
+            response_format=self.response_format,
+        )
+
+
+@dataclass
+class Endpoint:
+    """A REST method (e.g. ``GET /posts``) with versioned schemas."""
+
+    name: str
+    versions: dict[str, ApiVersion] = field(default_factory=dict)
+    error_codes: set[int] = field(default_factory=lambda: {400, 401, 404})
+    rate_limit: int | None = None
+    domain_url: str | None = None
+
+    def add_version(self, version: ApiVersion) -> "Endpoint":
+        if version.version in self.versions:
+            raise EndpointError(
+                f"{self.name} already has version {version.version}")
+        self.versions[version.version] = version
+        return self
+
+    def version(self, version: str) -> ApiVersion:
+        try:
+            return self.versions[version]
+        except KeyError:
+            raise UnknownVersionError(
+                f"{self.name} does not serve version {version!r}; "
+                f"available: {sorted(self.versions)}") from None
+
+    def latest_version(self) -> ApiVersion:
+        if not self.versions:
+            raise EndpointError(f"{self.name} has no released version")
+        # Lexicographic on dotted numbers: split into int tuples.
+        def key(v: str) -> tuple:
+            parts = []
+            for chunk in v.split("."):
+                parts.append(int(chunk) if chunk.isdigit() else chunk)
+            return tuple(parts)
+        return self.versions[max(self.versions, key=key)]
+
+    def fetch(self, version: str | None = None, count: int = 10,
+              seed: int = 0) -> list[dict]:
+        """Serve *count* JSON documents for *version* (default: latest)."""
+        spec = (self.latest_version() if version is None
+                else self.version(version))
+        return spec.generate_documents(count, seed)
+
+
+@dataclass
+class RestApi:
+    """A provider API: endpoints plus request-side properties.
+
+    The request-side attributes (``auth_model``, ``rate_limit``,
+    ``resource_url``) never touch the ontology — per Tables 3-5 their
+    changes are absorbed by wrappers. They are modeled so the functional
+    evaluation can apply *every* change kind of the taxonomy.
+    """
+
+    name: str
+    resource_url: str = "https://api.example.org"
+    auth_model: str | None = None
+    rate_limit: int | None = None
+    endpoints: dict[str, Endpoint] = field(default_factory=dict)
+    response_formats: set[str] = field(default_factory=lambda: {"json"})
+
+    def add_endpoint(self, endpoint: Endpoint) -> "RestApi":
+        if endpoint.name in self.endpoints:
+            raise EndpointError(
+                f"{self.name} already exposes {endpoint.name}")
+        self.endpoints[endpoint.name] = endpoint
+        return self
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self.endpoints[name]
+        except KeyError:
+            raise EndpointError(
+                f"{self.name} has no endpoint {name!r}") from None
+
+    def remove_endpoint(self, name: str) -> bool:
+        return self.endpoints.pop(name, None) is not None
+
+    def rename_endpoint(self, old: str, new: str) -> None:
+        endpoint = self.endpoint(old)
+        del self.endpoints[old]
+        endpoint.name = new
+        self.endpoints[new] = endpoint

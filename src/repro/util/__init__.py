@@ -1,0 +1,9 @@
+"""Small shared utilities (graph algorithms, text similarity)."""
+
+from repro.util.toposort import CycleError, is_dag, topological_sort
+from repro.util.text import jaccard, levenshtein, name_similarity
+
+__all__ = [
+    "CycleError", "is_dag", "topological_sort",
+    "jaccard", "levenshtein", "name_similarity",
+]

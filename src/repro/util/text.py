@@ -1,0 +1,81 @@
+"""String similarity used by the steward's semi-automatic alignment aids.
+
+The paper (§4.1) points to probabilistic ontology alignment (PARIS) for
+suggesting the attribute→feature function ``F`` of a release. We implement
+a lightweight deterministic analogue: normalized Levenshtein similarity
+blended with token-set Jaccard over camelCase/snake_case token splits.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["levenshtein", "jaccard", "tokenize_identifier",
+           "name_similarity"]
+
+_CAMEL_RE = re.compile(r"""
+    [A-Z]+(?=[A-Z][a-z])   # acronym followed by a capitalized word
+  | [A-Z]?[a-z]+           # capitalized or lowercase word
+  | [A-Z]+                 # trailing acronym
+  | \d+                    # digit runs
+""", re.VERBOSE)
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance, O(len(a)·len(b)) with two rows."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1,        # deletion
+                               current[j - 1] + 1,     # insertion
+                               previous[j - 1] + cost  # substitution
+                               ))
+        previous = current
+    return previous[-1]
+
+
+def tokenize_identifier(name: str) -> list[str]:
+    """Split an identifier into lowercase word tokens.
+
+    >>> tokenize_identifier("VoDmonitorId")
+    ['vo', 'dmonitor', 'id']
+    >>> tokenize_identifier("buffering_ratio")
+    ['buffering', 'ratio']
+    """
+    pieces: list[str] = []
+    for chunk in re.split(r"[_\-./\s]+", name):
+        pieces.extend(m.group(0) for m in _CAMEL_RE.finditer(chunk))
+    return [p.lower() for p in pieces if p]
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity of two sets, 1.0 for two empty sets."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union)
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Blend of normalized edit similarity and token Jaccard in [0, 1].
+
+    Case-insensitive; tuned for schema attribute names where either whole
+    strings are near-identical (renames such as ``lagRatio`` →
+    ``bufferingRatio`` share the ``ratio`` token) or token sets overlap.
+    """
+    la, lb = a.lower(), b.lower()
+    if la == lb:
+        return 1.0
+    longest = max(len(la), len(lb))
+    edit_sim = 1.0 - levenshtein(la, lb) / longest if longest else 1.0
+    token_sim = jaccard(set(tokenize_identifier(a)),
+                        set(tokenize_identifier(b)))
+    return 0.5 * edit_sim + 0.5 * token_sim

@@ -1,0 +1,74 @@
+"""Topological sorting of directed graphs given as edge lists.
+
+Algorithm 2 of the paper rejects cyclic query patterns ("QG.φ has at least
+one cycle") by attempting a topological sort; Algorithm 3 visits query
+concepts in topological order. Kahn's algorithm gives both: a sort when the
+graph is a DAG, a :class:`CycleError` otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence, TypeVar
+
+__all__ = ["CycleError", "topological_sort", "is_dag"]
+
+N = TypeVar("N", bound=Hashable)
+
+
+class CycleError(ValueError):
+    """Raised when a graph handed to :func:`topological_sort` has a cycle.
+
+    The offending nodes (those left with unresolved predecessors) are
+    available as :attr:`nodes`.
+    """
+
+    def __init__(self, nodes: Sequence[Hashable]) -> None:
+        super().__init__(f"graph has at least one cycle involving: "
+                         f"{sorted(map(str, nodes))}")
+        self.nodes = list(nodes)
+
+
+def topological_sort(nodes: Iterable[N],
+                     edges: Iterable[tuple[N, N]]) -> list[N]:
+    """Kahn's algorithm; deterministic (ties broken by string order).
+
+    *nodes* may list nodes without edges; nodes mentioned only in *edges*
+    are included automatically.
+    """
+    all_nodes: set[N] = set(nodes)
+    successors: dict[N, list[N]] = {}
+    in_degree: dict[N, int] = {}
+    for a, b in edges:
+        all_nodes.add(a)
+        all_nodes.add(b)
+        successors.setdefault(a, []).append(b)
+        in_degree[b] = in_degree.get(b, 0) + 1
+
+    ready = deque(sorted((n for n in all_nodes if in_degree.get(n, 0) == 0),
+                         key=str))
+    order: list[N] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        pending: list[N] = []
+        for succ in successors.get(node, ()):  # consume edges
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                pending.append(succ)
+        for succ in sorted(pending, key=str):
+            ready.append(succ)
+
+    if len(order) != len(all_nodes):
+        leftover = [n for n in all_nodes if n not in set(order)]
+        raise CycleError(leftover)
+    return order
+
+
+def is_dag(nodes: Iterable[N], edges: Iterable[tuple[N, N]]) -> bool:
+    """True when the graph admits a topological ordering."""
+    try:
+        topological_sort(nodes, edges)
+        return True
+    except CycleError:
+        return False

@@ -1,0 +1,136 @@
+"""Wrapper abstraction (mediator/wrapper architecture, paper §1-2).
+
+A wrapper hides *how* a source is queried and exposes a flat relation in
+first normal form: ``w(aID, anID)``. Concrete wrappers (MongoDB-style,
+REST, static) implement :meth:`Wrapper.fetch_rows`; the base class
+validates rows against the declared schema and provides the
+source-qualified view used by the ontology and the rewriting algorithm
+(attribute ``a`` of source ``D1`` is globally named ``D1/a``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import WrapperSchemaMismatchError
+from repro.relational.rows import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+__all__ = ["Wrapper", "StaticWrapper", "qualify"]
+
+
+def qualify(source_name: str, attribute: str) -> str:
+    """Source-qualified attribute name, e.g. ``D1/lagRatio``."""
+    return f"{source_name}/{attribute}"
+
+
+class Wrapper:
+    """Base wrapper: named view over one data source, one schema version."""
+
+    def __init__(self, name: str, source_name: str,
+                 id_attributes: Iterable[str],
+                 non_id_attributes: Iterable[str]) -> None:
+        self.name = name
+        self.source_name = source_name
+        self._ids = tuple(dict.fromkeys(id_attributes))
+        self._non_ids = tuple(dict.fromkeys(non_id_attributes))
+
+    # -- schemas ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The wrapper's relation schema with *local* attribute names."""
+        attrs = tuple(Attribute(a, True) for a in self._ids) + tuple(
+            Attribute(a, False) for a in self._non_ids)
+        return RelationSchema(self.name, attrs, self.source_name)
+
+    @property
+    def qualified_schema(self) -> RelationSchema:
+        """Schema under source-qualified names (``D1/lagRatio``)."""
+        attrs = tuple(
+            Attribute(qualify(self.source_name, a), True)
+            for a in self._ids
+        ) + tuple(
+            Attribute(qualify(self.source_name, a), False)
+            for a in self._non_ids
+        )
+        return RelationSchema(self.name, attrs, self.source_name)
+
+    @property
+    def id_attributes(self) -> tuple[str, ...]:
+        return self._ids
+
+    @property
+    def non_id_attributes(self) -> tuple[str, ...]:
+        return self._non_ids
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self._ids + self._non_ids
+
+    def notation(self) -> str:
+        """Paper notation, e.g. ``w1({VoDmonitorId}, {lagRatio})``."""
+        return self.schema.notation()
+
+    # -- data ----------------------------------------------------------------------
+
+    def fetch_rows(self) -> list[dict]:
+        """Produce raw rows keyed by local attribute names (override)."""
+        raise NotImplementedError
+
+    def relation(self, qualified: bool = False) -> Relation:
+        """Fetch and validate the wrapper's relation.
+
+        ``qualified=True`` rekeys columns to source-qualified names — the
+        form consumed by walk execution.
+        """
+        rows = self.fetch_rows()
+        expected = set(self.attributes)
+        for row in rows:
+            got = set(row)
+            if got != expected:
+                raise WrapperSchemaMismatchError(
+                    f"wrapper {self.name} produced row with attributes "
+                    f"{sorted(got)}, declared schema has "
+                    f"{sorted(expected)}; the source likely evolved under "
+                    "the wrapper — register a new release")
+        if not qualified:
+            return Relation(self.schema, rows)
+        mapping = {a: qualify(self.source_name, a) for a in self.attributes}
+        requalified = [
+            {mapping[k]: v for k, v in row.items()} for row in rows]
+        return Relation(self.qualified_schema, requalified)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.notation()}>"
+
+
+class StaticWrapper(Wrapper):
+    """A wrapper over fixed in-memory rows (tests, relationship tables).
+
+    *projection* optionally renames raw keys to schema attributes, e.g.
+    ``{"TargetApp": "appId"}`` projects raw field ``appId`` as attribute
+    ``TargetApp``.
+    """
+
+    def __init__(self, name: str, source_name: str,
+                 id_attributes: Iterable[str],
+                 non_id_attributes: Iterable[str],
+                 rows: Iterable[Mapping[str, object]],
+                 projection: Mapping[str, str] | None = None) -> None:
+        super().__init__(name, source_name, id_attributes,
+                         non_id_attributes)
+        self._projection = dict(projection or {})
+        self._rows = [dict(r) for r in rows]
+
+    def fetch_rows(self) -> list[dict]:
+        if not self._projection:
+            return [dict(r) for r in self._rows]
+        out = []
+        for row in self._rows:
+            out.append({attr: row.get(raw)
+                        for attr, raw in self._projection.items()})
+        return out
+
+    def replace_rows(self, rows: Iterable[Mapping[str, object]]) -> None:
+        self._rows = [dict(r) for r in rows]

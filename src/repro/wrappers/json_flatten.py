@@ -1,0 +1,61 @@
+"""Flattening of nested JSON documents into first-normal-form rows.
+
+Wrappers must expose flat relations (paper §2: "Under the assumption that
+wrappers provide a flat structure in first normal form..."). REST payloads
+are nested, so this module provides the canonical flattening used by
+:class:`~repro.wrappers.rest.RestWrapper`:
+
+* nested objects flatten with ``.``-joined keys (``user.name``);
+* arrays of scalars serialize in place;
+* arrays of objects optionally *unwind* (cartesian expansion), mirroring
+  Mongo's ``$unwind``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["flatten_document", "flatten_documents"]
+
+
+def flatten_document(document: dict, separator: str = ".",
+                     unwind: Iterable[str] = ()) -> list[dict]:
+    """Flatten one document, returning one or more 1NF rows.
+
+    *unwind* lists the (flattened) paths of object arrays to expand; every
+    combination of unwound elements yields a row, like repeated Mongo
+    ``$unwind`` stages.
+    """
+    unwind_set = set(unwind)
+
+    def walk(node: Any, prefix: str) -> list[dict]:
+        if isinstance(node, dict):
+            rows: list[dict] = [{}]
+            for key, value in node.items():
+                path = f"{prefix}{separator}{key}" if prefix else key
+                sub_rows = walk(value, path)
+                rows = [dict(r, **s) for r in rows for s in sub_rows]
+            return rows
+        if isinstance(node, list):
+            if prefix in unwind_set:
+                expanded: list[dict] = []
+                for item in node:
+                    expanded.extend(walk(item, prefix))
+                return expanded or [{prefix: None}]
+            if all(not isinstance(i, (dict, list)) for i in node):
+                return [{prefix: ",".join(str(i) for i in node)}]
+            # Nested structure not marked for unwinding: keep count only,
+            # a lossy but 1NF-preserving default.
+            return [{prefix: len(node)}]
+        return [{prefix: node}]
+
+    return walk(document, "")
+
+
+def flatten_documents(documents: Iterable[dict], separator: str = ".",
+                      unwind: Iterable[str] = ()) -> list[dict]:
+    """Flatten many documents into a single list of rows."""
+    rows: list[dict] = []
+    for doc in documents:
+        rows.extend(flatten_document(doc, separator, unwind))
+    return rows

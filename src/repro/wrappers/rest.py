@@ -1,0 +1,80 @@
+"""Wrappers over simulated REST endpoints.
+
+A :class:`RestWrapper` pins one endpoint *version* (schema versions are
+exactly what wrappers represent in the paper) and maps flattened JSON
+fields onto the wrapper's attributes, optionally computing derived values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import WrapperError
+from repro.sources.rest_api import Endpoint
+from repro.wrappers.base import Wrapper
+from repro.wrappers.json_flatten import flatten_documents
+
+__all__ = ["RestWrapper"]
+
+#: Computes a derived attribute from one flattened row.
+DerivedField = Callable[[Mapping[str, Any]], Any]
+
+
+class RestWrapper(Wrapper):
+    """A wrapper querying one version of one REST endpoint.
+
+    Parameters
+    ----------
+    field_map:
+        attribute name → flattened JSON path (rename map).
+    derived:
+        attribute name → callable computing the value from the flat row
+        (e.g. the paper's ``lagRatio = waitTime / watchTime``).
+    count / seed:
+        how many documents the simulated endpoint serves, and the
+        generation seed (kept deterministic for tests).
+    """
+
+    def __init__(self, name: str, source_name: str, endpoint: Endpoint,
+                 version: str,
+                 id_attributes: Iterable[str],
+                 non_id_attributes: Iterable[str],
+                 field_map: Mapping[str, str] | None = None,
+                 derived: Mapping[str, DerivedField] | None = None,
+                 unwind: Iterable[str] = (),
+                 count: int = 10, seed: int = 0) -> None:
+        super().__init__(name, source_name, id_attributes,
+                         non_id_attributes)
+        self.endpoint = endpoint
+        self.version = version
+        self.field_map = dict(field_map or {})
+        self.derived = dict(derived or {})
+        self.unwind = tuple(unwind)
+        self.count = count
+        self.seed = seed
+        missing = [a for a in self.attributes
+                   if a not in self.field_map and a not in self.derived]
+        if missing:
+            raise WrapperError(
+                f"wrapper {name}: attributes {missing} have neither a "
+                "field mapping nor a derivation")
+
+    def fetch_rows(self) -> list[dict]:
+        documents = self.endpoint.fetch(self.version, self.count, self.seed)
+        flat_rows = flatten_documents(documents, unwind=self.unwind)
+        out: list[dict] = []
+        for flat in flat_rows:
+            row: dict[str, Any] = {}
+            for attribute in self.attributes:
+                if attribute in self.field_map:
+                    path = self.field_map[attribute]
+                    if path not in flat:
+                        raise WrapperError(
+                            f"wrapper {self.name}: version "
+                            f"{self.version} of {self.endpoint.name} has "
+                            f"no field {path!r} (schema drift?)")
+                    row[attribute] = flat[path]
+                else:
+                    row[attribute] = self.derived[attribute](flat)
+            out.append(row)
+        return out

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_supersede
+from repro.query import QueryEngine
+
+
+@pytest.fixture()
+def scenario():
+    """A fresh SUPERSEDE scenario (paper sample data, no evolution)."""
+    return build_supersede()
+
+
+@pytest.fixture()
+def evolved_scenario():
+    """SUPERSEDE after the §2.1 evolution (w4 registered)."""
+    return build_supersede(with_evolution=True)
+
+
+@pytest.fixture()
+def ontology(scenario):
+    return scenario.ontology
+
+
+@pytest.fixture()
+def engine(scenario):
+    return QueryEngine(scenario.ontology)
+
+
+@pytest.fixture()
+def evolved_engine(evolved_scenario):
+    return QueryEngine(evolved_scenario.ontology)

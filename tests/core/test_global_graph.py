@@ -1,0 +1,141 @@
+"""Unit tests for the Global graph facade."""
+
+import pytest
+
+from repro.core.ontology import BDIOntology
+from repro.errors import (
+    ConstraintViolationError, UnknownConceptError, UnknownFeatureError,
+)
+from repro.rdf.namespace import SC, XSD
+from repro.rdf.term import IRI
+
+C1 = IRI("http://x/C1")
+C2 = IRI("http://x/C2")
+F1 = IRI("http://x/f1")
+F2 = IRI("http://x/f2")
+REL = IRI("http://x/rel")
+
+
+@pytest.fixture()
+def g():
+    return BDIOntology().globals
+
+
+class TestConcepts:
+    def test_add_and_query(self, g):
+        g.add_concept(C1)
+        assert g.is_concept(C1)
+        assert g.concepts() == [C1]
+
+    def test_add_idempotent(self, g):
+        g.add_concept(C1)
+        g.add_concept(C1)
+        assert len(g.concepts()) == 1
+
+
+class TestFeatures:
+    def test_add_feature(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1)
+        assert g.is_feature(F1)
+        assert g.features_of(C1) == [F1]
+        assert g.concept_of_feature(F1) == C1
+
+    def test_feature_requires_registered_concept(self, g):
+        with pytest.raises(UnknownConceptError):
+            g.add_feature(C1, F1)
+
+    def test_single_concept_constraint(self, g):
+        g.add_concept(C1)
+        g.add_concept(C2)
+        g.add_feature(C1, F1)
+        with pytest.raises(ConstraintViolationError):
+            g.add_feature(C2, F1)
+
+    def test_reattach_same_concept_ok(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1)
+        g.add_feature(C1, F1)  # no error
+        assert g.features_of(C1) == [F1]
+
+    def test_id_marker(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1, is_id=True)
+        g.add_feature(C1, F2)
+        assert g.is_id_feature(F1)
+        assert not g.is_id_feature(F2)
+        assert g.id_features_of(C1) == [F1]
+
+    def test_id_via_taxonomy_chain(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1)
+        middle = IRI("http://x/toolId")
+        g.add_feature_subclass(F1, middle)
+        g.add_feature_subclass(middle, SC.identifier)
+        assert g.is_id_feature(F1)
+
+    def test_sc_identifier_itself_not_id_feature(self, g):
+        assert not g.is_id_feature(SC.identifier)
+
+    def test_datatype(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1, datatype=XSD.double)
+        assert g.datatype_of(F1) == XSD.double
+
+    def test_set_datatype_requires_feature(self, g):
+        with pytest.raises(UnknownFeatureError):
+            g.set_datatype(F1, XSD.double)
+
+    def test_feature_superdomains(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1, is_id=True)
+        assert SC.identifier in g.feature_superdomains(F1)
+
+
+class TestProperties:
+    def test_object_property(self, g):
+        g.add_concept(C1)
+        g.add_concept(C2)
+        g.add_property(C1, REL, C2)
+        edges = g.object_properties()
+        assert len(edges) == 1
+        assert (edges[0].s, edges[0].p, edges[0].o) == (C1, REL, C2)
+
+    def test_property_requires_concepts(self, g):
+        g.add_concept(C1)
+        with pytest.raises(UnknownConceptError):
+            g.add_property(C1, REL, C2)
+
+    def test_object_properties_exclude_has_feature(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1)
+        assert g.object_properties() == []
+
+
+class TestValidation:
+    def test_clean_graph_validates(self, g):
+        g.add_concept(C1)
+        g.add_feature(C1, F1)
+        assert g.validate() == []
+
+    def test_orphan_feature_detected(self, g):
+        from repro.rdf.namespace import G as G_NS, RDF
+        g.graph.add((F1, RDF.type, G_NS.Feature))
+        problems = g.validate()
+        assert any("no concept" in p for p in problems)
+
+    def test_double_owner_detected(self, g):
+        from repro.rdf.namespace import G as G_NS, RDF
+        g.add_concept(C1)
+        g.add_concept(C2)
+        g.add_feature(C1, F1)
+        g.graph.add((C2, G_NS.hasFeature, F1))  # bypass the API
+        problems = g.validate()
+        assert any("2 concepts" in p for p in problems)
+
+    def test_untyped_has_feature_subject_detected(self, g):
+        from repro.rdf.namespace import G as G_NS, RDF
+        g.graph.add((C1, G_NS.hasFeature, F1))
+        g.graph.add((F1, RDF.type, G_NS.Feature))
+        problems = g.validate()
+        assert any("not typed G:Concept" in p for p in problems)

@@ -1,0 +1,149 @@
+"""Unit tests for releases and Algorithm 1."""
+
+import pytest
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release, new_release
+from repro.core.vocabulary import (
+    attribute_uri, mapping_graph_uri, source_uri, wrapper_uri,
+)
+from repro.errors import ReleaseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS, OWL, RDF, S as S_NS
+from repro.rdf.term import IRI
+
+CONCEPT = IRI("http://x/Monitor")
+FEATURE_ID = IRI("http://x/monitorId")
+FEATURE_V = IRI("http://x/lag")
+
+
+@pytest.fixture()
+def ontology():
+    t = BDIOntology()
+    t.globals.add_concept(CONCEPT)
+    t.globals.add_feature(CONCEPT, FEATURE_ID, is_id=True)
+    t.globals.add_feature(CONCEPT, FEATURE_V)
+    return t
+
+
+def release(wrapper="w1", source="D1", extra=None) -> Release:
+    sub = Graph()
+    sub.add((CONCEPT, G_NS.hasFeature, FEATURE_ID))
+    sub.add((CONCEPT, G_NS.hasFeature, FEATURE_V))
+    mapping = {"mid": FEATURE_ID, "lag": FEATURE_V}
+    if extra:
+        mapping.update(extra)
+    return Release(
+        wrapper_name=wrapper, source_name=source,
+        id_attributes=("mid",), non_id_attributes=("lag",),
+        subgraph=sub, attribute_to_feature=mapping)
+
+
+class TestValidation:
+    def test_valid_release_passes(self, ontology):
+        release().validate(ontology)
+
+    def test_unmapped_attribute_rejected(self, ontology):
+        r = release()
+        del r.attribute_to_feature["lag"]
+        with pytest.raises(ReleaseError, match="no feature mapping"):
+            r.validate(ontology)
+
+    def test_unknown_mapped_attribute_rejected(self, ontology):
+        r = release(extra={"ghost": FEATURE_V})
+        with pytest.raises(ReleaseError, match="unknown"):
+            r.validate(ontology)
+
+    def test_feature_outside_subgraph_rejected(self, ontology):
+        other = IRI("http://x/other")
+        ontology.globals.add_feature(CONCEPT, other)
+        r = release()
+        r.attribute_to_feature["lag"] = other
+        with pytest.raises(ReleaseError, match="not a vertex"):
+            r.validate(ontology)
+
+    def test_subgraph_must_subset_global(self, ontology):
+        r = release()
+        r.subgraph.add((CONCEPT, IRI("http://x/ghostEdge"), CONCEPT))
+        with pytest.raises(ReleaseError, match="not part"):
+            r.validate(ontology)
+
+    def test_unregistered_feature_rejected(self, ontology):
+        ghost = IRI("http://x/ghostFeature")
+        r = release()
+        r.subgraph.add((CONCEPT, G_NS.hasFeature, ghost))
+        r.attribute_to_feature["lag"] = ghost
+        with pytest.raises(ReleaseError, match="not a registered"):
+            r.validate(ontology)
+
+
+class TestAlgorithm1:
+    def test_registers_everything(self, ontology):
+        new_release(ontology, release())
+        assert ontology.s.contains(source_uri("D1"), RDF.type,
+                                   S_NS.DataSource)
+        assert ontology.s.contains(wrapper_uri("w1"), RDF.type,
+                                   S_NS.Wrapper)
+        assert ontology.s.contains(source_uri("D1"), S_NS.hasWrapper,
+                                   wrapper_uri("w1"))
+        assert ontology.s.contains(wrapper_uri("w1"), S_NS.hasAttribute,
+                                   attribute_uri("D1", "lag"))
+        from repro.rdf.namespace import M as M_NS
+        assert ontology.m.contains(wrapper_uri("w1"), M_NS.mapping,
+                                   mapping_graph_uri("w1"))
+        assert ontology.m.contains(attribute_uri("D1", "lag"),
+                                   OWL.sameAs, FEATURE_V)
+
+    def test_mapping_named_graph_stored(self, ontology):
+        new_release(ontology, release())
+        lav = ontology.lav_subgraph(wrapper_uri("w1"))
+        assert lav.contains(CONCEPT, G_NS.hasFeature, FEATURE_V)
+
+    def test_idempotent(self, ontology):
+        new_release(ontology, release())
+        counts = ontology.triple_counts()
+        delta = new_release(ontology, release())
+        assert ontology.triple_counts() == counts
+        assert all(v == 0 for v in delta.values())
+
+    def test_attribute_reuse_within_source(self, ontology):
+        new_release(ontology, release("w1"))
+        before = len(ontology.sources.attributes())
+        new_release(ontology, release("w4"))  # same source, same attrs
+        assert len(ontology.sources.attributes()) == before
+
+    def test_delta_reporting(self, ontology):
+        delta = new_release(ontology, release())
+        assert delta["S"] > 0
+        assert delta["M"] > 0
+        assert delta["lav_graphs"] == 2
+        assert delta["G"] == 0
+
+    def test_remapping_attribute_rejected(self, ontology):
+        new_release(ontology, release())
+        other = IRI("http://x/other")
+        ontology.globals.add_feature(CONCEPT, other)
+        r = release("w9")
+        r.subgraph.add((CONCEPT, G_NS.hasFeature, other))
+        r.attribute_to_feature["lag"] = other
+        with pytest.raises(ReleaseError, match="already mapped"):
+            new_release(ontology, r)
+
+    def test_for_wrapper_constructor(self, ontology):
+        from repro.wrappers.base import StaticWrapper
+        w = StaticWrapper("w1", "D1", ["mid"], ["lag"],
+                          [{"mid": 1, "lag": 0.5}])
+        sub = Graph([(CONCEPT, G_NS.hasFeature, FEATURE_ID),
+                     (CONCEPT, G_NS.hasFeature, FEATURE_V)])
+        r = Release.for_wrapper(w, sub, {"mid": FEATURE_ID,
+                                         "lag": FEATURE_V})
+        new_release(ontology, r)
+        assert ontology.has_physical_wrapper("w1")
+        assert len(ontology.data_provider("w1")) == 1
+
+    def test_wrapper_schema_reconstruction(self, ontology):
+        new_release(ontology, release())
+        schema = ontology.wrapper_relation_schema("w1")
+        assert schema.attribute("D1/mid").is_id
+        assert not schema.attribute("D1/lag").is_id
+        assert schema.source == str(source_uri("D1"))

@@ -1,0 +1,86 @@
+"""Unit tests for the Source graph facade."""
+
+import pytest
+
+from repro.core.ontology import BDIOntology
+from repro.core.vocabulary import attribute_uri, source_uri, wrapper_uri
+from repro.errors import UnknownSourceError, UnknownWrapperError
+
+
+@pytest.fixture()
+def s():
+    return BDIOntology().sources
+
+
+class TestRegistration:
+    def test_add_data_source(self, s):
+        s.add_data_source("D1")
+        assert s.has_data_source("D1")
+        assert s.data_sources() == [source_uri("D1")]
+
+    def test_add_wrapper_requires_source(self, s):
+        with pytest.raises(UnknownSourceError):
+            s.add_wrapper("D1", "w1")
+
+    def test_add_wrapper(self, s):
+        s.add_data_source("D1")
+        s.add_wrapper("D1", "w1")
+        assert s.has_wrapper("w1")
+        assert s.wrappers_of_source("D1") == [wrapper_uri("w1")]
+        assert s.source_of_wrapper(wrapper_uri("w1")) == source_uri("D1")
+
+    def test_source_of_unknown_wrapper(self, s):
+        with pytest.raises(UnknownWrapperError):
+            s.source_of_wrapper(wrapper_uri("ghost"))
+
+    def test_attributes(self, s):
+        s.add_data_source("D1")
+        s.add_wrapper("D1", "w1")
+        s.add_attribute("D1", "lagRatio")
+        s.link_wrapper_attribute("w1", "D1", "lagRatio")
+        assert s.has_attribute("D1", "lagRatio")
+        assert s.attributes_of_wrapper(wrapper_uri("w1")) == [
+            attribute_uri("D1", "lagRatio")]
+        assert s.qualified_attributes_of_wrapper(wrapper_uri("w1")) == [
+            "D1/lagRatio"]
+
+    def test_attribute_reuse_across_versions(self, s):
+        s.add_data_source("D1")
+        s.add_wrapper("D1", "w1")
+        s.add_wrapper("D1", "w4")
+        s.add_attribute("D1", "VoDmonitorId")
+        s.link_wrapper_attribute("w1", "D1", "VoDmonitorId")
+        s.link_wrapper_attribute("w4", "D1", "VoDmonitorId")
+        assert len(s.attributes()) == 1  # shared, not duplicated
+
+
+class TestValidation:
+    def test_clean(self, s):
+        s.add_data_source("D1")
+        s.add_wrapper("D1", "w1")
+        s.add_attribute("D1", "a")
+        s.link_wrapper_attribute("w1", "D1", "a")
+        assert s.validate() == []
+
+    def test_orphan_wrapper_detected(self, s):
+        from repro.rdf.namespace import RDF, S as S_NS
+        s.graph.add((wrapper_uri("wx"), RDF.type, S_NS.Wrapper))
+        assert any("no data source" in p for p in s.validate())
+
+    def test_untyped_attribute_detected(self, s):
+        from repro.rdf.namespace import S as S_NS
+        s.add_data_source("D1")
+        s.add_wrapper("D1", "w1")
+        s.graph.add((wrapper_uri("w1"), S_NS.hasAttribute,
+                     attribute_uri("D1", "ghost")))
+        assert any("not typed S:Attribute" in p for p in s.validate())
+
+    def test_cross_source_attribute_detected(self, s):
+        s.add_data_source("D1")
+        s.add_data_source("D2")
+        s.add_wrapper("D1", "w1")
+        s.add_attribute("D2", "foreign")
+        from repro.rdf.namespace import S as S_NS
+        s.graph.add((wrapper_uri("w1"), S_NS.hasAttribute,
+                     attribute_uri("D2", "foreign")))
+        assert any("does not belong" in p for p in s.validate())

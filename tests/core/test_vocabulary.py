@@ -1,0 +1,63 @@
+"""Unit tests for the BDI vocabulary and URI conventions."""
+
+import pytest
+
+from repro.core.vocabulary import (
+    attribute_local_name, attribute_uri, global_metamodel,
+    mapping_graph_uri, qualified_attribute_name, source_local_name,
+    source_metamodel, source_uri, wrapper_local_name, wrapper_uri,
+)
+from repro.rdf.namespace import G as G_NS, RDF, RDFS, S as S_NS
+
+
+class TestMetamodels:
+    def test_global_metamodel_classes(self):
+        g = global_metamodel()
+        for cls in (G_NS.Concept, G_NS.Feature):
+            assert g.contains(cls, RDF.type, RDFS.Class)
+
+    def test_global_metamodel_properties(self):
+        g = global_metamodel()
+        assert g.contains(G_NS.hasFeature, RDF.type, RDF.Property)
+        assert g.contains(G_NS.hasDataType, RDFS.domain, G_NS.Feature)
+
+    def test_source_metamodel_classes(self):
+        g = source_metamodel()
+        for cls in (S_NS.DataSource, S_NS.Wrapper, S_NS.Attribute):
+            assert g.contains(cls, RDF.type, RDFS.Class)
+
+    def test_source_metamodel_properties(self):
+        g = source_metamodel()
+        assert g.contains(S_NS.hasWrapper, RDFS.domain, S_NS.DataSource)
+        assert g.contains(S_NS.hasAttribute, RDFS.range, S_NS.Attribute)
+
+
+class TestUriConventions:
+    def test_source_uri(self):
+        assert str(source_uri("D1")).endswith("Source/DataSource/D1")
+
+    def test_wrapper_uri(self):
+        assert str(wrapper_uri("w1")).endswith("Source/Wrapper/w1")
+
+    def test_attribute_uri_embeds_source(self):
+        uri = attribute_uri("D1", "lagRatio")
+        assert str(uri).endswith("DataSource/D1/lagRatio")
+
+    def test_mapping_graph_uri(self):
+        assert str(mapping_graph_uri("w1")).endswith("Mapping/graph/w1")
+
+    def test_round_trips(self):
+        assert source_local_name(source_uri("D1")) == "D1"
+        assert wrapper_local_name(wrapper_uri("w4")) == "w4"
+        assert qualified_attribute_name(
+            attribute_uri("D1", "lagRatio")) == "D1/lagRatio"
+        assert attribute_local_name(
+            attribute_uri("D1", "lagRatio")) == "lagRatio"
+
+    def test_invalid_uris_rejected(self):
+        with pytest.raises(ValueError):
+            source_local_name("http://other/thing")
+        with pytest.raises(ValueError):
+            wrapper_local_name("http://other/thing")
+        with pytest.raises(ValueError):
+            qualified_attribute_name(source_uri("D1"))

@@ -1,0 +1,229 @@
+"""Unit tests for applying taxonomy changes to a governed API."""
+
+import pytest
+
+from repro.errors import ChangeApplicationError
+from repro.evolution.apply import GovernedApi
+from repro.evolution.changes import Change, ChangeKind, Handler
+from repro.query.engine import QueryEngine
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+
+
+@pytest.fixture()
+def gov():
+    api = RestApi("Svc")
+    endpoint = Endpoint("GET /items")
+    endpoint.add_version(ApiVersion("1", [
+        FieldSpec("itemId", "int"),
+        FieldSpec("name", "string"),
+        FieldSpec("price", "float"),
+    ]))
+    api.add_endpoint(endpoint)
+    governed = GovernedApi(api)
+    governed.model_endpoint("GET /items", id_field="itemId")
+    return governed
+
+
+def items_query(feature="price") -> str:
+    return f"""
+    SELECT ?x ?y WHERE {{
+        VALUES (?x ?y) {{ (<urn:api:Svc:GET_items/itemId>
+                           <urn:api:Svc:GET_items/{feature}>) }}
+        <urn:api:Svc:GET_items> G:hasFeature
+            <urn:api:Svc:GET_items/itemId> .
+        <urn:api:Svc:GET_items> G:hasFeature
+            <urn:api:Svc:GET_items/{feature}>
+    }}
+    """
+
+
+class TestModeling:
+    def test_model_endpoint_registers_wrapper(self, gov):
+        assert gov.state("GET /items").current_wrapper == \
+            "Svc_GET_items_v1"
+        assert gov.ontology.validate() == []
+
+    def test_model_endpoint_requires_id_field(self):
+        api = RestApi("S2")
+        ep = Endpoint("GET /x")
+        ep.add_version(ApiVersion("1", [FieldSpec("a")]))
+        api.add_endpoint(ep)
+        governed = GovernedApi(api)
+        with pytest.raises(ChangeApplicationError):
+            governed.model_endpoint("GET /x", id_field="missing")
+
+    def test_unmodeled_endpoint_rejected(self, gov):
+        with pytest.raises(ChangeApplicationError):
+            gov.state("GET /nope")
+
+    def test_queries_answer_initially(self, gov):
+        engine = QueryEngine(gov.ontology)
+        assert len(engine.answer(items_query())) > 0
+
+
+class TestWrapperSideChanges:
+    @pytest.mark.parametrize("kind,details", [
+        (ChangeKind.API_ADD_AUTHENTICATION_MODEL, {"model": "oauth2"}),
+        (ChangeKind.API_CHANGE_AUTHENTICATION_MODEL, {"model": "basic"}),
+        (ChangeKind.API_CHANGE_RESOURCE_URL, {"url": "https://n"}),
+        (ChangeKind.API_CHANGE_RATE_LIMIT, {"limit": 10}),
+        (ChangeKind.METHOD_ADD_ERROR_CODE,
+         {"endpoint": "GET /items", "code": 429}),
+        (ChangeKind.METHOD_CHANGE_RATE_LIMIT,
+         {"endpoint": "GET /items", "limit": 5}),
+        (ChangeKind.METHOD_CHANGE_DOMAIN_URL,
+         {"endpoint": "GET /items", "url": "https://d"}),
+        (ChangeKind.PARAM_CHANGE_RATE_LIMIT,
+         {"endpoint": "GET /items", "parameter": "name"}),
+        (ChangeKind.PARAM_CHANGE_REQUIRE_TYPE,
+         {"endpoint": "GET /items", "parameter": "name"}),
+    ])
+    def test_never_touch_ontology(self, gov, kind, details):
+        report = gov.apply(Change(kind, "Svc", details))
+        assert report.handler is Handler.WRAPPER
+        assert not report.touched_ontology
+
+    def test_auth_change_mutates_api(self, gov):
+        gov.apply(Change(ChangeKind.API_ADD_AUTHENTICATION_MODEL, "Svc",
+                         {"model": "apikey"}))
+        assert gov.api.auth_model == "apikey"
+
+
+class TestOntologySideChanges:
+    def test_add_parameter_new_release(self, gov):
+        report = gov.apply(Change(
+            ChangeKind.PARAM_ADD_PARAMETER, "Svc",
+            {"endpoint": "GET /items", "parameter": "stock",
+             "type": "int"}))
+        assert report.new_wrapper == "Svc_GET_items_v2"
+        assert report.ontology_triples_added > 0
+        engine = QueryEngine(gov.ontology)
+        assert len(engine.answer(items_query("stock"))) > 0
+
+    def test_add_existing_parameter_rejected(self, gov):
+        with pytest.raises(ChangeApplicationError):
+            gov.apply(Change(ChangeKind.PARAM_ADD_PARAMETER, "Svc",
+                             {"endpoint": "GET /items",
+                              "parameter": "price"}))
+
+    def test_rename_keeps_history(self, gov):
+        gov.apply(Change(
+            ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, "Svc",
+            {"endpoint": "GET /items", "parameter": "price",
+             "new_name": "unitPrice"}))
+        engine = QueryEngine(gov.ontology)
+        result = engine.rewrite(items_query("price"))
+        # Both the v1 (price) and v2 (unitPrice) wrappers answer.
+        assert len(result.walks) == 2
+
+    def test_rename_missing_parameter(self, gov):
+        with pytest.raises(ChangeApplicationError):
+            gov.apply(Change(
+                ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, "Svc",
+                {"endpoint": "GET /items", "parameter": "ghost",
+                 "new_name": "x"}))
+
+    def test_delete_parameter(self, gov):
+        report = gov.apply(Change(
+            ChangeKind.PARAM_DELETE_PARAMETER, "Svc",
+            {"endpoint": "GET /items", "parameter": "name"}))
+        assert report.new_wrapper is not None
+        # Historical queries over "name" still answer through v1.
+        engine = QueryEngine(gov.ontology)
+        assert len(engine.rewrite(items_query("name")).walks) == 1
+
+    def test_delete_id_parameter_rejected(self, gov):
+        with pytest.raises(ChangeApplicationError):
+            gov.apply(Change(
+                ChangeKind.PARAM_DELETE_PARAMETER, "Svc",
+                {"endpoint": "GET /items", "parameter": "itemId"}))
+
+    def test_change_type_updates_datatype(self, gov):
+        gov.apply(Change(
+            ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE, "Svc",
+            {"endpoint": "GET /items", "parameter": "price",
+             "new_type": "int"}))
+        from repro.rdf.term import IRI
+        datatype = gov.ontology.globals.datatype_of(
+            IRI("urn:api:Svc:GET_items/price"))
+        assert str(datatype).endswith("integer")
+
+    def test_add_method_models_new_source(self, gov):
+        report = gov.apply(Change(
+            ChangeKind.METHOD_ADD_METHOD, "Svc",
+            {"endpoint": "GET /reviews",
+             "fields": [("reviewId", "int"), ("stars", "int")],
+             "id_field": "reviewId"}))
+        assert report.new_wrapper == "Svc_GET_reviews_v1"
+        assert gov.ontology.sources.has_data_source("Svc_GET_reviews")
+
+    def test_delete_method_preserves_ontology(self, gov):
+        before = gov.ontology.triple_counts()["total"]
+        gov.apply(Change(ChangeKind.METHOD_DELETE_METHOD, "Svc",
+                         {"endpoint": "GET /items"}))
+        assert gov.ontology.triple_counts()["total"] == before
+        assert "GET /items" not in gov.api.endpoints
+
+    def test_rename_method_keeps_identity(self, gov):
+        gov.apply(Change(ChangeKind.METHOD_CHANGE_METHOD_NAME, "Svc",
+                         {"endpoint": "GET /items",
+                          "new_name": "GET /products"}))
+        state = gov.state("GET /products")
+        assert state.source_name == "Svc_GET_items"
+        engine = QueryEngine(gov.ontology)
+        assert len(engine.rewrite(items_query()).walks) == 2
+
+    def test_change_response_format_method(self, gov):
+        report = gov.apply(Change(
+            ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT, "Svc",
+            {"endpoint": "GET /items", "format": "json-v2"}))
+        assert report.new_wrapper is not None
+
+    def test_add_response_format_releases_all_endpoints(self, gov):
+        gov.apply(Change(ChangeKind.METHOD_ADD_METHOD, "Svc",
+                         {"endpoint": "GET /r",
+                          "fields": [("rid", "int")], "id_field": "rid"}))
+        report = gov.apply(Change(
+            ChangeKind.API_ADD_RESPONSE_FORMAT, "Svc",
+            {"format": "xml"}))
+        assert "xml" in gov.api.response_formats
+        assert report.ontology_triples_added > 0
+
+    def test_delete_response_format_no_ontology_action(self, gov):
+        before = gov.ontology.triple_counts()["total"]
+        gov.apply(Change(ChangeKind.API_DELETE_RESPONSE_FORMAT, "Svc",
+                         {"format": "json"}))
+        assert gov.ontology.triple_counts()["total"] == before
+
+
+class TestInvariants:
+    def test_ontology_valid_after_every_kind(self, gov):
+        sequence = [
+            Change(ChangeKind.PARAM_ADD_PARAMETER, "Svc",
+                   {"endpoint": "GET /items", "parameter": "stock"}),
+            Change(ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, "Svc",
+                   {"endpoint": "GET /items", "parameter": "stock",
+                    "new_name": "inventory"}),
+            Change(ChangeKind.PARAM_DELETE_PARAMETER, "Svc",
+                   {"endpoint": "GET /items", "parameter": "name"}),
+            Change(ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT, "Svc",
+                   {"endpoint": "GET /items"}),
+        ]
+        for change in sequence:
+            gov.apply(change)
+            assert gov.ontology.validate() == []
+
+    def test_reports_accumulate(self, gov):
+        gov.apply(Change(ChangeKind.API_CHANGE_RATE_LIMIT, "Svc",
+                         {"limit": 1}))
+        gov.apply(Change(ChangeKind.PARAM_ADD_PARAMETER, "Svc",
+                         {"endpoint": "GET /items", "parameter": "x"}))
+        assert len(gov.reports) == 2
+
+    def test_historical_query_spans_all_versions(self, gov):
+        for parameter in ("a1", "a2"):
+            gov.apply(Change(ChangeKind.PARAM_ADD_PARAMETER, "Svc",
+                             {"endpoint": "GET /items",
+                              "parameter": parameter}))
+        engine = QueryEngine(gov.ontology)
+        assert len(engine.rewrite(items_query()).walks) == 3

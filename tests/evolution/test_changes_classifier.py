@@ -1,0 +1,167 @@
+"""Unit tests for the change taxonomy and classifier (Tables 3-5)."""
+
+import pytest
+
+from repro.errors import UnknownChangeKindError
+from repro.evolution.changes import (
+    Change, ChangeKind, ChangeLevel, Handler, KIND_HANDLERS,
+    kinds_at_level,
+)
+from repro.evolution.classifier import (
+    Accommodation, AccommodationStats, accommodation_of, classify,
+    classify_batch, handler_table,
+)
+
+
+class TestTaxonomy:
+    def test_every_kind_has_handler(self):
+        assert set(KIND_HANDLERS) == set(ChangeKind)
+
+    def test_level_partition(self):
+        api = kinds_at_level(ChangeLevel.API)
+        method = kinds_at_level(ChangeLevel.METHOD)
+        param = kinds_at_level(ChangeLevel.PARAMETER)
+        assert len(api) == 7      # Table 3 has 7 rows
+        assert len(method) == 8   # Table 4 has 8 rows
+        assert len(param) == 6    # Table 5 has 6 rows
+        assert set(api) | set(method) | set(param) == set(ChangeKind)
+
+    def test_kind_levels(self):
+        assert ChangeKind.API_CHANGE_RATE_LIMIT.level is ChangeLevel.API
+        assert ChangeKind.METHOD_ADD_METHOD.level is ChangeLevel.METHOD
+        assert ChangeKind.PARAM_ADD_PARAMETER.level is \
+            ChangeLevel.PARAMETER
+
+    def test_labels_match_paper_rows(self):
+        assert ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER.label == \
+            "Rename response parameter"
+        assert ChangeKind.API_DELETE_RESPONSE_FORMAT.label == \
+            "Delete response format"
+
+    def test_change_rejects_bad_kind(self):
+        with pytest.raises(UnknownChangeKindError):
+            Change("not-a-kind", "API")  # type: ignore[arg-type]
+
+
+class TestTable3:
+    """API-level rows of Table 3."""
+
+    @pytest.mark.parametrize("kind", [
+        ChangeKind.API_ADD_AUTHENTICATION_MODEL,
+        ChangeKind.API_CHANGE_RESOURCE_URL,
+        ChangeKind.API_CHANGE_AUTHENTICATION_MODEL,
+        ChangeKind.API_CHANGE_RATE_LIMIT,
+    ])
+    def test_wrapper_side(self, kind):
+        assert classify(kind) is Handler.WRAPPER
+
+    @pytest.mark.parametrize("kind", [
+        ChangeKind.API_DELETE_RESPONSE_FORMAT,
+        ChangeKind.API_ADD_RESPONSE_FORMAT,
+        ChangeKind.API_CHANGE_RESPONSE_FORMAT,
+    ])
+    def test_ontology_side(self, kind):
+        assert classify(kind) is Handler.ONTOLOGY
+
+
+class TestTable4:
+    """Method-level rows of Table 4."""
+
+    @pytest.mark.parametrize("kind", [
+        ChangeKind.METHOD_ADD_ERROR_CODE,
+        ChangeKind.METHOD_CHANGE_RATE_LIMIT,
+        ChangeKind.METHOD_CHANGE_AUTHENTICATION_MODEL,
+        ChangeKind.METHOD_CHANGE_DOMAIN_URL,
+    ])
+    def test_wrapper_side(self, kind):
+        assert classify(kind) is Handler.WRAPPER
+
+    @pytest.mark.parametrize("kind", [
+        ChangeKind.METHOD_ADD_METHOD,
+        ChangeKind.METHOD_DELETE_METHOD,
+        ChangeKind.METHOD_CHANGE_METHOD_NAME,
+    ])
+    def test_both_sides(self, kind):
+        assert classify(kind) is Handler.BOTH
+
+    def test_response_format_ontology(self):
+        assert classify(ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT) is \
+            Handler.ONTOLOGY
+
+
+class TestTable5:
+    """Parameter-level rows of Table 5."""
+
+    @pytest.mark.parametrize("kind,expected", [
+        (ChangeKind.PARAM_CHANGE_RATE_LIMIT, Handler.WRAPPER),
+        (ChangeKind.PARAM_CHANGE_REQUIRE_TYPE, Handler.WRAPPER),
+        (ChangeKind.PARAM_ADD_PARAMETER, Handler.BOTH),
+        (ChangeKind.PARAM_DELETE_PARAMETER, Handler.BOTH),
+        (ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, Handler.ONTOLOGY),
+        (ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE, Handler.ONTOLOGY),
+    ])
+    def test_row(self, kind, expected):
+        assert classify(kind) is expected
+
+
+class TestAccommodation:
+    def test_mapping(self):
+        assert accommodation_of(
+            ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER) == \
+            Accommodation.FULL
+        assert accommodation_of(ChangeKind.PARAM_ADD_PARAMETER) == \
+            Accommodation.PARTIAL
+        assert accommodation_of(ChangeKind.API_CHANGE_RATE_LIMIT) == \
+            Accommodation.NONE
+
+    def test_stats_percentages(self):
+        stats = AccommodationStats(wrapper_only=1, ontology_only=1,
+                                   both=2)
+        assert stats.total == 4
+        assert stats.partially_pct == 50.0
+        assert stats.fully_pct == 25.0
+        assert stats.solved_pct == 75.0
+
+    def test_stats_empty(self):
+        stats = AccommodationStats()
+        assert stats.solved_pct == 0.0
+
+    def test_stats_addition(self):
+        a = AccommodationStats(1, 2, 3)
+        b = AccommodationStats(4, 5, 6)
+        total = a + b
+        assert (total.wrapper_only, total.ontology_only, total.both) == \
+            (5, 7, 9)
+
+    def test_classify_batch(self):
+        changes = [
+            Change(ChangeKind.API_CHANGE_RATE_LIMIT, "X"),
+            Change(ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER, "X"),
+            Change(ChangeKind.PARAM_ADD_PARAMETER, "X"),
+            Change(ChangeKind.PARAM_ADD_PARAMETER, "X"),
+        ]
+        stats = classify_batch(changes)
+        assert (stats.wrapper_only, stats.ontology_only, stats.both) == \
+            (1, 1, 2)
+
+
+class TestHandlerTables:
+    def test_table3_shape(self):
+        rows = handler_table(ChangeLevel.API)
+        assert len(rows) == 7
+        by_label = {label: (w, o) for label, w, o in rows}
+        assert by_label["Add authentication model"] == (True, False)
+        assert by_label["Delete response format"] == (False, True)
+
+    def test_table4_both_rows_check_both(self):
+        rows = handler_table(ChangeLevel.METHOD)
+        by_label = {label: (w, o) for label, w, o in rows}
+        assert by_label["Add method"] == (True, True)
+        assert by_label["Change response format"] == (False, True)
+
+    def test_table5_shape(self):
+        rows = handler_table(ChangeLevel.PARAMETER)
+        assert len(rows) == 6
+        by_label = {label: (w, o) for label, w, o in rows}
+        assert by_label["Rename response parameter"] == (False, True)
+        assert by_label["Add parameter"] == (True, True)

@@ -1,0 +1,169 @@
+"""Unit tests for unanticipated schema-change (drift) handling.
+
+This module covers the paper's future-work extension implemented in
+:mod:`repro.evolution.drift`.
+"""
+
+import pytest
+
+from repro.core.release import new_release
+from repro.errors import EvolutionError
+from repro.evolution.changes import ChangeKind
+from repro.evolution.drift import (
+    DriftReport, detect_drift, propose_release,
+)
+from repro.query.engine import QueryEngine
+
+
+DECLARED = ["monitorId", "lagRatio", "bitrate"]
+
+
+class TestDetectDrift:
+    def test_no_drift(self):
+        docs = [{"monitorId": 1, "lagRatio": 0.5, "bitrate": 4}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert not report.has_drift
+        assert sorted(report.unchanged) == sorted(DECLARED)
+
+    def test_added_field(self):
+        docs = [{"monitorId": 1, "lagRatio": 0.5, "bitrate": 4,
+                 "region": "eu"}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert report.added == ["region"]
+        assert report.removed == []
+        assert report.renames == []
+
+    def test_removed_field(self):
+        docs = [{"monitorId": 1, "lagRatio": 0.5}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert report.removed == ["bitrate"]
+
+    def test_rename_detected_with_confidence(self):
+        docs = [{"monitorId": 1, "bufferingRatio": 0.5, "bitrate": 4}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert len(report.renames) == 1
+        rename = report.renames[0]
+        assert (rename.old_field, rename.new_field) == \
+            ("lagRatio", "bufferingRatio")
+        assert 0.0 < rename.confidence < 1.0
+
+    def test_nested_documents_flattened(self):
+        docs = [{"monitorId": 1,
+                 "qos": {"lagRatio": 0.5, "bitrate": 4}}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert "qos.lagRatio" in report.observed_fields
+
+    def test_field_observed_in_any_document_counts(self):
+        docs = [{"monitorId": 1, "lagRatio": 0.5, "bitrate": 4},
+                {"monitorId": 2, "lagRatio": 0.1, "bitrate": 2,
+                 "extra": True}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        assert report.added == ["extra"]
+
+    def test_requires_documents(self):
+        with pytest.raises(EvolutionError):
+            detect_drift("D1", "w1", DECLARED, [])
+
+    def test_to_changes_taxonomy(self):
+        docs = [{"monitorId": 1, "bufferingRatio": 0.5, "region": "eu"}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        kinds = sorted(c.kind.name for c in report.to_changes())
+        assert kinds == ["PARAM_ADD_PARAMETER",
+                         "PARAM_DELETE_PARAMETER",
+                         "PARAM_RENAME_RESPONSE_PARAMETER"]
+
+    def test_summary_mentions_confirmations(self):
+        docs = [{"monitorId": 1, "bufferingRatio": 0.5, "bitrate": 4}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        text = report.summary()
+        assert "rename lagRatio" in text
+
+    def test_each_field_paired_once(self):
+        docs = [{"monitorId": 1, "lag_ratio_v2": 0.5,
+                 "lagRatioPct": 50, "bitrate": 4}]
+        report = detect_drift("D1", "w1", DECLARED, docs)
+        old_fields = [r.old_field for r in report.renames]
+        assert old_fields.count("lagRatio") == 1
+
+
+class TestProposeRelease:
+    def _drifted_scenario(self, scenario):
+        """Documents from the silently-evolved D1 API."""
+        return [{"VoDmonitorId": 12, "bufferingRatio": 0.25},
+                {"VoDmonitorId": 18, "bufferingRatio": 0.4}]
+
+    def test_auto_release_for_confident_rename(self, scenario):
+        t = scenario.ontology
+        docs = self._drifted_scenario(scenario)
+        report = detect_drift("D1", "w1",
+                              ["VoDmonitorId", "lagRatio"], docs)
+        if report.pending_confirmations:
+            confirmed = {r.new_field: r.old_field
+                         for r in report.pending_confirmations}
+        else:
+            confirmed = None
+        release = propose_release(t, report, "w_drift",
+                                  id_fields=["VoDmonitorId"],
+                                  confirmed_renames=confirmed)
+        from repro.rdf.namespace import SUP
+        assert release.attribute_to_feature["bufferingRatio"] == \
+            SUP.lagRatio
+        new_release(t, release)
+        assert t.validate() == []
+
+    def test_unconfirmed_low_confidence_raises(self, scenario):
+        t = scenario.ontology
+        # "qualityOfService" vs "lagRatio": weak similarity → needs veto
+        docs = [{"VoDmonitorId": 12, "ratioLag": 0.3}]
+        report = detect_drift("D1", "w1",
+                              ["VoDmonitorId", "lagRatio"], docs)
+        if report.pending_confirmations:
+            with pytest.raises(EvolutionError, match="confirmation"):
+                propose_release(t, report, "w_drift",
+                                id_fields=["VoDmonitorId"])
+
+    def test_confirmed_rename_inherits_feature(self, scenario):
+        t = scenario.ontology
+        docs = [{"VoDmonitorId": 12, "qos": 0.3}]
+        report = detect_drift("D1", "w1",
+                              ["VoDmonitorId", "lagRatio"], docs,
+                              pairing_threshold=0.0)
+        release = propose_release(
+            t, report, "w_drift", id_fields=["VoDmonitorId"],
+            confirmed_renames={"qos": "lagRatio"})
+        from repro.rdf.namespace import SUP
+        assert release.attribute_to_feature["qos"] == SUP.lagRatio
+
+    def test_missing_id_rejected(self, scenario):
+        t = scenario.ontology
+        docs = [{"bufferingRatio": 0.5}]
+        report = detect_drift("D1", "w1",
+                              ["VoDmonitorId", "lagRatio"], docs)
+        with pytest.raises(EvolutionError, match="no ID field"):
+            propose_release(t, report, "w_drift",
+                            id_fields=["VoDmonitorId"],
+                            confirmed_renames={
+                                "bufferingRatio": "lagRatio"})
+
+    def test_end_to_end_queries_survive_drift(self, scenario):
+        """The full loop: drift → release → historical query unions."""
+        from repro.datasets import EXEMPLARY_QUERY
+        from repro.wrappers.base import StaticWrapper
+        t = scenario.ontology
+        docs = self._drifted_scenario(scenario)
+        report = detect_drift("D1", "w1",
+                              ["VoDmonitorId", "lagRatio"], docs)
+        confirmed = {r.new_field: r.old_field for r in report.renames}
+        release = propose_release(t, report, "w_drift",
+                                  id_fields=["VoDmonitorId"],
+                                  confirmed_renames=confirmed)
+        release.wrapper = StaticWrapper(
+            "w_drift", "D1", ["VoDmonitorId"], ["bufferingRatio"], docs)
+        new_release(t, release)
+        engine = QueryEngine(t)
+        result = engine.rewrite(EXEMPLARY_QUERY)
+        assert {w.wrapper_names for w in result.walks} == {
+            frozenset({"w1", "w3"}), frozenset({"w3", "w_drift"})}
+        table = engine.answer(EXEMPLARY_QUERY)
+        assert (1, 0.25) in table.as_tuples(["applicationId",
+                                             "lagRatio"])

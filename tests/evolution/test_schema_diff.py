@@ -1,0 +1,164 @@
+"""Unit tests for version diffing and release building."""
+
+import pytest
+
+from repro.core.ontology import BDIOntology
+from repro.errors import ReleaseError
+from repro.evolution.changes import ChangeKind
+from repro.evolution.release_builder import (
+    build_release, subgraph_for_features, suggest_feature,
+)
+from repro.evolution.schema_diff import diff_versions
+from repro.rdf.term import IRI
+from repro.sources.rest_api import ApiVersion, FieldSpec
+
+
+def version(version_id, names, types=None, fmt="json"):
+    types = types or {}
+    return ApiVersion(version_id,
+                      [FieldSpec(n, types.get(n, "string"))
+                       for n in names], response_format=fmt)
+
+
+class TestDiffVersions:
+    def test_no_changes(self):
+        v1 = version("1", ["id", "title"])
+        v2 = version("2", ["id", "title"])
+        assert diff_versions("api", "ep", v1, v2) == []
+
+    def test_addition(self):
+        changes = diff_versions("api", "ep",
+                                version("1", ["id"]),
+                                version("2", ["id", "template"]))
+        assert [c.kind for c in changes] == [ChangeKind.PARAM_ADD_PARAMETER]
+        assert changes[0].details["parameter"] == "template"
+
+    def test_deletion(self):
+        changes = diff_versions("api", "ep",
+                                version("1", ["id", "terms"]),
+                                version("2", ["id"]))
+        assert [c.kind for c in changes] == \
+            [ChangeKind.PARAM_DELETE_PARAMETER]
+
+    def test_rename_detected(self):
+        changes = diff_versions(
+            "api", "ep",
+            version("1", ["id", "featured_image"]),
+            version("2", ["id", "featured_media"]))
+        assert [c.kind for c in changes] == \
+            [ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER]
+        assert changes[0].details["new_name"] == "featured_media"
+
+    def test_unrelated_add_delete_not_rename(self):
+        changes = diff_versions(
+            "api", "ep",
+            version("1", ["id", "zzz_qqq"]),
+            version("2", ["id", "author_email"]))
+        kinds = sorted(c.kind.name for c in changes)
+        assert kinds == ["PARAM_ADD_PARAMETER", "PARAM_DELETE_PARAMETER"]
+
+    def test_type_change(self):
+        changes = diff_versions(
+            "api", "ep",
+            version("1", ["id"], {"id": "string"}),
+            version("2", ["id"], {"id": "int"}))
+        assert [c.kind for c in changes] == \
+            [ChangeKind.PARAM_CHANGE_FORMAT_OR_TYPE]
+
+    def test_format_change(self):
+        changes = diff_versions(
+            "api", "ep",
+            version("1", ["id"]),
+            version("2", ["id"], fmt="xml"))
+        assert [c.kind for c in changes] == \
+            [ChangeKind.METHOD_CHANGE_RESPONSE_FORMAT]
+
+    def test_each_field_renamed_once(self):
+        changes = diff_versions(
+            "api", "ep",
+            version("1", ["meta", "meta_data"]),
+            version("2", ["meta_fields"]))
+        renames = [c for c in changes if c.kind is
+                   ChangeKind.PARAM_RENAME_RESPONSE_PARAMETER]
+        assert len(renames) == 1
+
+
+@pytest.fixture()
+def small_ontology():
+    t = BDIOntology()
+    post = IRI("http://x/Post")
+    t.globals.add_concept(post)
+    t.globals.add_feature(post, IRI("http://x/post/id"), is_id=True)
+    t.globals.add_feature(post, IRI("http://x/post/title"))
+    t.globals.add_feature(post, IRI("http://x/post/content"))
+    return t
+
+
+class TestSuggestFeature:
+    def test_reuses_existing_source_mapping(self, small_ontology):
+        release = build_release(
+            small_ontology, "wp", "w_v1",
+            id_attributes=["id"], non_id_attributes=["title"],
+            feature_hints={"id": "http://x/post/id",
+                           "title": "http://x/post/title"})
+        from repro.core.release import new_release
+        new_release(small_ontology, release)
+        # Attribute "title" already mapped → suggestion must reuse it.
+        assert suggest_feature(small_ontology, "wp", "title") == \
+            IRI("http://x/post/title")
+
+    def test_similarity_alignment(self, small_ontology):
+        assert suggest_feature(small_ontology, "wp", "post_title") == \
+            IRI("http://x/post/title")
+
+    def test_below_threshold_none(self, small_ontology):
+        assert suggest_feature(small_ontology, "wp",
+                               "zzzz_qqqq_xxxx") is None
+
+
+class TestSubgraphForFeatures:
+    def test_contains_has_feature_edges(self, small_ontology):
+        sub = subgraph_for_features(
+            small_ontology, [IRI("http://x/post/title")])
+        from repro.rdf.namespace import G as G_NS
+        assert sub.contains(IRI("http://x/Post"), G_NS.hasFeature,
+                            IRI("http://x/post/title"))
+
+    def test_unowned_feature_rejected(self, small_ontology):
+        with pytest.raises(ReleaseError):
+            subgraph_for_features(small_ontology, [IRI("http://x/ghost")])
+
+    def test_connecting_edges_included(self, ontology):
+        from repro.rdf.namespace import SUP
+        sub = subgraph_for_features(
+            ontology, [SUP.monitorId, SUP.lagRatio])
+        assert sub.contains(SUP.Monitor, SUP.generatesQoS,
+                            SUP.InfoMonitor)
+
+
+class TestBuildRelease:
+    def test_unmappable_attribute_raises(self, small_ontology):
+        with pytest.raises(ReleaseError, match="cannot align"):
+            build_release(small_ontology, "wp", "w_v1",
+                          id_attributes=["id"],
+                          non_id_attributes=["zzzz_qqqq"])
+
+    def test_hints_override_similarity(self, small_ontology):
+        release = build_release(
+            small_ontology, "wp", "w_v1",
+            id_attributes=["id"],
+            non_id_attributes=["body"],
+            feature_hints={"body": "http://x/post/content",
+                           "id": "http://x/post/id"})
+        assert release.attribute_to_feature["body"] == \
+            IRI("http://x/post/content")
+
+    def test_registerable(self, small_ontology):
+        from repro.core.release import new_release
+        release = build_release(
+            small_ontology, "wp", "w_v1",
+            id_attributes=["id"], non_id_attributes=["title"],
+            feature_hints={"id": "http://x/post/id"})
+        delta = new_release(small_ontology, release)
+        assert delta["S"] > 0
+        assert small_ontology.validate() == []

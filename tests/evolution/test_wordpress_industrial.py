@@ -1,0 +1,137 @@
+"""Unit tests for the Wordpress growth study and the industrial study."""
+
+from repro.evolution.growth import ascii_chart, replay_wordpress
+from repro.evolution.industrial import (
+    LI_ET_AL_COUNTS, industrial_study, materialize_changes, pooled_stats,
+)
+from repro.evolution.wordpress import (
+    WORDPRESS_RELEASES, all_wordpress_fields, build_wordpress_endpoint,
+)
+
+
+class TestWordpressDataset:
+    def test_release_count(self):
+        # v1 + v2 + 13 minor releases, as in the paper.
+        assert len(WORDPRESS_RELEASES) == 15
+
+    def test_majors_flagged(self):
+        majors = [r.version for r in WORDPRESS_RELEASES if r.major]
+        assert majors == ["1", "2"]
+
+    def test_v2_mostly_renames_v1(self):
+        v1 = set(WORDPRESS_RELEASES[0].fields)
+        v2 = set(WORDPRESS_RELEASES[1].fields)
+        # "few elements can be reused" — the overlap is small relative
+        # to the union.
+        assert len(v1 & v2) < len(v1)
+
+    def test_minor_deltas_small(self):
+        for previous, current in zip(WORDPRESS_RELEASES[1:],
+                                     WORDPRESS_RELEASES[2:]):
+            delta = set(previous.fields) ^ set(current.fields)
+            assert len(delta) <= 4
+
+    def test_all_fields_superset(self):
+        fields = set(all_wordpress_fields())
+        for release in WORDPRESS_RELEASES:
+            assert set(release.fields) <= fields
+
+    def test_endpoint_serves_every_release(self):
+        endpoint = build_wordpress_endpoint()
+        assert set(endpoint.versions) == \
+            {r.version for r in WORDPRESS_RELEASES}
+        docs = endpoint.fetch("2.1", count=2)
+        assert "template" in docs[0]
+
+
+class TestGrowthReplay:
+    def test_records_per_release(self):
+        _, records = replay_wordpress()
+        assert [r.version for r in records] == \
+            [r.version for r in WORDPRESS_RELEASES]
+
+    def test_v1_is_the_steepest(self):
+        """Figure 11: the first release carries the big overhead."""
+        _, records = replay_wordpress()
+        assert records[0].added_s == max(r.added_s for r in records)
+
+    def test_global_graph_does_not_grow(self):
+        """Figure 11 discussion: 'Notice also that G does not grow'."""
+        _, records = replay_wordpress()
+        assert all(r.added_g == 0 for r in records)
+
+    def test_minor_growth_dominated_by_has_attribute(self):
+        _, records = replay_wordpress()
+        for record in records[2:]:
+            assert record.has_attribute_edges > record.new_attributes
+
+    def test_cumulative_monotone(self):
+        _, records = replay_wordpress()
+        sizes = [r.cumulative_s for r in records]
+        assert sizes == sorted(sizes)
+
+    def test_minor_growth_roughly_linear(self):
+        """Minor releases add a stable number of triples (linear trend)."""
+        _, records = replay_wordpress()
+        minor = [r.added_s for r in records[2:]]
+        assert max(minor) - min(minor) <= 8
+
+    def test_ontology_valid_after_replay(self):
+        ontology, _ = replay_wordpress()
+        assert ontology.validate() == []
+
+    def test_attribute_reuse_across_versions(self):
+        _, records = replay_wordpress()
+        # From 2.7 to 2.8 the rename reverts to an existing attribute
+        # name: no new S:Attribute nodes needed in between stable ones.
+        stable = [r for r in records[2:] if r.new_attributes == 0]
+        assert stable  # at least one purely-reusing release
+
+    def test_ascii_chart_renders(self):
+        _, records = replay_wordpress()
+        chart = ascii_chart(records)
+        assert "2.13" in chart
+        assert "#" in chart
+
+
+class TestIndustrialStudy:
+    def test_per_api_counts_preserved(self):
+        rows = industrial_study()
+        for row, counts in zip(rows, LI_ET_AL_COUNTS):
+            assert (row.wrapper_only, row.ontology_only, row.both) == \
+                (counts.wrapper_only, counts.ontology_only, counts.both)
+
+    def test_google_calendar_row(self):
+        row = industrial_study()[0]
+        assert row.api == "Google Calendar"
+        assert round(row.partially_pct, 2) == 48.94
+        assert round(row.fully_pct, 2) == 51.06
+
+    def test_amazon_mws_row(self):
+        row = next(r for r in industrial_study()
+                   if r.api == "Amazon MWS")
+        assert round(row.partially_pct, 2) == 19.44
+        assert round(row.fully_pct, 2) == 50.0
+
+    def test_twitter_zero_full(self):
+        row = next(r for r in industrial_study()
+                   if r.api == "Twitter API")
+        assert row.fully_pct == 0.0
+
+    def test_pooled_percentages_match_paper(self):
+        """The headline numbers: 48.84% / 22.77% / 71.62%."""
+        stats = pooled_stats(industrial_study())
+        assert round(stats.partially_pct, 2) == 48.84
+        assert round(stats.fully_pct, 2) == 22.77
+        assert round(stats.solved_pct, 2) == 71.62
+
+    def test_materialized_changes_have_right_handlers(self):
+        from repro.evolution.classifier import classify_batch
+        for counts in LI_ET_AL_COUNTS:
+            stats = classify_batch(materialize_changes(counts))
+            assert stats.wrapper_only == counts.wrapper_only
+            assert stats.ontology_only == counts.ontology_only
+            assert stats.both == counts.both
+
+    def test_total_change_count(self):
+        assert sum(c.total for c in LI_ET_AL_COUNTS) == 303

@@ -1,0 +1,130 @@
+"""Integration tests: the complete SUPERSEDE running example (paper §2).
+
+Covers Tables 1 and 2, Figures 3-6 (structure), the §2.1 evolution story
+and the §4.1 release example, end to end.
+"""
+
+import pytest
+
+from repro.core.vocabulary import mapping_graph_uri, wrapper_uri
+from repro.datasets import EXEMPLARY_QUERY, build_supersede, register_w4
+from repro.query.engine import QueryEngine
+from repro.rdf.namespace import G as G_NS, OWL, RDF, S as S_NS, SUP
+
+
+class TestTable1:
+    """Sample output of each exemplary wrapper."""
+
+    def test_w1_output(self, scenario):
+        rel = scenario.wrappers["w1"].relation()
+        assert rel.as_tuples(["VoDmonitorId", "lagRatio"]) == [
+            (12, 0.75), (12, 0.9), (18, 0.1)]
+
+    def test_w2_output(self, scenario):
+        rel = scenario.wrappers["w2"].relation()
+        assert rel.as_tuples(["FGId", "tweet"]) == [
+            (77, "I continuously see the loading symbol"),
+            (45, "Your video player is great!")]
+
+    def test_w3_output(self, scenario):
+        rel = scenario.wrappers["w3"].relation()
+        assert rel.as_tuples(["TargetApp", "MonitorId", "FeedbackId"]) \
+            == [(1, 12, 77), (2, 18, 45)]
+
+    def test_wrapper_notations(self, scenario):
+        assert scenario.wrappers["w1"].notation() == \
+            "w1({VoDmonitorId}, {lagRatio})"
+        assert scenario.wrappers["w3"].notation() == \
+            "w3({TargetApp, MonitorId, FeedbackId}, {})"
+
+
+class TestTable2:
+    """The exemplary query output."""
+
+    def test_exact_rows(self, engine):
+        table = engine.answer(EXEMPLARY_QUERY)
+        assert sorted(table.as_tuples(["applicationId", "lagRatio"])) == \
+            [(1, 0.75), (1, 0.9), (2, 0.1)]
+
+    def test_rewriting_expression_shape(self, engine):
+        result = engine.rewrite(EXEMPLARY_QUERY)
+        assert len(result.walks) == 1
+        expr = result.ucq.to_expression(engine.ontology)
+        text = expr.notation()
+        assert "w1" in text and "w3" in text and "⋈̃" in text
+
+
+class TestEvolutionStory:
+    """§2.1: the D1 API renames lagRatio → bufferingRatio (wrapper w4)."""
+
+    def test_release_registers_w4(self, scenario):
+        register_w4(scenario)
+        t = scenario.ontology
+        assert t.s.contains(wrapper_uri("w4"), RDF.type, S_NS.Wrapper)
+        # attribute reuse: VoDmonitorId shared between w1 and w4
+        shared = [a for a in t.sources.attributes()
+                  if str(a).endswith("D1/VoDmonitorId")]
+        assert len(shared) == 1
+
+    def test_lav_mapping_of_w4_matches_paper(self, scenario):
+        """§4.1 example: G = lagRatio ←hasFeature InfoMonitor
+        ←generatesQoS Monitor →hasFeature monitorId."""
+        register_w4(scenario)
+        lav = scenario.ontology.lav_subgraph(wrapper_uri("w4"))
+        assert lav.contains(SUP.Monitor, SUP.generatesQoS,
+                            SUP.InfoMonitor)
+        assert lav.contains(SUP.InfoMonitor, G_NS.hasFeature,
+                            SUP.lagRatio)
+        assert lav.contains(SUP.Monitor, G_NS.hasFeature, SUP.monitorId)
+
+    def test_f_function_of_w4(self, scenario):
+        register_w4(scenario)
+        m = scenario.ontology.m
+        from repro.core.vocabulary import attribute_uri
+        assert m.contains(attribute_uri("D1", "bufferingRatio"),
+                          OWL.sameAs, SUP.lagRatio)
+
+    def test_query_unchanged_after_evolution(self, scenario):
+        """The analyst's query survives the schema change verbatim."""
+        engine = QueryEngine(scenario.ontology)
+        before = engine.answer(EXEMPLARY_QUERY)
+        register_w4(scenario)
+        after = engine.answer(EXEMPLARY_QUERY)
+        before_rows = set(before.as_tuples(["applicationId", "lagRatio"]))
+        after_rows = set(after.as_tuples(["applicationId", "lagRatio"]))
+        assert before_rows <= after_rows
+        assert len(after_rows) == 5
+
+    def test_union_expression_mirrors_paper(self, scenario):
+        """§2.1: Π(w1 ⋈ w3) ∪ Π(w4 ⋈ w3)."""
+        register_w4(scenario)
+        result = QueryEngine(scenario.ontology).rewrite(EXEMPLARY_QUERY)
+        assert {w.wrapper_names for w in result.walks} == {
+            frozenset({"w1", "w3"}), frozenset({"w3", "w4"})}
+
+
+class TestOntologyStructure:
+    """Figures 3-5: the instantiated RDF datasets."""
+
+    def test_named_graph_per_wrapper(self, scenario):
+        names = scenario.ontology.dataset.graph_names()
+        for wrapper in ("w1", "w2", "w3"):
+            assert mapping_graph_uri(wrapper) in names
+
+    def test_metamodel_loaded(self, ontology):
+        from repro.rdf.namespace import RDFS
+        assert ontology.g.contains(G_NS.Concept, RDF.type, RDFS.Class)
+        assert ontology.s.contains(S_NS.Wrapper, RDF.type, RDFS.Class)
+
+    def test_scaled_scenario(self):
+        scenario = build_supersede(event_count=50, seed=3)
+        engine = QueryEngine(scenario.ontology)
+        table = engine.answer(EXEMPLARY_QUERY)
+        assert len(table) > 0
+
+    def test_scenario_deterministic(self):
+        a = build_supersede(event_count=20, seed=9)
+        b = build_supersede(event_count=20, seed=9)
+        ta = QueryEngine(a.ontology).answer(EXEMPLARY_QUERY)
+        tb = QueryEngine(b.ontology).answer(EXEMPLARY_QUERY)
+        assert ta == tb

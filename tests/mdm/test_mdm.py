@@ -1,0 +1,159 @@
+"""Unit tests for the MDM facade, steward aids and analyst builder."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.errors import MalformedQueryError, UnknownFeatureError
+from repro.mdm import MDM, OMQBuilder, describe_global_graph
+from repro.mdm.steward import align_attributes, suggest_subgraphs
+from repro.rdf.namespace import DCT, DUV, SC, SUP
+
+
+@pytest.fixture()
+def mdm():
+    return MDM(build_supersede().ontology)
+
+
+class TestStewardAids:
+    def test_alignment_ranks_by_similarity(self, mdm):
+        suggestions = mdm.suggest_alignments(["bufferingRatio"])
+        assert suggestions[0].best == SUP.lagRatio
+
+    def test_alignment_top_k(self, mdm):
+        suggestions = mdm.suggest_alignments(["monitorId"], top_k=2)
+        assert len(suggestions[0].candidates) == 2
+        assert suggestions[0].candidates[0][0] == SUP.monitorId
+        assert suggestions[0].confidence == 1.0
+
+    def test_subgraph_suggestion_direct(self, mdm):
+        graphs = mdm.suggest_release_subgraphs(
+            [SUP.monitorId, SUP.lagRatio])
+        assert graphs
+        best = graphs[0]
+        assert best.contains(SUP.Monitor, SUP.generatesQoS,
+                             SUP.InfoMonitor)
+
+    def test_subgraph_suggestion_needs_intermediate(self, mdm):
+        # applicationId and lagRatio live on concepts connected only
+        # through Monitor.
+        graphs = mdm.suggest_release_subgraphs(
+            [SUP.applicationId, SUP.lagRatio])
+        assert graphs
+        assert graphs[0].contains(SC.SoftwareApplication,
+                                  SUP.hasMonitor, SUP.Monitor)
+
+    def test_subgraph_unknown_feature(self, mdm):
+        from repro.errors import OntologyError
+        with pytest.raises(OntologyError):
+            mdm.suggest_release_subgraphs(["http://x/ghost"])
+
+    def test_align_attributes_deterministic(self, mdm):
+        first = align_attributes(mdm.ontology, ["tweet"])
+        second = align_attributes(mdm.ontology, ["tweet"])
+        assert first[0].candidates == second[0].candidates
+
+
+class TestRegistration:
+    def test_register_wrapper_semi_automatic(self, mdm):
+        """The w4 evolution through the facade with steward hints."""
+        from repro.sources.document_store import DocumentStore
+        from repro.wrappers.mongo import MongoWrapper
+        from repro.datasets.supersede import (
+            EVOLVED_VOD_EVENTS, W4_PIPELINE,
+        )
+        store = DocumentStore()
+        store.collection("vod_v2").insert_many(EVOLVED_VOD_EVENTS)
+        w4 = MongoWrapper("w4", "D1", store, "vod_v2", W4_PIPELINE,
+                          id_attributes=["VoDmonitorId"],
+                          non_id_attributes=["bufferingRatio"])
+        delta = mdm.register_wrapper(
+            w4, {"VoDmonitorId": SUP.monitorId,
+                 "bufferingRatio": SUP.lagRatio})
+        assert delta["S"] > 0
+        table = mdm.query(EXEMPLARY_QUERY)
+        assert len(table) == 5  # both versions contribute
+
+    def test_release_log(self, mdm):
+        assert mdm.statistics()["releases"] == 0
+
+
+class TestQuerying:
+    def test_query_runs_pipeline(self, mdm):
+        table = mdm.query(EXEMPLARY_QUERY)
+        assert sorted(table.as_tuples(["applicationId", "lagRatio"])) == \
+            [(1, 0.75), (1, 0.9), (2, 0.1)]
+
+    def test_explain(self, mdm):
+        assert "final UCQ" in mdm.explain(EXEMPLARY_QUERY)
+
+    def test_statistics_keys(self, mdm):
+        stats = mdm.statistics()
+        assert stats["concepts"] == 5
+        assert stats["wrappers"] == 3
+        assert stats["data_sources"] == 3
+
+    def test_validate_clean(self, mdm):
+        assert mdm.validate() == []
+
+    def test_describe_lists_concepts(self, mdm):
+        text = mdm.describe()
+        assert "Monitor" in text
+        assert "[ID]" in text
+
+
+class TestExports:
+    def test_export_nquads_round_trips(self, mdm):
+        from repro.rdf.ntriples import parse_nquads
+        text = mdm.export_nquads()
+        assert parse_nquads(text).quad_count() == \
+            mdm.ontology.dataset.quad_count()
+
+    def test_export_turtle_graphs(self, mdm):
+        assert "G:Concept" in mdm.export_turtle("G")
+        assert "S:DataSource" in mdm.export_turtle("S")
+        assert "sameAs" in mdm.export_turtle("M")
+
+    def test_export_unknown_graph(self, mdm):
+        from repro.errors import ReleaseError
+        with pytest.raises(ReleaseError):
+            mdm.export_turtle("X")
+
+
+class TestOMQBuilder:
+    def test_builds_running_example(self, mdm):
+        sparql = (mdm.query_builder()
+                  .project(SUP.applicationId, SUP.lagRatio)
+                  .edge(SC.SoftwareApplication, SUP.hasMonitor,
+                        SUP.Monitor)
+                  .edge(SUP.Monitor, SUP.generatesQoS, SUP.InfoMonitor)
+                  .to_sparql())
+        table = mdm.query(sparql)
+        assert len(table) == 3
+
+    def test_concept_projection_allowed(self, mdm):
+        sparql = (mdm.query_builder()
+                  .project(SC.SoftwareApplication, DCT.description)
+                  .edge(SC.SoftwareApplication, SUP.hasFGTool,
+                        SUP.FeedbackGathering)
+                  .edge(SUP.FeedbackGathering, SUP.generatesFeedback,
+                        DUV.UserFeedback)
+                  .to_sparql())
+        table = mdm.query(sparql)
+        assert "applicationId" in table.schema.attribute_names
+
+    def test_unknown_feature_rejected(self, mdm):
+        with pytest.raises(UnknownFeatureError):
+            mdm.query_builder().project("http://x/ghost")
+
+    def test_empty_builder_rejected(self, mdm):
+        with pytest.raises(MalformedQueryError):
+            mdm.query_builder().to_sparql()
+
+    def test_to_omq(self, mdm):
+        omq = (mdm.query_builder()
+               .project(SUP.lagRatio)
+               .to_omq())
+        assert omq.pi == [SUP.lagRatio]
+
+    def test_describe_function(self, mdm):
+        assert "edges:" in describe_global_graph(mdm.ontology)

@@ -1,0 +1,66 @@
+"""Tests for the MDM drift-handling entry point (future-work extension)."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.errors import EvolutionError
+from repro.mdm import MDM
+from repro.wrappers.base import StaticWrapper
+
+DRIFTED = [
+    {"VoDmonitorId": 12, "bufferingRatio": 0.25},
+    {"VoDmonitorId": 18, "bufferingRatio": 0.4},
+]
+
+
+@pytest.fixture()
+def mdm():
+    return MDM(build_supersede().ontology)
+
+
+class TestHandleDrift:
+    def test_no_drift_is_noop(self, mdm):
+        docs = [{"VoDmonitorId": 12, "lagRatio": 0.5}]
+        report, delta = mdm.handle_drift("w1", docs, "w_new")
+        assert not report.has_drift
+        assert delta == {}
+        assert not mdm.ontology.sources.has_wrapper("w_new")
+
+    def test_low_confidence_requires_confirmation(self, mdm):
+        with pytest.raises(EvolutionError, match="confirmation"):
+            mdm.handle_drift("w1", DRIFTED, "w_new")
+
+    def test_confirmed_drift_registers_release(self, mdm):
+        physical = StaticWrapper("w_new", "D1", ["VoDmonitorId"],
+                                 ["bufferingRatio"], DRIFTED)
+        report, delta = mdm.handle_drift(
+            "w1", DRIFTED, "w_new",
+            confirmed_renames={"bufferingRatio": "lagRatio"},
+            physical_wrapper=physical)
+        assert report.has_drift
+        assert delta["S"] > 0
+        assert mdm.ontology.sources.has_wrapper("w_new")
+        assert mdm.validate() == []
+
+    def test_query_unions_after_drift(self, mdm):
+        physical = StaticWrapper("w_new", "D1", ["VoDmonitorId"],
+                                 ["bufferingRatio"], DRIFTED)
+        mdm.handle_drift("w1", DRIFTED, "w_new",
+                         confirmed_renames={"bufferingRatio": "lagRatio"},
+                         physical_wrapper=physical)
+        result = mdm.rewrite(EXEMPLARY_QUERY)
+        assert len(result.walks) == 2
+        rows = mdm.query(EXEMPLARY_QUERY).as_tuples(
+            ["applicationId", "lagRatio"])
+        assert (1, 0.25) in rows and (2, 0.4) in rows
+
+    def test_result_relation_named_result(self, mdm):
+        assert mdm.query(EXEMPLARY_QUERY).schema.name == "result"
+
+    def test_release_logged(self, mdm):
+        physical = StaticWrapper("w_new", "D1", ["VoDmonitorId"],
+                                 ["bufferingRatio"], DRIFTED)
+        mdm.handle_drift("w1", DRIFTED, "w_new",
+                         confirmed_renames={"bufferingRatio": "lagRatio"},
+                         physical_wrapper=physical)
+        assert mdm.statistics()["releases"] == 1

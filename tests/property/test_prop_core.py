@@ -1,0 +1,120 @@
+"""Property-based tests for toposort, text utils, Algorithm 1, rewriting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.worst_case import build_worst_case
+from repro.query.coverage import covering_and_minimal
+from repro.query.rewriter import rewrite
+from repro.util.text import levenshtein, name_similarity
+from repro.util.toposort import CycleError, is_dag, topological_sort
+
+_names = st.text(alphabet="abcdefg_123", min_size=0, max_size=12)
+
+
+class TestToposortProperties:
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    max_size=20))
+    def test_order_respects_edges_or_cycle(self, edges):
+        try:
+            order = topological_sort([], edges)
+        except CycleError:
+            assert not is_dag([], edges)
+            return
+        position = {node: i for i, node in enumerate(order)}
+        for a, b in edges:
+            if a != b:
+                assert position[a] < position[b]
+
+    @given(st.lists(st.integers(0, 20), max_size=15))
+    def test_edge_free_graphs_sorted(self, nodes):
+        order = topological_sort(nodes, [])
+        assert order == sorted(set(nodes), key=str)
+
+    @given(st.integers(2, 8))
+    def test_chain_order(self, n):
+        edges = [(i, i + 1) for i in range(n - 1)]
+        assert topological_sort([], edges) == list(range(n))
+
+
+class TestTextProperties:
+    @given(_names, _names)
+    def test_levenshtein_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(_names, _names)
+    def test_levenshtein_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b), 0)
+
+    @given(_names)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(_names, _names, _names)
+    def test_levenshtein_triangle(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(_names, _names)
+    def test_similarity_bounded_and_symmetric(self, a, b):
+        s = name_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert abs(s - name_similarity(b, a)) < 1e-12
+
+    @given(_names)
+    def test_similarity_reflexive(self, a):
+        assert name_similarity(a, a) == 1.0
+
+
+class TestAlgorithm1Properties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 3))
+    def test_release_monotone_and_idempotent(self, concepts, wrappers):
+        """Re-running every release adds nothing (graphs are sets)."""
+        from repro.core.release import Release, new_release
+        setup = build_worst_case(concepts, wrappers)
+        t = setup.ontology
+        before = t.triple_counts()
+        # Rebuild and re-apply the same releases: deltas must be zero.
+        for wrapper in t.wrapper_names():
+            schema = t.wrapper_relation_schema(wrapper)
+            lav = t.lav_subgraph(
+                __import__("repro.core.vocabulary",
+                           fromlist=["wrapper_uri"]).wrapper_uri(wrapper))
+            mapping = {}
+            for attr in schema.attribute_names:
+                from repro.core.vocabulary import attribute_uri, \
+                    source_local_name
+                source = source_local_name(schema.source)
+                local = attr.split("/", 1)[1]
+                feature = t.feature_of_attribute(
+                    attribute_uri(source, local))
+                mapping[local] = feature
+            release = Release(
+                wrapper_name=wrapper,
+                source_name=source_local_name(schema.source),
+                id_attributes=tuple(a.split("/", 1)[1]
+                                    for a in schema.id_names),
+                non_id_attributes=tuple(a.split("/", 1)[1]
+                                        for a in schema.non_id_names),
+                subgraph=lav, attribute_to_feature=mapping)
+            delta = new_release(t, release)
+            assert all(v == 0 for v in delta.values())
+        assert t.triple_counts() == before
+
+
+class TestRewritingInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3))
+    def test_walks_always_covering_minimal_and_distinct(self, concepts,
+                                                        wrappers):
+        setup = build_worst_case(concepts, wrappers)
+        result = rewrite(setup.ontology, setup.query)
+        keys = [w.equivalence_key() for w in result.walks]
+        assert len(keys) == len(set(keys))
+        for walk in result.walks:
+            assert covering_and_minimal(setup.ontology, walk,
+                                        result.well_formed)
+            assert walk.is_connected()
+            sources = [setup.ontology.wrapper_relation_schema(n).source
+                       for n in walk.wrapper_names]
+            assert len(sources) == len(set(sources))

@@ -1,0 +1,80 @@
+"""Unit tests for OMQ parsing and template validation (Code 3)."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY
+from repro.errors import MalformedQueryError
+from repro.query.omq import parse_omq
+from repro.rdf.namespace import SUP
+
+
+class TestTemplateAcceptance:
+    def test_exemplary_query_parses(self):
+        omq = parse_omq(EXEMPLARY_QUERY)
+        assert omq.pi == [SUP.applicationId, SUP.lagRatio]
+        assert len(omq.phi) == 4
+
+    def test_pi_subset_of_vertices(self):
+        omq = parse_omq(EXEMPLARY_QUERY)
+        assert set(omq.pi) <= omq.vertices()
+
+    def test_edges_directed(self):
+        omq = parse_omq(EXEMPLARY_QUERY)
+        from repro.rdf.namespace import SC
+        assert (SC.SoftwareApplication, SUP.Monitor) in omq.edges()
+
+    def test_copy_is_independent(self):
+        omq = parse_omq(EXEMPLARY_QUERY)
+        clone = omq.copy()
+        clone.pi.append(SUP.bitrate)
+        clone.phi.add((SUP.Monitor, SUP.generatesQoS, SUP.InfoMonitor))
+        assert len(omq.pi) == 2
+
+
+class TestTemplateRejection:
+    def test_missing_values(self):
+        with pytest.raises(MalformedQueryError, match="VALUES"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    sup:Monitor G:hasFeature sup:monitorId }""")
+
+    def test_multi_row_values(self):
+        with pytest.raises(MalformedQueryError, match="one row"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    VALUES (?x) { (sup:lagRatio) (sup:bitrate) }
+                    sup:InfoMonitor G:hasFeature sup:lagRatio }""")
+
+    def test_values_variable_mismatch(self):
+        with pytest.raises(MalformedQueryError, match="match the SELECT"):
+            parse_omq("""
+                SELECT ?x ?y WHERE {
+                    VALUES (?x) { (sup:lagRatio) }
+                    sup:InfoMonitor G:hasFeature sup:lagRatio }""")
+
+    def test_literal_in_values(self):
+        with pytest.raises(MalformedQueryError, match="attribute URIs"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    VALUES (?x) { ("literal") }
+                    sup:InfoMonitor G:hasFeature sup:lagRatio }""")
+
+    def test_variable_triple_patterns_rejected(self):
+        with pytest.raises(MalformedQueryError, match="concrete"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    VALUES (?x) { (sup:lagRatio) }
+                    ?c G:hasFeature sup:lagRatio }""")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(MalformedQueryError, match="no triple"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    VALUES (?x) { (sup:lagRatio) } }""")
+
+    def test_projection_outside_pattern_rejected(self):
+        with pytest.raises(MalformedQueryError, match="does not occur"):
+            parse_omq("""
+                SELECT ?x WHERE {
+                    VALUES (?x) { (sup:bitrate) }
+                    sup:InfoMonitor G:hasFeature sup:lagRatio }""")

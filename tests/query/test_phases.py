@@ -1,0 +1,135 @@
+"""Unit tests for the three rewriting phases (Algorithms 3, 4, 5)."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY
+from repro.query.expansion import query_expansion
+from repro.query.inter_concept import inter_concept_generation
+from repro.query.intra_concept import intra_concept_generation
+from repro.query.omq import parse_omq
+from repro.query.well_formed import well_formed_query
+from repro.rdf.namespace import G as G_NS, SC, SUP
+
+
+@pytest.fixture()
+def prepared(ontology):
+    omq = well_formed_query(ontology, parse_omq(EXEMPLARY_QUERY))
+    concepts, expanded = query_expansion(ontology, omq)
+    return ontology, omq, concepts, expanded
+
+
+@pytest.fixture()
+def prepared_evolved(evolved_scenario):
+    ontology = evolved_scenario.ontology
+    omq = well_formed_query(ontology, parse_omq(EXEMPLARY_QUERY))
+    concepts, expanded = query_expansion(ontology, omq)
+    return ontology, omq, concepts, expanded
+
+
+class TestPhase1Expansion:
+    def test_concepts_in_topological_order(self, prepared):
+        _, _, concepts, _ = prepared
+        assert concepts == [SC.SoftwareApplication, SUP.Monitor,
+                            SUP.InfoMonitor]
+
+    def test_monitor_id_added(self, prepared):
+        """The paper's example: Q'G gains sup:monitorId."""
+        _, omq, _, expanded = prepared
+        assert not omq.phi.contains(SUP.Monitor, G_NS.hasFeature,
+                                    SUP.monitorId)
+        assert expanded.phi.contains(SUP.Monitor, G_NS.hasFeature,
+                                     SUP.monitorId)
+
+    def test_expansion_adds_exactly_ids(self, prepared):
+        _, omq, _, expanded = prepared
+        assert len(expanded.phi) == len(omq.phi) + 1
+
+    def test_pi_unchanged(self, prepared):
+        _, omq, _, expanded = prepared
+        assert expanded.pi == omq.pi
+
+
+class TestPhase2IntraConcept:
+    def test_partial_walks_match_paper(self, prepared):
+        ontology, _, concepts, expanded = prepared
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        by_concept = {cw.concept: cw.walks for cw in partial}
+        assert {w.wrapper_names for w in
+                by_concept[SC.SoftwareApplication]} == {frozenset({"w3"})}
+        assert {next(iter(w.wrapper_names)) for w in
+                by_concept[SUP.Monitor]} == {"w1", "w3"}
+        assert {next(iter(w.wrapper_names)) for w in
+                by_concept[SUP.InfoMonitor]} == {"w1"}
+
+    def test_partial_walks_are_single_wrapper(self, prepared):
+        ontology, _, concepts, expanded = prepared
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        for cw in partial:
+            for walk in cw.walks:
+                assert len(walk) == 1
+
+    def test_projections_select_requested_non_ids(self, prepared):
+        ontology, _, concepts, expanded = prepared
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        info = next(cw for cw in partial
+                    if cw.concept == SUP.InfoMonitor)
+        assert info.walks[0].projected_attributes() == {"D1/lagRatio"}
+
+    def test_pruning_partial_providers(self, prepared_evolved):
+        """A wrapper missing one requested feature must be pruned."""
+        ontology, _, _, _ = prepared_evolved
+        # Query asking both lagRatio and bitrate of InfoMonitor: no
+        # wrapper provides bitrate, so InfoMonitor gets no partial walk.
+        from repro.query.omq import OMQ
+        from repro.rdf.graph import Graph
+        query = OMQ(
+            pi=[SUP.lagRatio, SUP.bitrate],
+            phi=Graph([
+                (SUP.InfoMonitor, G_NS.hasFeature, SUP.lagRatio),
+                (SUP.InfoMonitor, G_NS.hasFeature, SUP.bitrate),
+            ]))
+        concepts, expanded = query_expansion(ontology, query)
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        assert partial[0].walks == []
+
+    def test_evolved_monitor_gains_w4(self, prepared_evolved):
+        ontology, _, concepts, expanded = prepared_evolved
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        monitor = next(cw for cw in partial if cw.concept == SUP.Monitor)
+        names = {next(iter(w.wrapper_names)) for w in monitor.walks}
+        assert names == {"w1", "w3", "w4"}
+
+
+class TestPhase3InterConcept:
+    def test_single_final_walk(self, prepared):
+        ontology, _, concepts, expanded = prepared
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        walks = inter_concept_generation(ontology, partial, expanded)
+        assert len(walks) == 1
+        walk = walks[0]
+        assert walk.wrapper_names == frozenset({"w1", "w3"})
+        conditions = {str(j) for j in walk.joins}
+        assert conditions == {
+            "w1.D1/VoDmonitorId=w3.D3/MonitorId"}
+
+    def test_evolution_yields_two_walks(self, prepared_evolved):
+        """§2.1: after the w4 release the query becomes a 2-branch UCQ."""
+        ontology, _, concepts, expanded = prepared_evolved
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        walks = inter_concept_generation(ontology, partial, expanded)
+        wrapper_sets = {w.wrapper_names for w in walks}
+        assert wrapper_sets == {frozenset({"w1", "w3"}),
+                                frozenset({"w3", "w4"})}
+
+    def test_same_source_wrappers_never_joined(self, prepared_evolved):
+        ontology, _, concepts, expanded = prepared_evolved
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        walks = inter_concept_generation(ontology, partial, expanded)
+        for walk in walks:
+            assert not {"w1", "w4"} <= set(walk.wrapper_names)
+
+    def test_walks_are_connected(self, prepared_evolved):
+        ontology, _, concepts, expanded = prepared_evolved
+        partial = intra_concept_generation(ontology, concepts, expanded)
+        for walk in inter_concept_generation(ontology, partial, expanded):
+            assert walk.is_connected()

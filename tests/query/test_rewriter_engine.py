@@ -1,0 +1,160 @@
+"""Unit tests for the rewriter pipeline, coverage filter, UCQ, engine."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY
+from repro.errors import UnanswerableQueryError
+from repro.query.coverage import is_covering, is_minimal, lav_union
+from repro.query.engine import QueryEngine
+from repro.query.omq import parse_omq
+from repro.query.rewriter import rewrite
+from repro.rdf.namespace import DCT, G as G_NS, SC, SUP
+
+
+class TestCoverage:
+    def test_final_walks_are_covering_and_minimal(self, ontology):
+        result = rewrite(ontology, EXEMPLARY_QUERY)
+        for walk in result.walks:
+            assert is_covering(ontology, walk, result.well_formed)
+            assert is_minimal(ontology, walk, result.well_formed)
+
+    def test_lav_union_merges(self, ontology):
+        union = lav_union(ontology, {"w1", "w3"})
+        assert union.contains(SUP.Monitor, SUP.generatesQoS,
+                              SUP.InfoMonitor)
+        assert union.contains(SC.SoftwareApplication, SUP.hasMonitor,
+                              SUP.Monitor)
+
+    def test_single_wrapper_walk_minimal(self, ontology):
+        from repro.relational.walk import Walk
+        schema = ontology.wrapper_relation_schema("w1")
+        walk = Walk.single(schema, {"D1/lagRatio"})
+        query = parse_omq("""
+            SELECT ?x WHERE {
+                VALUES (?x) { (sup:lagRatio) }
+                sup:InfoMonitor G:hasFeature sup:lagRatio }""")
+        assert is_covering(ontology, walk, query)
+        assert is_minimal(ontology, walk, query)
+
+    def test_superfluous_wrapper_not_minimal(self, ontology):
+        from repro.relational.walk import JoinCondition, Walk
+        walk = Walk.single(ontology.wrapper_relation_schema("w1"),
+                           {"D1/lagRatio"})
+        walk.add_wrapper(ontology.wrapper_relation_schema("w3"), set())
+        walk.add_join(JoinCondition("w1", "D1/VoDmonitorId",
+                                    "w3", "D3/MonitorId"))
+        query = parse_omq("""
+            SELECT ?x WHERE {
+                VALUES (?x) { (sup:lagRatio) }
+                sup:InfoMonitor G:hasFeature sup:lagRatio }""")
+        assert is_covering(ontology, walk, query)
+        assert not is_minimal(ontology, walk, query)
+
+
+class TestRewriter:
+    def test_report_mentions_phases(self, ontology):
+        result = rewrite(ontology, EXEMPLARY_QUERY)
+        report = result.report()
+        assert "phase 1" in report
+        assert "phase 2" in report
+        assert "phase 3" in report
+
+    def test_rejected_bucket_empty_on_running_example(self, ontology):
+        result = rewrite(ontology, EXEMPLARY_QUERY)
+        assert result.rejected == []
+
+    def test_deterministic_output_order(self, evolved_scenario):
+        t = evolved_scenario.ontology
+        first = rewrite(t, EXEMPLARY_QUERY)
+        second = rewrite(t, EXEMPLARY_QUERY)
+        assert [w.wrapper_names for w in first.walks] == \
+            [w.wrapper_names for w in second.walks]
+
+
+class TestUCQ:
+    def test_branch_count_after_evolution(self, evolved_scenario):
+        result = rewrite(evolved_scenario.ontology, EXEMPLARY_QUERY)
+        ucq = result.ucq
+        assert len(ucq) == 2
+        assert "∪" in ucq.to_expression(
+            evolved_scenario.ontology).notation()
+
+    def test_column_naming(self, ontology):
+        result = rewrite(ontology, EXEMPLARY_QUERY)
+        ucq = result.ucq
+        assert set(ucq.columns.values()) == {"applicationId", "lagRatio"}
+
+    def test_column_collision_suffix(self, ontology):
+        from repro.query.ucq import _feature_columns
+        from repro.rdf.term import IRI
+        cols = _feature_columns([IRI("http://a/x"), IRI("http://b/x")])
+        assert sorted(cols.values()) == ["x", "x_2"]
+
+    def test_empty_ucq_unanswerable(self, ontology):
+        from repro.query.ucq import UCQ
+        ucq = UCQ(features=[SUP.lagRatio], walks=[])
+        with pytest.raises(UnanswerableQueryError):
+            ucq.to_expression(ontology)
+
+
+class TestEngine:
+    def test_table2_reproduction(self, engine):
+        """Table 2 of the paper: (1, 0.75), (1, 0.90), (2, 0.1)."""
+        table = engine.answer(EXEMPLARY_QUERY)
+        rows = sorted(table.as_tuples(["applicationId", "lagRatio"]))
+        assert rows == [(1, 0.75), (1, 0.9), (2, 0.1)]
+
+    def test_union_after_evolution(self, evolved_engine):
+        table = evolved_engine.answer(EXEMPLARY_QUERY)
+        rows = sorted(table.as_tuples(["applicationId", "lagRatio"]))
+        assert rows == [(1, 0.25), (1, 0.75), (1, 0.9),
+                        (2, 0.1), (2, 0.25)]
+
+    def test_feedback_query(self, engine):
+        query = """
+        SELECT ?x ?y WHERE {
+            VALUES (?x ?y) { (sup:applicationId dct:description) }
+            sc:SoftwareApplication G:hasFeature sup:applicationId .
+            sc:SoftwareApplication sup:hasFGTool sup:FeedbackGathering .
+            sup:FeedbackGathering sup:generatesFeedback duv:UserFeedback .
+            duv:UserFeedback G:hasFeature dct:description
+        }
+        """
+        table = engine.answer(query)
+        rows = dict(table.as_tuples(["applicationId", "description"]))
+        assert rows[1] == "I continuously see the loading symbol"
+        assert rows[2] == "Your video player is great!"
+
+    def test_unanswerable_feature(self, engine):
+        # bitrate exists in G but no wrapper provides it.
+        query = """
+        SELECT ?x WHERE {
+            VALUES (?x) { (sup:bitrate) }
+            sup:InfoMonitor G:hasFeature sup:bitrate
+        }
+        """
+        with pytest.raises(UnanswerableQueryError):
+            engine.answer(query)
+
+    def test_explain_includes_ucq(self, engine):
+        text = engine.explain(EXEMPLARY_QUERY)
+        assert "final UCQ" in text
+        assert "w1" in text and "w3" in text
+
+    def test_single_concept_query(self, engine):
+        query = """
+        SELECT ?x ?y WHERE {
+            VALUES (?x ?y) { (sup:monitorId sup:lagRatio) }
+            sup:Monitor G:hasFeature sup:monitorId .
+            sup:Monitor sup:generatesQoS sup:InfoMonitor .
+            sup:InfoMonitor G:hasFeature sup:lagRatio
+        }
+        """
+        table = engine.answer(query)
+        rows = sorted(table.as_tuples(["monitorId", "lagRatio"]))
+        assert rows == [(12, 0.75), (12, 0.9), (18, 0.1)]
+
+    def test_distinct_flag(self, evolved_engine):
+        distinct = evolved_engine.answer(EXEMPLARY_QUERY, distinct=True)
+        bag = evolved_engine.answer(EXEMPLARY_QUERY, distinct=False)
+        assert len(bag) >= len(distinct)

@@ -1,0 +1,95 @@
+"""Unit tests for Algorithm 2 (well-formed queries)."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY
+from repro.errors import (
+    CyclicQueryError, MalformedQueryError, NoIdentifierError,
+)
+from repro.query.omq import OMQ, parse_omq
+from repro.query.well_formed import is_well_formed, well_formed_query
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import DUV, G as G_NS, SC, SUP
+
+#: Code 9 of the paper — projects concepts, hence not well-formed.
+CODE9 = """
+SELECT ?x ?y ?z
+FROM <http://www.essi.upc.edu/~snadal/BDIOntology/Global>
+WHERE {
+    VALUES (?x ?y ?z) {
+        (sc:SoftwareApplication sup:Monitor sup:FeedbackGathering)
+    }
+    sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+    sc:SoftwareApplication sup:hasFGTool sup:FeedbackGathering
+}
+"""
+
+
+class TestAlreadyWellFormed:
+    def test_exemplary_query_unchanged(self, ontology):
+        omq = parse_omq(EXEMPLARY_QUERY)
+        result = well_formed_query(ontology, omq)
+        assert result.pi == omq.pi
+        assert result.phi == omq.phi
+
+    def test_is_well_formed_predicate(self, ontology):
+        assert is_well_formed(ontology, parse_omq(EXEMPLARY_QUERY))
+        assert not is_well_formed(ontology, parse_omq(CODE9))
+
+
+class TestConceptSubstitution:
+    def test_code9_becomes_code10(self, ontology):
+        """The paper's Code 9 → Code 10 rewriting."""
+        result = well_formed_query(ontology, parse_omq(CODE9))
+        assert set(result.pi) == {
+            SUP.applicationId, SUP.monitorId, SUP.feedbackGatheringId}
+        # φ gained the three hasFeature triples of Code 10.
+        assert result.phi.contains(SC.SoftwareApplication,
+                                   G_NS.hasFeature, SUP.applicationId)
+        assert result.phi.contains(SUP.Monitor, G_NS.hasFeature,
+                                   SUP.monitorId)
+        assert result.phi.contains(SUP.FeedbackGathering,
+                                   G_NS.hasFeature,
+                                   SUP.feedbackGatheringId)
+
+    def test_input_not_mutated(self, ontology):
+        omq = parse_omq(CODE9)
+        well_formed_query(ontology, omq)
+        assert SC.SoftwareApplication in omq.pi
+
+    def test_concept_without_id_rejected(self, ontology):
+        # InfoMonitor has no ID feature.
+        query = OMQ(
+            pi=[SUP.InfoMonitor],
+            phi=Graph([(SUP.Monitor, SUP.generatesQoS, SUP.InfoMonitor)]))
+        with pytest.raises(NoIdentifierError):
+            well_formed_query(ontology, query)
+
+
+class TestRejections:
+    def test_cyclic_pattern_rejected(self, ontology):
+        query = OMQ(
+            pi=[SUP.monitorId],
+            phi=Graph([
+                (SUP.Monitor, SUP.generatesQoS, SUP.InfoMonitor),
+                (SUP.InfoMonitor, SUP.generatesQoS, SUP.Monitor),
+                (SUP.Monitor, G_NS.hasFeature, SUP.monitorId),
+            ]))
+        with pytest.raises(CyclicQueryError):
+            well_formed_query(ontology, query)
+
+    def test_unknown_projection_rejected(self, ontology):
+        from repro.rdf.term import IRI
+        ghost = IRI("http://x/ghost")
+        query = OMQ(
+            pi=[ghost],
+            phi=Graph([(SUP.Monitor, G_NS.hasFeature, ghost)]))
+        with pytest.raises(MalformedQueryError, match="neither"):
+            well_formed_query(ontology, query)
+
+    def test_projected_feature_must_be_in_phi(self, ontology):
+        query = OMQ(
+            pi=[SUP.lagRatio],
+            phi=Graph([(SUP.Monitor, SUP.generatesQoS, SUP.InfoMonitor)]))
+        with pytest.raises(MalformedQueryError, match="not part of φ"):
+            well_formed_query(ontology, query)

@@ -1,0 +1,105 @@
+"""Unit tests for named-graph datasets."""
+
+import pytest
+
+from repro.errors import GraphNotFoundError
+from repro.rdf.dataset import Dataset
+from repro.rdf.term import IRI
+from repro.rdf.triple import Quad
+
+A, B, P = IRI("http://x/a"), IRI("http://x/b"), IRI("http://x/p")
+G1, G2 = IRI("http://g/1"), IRI("http://g/2")
+
+
+@pytest.fixture()
+def dataset():
+    ds = Dataset()
+    ds.graph(G1).add((A, P, B))
+    ds.graph(G2).add((B, P, A))
+    ds.default_graph.add((A, P, A))
+    return ds
+
+
+class TestGraphManagement:
+    def test_graph_creates_on_demand(self):
+        ds = Dataset()
+        g = ds.graph("http://g/new")
+        assert len(g) == 0
+        assert ds.has_graph("http://g/new")
+
+    def test_get_graph_strict(self, dataset):
+        assert dataset.get_graph(G1).contains(A, P, B)
+        with pytest.raises(GraphNotFoundError):
+            dataset.get_graph("http://g/absent")
+
+    def test_none_returns_default(self, dataset):
+        assert dataset.graph(None) is dataset.default_graph
+
+    def test_remove_graph(self, dataset):
+        assert dataset.remove_graph(G1) is True
+        assert not dataset.has_graph(G1)
+        assert dataset.remove_graph(G1) is False
+
+    def test_graph_names_sorted(self, dataset):
+        assert dataset.graph_names() == sorted([G1, G2])
+
+
+class TestQuads:
+    def test_quad_count(self, dataset):
+        assert dataset.quad_count() == 3
+        assert len(dataset) == 3
+
+    def test_quads_everywhere(self, dataset):
+        quads = list(dataset.quads())
+        assert len(quads) == 3
+        graphs = {q.graph for q in quads}
+        assert graphs == {None, G1, G2}
+
+    def test_quads_default_only(self, dataset):
+        quads = list(dataset.quads(graph=None))
+        assert len(quads) == 1
+        assert quads[0].graph is None
+
+    def test_quads_named_only(self, dataset):
+        quads = list(dataset.quads(graph=G1))
+        assert quads == [Quad(A, P, B, G1)]
+
+    def test_quads_pattern(self, dataset):
+        quads = list(dataset.quads(A, P, None))
+        assert len(quads) == 2  # in default and G1
+
+    def test_add_quad(self):
+        ds = Dataset()
+        ds.add_quad((A, P, B, G1))
+        assert ds.graph(G1).contains(A, P, B)
+
+    def test_add_quad_default(self):
+        ds = Dataset()
+        ds.add_quad(Quad(A, P, B, None))
+        assert ds.default_graph.contains(A, P, B)
+
+
+class TestGraphsContaining:
+    def test_finds_named_graphs(self, dataset):
+        assert dataset.graphs_containing(A, P, B) == [G1]
+        assert dataset.graphs_containing(None, P, None) == [G1, G2]
+
+    def test_ignores_default_graph(self, dataset):
+        # (A, P, A) lives only in the default graph.
+        assert dataset.graphs_containing(A, P, A) == []
+
+
+class TestUnionGraph:
+    def test_union_all(self, dataset):
+        union = dataset.union_graph()
+        assert len(union) == 3
+
+    def test_union_selected(self, dataset):
+        union = dataset.union_graph([G1])
+        assert len(union) == 1
+        assert union.contains(A, P, B)
+
+    def test_union_is_a_copy(self, dataset):
+        union = dataset.union_graph()
+        union.add((B, P, B))
+        assert dataset.quad_count() == 3

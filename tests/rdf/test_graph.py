@@ -1,0 +1,161 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.graph import Graph
+from repro.rdf.term import IRI, Literal, Variable
+from repro.rdf.triple import Triple
+
+A = IRI("http://x/a")
+B = IRI("http://x/b")
+C = IRI("http://x/c")
+P = IRI("http://x/p")
+Q = IRI("http://x/q")
+
+
+@pytest.fixture()
+def graph():
+    g = Graph()
+    g.add((A, P, B))
+    g.add((A, P, C))
+    g.add((B, Q, C))
+    g.add((A, Q, Literal("v")))
+    return g
+
+
+class TestMutation:
+    def test_add_is_idempotent(self, graph):
+        size = len(graph)
+        graph.add((A, P, B))
+        assert len(graph) == size
+
+    def test_remove_existing(self, graph):
+        assert graph.remove((A, P, B)) is True
+        assert (A, P, B) not in graph
+
+    def test_remove_missing_returns_false(self, graph):
+        assert graph.remove((C, P, A)) is False
+
+    def test_remove_cleans_indexes(self):
+        g = Graph()
+        g.add((A, P, B))
+        g.remove((A, P, B))
+        assert list(g.match(A, None, None)) == []
+        assert list(g.match(None, P, None)) == []
+        assert list(g.match(None, None, B)) == []
+        assert len(g) == 0
+
+    def test_remove_matching(self, graph):
+        removed = graph.remove_matching(A, None, None)
+        assert removed == 3
+        assert not graph.contains(A, None, None)
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert not graph
+
+    def test_rejects_variable_in_asserted_triple(self):
+        g = Graph()
+        with pytest.raises(TermError):
+            g.add(Triple(A, P, Variable("x")))
+
+    def test_rejects_literal_subject(self):
+        g = Graph()
+        with pytest.raises(TermError):
+            g.add((Literal("s"), P, B))
+
+
+class TestMatching:
+    def test_fully_bound(self, graph):
+        assert list(graph.match(A, P, B)) == [Triple(A, P, B)]
+
+    def test_spo_shapes(self, graph):
+        assert len(list(graph.match(A, None, None))) == 3
+        assert len(list(graph.match(A, P, None))) == 2
+
+    def test_pos_shapes(self, graph):
+        assert len(list(graph.match(None, P, None))) == 2
+        assert len(list(graph.match(None, Q, C))) == 1
+
+    def test_osp_shapes(self, graph):
+        assert len(list(graph.match(None, None, C))) == 2
+        assert len(list(graph.match(A, None, C))) == 1
+
+    def test_full_scan(self, graph):
+        assert len(list(graph.match())) == len(graph) == 4
+
+    def test_variables_act_as_wildcards(self, graph):
+        results = list(graph.match(Variable("s"), P, Variable("o")))
+        assert len(results) == 2
+
+    def test_contains_and_count(self, graph):
+        assert graph.contains(None, Q, None)
+        assert graph.count(None, Q, None) == 2
+        assert not graph.contains(C, None, None)
+
+    def test_subjects_objects_predicates(self, graph):
+        assert set(graph.subjects(P, None)) == {A}
+        assert set(graph.objects(A, P)) == {B, C}
+        assert set(graph.predicates(A, None)) == {P, Q}
+
+    def test_value_single_hole(self, graph):
+        assert graph.value(B, Q, None) == C
+        assert graph.value(None, Q, C) == B
+
+    def test_value_requires_exactly_one_hole(self, graph):
+        with pytest.raises(ValueError):
+            graph.value(None, None, C)
+
+    def test_value_missing_returns_none(self, graph):
+        assert graph.value(C, P, None) is None
+
+
+class TestSetAlgebra:
+    def test_union(self, graph):
+        other = Graph([(C, P, A)])
+        merged = graph | other
+        assert len(merged) == 5
+        assert len(graph) == 4  # unchanged
+
+    def test_intersection(self, graph):
+        other = Graph([(A, P, B), (C, P, A)])
+        common = graph.intersection(other)
+        assert len(common) == 1
+        assert (A, P, B) in common
+
+    def test_difference(self, graph):
+        other = Graph([(A, P, B)])
+        rest = graph.difference(other)
+        assert len(rest) == 3
+        assert (A, P, B) not in rest
+
+    def test_issubset(self, graph):
+        smaller = Graph([(A, P, B)])
+        assert smaller.issubset(graph)
+        assert smaller <= graph
+        assert not graph.issubset(smaller)
+
+    def test_equality_ignores_identifier(self):
+        g1 = Graph("http://g/1", [(A, P, B)])
+        g2 = Graph("http://g/2", [(A, P, B)])
+        assert g1 == g2
+
+    def test_copy_independent(self, graph):
+        clone = graph.copy()
+        clone.add((C, P, A))
+        assert len(graph) == 4
+        assert len(clone) == 5
+
+    def test_string_coercion_on_add(self):
+        g = Graph()
+        g.add(("http://x/s", "http://x/p", "http://x/o"))
+        assert g.contains(IRI("http://x/s"), None, None)
+
+    def test_python_native_object_becomes_literal(self):
+        g = Graph()
+        g.add((A, P, 42))
+        triple = next(iter(g))
+        assert isinstance(triple.o, Literal)
+        assert triple.o.to_python() == 42

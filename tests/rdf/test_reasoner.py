@@ -1,0 +1,127 @@
+"""Unit tests for RDFS entailment."""
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, RDFS, SC
+from repro.rdf.reasoner import (
+    RDFSView, materialize, subclass_closure, subclasses, superclasses,
+)
+from repro.rdf.term import IRI
+
+A, B, C, D = (IRI(f"http://x/{n}") for n in "abcd")
+P, Q = IRI("http://x/p"), IRI("http://x/q")
+X = IRI("http://x/instance")
+
+
+def taxonomy() -> Graph:
+    g = Graph()
+    g.add((A, RDFS.subClassOf, B))
+    g.add((B, RDFS.subClassOf, C))
+    g.add((X, RDF.type, A))
+    return g
+
+
+class TestClosures:
+    def test_superclasses_transitive(self):
+        assert superclasses(taxonomy(), A) == {B, C}
+
+    def test_superclasses_reflexive_option(self):
+        assert A in superclasses(taxonomy(), A, reflexive=True)
+
+    def test_subclasses_transitive(self):
+        assert subclasses(taxonomy(), C) == {A, B}
+
+    def test_subclass_closure_reflexive(self):
+        assert subclass_closure(taxonomy(), A, A)
+
+    def test_subclass_closure_path(self):
+        assert subclass_closure(taxonomy(), A, C)
+        assert not subclass_closure(taxonomy(), C, A)
+
+    def test_cycle_terminates(self):
+        g = Graph()
+        g.add((A, RDFS.subClassOf, B))
+        g.add((B, RDFS.subClassOf, A))
+        assert B in superclasses(g, A)
+        assert A not in superclasses(g, A)  # start excluded
+
+
+class TestMaterialize:
+    def test_rdfs11_subclass_transitivity(self):
+        closed = materialize(taxonomy())
+        assert closed.contains(A, RDFS.subClassOf, C)
+
+    def test_rdfs9_type_inheritance(self):
+        closed = materialize(taxonomy())
+        assert closed.contains(X, RDF.type, C)
+
+    def test_rdfs2_domain(self):
+        g = Graph()
+        g.add((P, RDFS.domain, C))
+        g.add((A, P, B))
+        closed = materialize(g)
+        assert closed.contains(A, RDF.type, C)
+
+    def test_rdfs3_range(self):
+        g = Graph()
+        g.add((P, RDFS.range, C))
+        g.add((A, P, B))
+        closed = materialize(g)
+        assert closed.contains(B, RDF.type, C)
+
+    def test_rdfs7_subproperty_inheritance(self):
+        g = Graph()
+        g.add((P, RDFS.subPropertyOf, Q))
+        g.add((A, P, B))
+        closed = materialize(g)
+        assert closed.contains(A, Q, B)
+
+    def test_original_graph_untouched(self):
+        g = taxonomy()
+        materialize(g)
+        assert not g.contains(A, RDFS.subClassOf, C)
+
+    def test_fixpoint_is_stable(self):
+        once = materialize(taxonomy())
+        twice = materialize(once)
+        assert once == twice
+
+
+class TestRDFSView:
+    def test_transitive_subclass_bound_subject(self):
+        view = RDFSView(taxonomy())
+        sups = {t.o for t in view.match(A, RDFS.subClassOf, None)}
+        assert sups == {B, C}
+
+    def test_transitive_subclass_bound_object(self):
+        view = RDFSView(taxonomy())
+        subs = {t.s for t in view.match(None, RDFS.subClassOf, C)}
+        assert subs == {A, B}
+
+    def test_transitive_subclass_fully_bound(self):
+        view = RDFSView(taxonomy())
+        assert view.contains(A, RDFS.subClassOf, C)
+
+    def test_inherited_type(self):
+        view = RDFSView(taxonomy())
+        assert view.contains(X, RDF.type, C)
+        types = {t.o for t in view.match(X, RDF.type, None)}
+        assert types == {A, B, C}
+
+    def test_instances_of_superclass(self):
+        view = RDFSView(taxonomy())
+        assert set(view.subjects(RDF.type, C)) == {X}
+
+    def test_plain_patterns_pass_through(self):
+        view = RDFSView(taxonomy())
+        assert view.contains(X, RDF.type, A)
+        assert not view.contains(X, P, None)
+
+    def test_identifier_taxonomy_like_paper(self):
+        # sup:monitorId ⊑ sc:identifier with an intermediate level.
+        g = Graph()
+        monitor_id = IRI("http://x/monitorId")
+        tool_id = IRI("http://x/toolId")
+        g.add((monitor_id, RDFS.subClassOf, tool_id))
+        g.add((tool_id, RDFS.subClassOf, SC.identifier))
+        view = RDFSView(g)
+        assert view.contains(monitor_id, RDFS.subClassOf, SC.identifier)

@@ -1,0 +1,156 @@
+"""Unit tests for Turtle parsing and serialization."""
+
+import pytest
+
+from repro.errors import TurtleSyntaxError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS, RDF, RDFS, XSD
+from repro.rdf.term import BlankNode, IRI, Literal
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+
+class TestParsing:
+    def test_simple_triple(self):
+        g = parse_turtle("<http://x/a> <http://x/p> <http://x/b> .")
+        assert len(g) == 1
+
+    def test_prefix_declaration(self):
+        g = parse_turtle("""
+            @prefix ex: <http://example.org/> .
+            ex:a ex:p ex:b .
+        """)
+        assert g.contains(IRI("http://example.org/a"), None, None)
+
+    def test_default_prefixes_preloaded(self):
+        g = parse_turtle("G:Concept a rdfs:Class .")
+        assert g.contains(G_NS.Concept, RDF.type, RDFS.Class)
+
+    def test_a_keyword(self):
+        g = parse_turtle("<http://x/a> a <http://x/T> .")
+        assert g.contains(None, RDF.type, None)
+
+    def test_predicate_list(self):
+        g = parse_turtle("""
+            <http://x/a> <http://x/p> <http://x/b> ;
+                         <http://x/q> <http://x/c> .
+        """)
+        assert len(g) == 2
+
+    def test_object_list(self):
+        g = parse_turtle(
+            "<http://x/a> <http://x/p> <http://x/b>, <http://x/c> .")
+        assert len(g) == 2
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle("<http://x/a> <http://x/p> <http://x/b> ; .")
+        assert len(g) == 1
+
+    def test_string_literal(self):
+        g = parse_turtle('<http://x/a> <http://x/p> "hello world" .')
+        triple = next(iter(g))
+        assert triple.o == Literal("hello world")
+
+    def test_escaped_string(self):
+        g = parse_turtle(r'<http://x/a> <http://x/p> "line\nbreak\t\"q\"" .')
+        triple = next(iter(g))
+        assert triple.o.lexical == 'line\nbreak\t"q"'
+
+    def test_lang_tag(self):
+        g = parse_turtle('<http://x/a> <http://x/p> "chat"@fr .')
+        assert next(iter(g)).o.lang == "fr"
+
+    def test_typed_literal(self):
+        g = parse_turtle(
+            '<http://x/a> <http://x/p> "5"^^xsd:integer .')
+        assert next(iter(g)).o.datatype == XSD.integer
+
+    def test_integer_shorthand(self):
+        g = parse_turtle("<http://x/a> <http://x/p> 42 .")
+        assert next(iter(g)).o == Literal(42)
+
+    def test_decimal_shorthand(self):
+        g = parse_turtle("<http://x/a> <http://x/p> 4.5 .")
+        assert next(iter(g)).o.datatype == XSD.decimal
+
+    def test_boolean_shorthand(self):
+        g = parse_turtle("<http://x/a> <http://x/p> true .")
+        assert next(iter(g)).o == Literal(True)
+
+    def test_blank_node_label(self):
+        g = parse_turtle("_:b0 <http://x/p> <http://x/b> .")
+        assert next(iter(g)).s == BlankNode("b0")
+
+    def test_comments_ignored(self):
+        g = parse_turtle("""
+            # full line comment
+            <http://x/a> <http://x/p> <http://x/b> . # trailing
+        """)
+        assert len(g) == 1
+
+    def test_unknown_prefix_errors(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle("nope:a nope:p nope:b .")
+
+    def test_missing_dot_errors(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse_turtle("<http://x/a> <http://x/p> <http://x/b>")
+
+    def test_error_carries_line(self):
+        try:
+            parse_turtle("<http://x/a> <http://x/p>\n@@@ .")
+        except TurtleSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected TurtleSyntaxError")
+
+    def test_base_resolution(self):
+        g = parse_turtle("""
+            @base <http://example.org/> .
+            <a> <p> <b> .
+        """)
+        assert g.contains(IRI("http://example.org/a"), None, None)
+
+
+class TestPaperListings:
+    def test_code6_global_vocabulary(self):
+        from repro.core.vocabulary import GLOBAL_VOCABULARY_TTL
+        g = parse_turtle(GLOBAL_VOCABULARY_TTL)
+        assert g.contains(G_NS.Concept, RDF.type, RDFS.Class)
+        assert g.contains(G_NS.hasFeature, RDFS.domain, G_NS.Concept)
+        assert g.contains(G_NS.hasFeature, RDFS.range, G_NS.Feature)
+
+    def test_code7_source_vocabulary(self):
+        from repro.core.vocabulary import SOURCE_VOCABULARY_TTL
+        from repro.rdf.namespace import S as S_NS
+        g = parse_turtle(SOURCE_VOCABULARY_TTL)
+        assert g.contains(S_NS.DataSource, RDF.type, RDFS.Class)
+        assert g.contains(S_NS.hasWrapper, RDFS.range, S_NS.Wrapper)
+        assert g.contains(S_NS.hasAttribute, RDFS.domain, S_NS.Wrapper)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_graph(self):
+        g = Graph()
+        g.add((IRI("http://x/a"), RDF.type, G_NS.Concept))
+        g.add((IRI("http://x/a"), IRI("http://x/p"), Literal("té\nxt")))
+        g.add((IRI("http://x/a"), IRI("http://x/q"), Literal(3)))
+        g.add((IRI("http://x/a"), IRI("http://x/q"), Literal("x", lang="en")))
+        text = serialize_turtle(g)
+        assert parse_turtle(text) == g
+
+    def test_serializer_groups_subjects(self):
+        g = Graph()
+        g.add((IRI("http://x/a"), IRI("http://x/p"), IRI("http://x/b")))
+        g.add((IRI("http://x/a"), IRI("http://x/q"), IRI("http://x/c")))
+        text = serialize_turtle(g)
+        assert text.count("<http://x/a>") == 1
+        assert ";" in text
+
+    def test_serializer_emits_only_used_prefixes(self):
+        g = Graph([(G_NS.Concept, RDF.type, RDFS.Class)])
+        text = serialize_turtle(g)
+        assert "@prefix G:" in text
+        assert "@prefix owl:" not in text
+
+    def test_empty_graph(self):
+        assert serialize_turtle(Graph()) == ""

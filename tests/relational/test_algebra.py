@@ -1,0 +1,162 @@
+"""Unit tests for the restricted relational algebra."""
+
+import pytest
+
+from repro.errors import (
+    InvalidJoinError, InvalidProjectionError, SchemaError,
+)
+from repro.relational.algebra import (
+    FinalProject, Join, Project, Scan, Union, evaluate,
+)
+from repro.relational.rows import Relation
+from repro.relational.schema import RelationSchema
+
+W1 = RelationSchema.of("w1", ids=["D1/id"], non_ids=["D1/x", "D1/y"],
+                       source="D1")
+W3 = RelationSchema.of("w3", ids=["D3/app", "D3/mid"], non_ids=[],
+                       source="D3")
+
+
+@pytest.fixture()
+def provider():
+    return {
+        "w1": Relation(W1, [
+            {"D1/id": 1, "D1/x": "a", "D1/y": 10},
+            {"D1/id": 2, "D1/x": "b", "D1/y": 20},
+        ]),
+        "w3": Relation(W3, [
+            {"D3/app": 100, "D3/mid": 1},
+            {"D3/app": 200, "D3/mid": 2},
+            {"D3/app": 300, "D3/mid": 9},
+        ]),
+    }
+
+
+class TestScan:
+    def test_returns_rows(self, provider):
+        assert len(Scan(W1).evaluate(provider)) == 2
+
+    def test_missing_relation_errors(self, provider):
+        with pytest.raises(SchemaError):
+            Scan(RelationSchema.of("nope", ids=["i"])).evaluate(provider)
+
+    def test_missing_attributes_detected(self, provider):
+        fat = RelationSchema.of("w1", ids=["D1/id"],
+                                non_ids=["D1/x", "D1/z"])
+        with pytest.raises(SchemaError, match="missing"):
+            Scan(fat).evaluate(provider)
+
+    def test_notation(self):
+        assert Scan(W1).notation() == "w1"
+
+
+class TestProject:
+    def test_keeps_all_ids(self, provider):
+        out = Project(Scan(W1), ["D1/x"]).evaluate(provider)
+        assert set(out.schema.attribute_names) == {"D1/id", "D1/x"}
+
+    def test_empty_projection_keeps_only_ids(self, provider):
+        out = Project(Scan(W1), []).evaluate(provider)
+        assert set(out.schema.attribute_names) == {"D1/id"}
+
+    def test_rejects_projecting_ids_explicitly(self):
+        with pytest.raises(InvalidProjectionError):
+            Project(Scan(W1), ["D1/id"])
+
+    def test_rejects_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Project(Scan(W1), ["D1/zzz"])
+
+    def test_wrappers(self):
+        assert Project(Scan(W1), []).wrappers() == {"w1"}
+
+
+class TestJoin:
+    def test_equi_join_on_ids(self, provider):
+        expr = Join(Scan(W1), Scan(W3), [("D1/id", "D3/mid")])
+        out = expr.evaluate(provider)
+        assert len(out) == 2
+        apps = sorted(r["D3/app"] for r in out)
+        assert apps == [100, 200]
+
+    def test_join_requires_conditions(self):
+        with pytest.raises(InvalidJoinError):
+            Join(Scan(W1), Scan(W3), [])
+
+    def test_join_rejects_non_id_left(self):
+        with pytest.raises(InvalidJoinError):
+            Join(Scan(W1), Scan(W3), [("D1/x", "D3/mid")])
+
+    def test_join_rejects_non_id_right(self):
+        w = RelationSchema.of("w9", ids=["D9/i"], non_ids=["D9/v"],
+                              source="D9")
+        with pytest.raises(InvalidJoinError):
+            Join(Scan(W1), Scan(w), [("D1/id", "D9/v")])
+
+    def test_join_rejects_name_overlap(self):
+        clone = RelationSchema.of("w1b", ids=["D1/id"], non_ids=[],
+                                  source="D1b")
+        with pytest.raises(SchemaError, match="share attribute names"):
+            Join(Scan(W1), Scan(clone), [("D1/id", "D1/id")])
+
+    def test_output_schema_concatenates(self):
+        expr = Join(Scan(W1), Scan(W3), [("D1/id", "D3/mid")])
+        assert set(expr.schema().attribute_names) == {
+            "D1/id", "D1/x", "D1/y", "D3/app", "D3/mid"}
+
+    def test_multi_condition_join(self, provider):
+        left = RelationSchema.of("l", ids=["L/a", "L/b"], source="L")
+        right = RelationSchema.of("r", ids=["R/a", "R/b"], source="R")
+        data = {
+            "l": Relation(left, [{"L/a": 1, "L/b": 1},
+                                 {"L/a": 1, "L/b": 2}]),
+            "r": Relation(right, [{"R/a": 1, "R/b": 1}]),
+        }
+        expr = Join(Scan(left), Scan(right),
+                    [("L/a", "R/a"), ("L/b", "R/b")])
+        assert len(expr.evaluate(data)) == 1
+
+
+class TestFinalProject:
+    def test_renames_and_drops_ids(self, provider):
+        expr = FinalProject(Scan(W1), {"value": "D1/x"})
+        out = expr.evaluate(provider)
+        assert out.schema.attribute_names == ("value",)
+        assert sorted(out.column("value")) == ["a", "b"]
+
+    def test_validates_targets(self):
+        with pytest.raises(SchemaError):
+            FinalProject(Scan(W1), {"v": "D1/zzz"})
+
+
+class TestUnion:
+    def test_union_distinct(self, provider):
+        branch = FinalProject(Scan(W1), {"v": "D1/x"})
+        expr = Union([branch, branch])
+        assert len(expr.evaluate(provider)) == 2  # deduplicated
+
+    def test_union_bag(self, provider):
+        branch = FinalProject(Scan(W1), {"v": "D1/x"})
+        expr = Union([branch, branch], distinct=False)
+        assert len(expr.evaluate(provider)) == 4
+
+    def test_union_requires_compatible_schemas(self, provider):
+        b1 = FinalProject(Scan(W1), {"v": "D1/x"})
+        b2 = FinalProject(Scan(W1), {"w": "D1/x"})
+        with pytest.raises(SchemaError):
+            Union([b1, b2])
+
+    def test_union_requires_branches(self):
+        with pytest.raises(SchemaError):
+            Union([])
+
+    def test_wrappers_across_branches(self, provider):
+        b1 = FinalProject(Scan(W1), {"v": "D1/x"})
+        b2 = FinalProject(Scan(W3), {"v": "D3/app"})
+        assert Union([b1, b2]).wrappers() == {"w1", "w3"}
+
+
+class TestEvaluateHelper:
+    def test_callable_provider(self, provider):
+        out = evaluate(Scan(W1), lambda name: provider[name])
+        assert len(out) == 2

@@ -1,0 +1,93 @@
+"""Unit tests for relation instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.rows import Relation, render_table
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema.of("r", ids=["id"], non_ids=["v"])
+
+
+class TestRelation:
+    def test_append_and_len(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        rel.append({"id": 2, "v": "b"})
+        assert len(rel) == 2
+
+    def test_rejects_missing_attribute(self):
+        rel = Relation(SCHEMA)
+        with pytest.raises(SchemaError, match="missing"):
+            rel.append({"id": 1})
+
+    def test_rejects_extra_attribute(self):
+        rel = Relation(SCHEMA)
+        with pytest.raises(SchemaError, match="unexpected"):
+            rel.append({"id": 1, "v": "a", "w": 2})
+
+    def test_rows_returns_copies(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        rel.rows.clear()
+        assert len(rel) == 1
+
+    def test_column(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}, {"id": 2, "v": "b"}])
+        assert rel.column("v") == ["a", "b"]
+        with pytest.raises(SchemaError):
+            rel.column("nope")
+
+    def test_distinct(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"},
+                                {"id": 1, "v": "a"},
+                                {"id": 2, "v": "b"}])
+        assert len(rel.distinct()) == 2
+
+    def test_sorted_by(self):
+        rel = Relation(SCHEMA, [{"id": 2, "v": "b"}, {"id": 1, "v": "a"}])
+        assert rel.sorted_by("id").column("id") == [1, 2]
+
+    def test_where(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}, {"id": 2, "v": "b"}])
+        assert len(rel.where(lambda r: r["id"] > 1)) == 1
+
+    def test_as_tuples(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        assert rel.as_tuples() == [(1, "a")]
+        assert rel.as_tuples(["v"]) == [("a",)]
+
+    def test_bag_equality_order_insensitive(self):
+        r1 = Relation(SCHEMA, [{"id": 1, "v": "a"}, {"id": 2, "v": "b"}])
+        r2 = Relation(SCHEMA, [{"id": 2, "v": "b"}, {"id": 1, "v": "a"}])
+        assert r1 == r2
+
+    def test_bag_equality_counts_duplicates(self):
+        r1 = Relation(SCHEMA, [{"id": 1, "v": "a"}, {"id": 1, "v": "a"}])
+        r2 = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        assert r1 != r2
+
+    def test_equality_requires_same_attributes(self):
+        other_schema = RelationSchema.of("o", ids=["id"], non_ids=["w"])
+        r1 = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        r2 = Relation(other_schema, [{"id": 1, "w": "a"}])
+        assert r1 != r2
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["a", "b"], [{"a": 1, "b": "xy"}])
+        assert "| a " in text
+        assert "| 1 " in text
+        assert "xy" in text
+
+    def test_max_rows_footer(self):
+        rows = [{"a": i} for i in range(10)]
+        text = render_table(["a"], rows, max_rows=3)
+        assert "7 more rows" in text
+
+    def test_title(self):
+        text = render_table(["a"], [], title="w1")
+        assert text.startswith("w1")
+
+    def test_to_ascii_uses_schema_name(self):
+        rel = Relation(SCHEMA, [{"id": 1, "v": "a"}])
+        assert rel.to_ascii().startswith("r")

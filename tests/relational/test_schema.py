@@ -1,0 +1,68 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, RelationSchema
+
+
+class TestAttribute:
+    def test_defaults_to_non_id(self):
+        assert Attribute("a").is_id is False
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str(self):
+        assert str(Attribute("x", True)) == "x"
+
+    def test_ordering(self):
+        assert Attribute("a") < Attribute("b")
+
+
+class TestRelationSchema:
+    def test_of_constructor(self):
+        s = RelationSchema.of("w1", ids=["id"], non_ids=["v"], source="D1")
+        assert s.id_names == {"id"}
+        assert s.non_id_names == {"v"}
+        assert s.source == "D1"
+
+    def test_paper_notation(self):
+        s = RelationSchema.of("w1", ids=["VoDmonitorId"],
+                              non_ids=["lagRatio"])
+        assert s.notation() == "w1({VoDmonitorId}, {lagRatio})"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("w", (Attribute("a"), Attribute("a", True)))
+
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", (Attribute("a"),))
+
+    def test_contains(self):
+        s = RelationSchema.of("w", ids=["id"])
+        assert "id" in s
+        assert "other" not in s
+
+    def test_attribute_lookup(self):
+        s = RelationSchema.of("w", ids=["id"], non_ids=["v"])
+        assert s.attribute("id").is_id
+        assert not s.attribute("v").is_id
+        with pytest.raises(SchemaError):
+            s.attribute("missing")
+
+    def test_is_id_attribute(self):
+        s = RelationSchema.of("w", ids=["id"], non_ids=["v"])
+        assert s.is_id_attribute("id")
+        assert not s.is_id_attribute("v")
+
+    def test_iteration_order(self):
+        s = RelationSchema.of("w", ids=["a", "b"], non_ids=["c"])
+        assert [x.name for x in s] == ["a", "b", "c"]
+
+    def test_source_not_part_of_equality(self):
+        s1 = RelationSchema.of("w", ids=["a"], source="D1")
+        s2 = RelationSchema.of("w", ids=["a"], source="D2")
+        assert s1 == s2

@@ -1,0 +1,192 @@
+"""Unit tests for the document store and its aggregation subset."""
+
+import pytest
+
+from repro.errors import AggregationError, UnknownCollectionError
+from repro.sources.document_store import DocumentStore, aggregate
+
+DOCS = [
+    {"monitorId": 12, "waitTime": 3, "watchTime": 4,
+     "meta": {"region": "eu"}},
+    {"monitorId": 12, "waitTime": 9, "watchTime": 10,
+     "meta": {"region": "us"}},
+    {"monitorId": 18, "waitTime": 1, "watchTime": 10,
+     "meta": {"region": "eu"}},
+]
+
+
+class TestCollections:
+    def test_insert_assigns_ids(self):
+        store = DocumentStore()
+        doc = store.collection("c").insert_one({"a": 1})
+        assert doc["_id"] == 1
+
+    def test_insert_many_counts(self):
+        store = DocumentStore()
+        assert store.collection("c").insert_many(DOCS) == 3
+        assert len(store.collection("c")) == 3
+
+    def test_find_with_query(self):
+        store = DocumentStore()
+        store.collection("c").insert_many(DOCS)
+        assert len(store.collection("c").find({"monitorId": 12})) == 2
+
+    def test_get_collection_strict(self):
+        store = DocumentStore()
+        with pytest.raises(UnknownCollectionError):
+            store.get_collection("absent")
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("c")
+        assert store.drop_collection("c") is True
+        assert "c" not in store
+
+    def test_delete_many(self):
+        store = DocumentStore()
+        c = store.collection("c")
+        c.insert_many(DOCS)
+        assert c.delete_many({"monitorId": 12}) == 2
+        assert len(c) == 1
+
+
+class TestMatch:
+    def test_equality(self):
+        assert len(aggregate(DOCS, [{"$match": {"monitorId": 18}}])) == 1
+
+    def test_comparison_operators(self):
+        out = aggregate(DOCS, [{"$match": {"waitTime": {"$gte": 3}}}])
+        assert len(out) == 2
+
+    def test_in_nin(self):
+        assert len(aggregate(
+            DOCS, [{"$match": {"monitorId": {"$in": [18, 99]}}}])) == 1
+        assert len(aggregate(
+            DOCS, [{"$match": {"monitorId": {"$nin": [18]}}}])) == 2
+
+    def test_exists(self):
+        out = aggregate(DOCS, [{"$match": {"bogus": {"$exists": False}}}])
+        assert len(out) == 3
+
+    def test_nested_path(self):
+        out = aggregate(DOCS, [{"$match": {"meta.region": "eu"}}])
+        assert len(out) == 2
+
+    def test_or(self):
+        out = aggregate(DOCS, [{"$match": {"$or": [
+            {"monitorId": 18}, {"waitTime": 9}]}}])
+        assert len(out) == 2
+
+    def test_regex(self):
+        docs = [{"t": "hello world"}, {"t": "bye"}]
+        out = aggregate(docs, [{"$match": {"t": {"$regex": "^hel"}}}])
+        assert len(out) == 1
+
+    def test_unknown_operator(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$match": {"waitTime": {"$mod": 2}}}])
+
+
+class TestProject:
+    def test_paper_code2_pipeline(self):
+        out = aggregate(DOCS, [{"$project": {
+            "_id": 0,
+            "VoDmonitorId": "$monitorId",
+            "lagRatio": {"$divide": ["$waitTime", "$watchTime"]},
+        }}])
+        assert out[0] == {"VoDmonitorId": 12, "lagRatio": 0.75}
+        assert out[2]["lagRatio"] == 0.1
+
+    def test_inclusion(self):
+        out = aggregate(DOCS, [{"$project": {"monitorId": 1}}])
+        assert set(out[0]) == {"monitorId"}
+
+    def test_arithmetic(self):
+        out = aggregate([{"a": 6, "b": 2}], [{"$project": {
+            "sum": {"$add": ["$a", "$b"]},
+            "diff": {"$subtract": ["$a", "$b"]},
+            "prod": {"$multiply": ["$a", "$b"]},
+        }}])
+        assert out[0] == {"sum": 8, "diff": 4, "prod": 12}
+
+    def test_concat_and_case(self):
+        out = aggregate([{"a": "Ab", "b": "cD"}], [{"$project": {
+            "joined": {"$concat": ["$a", "-", "$b"]},
+            "low": {"$toLower": "$a"},
+            "up": {"$toUpper": "$b"},
+        }}])
+        assert out[0] == {"joined": "Ab-cD", "low": "ab", "up": "CD"}
+
+    def test_if_null_and_literal(self):
+        out = aggregate([{"a": None}], [{"$project": {
+            "v": {"$ifNull": ["$a", "fallback"]},
+            "l": {"$literal": "$a"},
+        }}])
+        assert out[0] == {"v": "fallback", "l": "$a"}
+
+    def test_divide_by_zero(self):
+        with pytest.raises(AggregationError):
+            aggregate([{"a": 1, "b": 0}],
+                      [{"$project": {"r": {"$divide": ["$a", "$b"]}}}])
+
+    def test_divide_non_numeric(self):
+        with pytest.raises(AggregationError):
+            aggregate([{"a": "x", "b": 1}],
+                      [{"$project": {"r": {"$divide": ["$a", "$b"]}}}])
+
+
+class TestOtherStages:
+    def test_sort_skip_limit(self):
+        out = aggregate(DOCS, [
+            {"$sort": {"waitTime": -1}},
+            {"$skip": 1},
+            {"$limit": 1},
+        ])
+        assert out[0]["waitTime"] == 3
+
+    def test_unwind(self):
+        docs = [{"id": 1, "tags": ["a", "b"]}]
+        out = aggregate(docs, [{"$unwind": "$tags"}])
+        assert [d["tags"] for d in out] == ["a", "b"]
+
+    def test_group_sum_avg(self):
+        out = aggregate(DOCS, [{"$group": {
+            "_id": "$monitorId",
+            "n": {"$sum": 1},
+            "avg_wait": {"$avg": "$waitTime"},
+        }}])
+        by_id = {d["_id"]: d for d in out}
+        assert by_id[12]["n"] == 2
+        assert by_id[12]["avg_wait"] == 6
+        assert by_id[18]["n"] == 1
+
+    def test_group_min_max_push(self):
+        out = aggregate(DOCS, [{"$group": {
+            "_id": None,
+            "lo": {"$min": "$waitTime"},
+            "hi": {"$max": "$waitTime"},
+            "all": {"$push": "$monitorId"},
+        }}])
+        assert out[0]["lo"] == 1 and out[0]["hi"] == 9
+        assert sorted(out[0]["all"]) == [12, 12, 18]
+
+    def test_group_requires_id(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$group": {"n": {"$sum": 1}}}])
+
+    def test_count(self):
+        out = aggregate(DOCS, [{"$count": "total"}])
+        assert out == [{"total": 3}]
+
+    def test_unknown_stage(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$lookup": {}}])
+
+    def test_stage_shape_validation(self):
+        with pytest.raises(AggregationError):
+            aggregate(DOCS, [{"$match": {}, "$limit": 1}])
+
+    def test_pipeline_does_not_mutate_input(self):
+        docs = [{"a": 1}]
+        aggregate(docs, [{"$project": {"b": "$a"}}])
+        assert docs == [{"a": 1}]

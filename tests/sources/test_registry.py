@@ -1,0 +1,102 @@
+"""Unit tests for the source registry and generators."""
+
+import pytest
+
+from repro.errors import SourceError
+from repro.sources.generators import (
+    application_relationships, feedback_events, vod_monitor_events,
+)
+from repro.sources.registry import DataSource, SourceRegistry
+from repro.wrappers.base import StaticWrapper
+
+
+def wrapper(name="w1", source="D1"):
+    return StaticWrapper(name, source, ["id"], [], [{"id": 1}])
+
+
+class TestDataSource:
+    def test_register_and_get(self):
+        d = DataSource("D1")
+        w = wrapper()
+        d.register_wrapper(w)
+        assert d.wrapper("w1") is w
+        assert len(d) == 1
+
+    def test_duplicate_wrapper_rejected(self):
+        d = DataSource("D1")
+        d.register_wrapper(wrapper())
+        with pytest.raises(SourceError):
+            d.register_wrapper(wrapper())
+
+    def test_source_name_mismatch(self):
+        d = DataSource("D1")
+        with pytest.raises(SourceError):
+            d.register_wrapper(wrapper(source="D2"))
+
+    def test_invalid_names(self):
+        with pytest.raises(SourceError):
+            DataSource("")
+        with pytest.raises(SourceError):
+            DataSource("a/b")
+
+    def test_wrappers_sorted(self):
+        d = DataSource("D1")
+        d.register_wrapper(wrapper("w2"))
+        d.register_wrapper(wrapper("w1"))
+        assert [w.name for w in d.wrappers()] == ["w1", "w2"]
+
+
+class TestSourceRegistry:
+    def test_source_of(self):
+        reg = SourceRegistry()
+        d1 = reg.add(DataSource("D1"))
+        w = wrapper()
+        d1.register_wrapper(w)
+        assert reg.source_of(w) is d1
+
+    def test_duplicate_source_rejected(self):
+        reg = SourceRegistry([DataSource("D1")])
+        with pytest.raises(SourceError):
+            reg.add(DataSource("D1"))
+
+    def test_get_or_create(self):
+        reg = SourceRegistry()
+        d = reg.get_or_create("D9")
+        assert reg.get_or_create("D9") is d
+
+    def test_wrapper_lookup_across_sources(self):
+        reg = SourceRegistry()
+        reg.get_or_create("D1").register_wrapper(wrapper("w1"))
+        reg.get_or_create("D2").register_wrapper(wrapper("w2", "D2"))
+        assert reg.wrapper("w2").source_name == "D2"
+        with pytest.raises(SourceError):
+            reg.wrapper("w9")
+
+    def test_all_wrappers_deterministic(self):
+        reg = SourceRegistry()
+        reg.get_or_create("D2").register_wrapper(wrapper("wb", "D2"))
+        reg.get_or_create("D1").register_wrapper(wrapper("wa"))
+        assert [w.name for w in reg.all_wrappers()] == ["wa", "wb"]
+
+
+class TestGenerators:
+    def test_vod_events_shape(self):
+        events = vod_monitor_events(4, seed=1)
+        assert len(events) == 4
+        assert set(events[0]) == {"monitorId", "timestamp", "bitrate",
+                                  "waitTime", "watchTime"}
+
+    def test_vod_deterministic(self):
+        assert vod_monitor_events(3, seed=5) == vod_monitor_events(3, seed=5)
+
+    def test_vod_watch_time_positive(self):
+        assert all(e["watchTime"] >= 1
+                   for e in vod_monitor_events(50, seed=2))
+
+    def test_feedback_alternates_ids(self):
+        events = feedback_events(4, gathering_ids=(7, 8), seed=0)
+        assert [e["feedbackGatheringId"] for e in events] == [7, 8, 7, 8]
+
+    def test_relationships_cover_apps(self):
+        rows = application_relationships(5, seed=0)
+        assert [r["appId"] for r in rows] == [1, 2, 3, 4, 5]

@@ -1,0 +1,115 @@
+"""Unit tests for the simulated REST APIs."""
+
+import pytest
+
+from repro.errors import EndpointError, UnknownVersionError
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+
+
+def posts_endpoint() -> Endpoint:
+    ep = Endpoint("GET /posts")
+    ep.add_version(ApiVersion("1", [FieldSpec("ID", "int"),
+                                    FieldSpec("title", "string")]))
+    ep.add_version(ApiVersion("2", [FieldSpec("id", "int"),
+                                    FieldSpec("title", "string")]))
+    ep.add_version(ApiVersion("2.1", [FieldSpec("id", "int"),
+                                      FieldSpec("title", "string"),
+                                      FieldSpec("template", "string")]))
+    return ep
+
+
+class TestApiVersion:
+    def test_field_names(self):
+        v = ApiVersion("1", [FieldSpec("a"), FieldSpec("b")])
+        assert v.field_names() == ["a", "b"]
+
+    def test_generation_is_deterministic(self):
+        v = ApiVersion("1", [FieldSpec("a", "int")])
+        assert v.generate_documents(5, seed=7) == \
+            v.generate_documents(5, seed=7)
+
+    def test_generation_differs_by_seed(self):
+        v = ApiVersion("1", [FieldSpec("a", "int")])
+        assert v.generate_documents(5, seed=1) != \
+            v.generate_documents(5, seed=2)
+
+    def test_field_types(self):
+        v = ApiVersion("1", [
+            FieldSpec("i", "int"), FieldSpec("f", "float"),
+            FieldSpec("b", "bool"), FieldSpec("t", "timestamp"),
+            FieldSpec("s", "string"),
+        ])
+        doc = v.generate_documents(1)[0]
+        assert isinstance(doc["i"], int)
+        assert isinstance(doc["f"], float)
+        assert isinstance(doc["b"], bool)
+        assert doc["t"] >= 1_475_000_000
+        assert isinstance(doc["s"], str)
+
+    def test_custom_generator(self):
+        v = ApiVersion("1", [FieldSpec("k", generator=lambda rng, i: i)])
+        docs = v.generate_documents(3)
+        assert [d["k"] for d in docs] == [0, 1, 2]
+
+    def test_copy_with(self):
+        v = ApiVersion("1", [FieldSpec("a")])
+        v2 = v.copy_with("2")
+        assert v2.version == "2"
+        assert v2.field_names() == ["a"]
+
+
+class TestEndpoint:
+    def test_duplicate_version_rejected(self):
+        ep = posts_endpoint()
+        with pytest.raises(EndpointError):
+            ep.add_version(ApiVersion("1", []))
+
+    def test_unknown_version(self):
+        with pytest.raises(UnknownVersionError):
+            posts_endpoint().version("9")
+
+    def test_latest_version_numeric_ordering(self):
+        assert posts_endpoint().latest_version().version == "2.1"
+
+    def test_latest_requires_any_version(self):
+        with pytest.raises(EndpointError):
+            Endpoint("GET /x").latest_version()
+
+    def test_fetch_specific_version(self):
+        docs = posts_endpoint().fetch("1", count=2)
+        assert set(docs[0]) == {"ID", "title"}
+
+    def test_fetch_defaults_to_latest(self):
+        docs = posts_endpoint().fetch(count=1)
+        assert "template" in docs[0]
+
+
+class TestRestApi:
+    def test_add_and_get_endpoint(self):
+        api = RestApi("X")
+        api.add_endpoint(posts_endpoint())
+        assert api.endpoint("GET /posts").name == "GET /posts"
+
+    def test_duplicate_endpoint_rejected(self):
+        api = RestApi("X")
+        api.add_endpoint(posts_endpoint())
+        with pytest.raises(EndpointError):
+            api.add_endpoint(posts_endpoint())
+
+    def test_missing_endpoint(self):
+        with pytest.raises(EndpointError):
+            RestApi("X").endpoint("GET /nope")
+
+    def test_remove_endpoint(self):
+        api = RestApi("X")
+        api.add_endpoint(posts_endpoint())
+        assert api.remove_endpoint("GET /posts") is True
+        assert api.remove_endpoint("GET /posts") is False
+
+    def test_rename_endpoint(self):
+        api = RestApi("X")
+        api.add_endpoint(posts_endpoint())
+        api.rename_endpoint("GET /posts", "GET /articles")
+        assert api.endpoint("GET /articles").name == "GET /articles"
+        with pytest.raises(EndpointError):
+            api.endpoint("GET /posts")

@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_substrate_roots(self):
+        assert issubclass(errors.TurtleSyntaxError, errors.RDFError)
+        assert issubclass(errors.SparqlSyntaxError, errors.RDFError)
+        assert issubclass(errors.InvalidJoinError, errors.RelationalError)
+        assert issubclass(errors.WrapperError, errors.SourceError)
+        assert issubclass(errors.ReleaseError, errors.OntologyError)
+        assert issubclass(errors.CyclicQueryError, errors.QueryError)
+        assert issubclass(errors.UnknownChangeKindError,
+                          errors.EvolutionError)
+
+    def test_positioned_errors_format_location(self):
+        err = errors.SparqlSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert "column 7" in str(err)
+        assert err.line == 3
+
+    def test_turtle_error_without_position(self):
+        err = errors.TurtleSyntaxError("oops")
+        assert str(err) == "oops"
+
+    def test_single_except_catches_everything(self):
+        try:
+            raise errors.NoIdentifierError("x")
+        except errors.ReproError:
+            pass
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must work verbatim."""
+        from repro.datasets import build_supersede, EXEMPLARY_QUERY
+        from repro.mdm import MDM
+
+        scenario = build_supersede(with_evolution=True)
+        mdm = MDM(scenario.ontology)
+        table = mdm.query(EXEMPLARY_QUERY)
+        assert len(table) == 5
+
+    def test_docstring_mentions_paper(self):
+        assert "Big Data Ecosystems" in repro.__doc__

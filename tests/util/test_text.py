@@ -1,0 +1,72 @@
+"""Unit tests for string similarity utilities."""
+
+from repro.util.text import (
+    jaccard, levenshtein, name_similarity, tokenize_identifier,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_sides(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein("ab", "ba") == levenshtein("ba", "ab")
+
+
+class TestTokenize:
+    def test_camel_case(self):
+        assert tokenize_identifier("lagRatio") == ["lag", "ratio"]
+
+    def test_snake_case(self):
+        assert tokenize_identifier("buffering_ratio") == \
+            ["buffering", "ratio"]
+
+    def test_acronyms_and_digits(self):
+        assert "id" in tokenize_identifier("monitorId")
+        assert "2" in tokenize_identifier("v2Format")
+
+    def test_empty(self):
+        assert tokenize_identifier("") == []
+
+
+class TestJaccard:
+    def test_full_overlap(self):
+        assert jaccard({"a"}, {"a"}) == 1.0
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_partial(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == 1 / 3
+
+
+class TestNameSimilarity:
+    def test_exact_case_insensitive(self):
+        assert name_similarity("LagRatio", "lagratio") == 1.0
+
+    def test_rename_shares_token(self):
+        # the w4 rename of the running example
+        assert name_similarity("lagRatio", "bufferingRatio") > 0.3
+
+    def test_unrelated_low(self):
+        assert name_similarity("lagRatio", "authorEmail") < 0.3
+
+    def test_bounded(self):
+        for a, b in [("a", "b"), ("monitorId", "feedbackId"),
+                     ("x", "xxxxxxxx")]:
+            assert 0.0 <= name_similarity(a, b) <= 1.0
+
+    def test_rename_beats_unrelated(self):
+        rename = name_similarity("featured_image", "featured_media")
+        unrelated = name_similarity("featured_image", "comment_status")
+        assert rename > unrelated

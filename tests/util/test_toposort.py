@@ -1,0 +1,50 @@
+"""Unit tests for topological sorting."""
+
+import pytest
+
+from repro.util.toposort import CycleError, is_dag, topological_sort
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        order = topological_sort(["a", "b", "c"],
+                                 [("a", "b"), ("b", "c")])
+        assert order == ["a", "b", "c"]
+
+    def test_deterministic_ties(self):
+        order = topological_sort(["c", "b", "a"], [])
+        assert order == ["a", "b", "c"]
+
+    def test_nodes_only_in_edges(self):
+        order = topological_sort([], [("x", "y")])
+        assert order == ["x", "y"]
+
+    def test_diamond(self):
+        order = topological_sort(
+            "abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            topological_sort("ab", [("a", "b"), ("b", "a")])
+
+    def test_self_loop(self):
+        with pytest.raises(CycleError):
+            topological_sort("a", [("a", "a")])
+
+    def test_cycle_error_names_nodes(self):
+        try:
+            topological_sort("abc", [("b", "c"), ("c", "b")])
+        except CycleError as exc:
+            assert set(exc.nodes) == {"b", "c"}
+        else:  # pragma: no cover
+            pytest.fail("expected CycleError")
+
+    def test_is_dag(self):
+        assert is_dag("ab", [("a", "b")])
+        assert not is_dag("ab", [("a", "b"), ("b", "a")])
+
+    def test_duplicate_edges_ok(self):
+        order = topological_sort("ab", [("a", "b"), ("a", "b")])
+        assert order == ["a", "b"]

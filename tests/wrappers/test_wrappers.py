@@ -1,0 +1,137 @@
+"""Unit tests for the wrapper layer."""
+
+import pytest
+
+from repro.errors import WrapperError, WrapperSchemaMismatchError
+from repro.sources.document_store import DocumentStore
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec
+from repro.wrappers.base import StaticWrapper, qualify
+from repro.wrappers.json_flatten import flatten_document, flatten_documents
+from repro.wrappers.mongo import MongoWrapper
+from repro.wrappers.rest import RestWrapper
+
+
+class TestQualify:
+    def test_format(self):
+        assert qualify("D1", "lagRatio") == "D1/lagRatio"
+
+
+class TestStaticWrapper:
+    def test_schema_and_notation(self):
+        w = StaticWrapper("w3", "D3", ["a"], ["b"], [{"a": 1, "b": 2}])
+        assert w.notation() == "w3({a}, {b})"
+        assert w.schema.source == "D3"
+
+    def test_projection_renames(self):
+        w = StaticWrapper("w3", "D3", ["TargetApp"], [],
+                          [{"appId": 7}],
+                          projection={"TargetApp": "appId"})
+        assert w.fetch_rows() == [{"TargetApp": 7}]
+
+    def test_relation_validates_schema(self):
+        w = StaticWrapper("w", "D", ["a"], [], [{"a": 1}])
+        w.replace_rows([{"b": 1}])
+        with pytest.raises(WrapperSchemaMismatchError):
+            w.relation()
+
+    def test_qualified_relation(self):
+        w = StaticWrapper("w", "D9", ["a"], ["b"], [{"a": 1, "b": 2}])
+        rel = w.relation(qualified=True)
+        assert set(rel.schema.attribute_names) == {"D9/a", "D9/b"}
+        assert rel.rows[0] == {"D9/a": 1, "D9/b": 2}
+
+    def test_qualified_schema_marks_ids(self):
+        w = StaticWrapper("w", "D9", ["a"], ["b"], [])
+        assert w.qualified_schema.attribute("D9/a").is_id
+        assert not w.qualified_schema.attribute("D9/b").is_id
+
+
+class TestMongoWrapper:
+    def test_paper_wrapper_w1(self):
+        store = DocumentStore()
+        store.collection("vod").insert_many([
+            {"monitorId": 12, "waitTime": 3, "watchTime": 4}])
+        w1 = MongoWrapper(
+            "w1", "D1", store, "vod",
+            [{"$project": {"_id": 0, "VoDmonitorId": "$monitorId",
+                           "lagRatio": {"$divide": ["$waitTime",
+                                                    "$watchTime"]}}}],
+            id_attributes=["VoDmonitorId"],
+            non_id_attributes=["lagRatio"])
+        rel = w1.relation()
+        assert rel.rows == [{"VoDmonitorId": 12, "lagRatio": 0.75}]
+
+    def test_extra_pipeline_outputs_filtered(self):
+        store = DocumentStore()
+        store.collection("c").insert_many([{"a": 1, "b": 2}])
+        w = MongoWrapper("w", "D", store, "c",
+                         [{"$project": {"a": 1, "b": 1}}],
+                         id_attributes=["a"], non_id_attributes=[])
+        assert w.fetch_rows() == [{"a": 1}]
+
+
+class TestFlatten:
+    def test_nested_objects(self):
+        rows = flatten_document({"a": {"b": {"c": 1}}, "d": 2})
+        assert rows == [{"a.b.c": 1, "d": 2}]
+
+    def test_scalar_arrays_joined(self):
+        rows = flatten_document({"tags": [1, 2, 3]})
+        assert rows == [{"tags": "1,2,3"}]
+
+    def test_object_array_unwound(self):
+        rows = flatten_document(
+            {"id": 1, "items": [{"v": "a"}, {"v": "b"}]},
+            unwind=["items"])
+        assert rows == [{"id": 1, "items.v": "a"},
+                        {"id": 1, "items.v": "b"}]
+
+    def test_object_array_not_unwound_keeps_count(self):
+        rows = flatten_document({"items": [{"v": 1}, {"v": 2}]})
+        assert rows == [{"items": 2}]
+
+    def test_many_documents(self):
+        rows = flatten_documents([{"a": 1}, {"a": 2}])
+        assert len(rows) == 2
+
+
+class TestRestWrapper:
+    def endpoint(self):
+        ep = Endpoint("GET /m")
+        ep.add_version(ApiVersion("1", [
+            FieldSpec("deviceId", generator=lambda rng, i: i),
+            FieldSpec("wait", generator=lambda rng, i: i + 1),
+            FieldSpec("watch", generator=lambda rng, i: (i + 1) * 2),
+        ]))
+        return ep
+
+    def test_field_map_and_derived(self):
+        w = RestWrapper(
+            "w", "D", self.endpoint(), "1",
+            id_attributes=["id"], non_id_attributes=["ratio"],
+            field_map={"id": "deviceId"},
+            derived={"ratio": lambda row: row["wait"] / row["watch"]},
+            count=3)
+        rows = w.fetch_rows()
+        assert rows[0] == {"id": 0, "ratio": 0.5}
+        assert len(rows) == 3
+
+    def test_unmapped_attribute_rejected_at_init(self):
+        with pytest.raises(WrapperError, match="neither"):
+            RestWrapper("w", "D", self.endpoint(), "1",
+                        id_attributes=["id"], non_id_attributes=[],
+                        field_map={})
+
+    def test_schema_drift_detected(self):
+        w = RestWrapper("w", "D", self.endpoint(), "1",
+                        id_attributes=["id"], non_id_attributes=[],
+                        field_map={"id": "goneField"}, count=1)
+        with pytest.raises(WrapperError, match="schema drift"):
+            w.fetch_rows()
+
+    def test_deterministic_rows(self):
+        make = lambda: RestWrapper(  # noqa: E731 - test brevity
+            "w", "D", self.endpoint(), "1",
+            id_attributes=["id"], non_id_attributes=[],
+            field_map={"id": "deviceId"}, count=4, seed=3)
+        assert make().fetch_rows() == make().fetch_rows()
