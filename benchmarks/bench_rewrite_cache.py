@@ -1,0 +1,210 @@
+"""Release-aware rewriting cache: cold vs. warm vs. post-release latency.
+
+Not a paper figure — this benchmarks the caching subsystem layered on top
+of the reproduction (see ``docs/architecture.md``). Two workloads:
+
+* the SUPERSEDE running example (§2.1): the exemplary OMQ before the w4
+  release (cold/warm), across the release (selective invalidation), and
+  after (re-warmed);
+* the Wordpress GET-Posts release history (§6.4): fifteen releases land
+  while an analyst panel keeps re-posing a posts query (invalidated by
+  every release) and a comments query (never invalidated — its concept
+  is untouched by the posts releases).
+
+Asserted invariants: warm rewrites are ≥ 10× faster than cold on the
+running example, and a release invalidates exactly the entries whose
+concepts it touches.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import new_release
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.datasets.supersede import register_w4
+from repro.evolution.growth import WP, _canonical_feature, \
+    _prepare_global_graph
+from repro.evolution.release_builder import build_release
+from repro.evolution.wordpress import WORDPRESS_RELEASES
+from repro.query.engine import QueryEngine
+
+FEEDBACK_QUERY = """
+SELECT ?x ?y WHERE {
+    VALUES (?x ?y) { (sup:applicationId dct:description) }
+    sc:SoftwareApplication G:hasFeature sup:applicationId .
+    sc:SoftwareApplication sup:hasFGTool sup:FeedbackGathering .
+    sup:FeedbackGathering sup:generatesFeedback duv:UserFeedback .
+    duv:UserFeedback G:hasFeature dct:description
+}
+"""
+
+POSTS_QUERY = """
+SELECT ?x ?y WHERE {
+    VALUES (?x ?y) { (<urn:wordpress:post/id> <urn:wordpress:post/title>) }
+    <urn:wordpress:Post> G:hasFeature <urn:wordpress:post/id> .
+    <urn:wordpress:Post> G:hasFeature <urn:wordpress:post/title>
+}
+"""
+
+COMMENTS_QUERY = """
+SELECT ?x ?y WHERE {
+    VALUES (?x ?y) { (<urn:wordpress:comment/id>
+                      <urn:wordpress:comment/body>) }
+    <urn:wordpress:Comment> G:hasFeature <urn:wordpress:comment/id> .
+    <urn:wordpress:Comment> G:hasFeature <urn:wordpress:comment/body>
+}
+"""
+
+
+def _median_seconds(fn, repeat: int = 25) -> float:
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:9.1f} µs"
+
+
+def test_cold_warm_postrelease_running_example(write_result):
+    """Cold vs. warm vs. post-release on the §2.1 workload (≥10× warm)."""
+    scenario = build_supersede()
+    cold_engine = QueryEngine(scenario.ontology, use_cache=False)
+    engine = QueryEngine(scenario.ontology)
+
+    cold = _median_seconds(lambda: cold_engine.rewrite(EXEMPLARY_QUERY))
+    engine.rewrite(EXEMPLARY_QUERY)
+    engine.rewrite(FEEDBACK_QUERY)
+    warm = _median_seconds(lambda: engine.rewrite(EXEMPLARY_QUERY))
+
+    # The w4 release lands on Monitor/InfoMonitor: the exemplary query's
+    # entry is invalidated (first rewrite recomputes, now 2 walks), the
+    # feedback query's entry survives and stays warm.
+    register_w4(scenario)
+    start = time.perf_counter()
+    recomputed = engine.rewrite(EXEMPLARY_QUERY)
+    post_release = time.perf_counter() - start
+    rewarmed = _median_seconds(lambda: engine.rewrite(EXEMPLARY_QUERY))
+    survivor = _median_seconds(lambda: engine.rewrite(FEEDBACK_QUERY))
+
+    speedup = cold / warm
+    stats = engine.cache_stats
+    content = "\n".join([
+        "Release-aware rewriting cache — SUPERSEDE running example",
+        "",
+        f"cold rewrite (no cache)         {_us(cold)}",
+        f"warm rewrite (cache hit)        {_us(warm)}   "
+        f"{speedup:7.1f}× faster",
+        f"post-release rewrite (miss)     {_us(post_release)}",
+        f"re-warmed rewrite               {_us(rewarmed)}",
+        f"survivor query across release   {_us(survivor)}",
+        "",
+        f"cache stats: {stats.snapshot()}",
+    ])
+    write_result("bench_rewrite_cache_running_example.txt", content)
+
+    assert speedup >= 10, f"warm speedup only {speedup:.1f}×"
+    assert len(recomputed.walks) == 2
+    assert stats.invalidated == 1          # only the exemplary entry
+    assert stats.survived_releases == 1    # the feedback entry
+
+
+def test_warm_hit_steady_state(benchmark):
+    """Steady-state warm path (parse memo + cache lookup), for the
+    pytest-benchmark table."""
+    scenario = build_supersede(with_evolution=True)
+    engine = QueryEngine(scenario.ontology)
+    engine.rewrite(EXEMPLARY_QUERY)
+    result = benchmark(engine.rewrite, EXEMPLARY_QUERY)
+    assert len(result.walks) == 2
+    assert engine.cache_stats.misses == 1
+
+
+def _wordpress_ontology() -> BDIOntology:
+    """The §6.4 posts ontology plus an untouched Comment concept."""
+    ontology = BDIOntology()
+    _prepare_global_graph(ontology)
+    comment = ontology.globals.add_concept(WP.Comment)
+    ontology.globals.add_feature(comment, WP["comment/id"], is_id=True)
+    ontology.globals.add_feature(comment, WP["comment/body"])
+    release = build_release(
+        ontology, "wordpress_comments", "wp_comments_v1",
+        id_attributes=["id"], non_id_attributes=["body"],
+        feature_hints={"id": WP["comment/id"],
+                       "body": WP["comment/body"]})
+    new_release(ontology, release)
+    return ontology
+
+
+def _land_posts_release(ontology, release_spec) -> None:
+    """One Wordpress release through Algorithm 1 (as in growth.py)."""
+    wrapper_name = f"wp_v{release_spec.version.replace('.', '_')}"
+    id_attr = "ID" if "ID" in release_spec.fields else "id"
+    non_ids = [f for f in release_spec.fields if f != id_attr]
+    hints = {name: WP[f"post/{_canonical_feature(name)}"]
+             for name in release_spec.fields}
+    hints[id_attr] = WP["post/id"]
+    release = build_release(ontology, "wordpress_posts", wrapper_name,
+                            id_attributes=[id_attr],
+                            non_id_attributes=non_ids,
+                            feature_hints=hints)
+    new_release(ontology, release)
+
+
+def test_wordpress_release_storm(write_result):
+    """15 releases land; the posts entry misses every time, the comments
+    entry survives every time."""
+    ontology = _wordpress_ontology()
+    engine = QueryEngine(ontology)
+    uncached = QueryEngine(ontology, use_cache=False)
+
+    # Land v1 so the posts query is answerable, then prime both entries.
+    _land_posts_release(ontology, WORDPRESS_RELEASES[0])
+    engine.rewrite(POSTS_QUERY)
+    engine.rewrite(COMMENTS_QUERY)
+
+    cached_time = 0.0
+    uncached_time = 0.0
+    for release_spec in WORDPRESS_RELEASES[1:]:
+        _land_posts_release(ontology, release_spec)
+        for query in (POSTS_QUERY, COMMENTS_QUERY):
+            start = time.perf_counter()
+            engine.rewrite(query)
+            cached_time += time.perf_counter() - start
+            start = time.perf_counter()
+            uncached.rewrite(query)
+            uncached_time += time.perf_counter() - start
+
+    stats = engine.cache_stats
+    releases_landed = len(WORDPRESS_RELEASES) - 1
+    content = "\n".join([
+        "Release-aware rewriting cache — Wordpress release storm (§6.4)",
+        "",
+        f"releases landed after priming: {releases_landed}",
+        f"posts query   : invalidated on every release "
+        f"({stats.invalidated} misses recomputed)",
+        f"comments query: survived every release "
+        f"({stats.survived_releases} revalidations, "
+        f"{stats.hits} warm hits)",
+        "",
+        f"analyst panel total, cached   : {cached_time * 1e3:8.2f} ms",
+        f"analyst panel total, uncached : {uncached_time * 1e3:8.2f} ms",
+        "",
+        f"cache stats: {stats.snapshot()}",
+    ])
+    write_result("bench_rewrite_cache_wordpress.txt", content)
+
+    # Fine-grained invalidation, asserted: every release touches Post
+    # only — the posts entry misses each round, the comments entry hits.
+    assert stats.invalidated == releases_landed
+    assert stats.survived_releases == releases_landed
+    assert stats.hits == releases_landed
+    # The final posts rewriting spans every wrapper version so far.
+    assert len(engine.rewrite(POSTS_QUERY).walks) == len(
+        WORDPRESS_RELEASES)

@@ -47,6 +47,12 @@ def main() -> None:
     table = mdm.query(EXEMPLARY_QUERY)
     print(table.sorted_by("applicationId", "lagRatio").to_ascii())
 
+    # 4. Under the hood the rewriting cache noticed that the release
+    #    touched the VoD concepts and recomputed only this query;
+    #    rewritings over other concepts would have stayed warm.
+    print("\n=== Release-aware rewriting cache ===")
+    print(mdm.describe_cache())
+
     print("\nontology statistics:", mdm.statistics())
 
 

@@ -32,13 +32,15 @@ Quickstart::
 
 from repro.core import BDIOntology, Release, new_release
 from repro.mdm import MDM
-from repro.query import OMQ, QueryEngine, parse_omq, rewrite
+from repro.query import (
+    OMQ, QueryEngine, RewriteCache, parse_omq, rewrite,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",
     "MDM",
-    "OMQ", "QueryEngine", "parse_omq", "rewrite",
+    "OMQ", "QueryEngine", "RewriteCache", "parse_omq", "rewrite",
     "__version__",
 ]

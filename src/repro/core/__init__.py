@@ -11,7 +11,9 @@
 
 from repro.core.global_graph import GlobalGraph
 from repro.core.mapping_graph import MappingGraph
-from repro.core.ontology import BDIOntology
+from repro.core.ontology import (
+    BDIOntology, EvolutionEvent, OntologyFingerprint,
+)
 from repro.core.release import Release, new_release
 from repro.core.source_graph import SourceGraph
 from repro.core.vocabulary import (
@@ -23,7 +25,8 @@ from repro.core.vocabulary import (
 )
 
 __all__ = [
-    "BDIOntology", "GlobalGraph", "MappingGraph", "SourceGraph",
+    "BDIOntology", "EvolutionEvent", "OntologyFingerprint",
+    "GlobalGraph", "MappingGraph", "SourceGraph",
     "Release", "new_release",
     "GLOBAL_GRAPH", "SOURCE_GRAPH", "MAPPINGS_GRAPH",
     "GLOBAL_VOCABULARY_TTL", "SOURCE_VOCABULARY_TTL",

@@ -15,6 +15,7 @@ LAV mapping subgraph. It exposes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.global_graph import GlobalGraph
@@ -38,7 +39,52 @@ from repro.relational.schema import Attribute, RelationSchema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wrappers.base import Wrapper
 
-__all__ = ["BDIOntology"]
+__all__ = ["BDIOntology", "EvolutionEvent", "OntologyFingerprint"]
+
+
+@dataclass(frozen=True)
+class EvolutionEvent:
+    """One governed evolution step (a release landing, §4/§6).
+
+    Records the epoch it produced and the set of Global-graph concepts it
+    affected — the unit of fine-grained cache invalidation: a cached
+    rewriting survives the event iff its concept set is disjoint from
+    :attr:`concepts` and no event in between is :attr:`ungoverned`.
+    """
+
+    epoch: int
+    concepts: frozenset[IRI]
+    description: str = ""
+    #: structural fingerprint component right after the event landed
+    structure: int = 0
+    #: True when the event covers mutations that could not be attributed
+    #: to concepts (edits bypassing the release machinery); caches must
+    #: treat it as touching everything
+    ungoverned: bool = False
+
+
+@dataclass(frozen=True)
+class OntologyFingerprint:
+    """A cheap structural identity of ``T = ⟨G, S, M⟩`` at one instant.
+
+    * :attr:`epoch` counts governed evolution steps (releases applied via
+      Algorithm 1 and anything else reported through
+      :meth:`BDIOntology.note_evolution`);
+    * :attr:`structure` is a structural hash over the per-graph triple
+      counts, the mapping named-graph (wrapper) inventory and the
+      dataset's monotonic mutation counter. It is a safety net:
+      mutations that bypass the release machinery — including
+      count-neutral edits (remove one triple, add another) — change the
+      hash deterministically, so derived artifacts keyed by a stale
+      fingerprint are discarded rather than served.
+
+    Both components are O(number of named graphs) to compute — no triple
+    is ever re-hashed — so fingerprinting sits comfortably on the query
+    hot path.
+    """
+
+    epoch: int
+    structure: int
 
 
 class BDIOntology:
@@ -53,9 +99,15 @@ class BDIOntology:
         self.sources = SourceGraph(self._s)
         self.mappings = MappingGraph(self._m, self.dataset)
         self._physical: dict[str, "Wrapper"] = {}
+        self._epoch = 0
+        self._evolution_log: list[EvolutionEvent] = []
+        #: None = no attribution bracket open; bool = whether foreign
+        #: (unattributed) edits already existed when it was opened
+        self._evolution_bracket_gap: bool | None = None
         if include_metamodel:
             self._g.update(global_metamodel())
             self._s.update(source_metamodel())
+        self._structure_at_last_event = self.fingerprint().structure
 
     # -- raw graphs ------------------------------------------------------------
 
@@ -93,6 +145,117 @@ class BDIOntology:
     def data_provider(self, wrapper_name: str) -> Relation:
         """DataProvider callable for walk execution (qualified columns)."""
         return self.physical_wrapper(wrapper_name).relation(qualified=True)
+
+    # -- evolution bookkeeping (release-aware caching, §5-§6) ----------------------
+
+    @property
+    def epoch(self) -> int:
+        """Number of governed evolution steps applied so far."""
+        return self._epoch
+
+    def begin_evolution(self) -> bool:
+        """Open an attribution bracket before out-of-band edits to T.
+
+        The bracketed protocol for stewards editing G/S/M directly::
+
+            foreign = ontology.begin_evolution()
+            # ... edits affecting concept C ...
+            ontology.note_evolution([C], "why")
+
+        Only edits made inside the bracket are attributed to the
+        concepts named in the closing :meth:`note_evolution`; edits that
+        were already pending when the bracket opened belong to someone
+        else and degrade the event to ungoverned. Returns that
+        foreign-gap flag so the caller can warn or abort. Repeated opens
+        before one close keep the worst flag seen.
+        """
+        gap = self.has_ungoverned_gap()
+        if self._evolution_bracket_gap is None:
+            self._evolution_bracket_gap = gap
+        else:
+            self._evolution_bracket_gap |= gap
+        return self._evolution_bracket_gap
+
+    def abort_evolution(self) -> None:
+        """Close an attribution bracket without recording an event.
+
+        For error paths: mutations already made inside the bracket stay
+        unattributed, so the next :meth:`note_evolution` or lookup falls
+        back to the conservative (flush-all) regime instead of reading a
+        stale bracket flag.
+        """
+        self._evolution_bracket_gap = None
+
+    def note_evolution(self, concepts: Iterable[IRI | str],
+                       description: str = "",
+                       ungoverned: bool = False,
+                       gap_absorbed: bool = False) -> EvolutionEvent:
+        """Record one governed evolution step affecting *concepts*.
+
+        Called by Algorithm 1 (:func:`repro.core.release.new_release`)
+        with the concepts of the release subgraph; stewards editing
+        G/S/M out of band should bracket their edits with
+        :meth:`begin_evolution` and close with this call so
+        release-aware caches can invalidate selectively.
+
+        Safety: attribution is only trusted for bracketed edits. Without
+        an open bracket, any edits pending at call time cannot be told
+        apart from a third party's, so the event is conservatively
+        marked *ungoverned* (caches treat it as touching everything).
+        With a bracket, only a gap that predated the bracket does so.
+        *gap_absorbed* is Algorithm 1's override: the caller vouches
+        that the pending gap is covered by *concepts*.
+        """
+        if not gap_absorbed:
+            pending = (self._evolution_bracket_gap
+                       if self._evolution_bracket_gap is not None
+                       else self.has_ungoverned_gap())
+            ungoverned = ungoverned or pending
+        self._evolution_bracket_gap = None
+        self._epoch += 1
+        event = EvolutionEvent(
+            epoch=self._epoch,
+            concepts=frozenset(IRI(str(c)) for c in concepts),
+            description=description,
+            structure=self.fingerprint().structure,
+            ungoverned=ungoverned)
+        self._evolution_log.append(event)
+        self._structure_at_last_event = event.structure
+        return event
+
+    def has_ungoverned_gap(self) -> bool:
+        """True when T was mutated since the last recorded event.
+
+        Algorithm 1 checks this on entry: a positive gap means edits
+        bypassed the governance layer, so the upcoming release event is
+        marked ungoverned unless the caller attributes those edits to
+        concepts (``absorbed_concepts``).
+        """
+        return self.fingerprint().structure != self._structure_at_last_event
+
+    def evolution_since(self, epoch: int) -> list[EvolutionEvent]:
+        """Events applied after *epoch* (epochs are contiguous from 1)."""
+        if epoch >= self._epoch:
+            return []
+        return self._evolution_log[epoch:]
+
+    def fingerprint(self) -> OntologyFingerprint:
+        """The current :class:`OntologyFingerprint` of ``T``.
+
+        The structural component hashes the per-graph triple counts, the
+        sorted mapping named-graph inventory (each LAV graph is one
+        wrapper, so a release landing always perturbs it) and the
+        dataset's mutation counter (so count-neutral edits perturb it
+        too).
+        """
+        counts = self.triple_counts()
+        lav_names = tuple(sorted(
+            str(name) for name in self.dataset.graph_names()
+            if str(name).startswith(str(mapping_graph_uri("")))))
+        structure = hash((counts["G"], counts["S"], counts["M"],
+                          counts["lav_graphs"], lav_names,
+                          self.dataset.mutation_count()))
+        return OntologyFingerprint(epoch=self._epoch, structure=structure)
 
     # -- ontology-level queries used by the algorithms -----------------------------
 

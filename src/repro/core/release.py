@@ -12,8 +12,10 @@ version of a data source):
 source (if new), the wrapper, the attributes (reusing same-source
 attributes across versions), stores the LAV named graph and serializes
 ``F`` as ``owl:sameAs`` triples. The algorithm is linear in the size of
-``R`` and idempotent (re-applying the same release changes nothing — the
-graphs are sets).
+``R`` and idempotent on the graphs (re-applying the same release adds no
+triple — the graphs are sets); each application does record one
+evolution event, so release-aware caches conservatively re-derive
+rewritings over the release's concepts.
 """
 
 from __future__ import annotations
@@ -25,13 +27,30 @@ from repro.core.ontology import BDIOntology
 from repro.core.vocabulary import attribute_uri, source_uri
 from repro.errors import ReleaseError
 from repro.rdf.graph import Graph
+from repro.rdf.namespace import G as G_NS
 from repro.rdf.sparql import select
 from repro.rdf.term import IRI
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wrappers.base import Wrapper
 
-__all__ = ["Release", "new_release"]
+__all__ = ["Release", "new_release", "subgraph_concepts"]
+
+
+def subgraph_concepts(subgraph: Graph) -> frozenset[IRI]:
+    """The concepts a LAV subgraph spans: ``hasFeature`` subjects plus
+    both endpoints of concept-level object properties."""
+    concepts: set[IRI] = set()
+    for triple in subgraph:
+        if triple.p == G_NS.hasFeature:
+            if isinstance(triple.s, IRI):
+                concepts.add(triple.s)
+        else:
+            if isinstance(triple.s, IRI):
+                concepts.add(triple.s)
+            if isinstance(triple.o, IRI):
+                concepts.add(triple.o)
+    return frozenset(concepts)
 
 
 @dataclass
@@ -71,6 +90,17 @@ class Release:
     def attributes(self) -> tuple[str, ...]:
         """``R.w.aID ∪ R.w.anID`` in declaration order."""
         return self.id_attributes + self.non_id_attributes
+
+    def affected_concepts(self) -> frozenset[IRI]:
+        """The Global-graph concepts this release touches.
+
+        Derived from the release subgraph: the subject of every
+        ``G:hasFeature`` edge plus both endpoints of every concept-level
+        object property. This is the invalidation granule of the
+        release-aware rewriting cache — queries over disjoint concept
+        sets are provably unaffected by the release.
+        """
+        return subgraph_concepts(self.subgraph)
 
     # -- validation -------------------------------------------------------------------
 
@@ -119,7 +149,9 @@ class Release:
                     "of the Global graph; extend G first")
 
 
-def new_release(ontology: BDIOntology, release: Release) -> dict[str, int]:
+def new_release(ontology: BDIOntology, release: Release,
+                absorbed_concepts: "frozenset[IRI] | set[IRI] | None"
+                = None) -> dict[str, int]:
     """Algorithm 1: adapt the BDI ontology ``T`` w.r.t. release ``R``.
 
     Returns the number of triples added per graph — used by the §6.4
@@ -127,42 +159,18 @@ def new_release(ontology: BDIOntology, release: Release) -> dict[str, int]:
 
     The body follows the paper line by line; the existence checks are the
     same SPARQL queries over ``T``.
+
+    Edits made to ``T`` since the previous evolution event (e.g. the
+    steward extending G in preparation of this release) are folded into
+    this release's event: when *absorbed_concepts* names the concepts
+    those edits touched, the event stays concept-attributed; otherwise
+    the event is marked ungoverned and release-aware caches flush
+    wholesale rather than risk serving stale rewritings.
     """
     release.validate(ontology)
-    before = ontology.triple_counts()
 
-    # Lines 2-5: register the data source when first seen.
-    src_uri = source_uri(release.source_name)
-    known_sources = {
-        str(r["ds"]) for r in select(
-            ontology.s,
-            "SELECT ?ds WHERE { ?ds rdf:type S:DataSource }")
-    }
-    if str(src_uri) not in known_sources:
-        ontology.sources.add_data_source(release.source_name)
-
-    # Lines 6-8: register the wrapper and link it to its source.
-    wrp_uri = ontology.sources.add_wrapper(release.source_name,
-                                           release.wrapper_name)
-
-    # Lines 9-15: register attributes (reused within the same source).
-    known_attributes = {
-        str(r["a"]) for r in select(
-            ontology.s,
-            "SELECT ?a WHERE { ?a rdf:type S:Attribute }")
-    }
-    for attribute in release.attributes:
-        attr_uri = attribute_uri(release.source_name, attribute)
-        if str(attr_uri) not in known_attributes:
-            ontology.sources.add_attribute(release.source_name, attribute)
-        ontology.sources.link_wrapper_attribute(
-            release.wrapper_name, release.source_name, attribute)
-
-    # Line 16: register the LAV named graph in M.
-    ontology.mappings.set_wrapper_subgraph(release.wrapper_name,
-                                           release.subgraph)
-
-    # Lines 17-21: serialize F as owl:sameAs triples.
+    # The §3.2 stable-semantics check runs before any mutation: a
+    # rejected release must not leave partial state in S or M.
     for attribute, feature in sorted(release.attribute_to_feature.items()):
         attr_uri = attribute_uri(release.source_name, attribute)
         existing = ontology.mappings.feature_of_attribute(attr_uri)
@@ -172,11 +180,79 @@ def new_release(ontology: BDIOntology, release: Release) -> dict[str, int]:
                 f"release tries to remap it to {feature}. Same-source "
                 "attributes keep their semantics across versions (§3.2) — "
                 "use a differently named attribute")
-        if existing is None:
-            ontology.mappings.add_same_as(attr_uri, feature)
 
-    if release.wrapper is not None:
-        ontology.bind_wrapper(release.wrapper)
+    # Bracket Algorithm 1's own mutations; begin_evolution() flags edits
+    # that were already pending when the release started (someone
+    # else's). On failure the bracket is aborted so later events fall
+    # back to the conservative regime instead of reading a stale flag.
+    ontology.begin_evolution()
+    before = ontology.triple_counts()
+    try:
+        # Lines 2-5: register the data source when first seen.
+        src_uri = source_uri(release.source_name)
+        known_sources = {
+            str(r["ds"]) for r in select(
+                ontology.s,
+                "SELECT ?ds WHERE { ?ds rdf:type S:DataSource }")
+        }
+        if str(src_uri) not in known_sources:
+            ontology.sources.add_data_source(release.source_name)
+
+        # Lines 6-8: register the wrapper and link it to its source.
+        ontology.sources.add_wrapper(release.source_name,
+                                     release.wrapper_name)
+
+        # Lines 9-15: register attributes (reused within the source).
+        known_attributes = {
+            str(r["a"]) for r in select(
+                ontology.s,
+                "SELECT ?a WHERE { ?a rdf:type S:Attribute }")
+        }
+        for attribute in release.attributes:
+            attr_uri = attribute_uri(release.source_name, attribute)
+            if str(attr_uri) not in known_attributes:
+                ontology.sources.add_attribute(release.source_name,
+                                               attribute)
+            ontology.sources.link_wrapper_attribute(
+                release.wrapper_name, release.source_name, attribute)
+
+        # Line 16: register the LAV named graph in M. When the release
+        # replaces an existing wrapper's mapping, the concepts of the
+        # OLD subgraph are affected too — cached rewritings may hold
+        # walks over mappings that no longer exist afterwards.
+        previous_subgraph = ontology.mappings.mapping_graph_of(
+            release.wrapper_name)
+        previously_affected = (subgraph_concepts(previous_subgraph)
+                               if previous_subgraph is not None
+                               else frozenset())
+        ontology.mappings.set_wrapper_subgraph(release.wrapper_name,
+                                               release.subgraph)
+
+        # Lines 17-21: serialize F as owl:sameAs triples (conflicts were
+        # rejected above, before any mutation).
+        for attribute, feature in sorted(
+                release.attribute_to_feature.items()):
+            attr_uri = attribute_uri(release.source_name, attribute)
+            if ontology.mappings.feature_of_attribute(attr_uri) is None:
+                ontology.mappings.add_same_as(attr_uri, feature)
+
+        if release.wrapper is not None:
+            ontology.bind_wrapper(release.wrapper)
+
+        # Bump the evolution epoch with the concepts the release
+        # touched, so release-aware caches invalidate only rewritings
+        # over those concepts.
+        affected = release.affected_concepts() | previously_affected
+        if absorbed_concepts:
+            affected |= frozenset(IRI(str(c)) for c in absorbed_concepts)
+        ontology.note_evolution(
+            affected,
+            description=f"release {release.wrapper_name} "
+                        f"({release.source_name})",
+            gap_absorbed=bool(absorbed_concepts))
+    except BaseException:
+        ontology.abort_evolution()
+        raise
 
     after = ontology.triple_counts()
     return {key: after[key] - before[key] for key in after}

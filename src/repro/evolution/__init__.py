@@ -6,8 +6,8 @@ from repro.evolution.changes import (
     kinds_at_level,
 )
 from repro.evolution.classifier import (
-    Accommodation, AccommodationStats, accommodation_of, classify,
-    classify_batch, handler_table,
+    Accommodation, AccommodationStats, accommodation_of, change_impact,
+    classify, classify_batch, handler_table,
 )
 from repro.evolution.drift import (
     DriftReport, FieldDrift, detect_drift, propose_release,
@@ -19,7 +19,8 @@ from repro.evolution.industrial import (
     materialize_changes, pooled_stats,
 )
 from repro.evolution.release_builder import (
-    build_release, subgraph_for_features, suggest_feature,
+    build_release, release_impact, subgraph_for_features,
+    suggest_feature,
 )
 from repro.evolution.schema_diff import diff_versions
 from repro.evolution.wordpress import (
@@ -32,12 +33,13 @@ __all__ = [
     "Change", "ChangeKind", "ChangeLevel", "Handler", "KIND_HANDLERS",
     "kinds_at_level",
     "Accommodation", "AccommodationStats", "accommodation_of",
-    "classify", "classify_batch", "handler_table",
+    "change_impact", "classify", "classify_batch", "handler_table",
     "DriftReport", "FieldDrift", "detect_drift", "propose_release",
     "GrowthRecord", "ascii_chart", "replay_wordpress",
     "ApiChangeCounts", "IndustrialRow", "LI_ET_AL_COUNTS",
     "industrial_study", "materialize_changes", "pooled_stats",
-    "build_release", "subgraph_for_features", "suggest_feature",
+    "build_release", "release_impact", "subgraph_for_features",
+    "suggest_feature",
     "diff_versions",
     "WORDPRESS_RELEASES", "WordpressRelease", "all_wordpress_fields",
     "build_wordpress_endpoint",

@@ -27,7 +27,8 @@ from repro.core.release import new_release
 from repro.core.vocabulary import attribute_uri
 from repro.errors import ChangeApplicationError
 from repro.evolution.changes import Change, ChangeKind, Handler
-from repro.evolution.release_builder import build_release
+from repro.evolution.classifier import change_impact
+from repro.evolution.release_builder import build_release, release_impact
 from repro.rdf.namespace import Namespace
 from repro.rdf.term import IRI
 from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
@@ -49,6 +50,10 @@ class ChangeReport:
     ontology_triples_added: int = 0
     new_wrapper: str | None = None
     notes: list[str] = field(default_factory=list)
+    #: Global-graph concepts the change affected (the invalidation
+    #: granule fed to release-aware rewriting caches); empty for
+    #: wrapper-side and history-preserving changes.
+    affected_concepts: frozenset[IRI] = frozenset()
 
     @property
     def touched_ontology(self) -> bool:
@@ -81,6 +86,22 @@ class GovernedApi:
         self.namespace = Namespace(f"urn:api:{_slug(api.name)}:")
         self._endpoints: dict[str, _EndpointState] = {}
         self.reports: list[ChangeReport] = []
+        #: concepts of the most recently landed release (debugging aid)
+        self.last_release_impact: frozenset[IRI] = frozenset()
+        #: True when ontology edits NOT made by this object were seen;
+        #: the next release event is then marked ungoverned instead of
+        #: absorbing the edits into the endpoint's concept.
+        self._foreign_gap = False
+
+    def _check_foreign_edits(self) -> None:
+        """Record whether T was edited behind our back.
+
+        Called at every public entry point *before* this object mutates
+        the ontology itself, so its own steward edits (feature minting,
+        datatype updates) are never mistaken for foreign ones.
+        """
+        if self.ontology.has_ungoverned_gap():
+            self._foreign_gap = True
 
     # -- modeling ----------------------------------------------------------------
 
@@ -92,6 +113,7 @@ class GovernedApi:
         version; its latest version's fields become features of a fresh
         concept, and the first wrapper is registered through Algorithm 1.
         """
+        self._check_foreign_edits()
         endpoint = self.api.endpoint(endpoint_name)
         version = endpoint.latest_version()
         if id_field not in version.field_names():
@@ -183,7 +205,20 @@ class GovernedApi:
             wrapper_name, state.source_name, endpoint, version.version,
             id_attributes=id_attrs, non_id_attributes=non_id_attrs,
             field_map={f: f for f in fields})
-        new_release(self.ontology, release)
+        # Landing the release bumps the ontology's evolution epoch with
+        # exactly these concepts — cached rewritings over other concepts
+        # survive the release untouched. The steward's G extensions for
+        # this version (_ensure_feature, datatype updates) all target the
+        # endpoint's concept, so they are absorbed into the same event
+        # instead of degrading it to an ungoverned (flush-all) one —
+        # unless edits foreign to this object were detected, in which
+        # case nothing can be attributed and the event must flush all.
+        self.last_release_impact = release_impact(release, self.ontology)
+        new_release(self.ontology, release,
+                    absorbed_concepts=None if self._foreign_gap
+                    else {state.concept})
+        # The event (governed or ungoverned) now covers everything seen.
+        self._foreign_gap = False
         state.current_wrapper = wrapper_name
         return wrapper_name
 
@@ -191,6 +226,7 @@ class GovernedApi:
 
     def apply(self, change: Change) -> ChangeReport:
         """Apply one taxonomy change; returns what happened."""
+        self._check_foreign_edits()
         before = self.ontology.triple_counts()["total"]
         handler = change.handler
         report = ChangeReport(change=change, handler=handler)
@@ -230,6 +266,13 @@ class GovernedApi:
             raise ChangeApplicationError(
                 f"no applicator for {change.kind}")
         handler_fn(change, report)
+
+        # Release-change classifier hook: attribute the change to the
+        # concepts it affected (endpoint map read *after* the handler so
+        # freshly added or renamed methods resolve).
+        report.affected_concepts = change_impact(change, {
+            name: state.concept
+            for name, state in self._endpoints.items()})
 
         report.ontology_triples_added = (
             self.ontology.triple_counts()["total"] - before)

@@ -12,16 +12,18 @@ Answers, for a change (or a batch of them):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.evolution.changes import (
     Change, ChangeKind, ChangeLevel, Handler, KIND_HANDLERS,
     kinds_at_level,
 )
+from repro.rdf.term import IRI
 
 __all__ = [
     "Accommodation", "classify", "accommodation_of",
     "AccommodationStats", "classify_batch", "handler_table",
+    "change_impact",
 ]
 
 
@@ -46,6 +48,51 @@ def accommodation_of(change: Change | ChangeKind) -> str:
     if handler is Handler.BOTH:
         return Accommodation.PARTIAL
     return Accommodation.NONE
+
+
+#: Ontology-handled kinds that deliberately leave T untouched: deletions
+#: preserve every historical element (§6.2), so nothing a cached
+#: rewriting depends on can change.
+_PRESERVING_KINDS = frozenset({
+    ChangeKind.METHOD_DELETE_METHOD,
+    ChangeKind.API_DELETE_RESPONSE_FORMAT,
+})
+
+
+def change_impact(change: Change,
+                  endpoint_concepts: Mapping[str, IRI],
+                  ) -> frozenset[IRI]:
+    """The Global-graph concepts an applied change affected.
+
+    The release-change classifier hook of the rewriting cache: it maps a
+    taxonomy change onto the invalidation granule of
+    :class:`~repro.query.cache.RewriteCache`.
+
+    * wrapper-side changes never touch ``T`` → empty set (no cached
+      rewriting is invalidated — request-side evolution is free);
+    * deletions keep every historical element in ``T`` → empty set;
+    * API-level response-format changes re-release *every* endpoint →
+      all modeled concepts;
+    * method/parameter changes → the concept of the named endpoint
+      (after a method rename, the concept is found under either name).
+
+    *endpoint_concepts* maps endpoint names to their concepts **after**
+    the change was applied, as kept by
+    :class:`~repro.evolution.apply.GovernedApi`.
+    """
+    if classify(change) is Handler.WRAPPER:
+        return frozenset()
+    if change.kind in _PRESERVING_KINDS:
+        return frozenset()
+    if change.level is ChangeLevel.API:
+        return frozenset(endpoint_concepts.values())
+    names = [change.details.get("endpoint")]
+    if change.kind is ChangeKind.METHOD_CHANGE_METHOD_NAME:
+        # Only here does new_name denote an endpoint; for parameter
+        # renames it is a parameter name and must not be looked up.
+        names.append(change.details.get("new_name"))
+    return frozenset(endpoint_concepts[name] for name in names
+                     if name is not None and name in endpoint_concepts)
 
 
 @dataclass

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.ontology import BDIOntology
-from repro.core.release import Release
+from repro.core.release import Release, subgraph_concepts
 from repro.core.vocabulary import attribute_uri
 from repro.errors import ReleaseError
 from repro.rdf.graph import Graph
@@ -26,7 +26,8 @@ from repro.rdf.namespace import G as G_NS
 from repro.rdf.term import IRI
 from repro.util.text import name_similarity
 
-__all__ = ["suggest_feature", "subgraph_for_features", "build_release"]
+__all__ = ["suggest_feature", "subgraph_for_features", "build_release",
+           "release_impact"]
 
 #: Minimum similarity for an automatic attribute→feature alignment.
 ALIGNMENT_THRESHOLD = 0.5
@@ -82,6 +83,26 @@ def subgraph_for_features(ontology: BDIOntology,
         if edge.s in concepts and edge.o in concepts:
             subgraph.add(edge)
     return subgraph
+
+
+def release_impact(release: Release,
+                   ontology: BDIOntology | None = None) -> frozenset[IRI]:
+    """The concepts a release will affect when it lands (Algorithm 1).
+
+    Exposed here so stewards can preview, before applying a release,
+    which cached rewritings it is going to invalidate — everything over
+    a disjoint concept set survives (see
+    :class:`~repro.query.cache.RewriteCache`). Pass *ontology* to get
+    the full picture for wrapper re-releases: replacing an existing
+    wrapper's mapping also affects the concepts of its previous LAV
+    subgraph, exactly as Algorithm 1 will record.
+    """
+    affected = release.affected_concepts()
+    if ontology is not None:
+        previous = ontology.mappings.mapping_graph_of(release.wrapper_name)
+        if previous is not None:
+            affected |= subgraph_concepts(previous)
+    return affected
 
 
 def build_release(ontology: BDIOntology, source_name: str,

@@ -1,13 +1,14 @@
 """Metadata Management System: steward + analyst facades (paper §6.1)."""
 
-from repro.mdm.analyst import OMQBuilder, describe_global_graph
+from repro.mdm.analyst import OMQBuilder, describe_cache, \
+    describe_global_graph
 from repro.mdm.steward import (
     AlignmentSuggestion, align_attributes, suggest_subgraphs,
 )
 from repro.mdm.system import MDM
 
 __all__ = [
-    "OMQBuilder", "describe_global_graph",
+    "OMQBuilder", "describe_cache", "describe_global_graph",
     "AlignmentSuggestion", "align_attributes", "suggest_subgraphs",
     "MDM",
 ]

@@ -8,6 +8,8 @@ concepts/edges, project features, get the SPARQL (or the parsed OMQ).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.ontology import BDIOntology
 from repro.core.vocabulary import GLOBAL_GRAPH
 from repro.errors import MalformedQueryError, UnknownConceptError, \
@@ -16,7 +18,10 @@ from repro.query.omq import OMQ, parse_omq
 from repro.rdf.namespace import G as G_NS
 from repro.rdf.term import IRI
 
-__all__ = ["OMQBuilder", "describe_global_graph"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.cache import RewriteCache
+
+__all__ = ["OMQBuilder", "describe_cache", "describe_global_graph"]
 
 
 class OMQBuilder:
@@ -93,6 +98,46 @@ class OMQBuilder:
 
     def to_omq(self) -> OMQ:
         return parse_omq(self.to_sparql())
+
+    def cache_key(self) -> str:
+        """The canonical rewriting-cache key this query will hit.
+
+        Lets analysts confirm that two differently phrased queries are
+        the same cached unit of work.
+        """
+        from repro.query.cache import canonical_omq_key
+        return canonical_omq_key(self.to_omq())
+
+
+def describe_cache(cache: "RewriteCache | None") -> str:
+    """Readable inventory of a rewriting cache: stats + per-entry state.
+
+    Together with the per-entry concepts and the rejected-walk section
+    of :meth:`~repro.query.rewriter.RewritingResult.report`, this makes
+    cache behaviour debuggable without a debugger: what is cached, under
+    which key, over which concepts, and how often it was served.
+    """
+    if cache is None:
+        return "rewriting cache: disabled"
+    stats = cache.stats
+    lines = [
+        f"rewriting cache: {len(cache)}/{cache.max_entries} entries",
+        f"  lookups = {stats.lookups} (hits = {stats.hits}, "
+        f"misses = {stats.misses}, hit rate = {stats.hit_rate:.1%})",
+        f"  invalidated by releases = {stats.invalidated}, "
+        f"survived releases = {stats.survived_releases}, "
+        f"structure evictions = {stats.structure_evictions}, "
+        f"lineage evictions = {stats.lineage_evictions}, "
+        f"LRU evictions = {stats.lru_evictions}",
+    ]
+    for entry in cache.entries():
+        concepts = ", ".join(sorted(
+            c.local_name for c in entry.concepts)) or "∅"
+        lines.append(
+            f"  [{entry.key[:12]}…] epoch {entry.epoch}, "
+            f"{len(entry.result.walks)} walk(s), "
+            f"{entry.hit_count} hit(s), concepts: {concepts}")
+    return "\n".join(lines)
 
 
 def describe_global_graph(ontology: BDIOntology) -> str:

@@ -16,8 +16,10 @@ from repro.core.ontology import BDIOntology
 from repro.core.release import Release, new_release
 from repro.errors import ReleaseError
 from repro.evolution.release_builder import build_release
-from repro.mdm.analyst import OMQBuilder, describe_global_graph
+from repro.mdm.analyst import OMQBuilder, describe_cache, \
+    describe_global_graph
 from repro.mdm.steward import align_attributes, suggest_subgraphs
+from repro.query.cache import RewriteCache
 from repro.query.engine import QueryEngine
 from repro.query.omq import OMQ
 from repro.query.rewriter import RewritingResult
@@ -33,29 +35,55 @@ __all__ = ["MDM"]
 class MDM:
     """One-stop facade over ontology, rewriting and execution."""
 
-    def __init__(self, ontology: BDIOntology | None = None) -> None:
+    def __init__(self, ontology: BDIOntology | None = None,
+                 cache: RewriteCache | None = None,
+                 use_cache: bool = True) -> None:
         self.ontology = ontology or BDIOntology()
-        self.engine = QueryEngine(self.ontology)
+        self.engine = QueryEngine(self.ontology, cache=cache,
+                                  use_cache=use_cache)
         self.release_log: list[Release] = []
+
+    @property
+    def cache(self) -> RewriteCache | None:
+        """The engine's release-aware rewriting cache (None when off).
+
+        Releases registered through the steward interface invalidate
+        exactly the affected concepts' entries.
+        """
+        return self.engine.cache
 
     # -- steward interface ---------------------------------------------------
 
-    def register_release(self, release: Release) -> dict[str, int]:
-        """Apply Algorithm 1; returns triples added per graph."""
-        delta = new_release(self.ontology, release)
+    def register_release(self, release: Release,
+                         absorbed_concepts: frozenset[IRI] | set[IRI]
+                         | None = None) -> dict[str, int]:
+        """Apply Algorithm 1; returns triples added per graph.
+
+        When the steward extended G in preparation of this release (e.g.
+        added the features a new wrapper maps to — mandatory for genuinely
+        new features), pass the touched concepts as *absorbed_concepts*
+        so the release's evolution event stays concept-attributed;
+        otherwise those pending edits degrade it to an ungoverned
+        (cache-flushing) event.
+        """
+        delta = new_release(self.ontology, release,
+                            absorbed_concepts=absorbed_concepts)
         self.release_log.append(release)
         return delta
 
     def register_wrapper(self, wrapper: Wrapper,
                          attribute_to_feature: dict[str, IRI | str]
                          | None = None,
-                         subgraph=None) -> dict[str, int]:
+                         subgraph=None,
+                         absorbed_concepts: frozenset[IRI] | set[IRI]
+                         | None = None) -> dict[str, int]:
         """Register a physical wrapper, semi-automatically when possible.
 
         With no explicit ``F``, attribute→feature alignment is attempted
         (existing source mappings first, then name similarity); with no
         explicit subgraph, the minimal subgraph induced by the mapped
-        features is used.
+        features is used. *absorbed_concepts* is forwarded to
+        :meth:`register_release`.
         """
         if attribute_to_feature is None or subgraph is None:
             release = build_release(
@@ -67,7 +95,8 @@ class MDM:
         else:
             release = Release.for_wrapper(wrapper, subgraph,
                                           attribute_to_feature)
-        return self.register_release(release)
+        return self.register_release(release,
+                                     absorbed_concepts=absorbed_concepts)
 
     def suggest_release_subgraphs(self, features: list[IRI | str],
                                   limit: int = 5):
@@ -144,7 +173,16 @@ class MDM:
         counts["features"] = len(self.ontology.globals.features())
         counts["wrappers"] = len(self.ontology.sources.wrappers())
         counts["data_sources"] = len(self.ontology.sources.data_sources())
+        counts["evolution_epoch"] = self.ontology.epoch
+        if self.cache is not None:
+            counts["cached_rewritings"] = len(self.cache)
+            counts["cache_hits"] = self.cache.stats.hits
+            counts["cache_misses"] = self.cache.stats.misses
         return counts
+
+    def describe_cache(self) -> str:
+        """Human-readable state of the rewriting cache (debugging aid)."""
+        return describe_cache(self.cache)
 
     def export_nquads(self) -> str:
         """The whole ontology dataset (all named graphs) as N-Quads."""

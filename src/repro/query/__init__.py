@@ -1,5 +1,9 @@
 """Ontology-mediated query answering under LAV mappings (paper §5)."""
 
+from repro.query.cache import (
+    CacheStats, CachedRewriting, RewriteCache, canonical_omq_key,
+    concepts_of_result,
+)
 from repro.query.coverage import (
     covering_and_minimal, is_covering, is_minimal, lav_union,
 )
@@ -13,6 +17,8 @@ from repro.query.ucq import UCQ
 from repro.query.well_formed import is_well_formed, well_formed_query
 
 __all__ = [
+    "CacheStats", "CachedRewriting", "RewriteCache",
+    "canonical_omq_key", "concepts_of_result",
     "covering_and_minimal", "is_covering", "is_minimal", "lav_union",
     "QueryEngine",
     "query_expansion",

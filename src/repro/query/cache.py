@@ -1,0 +1,292 @@
+"""Release-aware memoization of query rewritings (§5-§6 operational).
+
+Rewriting an OMQ (Algorithms 2-5) is pure in the ontology ``T``: the same
+query over the same ``⟨G, S, M⟩`` always yields the same UCQ. The paper's
+governance story says evolution arrives as *releases* (Algorithm 1), each
+touching a known set of Global-graph concepts — so a cached rewriting only
+becomes stale when a release lands on a concept the rewriting involves.
+This module makes that observation operational:
+
+* :func:`canonical_omq_key` — a canonical form of the OMQ ``⟨π, φ⟩`` that
+  is insensitive to SPARQL surface syntax (whitespace, prefix choice,
+  triple order) but faithful to projection order (π determines output
+  columns);
+* :class:`RewriteCache` — an LRU table of :class:`CachedRewriting`
+  entries validated against the ontology's
+  :class:`~repro.core.ontology.OntologyFingerprint`:
+
+  - **epoch check** — when releases landed since the entry was stored,
+    the entry survives iff no
+    :class:`~repro.core.ontology.EvolutionEvent` intersects its concept
+    set (fine-grained invalidation; the §2.1 w4 release evicts only
+    VoD-concept rewritings, feedback rewritings keep their warm hit);
+  - **structure check** — mutations that bypassed the release machinery
+    evict the entry outright, as they cannot be attributed to concepts.
+    Detection is deterministic (a monotonic mutation counter feeds the
+    structural hash) and survives interleaving with releases: Algorithm
+    1 marks its event *ungoverned* when it finds unattributed edits on
+    entry, and post-event edits are caught by comparing the current
+    structure against the latest event's recorded structure.
+
+Soundness argument for the concept test: every phase of the rewriting
+reads ``T`` only through the query's concepts — features and IDs of those
+concepts (Algorithms 2-3), wrappers providing their features and edges
+(Algorithms 4-5). A release whose subgraph mentions none of them cannot
+add, remove or alter any walk of the cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.ontology import BDIOntology
+from repro.query.omq import OMQ
+from repro.query.rewriter import RewritingResult
+from repro.rdf.term import IRI
+
+__all__ = ["CacheStats", "CachedRewriting", "RewriteCache",
+           "canonical_omq_key", "concepts_of_result"]
+
+
+def canonical_omq_key(query: OMQ) -> str:
+    """A canonical cache key for ``⟨π, φ⟩``.
+
+    Projection order is preserved (it names the output columns); the
+    pattern graph is serialized as its sorted triple set, so textual
+    variants of the same OMQ — reformatted SPARQL, different prefix
+    names, reordered WHERE triples — collide onto one key.
+    """
+    pi = ",".join(str(feature) for feature in query.pi)
+    phi = ";".join(sorted(t.n3() for t in query.phi))
+    digest = hashlib.sha256(f"π={pi}|φ={phi}".encode()).hexdigest()
+    return digest
+
+
+def concepts_of_result(result: RewritingResult) -> frozenset[IRI]:
+    """The concept footprint of one rewriting (its invalidation granule).
+
+    Phase 1 (query expansion) already derives the concepts the query
+    spans; every later phase only consults ``T`` through them, so they
+    are exactly the concepts whose releases can change the result.
+    """
+    return frozenset(result.concepts)
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one :class:`RewriteCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: entries evicted because a release touched one of their concepts
+    invalidated: int = 0
+    #: entries evicted because the ontology changed outside a release
+    structure_evictions: int = 0
+    #: entries evicted because the cache was consulted for an ontology
+    #: other than the one they were computed against
+    lineage_evictions: int = 0
+    #: entries revalidated across ≥1 release touching other concepts
+    survived_releases: int = 0
+    #: entries dropped by the LRU bound
+    lru_evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1]; 0.0 before any lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+            "structure_evictions": self.structure_evictions,
+            "lineage_evictions": self.lineage_evictions,
+            "survived_releases": self.survived_releases,
+            "lru_evictions": self.lru_evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CachedRewriting:
+    """One memoized rewriting plus the state it was validated against."""
+
+    key: str
+    result: RewritingResult
+    concepts: frozenset[IRI]
+    #: ontology epoch at store/last-revalidation time
+    epoch: int
+    #: structural fingerprint component at store/last-revalidation time
+    structure: int
+    #: identity of the ontology the entry was computed against, so a
+    #: cache accidentally shared across ontologies cannot serve results
+    #: from the wrong one on a fingerprint collision
+    ontology_id: int = 0
+    #: number of times this entry served a hit (debugging aid)
+    hit_count: int = field(default=0, compare=False)
+
+
+class RewriteCache:
+    """LRU cache of rewritings with release-granular invalidation.
+
+    One cache serves one ontology lineage; sharing it between engines
+    over the *same* :class:`~repro.core.ontology.BDIOntology` (as
+    :class:`~repro.mdm.system.MDM` does) is the intended deployment.
+    Cached :class:`~repro.query.rewriter.RewritingResult` objects are
+    returned by reference — treat them as immutable.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedRewriting]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    # -- core operations -----------------------------------------------------
+
+    def lookup(self, ontology: BDIOntology, query: OMQ,
+               key: str | None = None) -> RewritingResult | None:
+        """Return the cached rewriting for *query*, if still valid.
+
+        Validation is two-staged: releases since the entry was stored are
+        checked concept-by-concept (selective survival), then the
+        structural fingerprint guards against ungoverned mutations.
+        Pass *key* when :func:`canonical_omq_key` was already computed.
+        """
+        key = key if key is not None else canonical_omq_key(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+
+        if entry.ontology_id != id(ontology):
+            # The cache is being consulted for a different ontology than
+            # the entry was computed against; fingerprints of distinct
+            # ontologies can collide, so identity is checked first.
+            del self._entries[key]
+            self.stats.lineage_evictions += 1
+            self.stats.misses += 1
+            return None
+
+        fingerprint = ontology.fingerprint()
+        if entry.epoch != fingerprint.epoch:
+            events = ontology.evolution_since(entry.epoch)
+            if not events:
+                # Epoch mismatch with no recorded events: the entry
+                # predates a different lineage of this ontology object
+                # (e.g. an id() reuse); nothing can be proven, evict.
+                del self._entries[key]
+                self.stats.lineage_evictions += 1
+                self.stats.misses += 1
+                return None
+            if any(e.ungoverned for e in events):
+                # An event covering edits that bypassed the governance
+                # layer: nothing can be attributed to concepts, evict.
+                del self._entries[key]
+                self.stats.structure_evictions += 1
+                self.stats.misses += 1
+                return None
+            if any(event.concepts & entry.concepts for event in events):
+                del self._entries[key]
+                self.stats.invalidated += 1
+                self.stats.misses += 1
+                return None
+            if events[-1].structure != fingerprint.structure:
+                # T was mutated out of band *after* the latest recorded
+                # event; those edits have no concept attribution, evict.
+                del self._entries[key]
+                self.stats.structure_evictions += 1
+                self.stats.misses += 1
+                return None
+            # Every intervening event touched only foreign concepts and
+            # nothing ungoverned happened since: the entry is still
+            # exact. Revalidate it against the current fingerprint so
+            # later lookups short-circuit.
+            entry.epoch = fingerprint.epoch
+            entry.structure = fingerprint.structure
+            self.stats.survived_releases += 1
+        elif entry.structure != fingerprint.structure:
+            # Same epoch but different shape: T was mutated outside the
+            # release machinery; no concept attribution is possible.
+            del self._entries[key]
+            self.stats.structure_evictions += 1
+            self.stats.misses += 1
+            return None
+
+        self._entries.move_to_end(key)
+        entry.hit_count += 1
+        self.stats.hits += 1
+        return entry.result
+
+    def store(self, ontology: BDIOntology, query: OMQ,
+              result: RewritingResult,
+              key: str | None = None) -> CachedRewriting:
+        """Memoize *result* under the canonical key of *query*.
+
+        Pass *key* when :func:`canonical_omq_key` was already computed
+        (e.g. by the preceding :meth:`lookup`).
+        """
+        fingerprint = ontology.fingerprint()
+        entry = CachedRewriting(
+            key=key if key is not None else canonical_omq_key(query),
+            result=result,
+            concepts=concepts_of_result(result),
+            epoch=fingerprint.epoch,
+            structure=fingerprint.structure,
+            ontology_id=id(ontology))
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.lru_evictions += 1
+        return entry
+
+    # -- explicit invalidation ----------------------------------------------
+
+    def invalidate_concepts(self, concepts: "frozenset[IRI] | set[IRI] "
+                            "| list[IRI]") -> int:
+        """Evict every entry touching any of *concepts*; return count.
+
+        Manual analogue of a release event — useful when a steward edits
+        G directly and knows which concepts were involved.
+        """
+        victims = frozenset(IRI(str(c)) for c in concepts)
+        stale = [key for key, entry in self._entries.items()
+                 if entry.concepts & victims]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidated += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop every entry; return how many were dropped."""
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    # -- introspection -------------------------------------------------------
+
+    def entries(self) -> list[CachedRewriting]:
+        """Current entries, least-recently-used first."""
+        return list(self._entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RewriteCache {len(self._entries)}/{self.max_entries} "
+                f"entries, {self.stats.hits} hits, "
+                f"{self.stats.misses} misses>")

@@ -4,13 +4,21 @@
 OMQ; the engine parses it (Code 3 template), rewrites it into a union of
 walks over wrappers (Algorithms 2-5) and evaluates the relational
 expression against the bound physical wrappers.
+
+Rewriting is memoized in a release-aware :class:`~repro.query.cache.
+RewriteCache` (on by default): repeated queries — the dominant analyst
+workload — skip Algorithms 2-5 entirely, and a release landing through
+Algorithm 1 invalidates only the cached rewritings whose concepts the
+release touched.
 """
 
 from __future__ import annotations
 
 from repro.core.ontology import BDIOntology
 from repro.errors import UnanswerableQueryError
-from repro.query.omq import OMQ
+from repro.query.cache import CacheStats, RewriteCache, \
+    canonical_omq_key
+from repro.query.omq import OMQ, parse_omq
 from repro.query.rewriter import RewritingResult, rewrite
 from repro.relational.algebra import DataProvider
 from repro.relational.rows import Relation
@@ -22,15 +30,56 @@ class QueryEngine:
     """Analyst-facing query interface over a BDI ontology."""
 
     def __init__(self, ontology: BDIOntology,
-                 prefixes: dict[str, str] | None = None) -> None:
+                 prefixes: dict[str, str] | None = None,
+                 cache: RewriteCache | None = None,
+                 use_cache: bool = True) -> None:
+        if cache is not None and not use_cache:
+            raise ValueError(
+                "an explicit cache contradicts use_cache=False; pass "
+                "one or the other")
         self.ontology = ontology
         self.prefixes = dict(prefixes or {})
+        #: release-aware rewriting cache (None when use_cache is False);
+        #: pass a shared instance to pool engines over one ontology.
+        self.cache: RewriteCache | None = (
+            cache if cache is not None
+            else RewriteCache() if use_cache else None)
+        #: SPARQL text → parsed OMQ memo, valid for the prefix bindings
+        #: it was built under (cleared when self.prefixes changes).
+        self._parse_memo: dict[str, OMQ] = {}
+        self._parse_memo_prefixes = dict(self.prefixes)
 
     # -- pipeline stages ----------------------------------------------------
 
+    def _parse(self, query: OMQ | str) -> OMQ:
+        if not isinstance(query, str):
+            return query
+        if self._parse_memo_prefixes != self.prefixes:
+            self._parse_memo.clear()
+            self._parse_memo_prefixes = dict(self.prefixes)
+        omq = self._parse_memo.get(query)
+        if omq is None:
+            omq = parse_omq(query, self.prefixes)
+            if len(self._parse_memo) >= 1024:
+                self._parse_memo.clear()
+            self._parse_memo[query] = omq
+        return omq
+
     def rewrite(self, query: OMQ | str) -> RewritingResult:
-        """OMQ → union of covering & minimal walks (no execution)."""
-        return rewrite(self.ontology, query, self.prefixes)
+        """OMQ → union of covering & minimal walks (no execution).
+
+        Served from the rewriting cache when a valid entry exists; cached
+        results are shared objects and must not be mutated.
+        """
+        omq = self._parse(query)
+        if self.cache is None:
+            return rewrite(self.ontology, omq)
+        key = canonical_omq_key(omq)
+        result = self.cache.lookup(self.ontology, omq, key=key)
+        if result is None:
+            result = rewrite(self.ontology, omq)
+            self.cache.store(self.ontology, omq, result, key=key)
+        return result
 
     def answer(self, query: OMQ | str,
                provider: DataProvider | None = None,
@@ -58,3 +107,14 @@ class QueryEngine:
         else:
             lines.append("  ∅ (unanswerable)")
         return "\n".join(lines)
+
+    # -- cache administration -----------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Counters of the rewriting cache (None when caching is off)."""
+        return self.cache.stats if self.cache is not None else None
+
+    def clear_cache(self) -> int:
+        """Drop every cached rewriting; returns how many were dropped."""
+        return self.cache.clear() if self.cache is not None else 0

@@ -69,6 +69,10 @@ class RewritingResult:
                      f"walk(s), {len(self.rejected)} rejected")
         for walk in self.walks:
             lines.append(f"  {walk.notation()}")
+        if self.rejected:
+            lines.append("rejected (not covering and minimal):")
+            for walk in self.rejected:
+                lines.append(f"  {walk.notation()}")
         return "\n".join(lines)
 
 

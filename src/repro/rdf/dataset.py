@@ -29,11 +29,12 @@ class Dataset:
     1
     """
 
-    __slots__ = ("_default", "_named")
+    __slots__ = ("_default", "_named", "_retired_mutations")
 
     def __init__(self) -> None:
         self._default = Graph()
         self._named: dict[IRI, Graph] = {}
+        self._retired_mutations = 0
 
     # -- graph management -------------------------------------------------------
 
@@ -68,7 +69,13 @@ class Dataset:
 
     def remove_graph(self, name: IRI | str) -> bool:
         """Drop a named graph entirely. Returns True when it existed."""
-        return self._named.pop(IRI(str(name)), None) is not None
+        dropped = self._named.pop(IRI(str(name)), None)
+        if dropped is None:
+            return False
+        # Keep mutation_count() monotonic: retain the dropped graph's
+        # history and count the drop itself as one more mutation.
+        self._retired_mutations += dropped.mutation_count + 1
+        return True
 
     def graph_names(self) -> list[IRI]:
         """Deterministically ordered list of named-graph IRIs."""
@@ -108,6 +115,16 @@ class Dataset:
 
     def quad_count(self) -> int:
         return len(self._default) + sum(len(g) for g in self._named.values())
+
+    def mutation_count(self) -> int:
+        """Total effective mutations across all graphs (monotonic).
+
+        Dropped graphs keep contributing their history (plus one for the
+        drop), so drop-and-recreate cannot reproduce an earlier value;
+        this makes count-neutral edits detectable by fingerprints.
+        """
+        return (self._retired_mutations + self._default.mutation_count
+                + sum(g.mutation_count for g in self._named.values()))
 
     def graphs_containing(self, s: object | None = None,
                           p: object | None = None,

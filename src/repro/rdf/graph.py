@@ -42,7 +42,8 @@ class Graph:
     1
     """
 
-    __slots__ = ("identifier", "_spo", "_pos", "_osp", "_size")
+    __slots__ = ("identifier", "_spo", "_pos", "_osp", "_size",
+                 "_mutations")
 
     def __init__(self, identifier: IRI | str | None = None,
                  triples: Iterable[object] | None = None) -> None:
@@ -59,6 +60,7 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        self._mutations = 0
         if triples is not None:
             self.update(triples)
 
@@ -84,6 +86,7 @@ class Graph:
         self._pos.setdefault(t.p, {}).setdefault(t.o, set()).add(t.s)
         self._osp.setdefault(t.o, {}).setdefault(t.s, set()).add(t.p)
         self._size += 1
+        self._mutations += 1
         return self
 
     def update(self, items: Iterable[object]) -> "Graph":
@@ -115,6 +118,7 @@ class Graph:
             if not self._osp[t.o]:
                 del self._osp[t.o]
         self._size -= 1
+        self._mutations += 1
         return True
 
     def remove_matching(self, s: object | None = None, p: object | None = None,
@@ -126,10 +130,21 @@ class Graph:
         return len(victims)
 
     def clear(self) -> None:
+        if self._size:
+            self._mutations += 1
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Count of effective mutations (adds, removals, clears) so far.
+
+        Monotonic; lets fingerprints detect count-neutral edits (remove
+        one triple, add another) that leave ``len(graph)`` unchanged.
+        """
+        return self._mutations
 
     # -- queries ----------------------------------------------------------------
 

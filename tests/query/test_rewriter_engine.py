@@ -62,6 +62,20 @@ class TestRewriter:
     def test_rejected_bucket_empty_on_running_example(self, ontology):
         result = rewrite(ontology, EXEMPLARY_QUERY)
         assert result.rejected == []
+        assert "rejected (not covering and minimal)" not in result.report()
+
+    def test_report_lists_rejected_walk_notations(self, ontology):
+        """Cache-debugging output is self-contained: rejected walks are
+        printed, not just counted."""
+        from repro.relational.walk import Walk
+        result = rewrite(ontology, EXEMPLARY_QUERY)
+        rejected = Walk.single(ontology.wrapper_relation_schema("w1"),
+                               {"D1/lagRatio"})
+        result.rejected.append(rejected)
+        report = result.report()
+        assert "1 rejected" in report
+        assert "rejected (not covering and minimal):" in report
+        assert rejected.notation() in report
 
     def test_deterministic_output_order(self, evolved_scenario):
         t = evolved_scenario.ontology

@@ -43,7 +43,7 @@ class TestErrorHierarchy:
 
 class TestTopLevelAPI:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_exports_resolve(self):
         for name in repro.__all__:
@@ -52,12 +52,18 @@ class TestTopLevelAPI:
     def test_quickstart_snippet(self):
         """The README quickstart must work verbatim."""
         from repro.datasets import build_supersede, EXEMPLARY_QUERY
+        from repro.datasets.supersede import register_w4
         from repro.mdm import MDM
 
-        scenario = build_supersede(with_evolution=True)
+        scenario = build_supersede()
         mdm = MDM(scenario.ontology)
         table = mdm.query(EXEMPLARY_QUERY)
+        assert len(table) == 3
+
+        register_w4(scenario)
+        table = mdm.query(EXEMPLARY_QUERY)
         assert len(table) == 5
+        assert "rewriting cache" in mdm.describe_cache()
 
     def test_docstring_mentions_paper(self):
         assert "Big Data Ecosystems" in repro.__doc__
