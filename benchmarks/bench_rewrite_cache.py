@@ -72,7 +72,7 @@ def _us(seconds: float) -> str:
     return f"{seconds * 1e6:9.1f} µs"
 
 
-def test_cold_warm_postrelease_running_example(write_result):
+def test_cold_warm_postrelease_running_example(write_result, write_json):
     """Cold vs. warm vs. post-release on the §2.1 workload (≥10× warm)."""
     scenario = build_supersede()
     cold_engine = QueryEngine(scenario.ontology, use_cache=False)
@@ -108,6 +108,15 @@ def test_cold_warm_postrelease_running_example(write_result):
         f"cache stats: {stats.snapshot()}",
     ])
     write_result("bench_rewrite_cache_running_example.txt", content)
+    write_json("rewrite_cache_running_example", {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "post_release_seconds": post_release,
+        "rewarmed_seconds": rewarmed,
+        "survivor_seconds": survivor,
+        "warm_speedup": round(speedup, 1),
+        "cache_stats": stats.snapshot(),
+    })
 
     assert speedup >= 10, f"warm speedup only {speedup:.1f}×"
     assert len(recomputed.walks) == 2
@@ -157,7 +166,7 @@ def _land_posts_release(ontology, release_spec) -> None:
     new_release(ontology, release)
 
 
-def test_wordpress_release_storm(write_result):
+def test_wordpress_release_storm(write_result, write_json):
     """15 releases land; the posts entry misses every time, the comments
     entry survives every time."""
     ontology = _wordpress_ontology()
@@ -199,6 +208,12 @@ def test_wordpress_release_storm(write_result):
         f"cache stats: {stats.snapshot()}",
     ])
     write_result("bench_rewrite_cache_wordpress.txt", content)
+    write_json("rewrite_cache_wordpress", {
+        "releases_landed": releases_landed,
+        "cached_seconds": cached_time,
+        "uncached_seconds": uncached_time,
+        "cache_stats": stats.snapshot(),
+    })
 
     # Fine-grained invalidation, asserted: every release touches Post
     # only — the posts entry misses each round, the comments entry hits.

@@ -7,6 +7,7 @@ output survives pytest's capture (and can be diffed against the paper).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -27,4 +28,19 @@ def write_result(results_dir):
         path.write_text(content, encoding="utf-8")
         # Also echo to stdout for `pytest -s` runs.
         print(f"\n===== {name} =====\n{content}")
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_json(results_dir):
+    """Persist machine-readable metrics as ``BENCH_<name>.json``.
+
+    CI uploads these files as workflow artifacts, so the perf
+    trajectory of each benchmark can be tracked commit over commit.
+    """
+    def _write(name: str, payload: dict) -> None:
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        print(f"\n===== {path.name} =====\n{path.read_text()}")
     return _write

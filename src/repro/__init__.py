@@ -35,12 +35,14 @@ from repro.mdm import MDM
 from repro.query import (
     OMQ, QueryEngine, RewriteCache, parse_omq, rewrite,
 )
+from repro.service import EpochLock, GovernedService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",
     "MDM",
     "OMQ", "QueryEngine", "RewriteCache", "parse_omq", "rewrite",
+    "EpochLock", "GovernedService",
     "__version__",
 ]

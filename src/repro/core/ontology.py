@@ -16,7 +16,7 @@ LAV mapping subgraph. It exposes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.global_graph import GlobalGraph
 from repro.core.mapping_graph import MappingGraph
@@ -104,6 +104,8 @@ class BDIOntology:
         #: None = no attribution bracket open; bool = whether foreign
         #: (unattributed) edits already existed when it was opened
         self._evolution_bracket_gap: bool | None = None
+        self._evolution_listeners: \
+            list[Callable[[EvolutionEvent], None]] = []
         if include_metamodel:
             self._g.update(global_metamodel())
             self._s.update(source_metamodel())
@@ -221,7 +223,31 @@ class BDIOntology:
             ungoverned=ungoverned)
         self._evolution_log.append(event)
         self._structure_at_last_event = event.structure
+        for listener in tuple(self._evolution_listeners):
+            listener(event)
         return event
+
+    def add_evolution_listener(
+            self, listener: "Callable[[EvolutionEvent], None]") -> None:
+        """Subscribe to evolution events (the serving layer's write hook).
+
+        *listener* is invoked synchronously at the end of every
+        :meth:`note_evolution`, after the event is logged — i.e. once per
+        release landing through Algorithm 1 and once per bracketed
+        steward edit. Listeners must be fast and must not mutate ``T``
+        or re-enter the evolution machinery; exceptions propagate to the
+        mutator. Registering the same callable twice is a no-op.
+        """
+        if listener not in self._evolution_listeners:
+            self._evolution_listeners.append(listener)
+
+    def remove_evolution_listener(
+            self, listener: "Callable[[EvolutionEvent], None]") -> None:
+        """Unsubscribe a listener; unknown listeners are ignored."""
+        try:
+            self._evolution_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def has_ungoverned_gap(self) -> bool:
         """True when T was mutated since the last recorded event.

@@ -215,3 +215,17 @@ class UnknownChangeKindError(EvolutionError):
 
 class ChangeApplicationError(EvolutionError):
     """A change could not be applied to the simulated API or ontology."""
+
+
+# ---------------------------------------------------------------------------
+# Governed serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for errors in the governed serving layer."""
+
+
+class EpochDrainTimeout(ServiceError):
+    """A writer (release) could not drain in-flight readers in time, or a
+    reader could not enter while a writer held the ontology."""

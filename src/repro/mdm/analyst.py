@@ -20,8 +20,10 @@ from repro.rdf.term import IRI
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.query.cache import RewriteCache
+    from repro.service.serving import GovernedService
 
-__all__ = ["OMQBuilder", "describe_cache", "describe_global_graph"]
+__all__ = ["OMQBuilder", "describe_cache", "describe_global_graph",
+           "describe_service"]
 
 
 class OMQBuilder:
@@ -138,6 +140,35 @@ def describe_cache(cache: "RewriteCache | None") -> str:
             f"{len(entry.result.walks)} walk(s), "
             f"{entry.hit_count} hit(s), concepts: {concepts}")
     return "\n".join(lines)
+
+
+def describe_service(service: "GovernedService") -> str:
+    """Readable state of a governed serving layer.
+
+    Lock epoch and drain behaviour, query/batch/release counters, the
+    bypassed-write count (mutations that skipped the service's write
+    path) and the underlying rewrite cache — the operator's one-stop
+    view of the concurrency contract in action.
+    """
+    stats = service.stats
+    lock_stats = service.lock.stats
+    lines = [
+        f"governed service: epoch {service.lock.epoch} "
+        f"({stats.releases} release(s) served)",
+        f"  queries answered = {stats.queries} "
+        f"({stats.batches} batch(es) covering "
+        f"{stats.batched_queries} of them, "
+        f"pool width = {service.max_workers})",
+        f"  lock: reads = {lock_stats.reads}, "
+        f"blocked reads = {lock_stats.reads_blocked}, "
+        f"writes = {lock_stats.writes}, "
+        f"drained writes = {lock_stats.writes_drained} "
+        f"(max {lock_stats.max_drained_readers} reader(s), "
+        f"{lock_stats.drain_seconds * 1e3:.2f} ms total)",
+        f"  bypassed writes (outside the service) = "
+        f"{stats.bypassed_writes}",
+    ]
+    return "\n".join(lines) + "\n" + describe_cache(service.mdm.cache)
 
 
 def describe_global_graph(ontology: BDIOntology) -> str:

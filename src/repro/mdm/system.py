@@ -42,6 +42,7 @@ class MDM:
         self.engine = QueryEngine(self.ontology, cache=cache,
                                   use_cache=use_cache)
         self.release_log: list[Release] = []
+        self._serving = None
 
     @property
     def cache(self) -> RewriteCache | None:
@@ -151,6 +152,47 @@ class MDM:
     def query(self, omq: str | OMQ, distinct: bool = True) -> Relation:
         """Pose an OMQ; returns the result relation (Figure 9 pipeline)."""
         return self.engine.answer(omq, distinct=distinct)
+
+    def answer_many(self, omqs, distinct: bool = True,
+                    workers: int | None = None,
+                    return_exceptions: bool = False,
+                    ) -> list[Relation | Exception]:
+        """Answer a batch of OMQs (deduplicated by canonical key).
+
+        Delegates to :meth:`QueryEngine.answer_many
+        <repro.query.engine.QueryEngine.answer_many>`: each unique OMQ
+        is rewritten and evaluated once, duplicates share the result,
+        and ``workers > 1`` fans wrapper evaluation out across threads.
+        For batches racing releases, front the MDM with
+        :meth:`serving` so answers stay release-consistent.
+        """
+        return self.engine.answer_many(
+            omqs, distinct=distinct, workers=workers,
+            return_exceptions=return_exceptions)
+
+    def serving(self, max_workers: int = 4,
+                drain_timeout: float | None = None):
+        """The :class:`~repro.service.GovernedService` over this MDM.
+
+        The service serializes releases against in-flight queries
+        (epoch readers-writer lock); route *all* traffic — steward and
+        analyst — through it once concurrent use starts. One MDM backs
+        one service: repeated calls return the same instance (each
+        service registers an evolution listener on the ontology, so
+        minting one per call would leak listeners and make stale
+        services misreport bypassed writes). Calling again with
+        different parameters closes and replaces the current service.
+        """
+        from repro.service.serving import GovernedService
+        service = self._serving
+        if service is not None:
+            if (service.max_workers, service.drain_timeout) == \
+                    (max_workers, drain_timeout):
+                return service
+            service.close()
+        self._serving = GovernedService(self, max_workers=max_workers,
+                                        drain_timeout=drain_timeout)
+        return self._serving
 
     def rewrite(self, omq: str | OMQ) -> RewritingResult:
         return self.engine.rewrite(omq)

@@ -38,6 +38,7 @@ add, remove or alter any walk of the cached result.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -80,6 +81,11 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: entries written (one per miss in engine usage)
+    stores: int = 0
+    #: stores that overwrote a live entry under the same key (duplicate
+    #: concurrent misses racing to memoize one rewriting)
+    replacements: int = 0
     #: entries evicted because a release touched one of their concepts
     invalidated: int = 0
     #: entries evicted because the ontology changed outside a release
@@ -105,6 +111,8 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "stores": self.stores,
+            "replacements": self.replacements,
             "invalidated": self.invalidated,
             "structure_evictions": self.structure_evictions,
             "lineage_evictions": self.lineage_evictions,
@@ -141,6 +149,15 @@ class RewriteCache:
     :class:`~repro.mdm.system.MDM` does) is the intended deployment.
     Cached :class:`~repro.query.rewriter.RewritingResult` objects are
     returned by reference — treat them as immutable.
+
+    Thread safety: every operation (lookup, store, invalidation,
+    introspection) runs under one internal reentrant lock, so the table
+    and its :class:`CacheStats` stay mutually consistent under
+    concurrent readers — the contract :meth:`QueryEngine.answer_many
+    <repro.query.engine.QueryEngine.answer_many>` relies on. The lock
+    does **not** freeze the ontology: callers that interleave lookups
+    with releases need the serving layer's epoch lock
+    (:class:`repro.service.EpochLock`) for answer-level consistency.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -149,14 +166,20 @@ class RewriteCache:
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, CachedRewriting]" = OrderedDict()
         self.stats = CacheStats()
+        #: guards _entries and stats together; reentrant so explicit
+        #: invalidation may be called from evolution listeners that fire
+        #: while a store is in progress on the same thread.
+        self._lock = threading.RLock()
 
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # -- core operations -----------------------------------------------------
 
@@ -170,69 +193,76 @@ class RewriteCache:
         Pass *key* when :func:`canonical_omq_key` was already computed.
         """
         key = key if key is not None else canonical_omq_key(query)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
 
-        if entry.ontology_id != id(ontology):
-            # The cache is being consulted for a different ontology than
-            # the entry was computed against; fingerprints of distinct
-            # ontologies can collide, so identity is checked first.
-            del self._entries[key]
-            self.stats.lineage_evictions += 1
-            self.stats.misses += 1
-            return None
-
-        fingerprint = ontology.fingerprint()
-        if entry.epoch != fingerprint.epoch:
-            events = ontology.evolution_since(entry.epoch)
-            if not events:
-                # Epoch mismatch with no recorded events: the entry
-                # predates a different lineage of this ontology object
-                # (e.g. an id() reuse); nothing can be proven, evict.
+            if entry.ontology_id != id(ontology):
+                # The cache is being consulted for a different ontology
+                # than the entry was computed against; fingerprints of
+                # distinct ontologies can collide, so identity is
+                # checked first.
                 del self._entries[key]
                 self.stats.lineage_evictions += 1
                 self.stats.misses += 1
                 return None
-            if any(e.ungoverned for e in events):
-                # An event covering edits that bypassed the governance
-                # layer: nothing can be attributed to concepts, evict.
-                del self._entries[key]
-                self.stats.structure_evictions += 1
-                self.stats.misses += 1
-                return None
-            if any(event.concepts & entry.concepts for event in events):
-                del self._entries[key]
-                self.stats.invalidated += 1
-                self.stats.misses += 1
-                return None
-            if events[-1].structure != fingerprint.structure:
-                # T was mutated out of band *after* the latest recorded
-                # event; those edits have no concept attribution, evict.
-                del self._entries[key]
-                self.stats.structure_evictions += 1
-                self.stats.misses += 1
-                return None
-            # Every intervening event touched only foreign concepts and
-            # nothing ungoverned happened since: the entry is still
-            # exact. Revalidate it against the current fingerprint so
-            # later lookups short-circuit.
-            entry.epoch = fingerprint.epoch
-            entry.structure = fingerprint.structure
-            self.stats.survived_releases += 1
-        elif entry.structure != fingerprint.structure:
-            # Same epoch but different shape: T was mutated outside the
-            # release machinery; no concept attribution is possible.
-            del self._entries[key]
-            self.stats.structure_evictions += 1
-            self.stats.misses += 1
-            return None
 
-        self._entries.move_to_end(key)
-        entry.hit_count += 1
-        self.stats.hits += 1
-        return entry.result
+            fingerprint = ontology.fingerprint()
+            if entry.epoch != fingerprint.epoch:
+                events = ontology.evolution_since(entry.epoch)
+                if not events:
+                    # Epoch mismatch with no recorded events: the entry
+                    # predates a different lineage of this ontology
+                    # object (e.g. an id() reuse); nothing can be
+                    # proven, evict.
+                    del self._entries[key]
+                    self.stats.lineage_evictions += 1
+                    self.stats.misses += 1
+                    return None
+                if any(e.ungoverned for e in events):
+                    # An event covering edits that bypassed the
+                    # governance layer: nothing can be attributed to
+                    # concepts, evict.
+                    del self._entries[key]
+                    self.stats.structure_evictions += 1
+                    self.stats.misses += 1
+                    return None
+                if any(event.concepts & entry.concepts
+                       for event in events):
+                    del self._entries[key]
+                    self.stats.invalidated += 1
+                    self.stats.misses += 1
+                    return None
+                if events[-1].structure != fingerprint.structure:
+                    # T was mutated out of band *after* the latest
+                    # recorded event; those edits have no concept
+                    # attribution, evict.
+                    del self._entries[key]
+                    self.stats.structure_evictions += 1
+                    self.stats.misses += 1
+                    return None
+                # Every intervening event touched only foreign concepts
+                # and nothing ungoverned happened since: the entry is
+                # still exact. Revalidate it against the current
+                # fingerprint so later lookups short-circuit.
+                entry.epoch = fingerprint.epoch
+                entry.structure = fingerprint.structure
+                self.stats.survived_releases += 1
+            elif entry.structure != fingerprint.structure:
+                # Same epoch but different shape: T was mutated outside
+                # the release machinery; no concept attribution is
+                # possible.
+                del self._entries[key]
+                self.stats.structure_evictions += 1
+                self.stats.misses += 1
+                return None
+
+            self._entries.move_to_end(key)
+            entry.hit_count += 1
+            self.stats.hits += 1
+            return entry.result
 
     def store(self, ontology: BDIOntology, query: OMQ,
               result: RewritingResult,
@@ -242,20 +272,24 @@ class RewriteCache:
         Pass *key* when :func:`canonical_omq_key` was already computed
         (e.g. by the preceding :meth:`lookup`).
         """
-        fingerprint = ontology.fingerprint()
-        entry = CachedRewriting(
-            key=key if key is not None else canonical_omq_key(query),
-            result=result,
-            concepts=concepts_of_result(result),
-            epoch=fingerprint.epoch,
-            structure=fingerprint.structure,
-            ontology_id=id(ontology))
-        self._entries[entry.key] = entry
-        self._entries.move_to_end(entry.key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.lru_evictions += 1
-        return entry
+        with self._lock:
+            fingerprint = ontology.fingerprint()
+            entry = CachedRewriting(
+                key=key if key is not None else canonical_omq_key(query),
+                result=result,
+                concepts=concepts_of_result(result),
+                epoch=fingerprint.epoch,
+                structure=fingerprint.structure,
+                ontology_id=id(ontology))
+            self.stats.stores += 1
+            if entry.key in self._entries:
+                self.stats.replacements += 1
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.lru_evictions += 1
+            return entry
 
     # -- explicit invalidation ----------------------------------------------
 
@@ -267,24 +301,28 @@ class RewriteCache:
         G directly and knows which concepts were involved.
         """
         victims = frozenset(IRI(str(c)) for c in concepts)
-        stale = [key for key, entry in self._entries.items()
-                 if entry.concepts & victims]
-        for key in stale:
-            del self._entries[key]
-        self.stats.invalidated += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if entry.concepts & victims]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidated += len(stale)
+            return len(stale)
 
     def clear(self) -> int:
         """Drop every entry; return how many were dropped."""
-        count = len(self._entries)
-        self._entries.clear()
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            return count
 
     # -- introspection -------------------------------------------------------
 
     def entries(self) -> list[CachedRewriting]:
-        """Current entries, least-recently-used first."""
-        return list(self._entries.values())
+        """Current entries, least-recently-used first (a snapshot; safe
+        to iterate while other threads hit the cache)."""
+        with self._lock:
+            return list(self._entries.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<RewriteCache {len(self._entries)}/{self.max_entries} "

@@ -10,9 +10,23 @@ RewriteCache` (on by default): repeated queries — the dominant analyst
 workload — skip Algorithms 2-5 entirely, and a release landing through
 Algorithm 1 invalidates only the cached rewritings whose concepts the
 release touched.
+
+For multi-analyst workloads, :meth:`QueryEngine.answer_many` answers a
+whole batch at once: queries are deduplicated by canonical OMQ key
+(textual variants of one OMQ collapse onto one unit of work), each
+unique query is rewritten exactly once, and wrapper evaluation fans out
+across a thread pool. The engine's internal state (parse memo, rewrite
+cache) is thread-safe; consistency of answers *across* a concurrently
+landing release is the serving layer's job
+(:class:`repro.service.GovernedService`).
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
 
 from repro.core.ontology import BDIOntology
 from repro.errors import UnanswerableQueryError
@@ -25,6 +39,9 @@ from repro.relational.rows import Relation
 
 __all__ = ["QueryEngine"]
 
+#: default bound of the SPARQL-text → OMQ parse memo (LRU entries)
+PARSE_MEMO_MAX = 1024
+
 
 class QueryEngine:
     """Analyst-facing query interface over a BDI ontology."""
@@ -32,11 +49,14 @@ class QueryEngine:
     def __init__(self, ontology: BDIOntology,
                  prefixes: dict[str, str] | None = None,
                  cache: RewriteCache | None = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 parse_memo_max: int = PARSE_MEMO_MAX) -> None:
         if cache is not None and not use_cache:
             raise ValueError(
                 "an explicit cache contradicts use_cache=False; pass "
                 "one or the other")
+        if parse_memo_max < 1:
+            raise ValueError("parse_memo_max must be >= 1")
         self.ontology = ontology
         self.prefixes = dict(prefixes or {})
         #: release-aware rewriting cache (None when use_cache is False);
@@ -44,26 +64,52 @@ class QueryEngine:
         self.cache: RewriteCache | None = (
             cache if cache is not None
             else RewriteCache() if use_cache else None)
-        #: SPARQL text → parsed OMQ memo, valid for the prefix bindings
-        #: it was built under (cleared when self.prefixes changes).
-        self._parse_memo: dict[str, OMQ] = {}
+        #: SPARQL text → parsed OMQ memo, LRU-bounded, valid for the
+        #: prefix bindings it was built under. Guarded by _parse_lock:
+        #: the stale-memo check and the clear happen under the same
+        #: critical section, so a concurrent parse can never revive an
+        #: entry built under the previous prefix bindings.
+        self.parse_memo_max = parse_memo_max
+        self._parse_memo: "OrderedDict[str, OMQ]" = OrderedDict()
         self._parse_memo_prefixes = dict(self.prefixes)
+        self._parse_lock = threading.Lock()
 
     # -- pipeline stages ----------------------------------------------------
 
     def _parse(self, query: OMQ | str) -> OMQ:
         if not isinstance(query, str):
             return query
-        if self._parse_memo_prefixes != self.prefixes:
-            self._parse_memo.clear()
-            self._parse_memo_prefixes = dict(self.prefixes)
-        omq = self._parse_memo.get(query)
-        if omq is None:
-            omq = parse_omq(query, self.prefixes)
-            if len(self._parse_memo) >= 1024:
+        with self._parse_lock:
+            if self._parse_memo_prefixes != self.prefixes:
                 self._parse_memo.clear()
-            self._parse_memo[query] = omq
+                self._parse_memo_prefixes = dict(self.prefixes)
+            omq = self._parse_memo.get(query)
+            if omq is not None:
+                self._parse_memo.move_to_end(query)
+                return omq
+            prefixes = dict(self.prefixes)
+        # Parse outside the lock (pure function of text + prefixes), so
+        # concurrent cold parses of distinct queries do not serialize.
+        omq = parse_omq(query, prefixes)
+        with self._parse_lock:
+            if self._parse_memo_prefixes == prefixes:
+                self._parse_memo[query] = omq
+                self._parse_memo.move_to_end(query)
+                while len(self._parse_memo) > self.parse_memo_max:
+                    self._parse_memo.popitem(last=False)
         return omq
+
+    def _rewrite_parsed(self, omq: OMQ, key: str | None = None,
+                        ) -> RewritingResult:
+        """Cache-aware rewriting of an already parsed OMQ."""
+        if self.cache is None:
+            return rewrite(self.ontology, omq)
+        key = key if key is not None else canonical_omq_key(omq)
+        result = self.cache.lookup(self.ontology, omq, key=key)
+        if result is None:
+            result = rewrite(self.ontology, omq)
+            self.cache.store(self.ontology, omq, result, key=key)
+        return result
 
     def rewrite(self, query: OMQ | str) -> RewritingResult:
         """OMQ → union of covering & minimal walks (no execution).
@@ -71,15 +117,18 @@ class QueryEngine:
         Served from the rewriting cache when a valid entry exists; cached
         results are shared objects and must not be mutated.
         """
-        omq = self._parse(query)
-        if self.cache is None:
-            return rewrite(self.ontology, omq)
-        key = canonical_omq_key(omq)
-        result = self.cache.lookup(self.ontology, omq, key=key)
-        if result is None:
-            result = rewrite(self.ontology, omq)
-            self.cache.store(self.ontology, omq, result, key=key)
-        return result
+        return self._rewrite_parsed(self._parse(query))
+
+    def _evaluate(self, omq: OMQ, key: str | None,
+                  provider: DataProvider | None,
+                  distinct: bool) -> Relation:
+        result = self._rewrite_parsed(omq, key=key)
+        if not result.walks:
+            raise UnanswerableQueryError(
+                "no covering and minimal walk answers the query; "
+                "concepts involved: "
+                f"{[c.local_name for c in result.concepts]}")
+        return result.ucq.execute(self.ontology, provider, distinct)
 
     def answer(self, query: OMQ | str,
                provider: DataProvider | None = None,
@@ -89,13 +138,70 @@ class QueryEngine:
         Raises :class:`UnanswerableQueryError` when no covering and
         minimal walk exists for the query.
         """
-        result = self.rewrite(query)
-        if not result.walks:
-            raise UnanswerableQueryError(
-                "no covering and minimal walk answers the query; "
-                "concepts involved: "
-                f"{[c.local_name for c in result.concepts]}")
-        return result.ucq.execute(self.ontology, provider, distinct)
+        return self._evaluate(self._parse(query), None, provider,
+                              distinct)
+
+    def answer_many(self, queries: Sequence[OMQ | str] | Iterable[OMQ | str],
+                    provider: DataProvider | None = None,
+                    distinct: bool = True,
+                    workers: int | None = None,
+                    return_exceptions: bool = False,
+                    ) -> list[Relation | Exception]:
+        """Answer a batch of OMQs; results align with the input order.
+
+        The batch is deduplicated by :func:`canonical_omq_key`, so
+        textual variants of one OMQ (reformatted SPARQL, renamed
+        prefixes, reordered triples) are rewritten *and evaluated*
+        exactly once, with duplicates sharing the resulting relation
+        object (treat results as immutable). With ``workers > 1``,
+        evaluation of distinct queries fans out across a
+        :class:`~concurrent.futures.ThreadPoolExecutor` — wrappers over
+        I/O-bound sources overlap their fetches. ``workers=None`` (or
+        ``1``) evaluates sequentially on the calling thread.
+
+        Failures: by default the first failing query raises after the
+        whole batch settles (so sibling futures are never abandoned
+        mid-flight); with ``return_exceptions=True`` the exception
+        object takes the failed query's slot instead, in the style of
+        ``asyncio.gather``.
+        """
+        omqs = [self._parse(query) for query in queries]
+        keys = [canonical_omq_key(omq) for omq in omqs]
+        unique: "OrderedDict[str, OMQ]" = OrderedDict()
+        for key, omq in zip(keys, omqs):
+            unique.setdefault(key, omq)
+
+        outcomes: dict[str, Relation | Exception] = {}
+
+        def _answer_one(key: str, omq: OMQ) -> Relation:
+            return self._evaluate(omq, key, provider, distinct)
+
+        if workers is not None and workers > 1 and len(unique) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(unique)),
+                    thread_name_prefix="repro-answer") as pool:
+                futures = {
+                    key: pool.submit(_answer_one, key, omq)
+                    for key, omq in unique.items()}
+                for key, future in futures.items():
+                    try:
+                        outcomes[key] = future.result()
+                    except Exception as exc:  # propagated post-settle
+                        outcomes[key] = exc
+        else:
+            for key, omq in unique.items():
+                try:
+                    outcomes[key] = _answer_one(key, omq)
+                except Exception as exc:
+                    outcomes[key] = exc
+
+        results: list[Relation | Exception] = []
+        for key in keys:
+            outcome = outcomes[key]
+            if isinstance(outcome, Exception) and not return_exceptions:
+                raise outcome
+            results.append(outcome)
+        return results
 
     def explain(self, query: OMQ | str) -> str:
         """Textual account of the rewriting phases plus the final UCQ."""
@@ -118,3 +224,8 @@ class QueryEngine:
     def clear_cache(self) -> int:
         """Drop every cached rewriting; returns how many were dropped."""
         return self.cache.clear() if self.cache is not None else 0
+
+    def parse_memo_size(self) -> int:
+        """Number of memoized SPARQL parses (observability aid)."""
+        with self._parse_lock:
+            return len(self._parse_memo)

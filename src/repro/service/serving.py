@@ -1,0 +1,250 @@
+"""The governed serving layer: concurrent analysts, serialized releases.
+
+:class:`GovernedService` fronts an :class:`~repro.mdm.system.MDM` with
+the concurrency contract the paper's MDM needs once many analysts query
+one *evolving* BDI ontology (§6.1 under load):
+
+* **queries are readers** — they enter an :class:`~repro.service.
+  epoch_lock.EpochLock` read section, snapshot the ontology fingerprint
+  and run lock-free on the warm rewrite cache; arbitrarily many run in
+  parallel;
+* **releases are writers** — they block new queries, drain the in-flight
+  ones, mutate ``T`` through Algorithm 1 and only then readmit readers;
+* every answer is tagged with the *serving epoch* it observed, so an
+  answer is always consistent with exactly one release — never torn
+  across a mutation, never stale after one (the rewrite cache
+  invalidates by concept as before).
+
+The service also registers an ontology evolution listener: a mutation of
+``T`` that lands *outside* a service write section (someone calling
+Algorithm 1 behind the service's back) is counted as a bypassed write —
+the cache still protects correctness via fingerprints, but the operator
+can see that the single-writer discipline was violated.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.ontology import EvolutionEvent, OntologyFingerprint
+from repro.core.release import Release
+from repro.mdm.system import MDM
+from repro.query.omq import OMQ
+from repro.relational.rows import Relation
+from repro.service.epoch_lock import EpochLock
+from repro.rdf.term import IRI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrappers.base import Wrapper
+
+__all__ = ["GovernedService", "ServedAnswer", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """One answered query plus the consistency evidence it was served
+    under: the serving epoch (completed releases observed) and the
+    ontology fingerprint snapshotted inside the read section.
+
+    A failed query in a ``return_exceptions=True`` batch yields a slot
+    with :attr:`relation` ``None`` and the exception in :attr:`error`.
+    """
+
+    relation: Relation | None
+    #: serving epoch (EpochLock write count) the answer observed
+    epoch: int
+    #: ontology fingerprint at answering time
+    fingerprint: OntologyFingerprint
+    #: the query's failure, when the batch was asked not to raise
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        """The answer rows; re-raises :attr:`error` for failed slots."""
+        if self.error is not None:
+            raise self.error
+        return self.relation.rows
+
+
+@dataclass
+class ServiceStats:
+    """Observability counters for one :class:`GovernedService`.
+
+    Increments come from concurrently running reader threads, so they
+    go through :meth:`bump`, which serializes on an internal lock —
+    ``+=`` on a bare attribute can lose updates under contention.
+    """
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    releases: int = 0
+    #: evolution events observed outside a service write section
+    bypassed_writes: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "releases": self.releases,
+                "bypassed_writes": self.bypassed_writes,
+            }
+
+
+class GovernedService:
+    """Thread-safe query serving over one MDM.
+
+    *max_workers* bounds the thread pool :meth:`serve_many` fans wrapper
+    evaluation out on; ``drain_timeout`` (seconds, ``None`` = wait
+    forever) bounds how long a release may wait for in-flight queries.
+    """
+
+    def __init__(self, mdm: MDM | None = None, *,
+                 max_workers: int = 4,
+                 drain_timeout: float | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.mdm = mdm if mdm is not None else MDM()
+        self.max_workers = max_workers
+        self.drain_timeout = drain_timeout
+        self.lock = EpochLock()
+        self.stats = ServiceStats()
+        self.mdm.ontology.add_evolution_listener(self._on_evolution)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the ontology's evolution feed (idempotent).
+
+        A closed service stops observing bypassed writes; if it was the
+        MDM's memoized service (:meth:`MDM.serving
+        <repro.mdm.system.MDM.serving>`), the MDM forgets it so the
+        next ``serving()`` call mints a fresh one.
+        """
+        self.mdm.ontology.remove_evolution_listener(self._on_evolution)
+        if getattr(self.mdm, "_serving", None) is self:
+            self.mdm._serving = None
+
+    def _on_evolution(self, event: EvolutionEvent) -> None:
+        if not self.lock.held_for_write():
+            self.stats.bump(bypassed_writes=1)
+
+    # -- analyst side (readers) ----------------------------------------------
+
+    def serve(self, query: OMQ | str, distinct: bool = True,
+              timeout: float | None = None) -> ServedAnswer:
+        """Answer one OMQ under the read lock, with epoch evidence."""
+        with self.lock.read(timeout) as epoch:
+            self.stats.bump(queries=1)
+            relation = self.mdm.engine.answer(query, distinct=distinct)
+            return ServedAnswer(
+                relation=relation, epoch=epoch,
+                fingerprint=self.mdm.ontology.fingerprint())
+
+    def answer(self, query: OMQ | str, distinct: bool = True,
+               timeout: float | None = None) -> Relation:
+        """Answer one OMQ; the epoch-less convenience form of
+        :meth:`serve`."""
+        return self.serve(query, distinct=distinct,
+                          timeout=timeout).relation
+
+    def serve_many(self, queries: Iterable[OMQ | str],
+                   distinct: bool = True,
+                   workers: int | None = None,
+                   return_exceptions: bool = False,
+                   timeout: float | None = None) -> list[ServedAnswer]:
+        """Answer a batch under *one* read section.
+
+        The whole batch observes a single serving epoch — a release
+        either precedes every answer in the batch or follows all of
+        them. Deduplication and the evaluation fan-out are
+        :meth:`QueryEngine.answer_many
+        <repro.query.engine.QueryEngine.answer_many>`'s; duplicates in
+        the batch share one relation object. With
+        ``return_exceptions=True`` a failed query yields a
+        :class:`ServedAnswer`-shaped slot holding the exception in
+        ``relation``'s place.
+        """
+        batch = list(queries)
+        with self.lock.read(timeout) as epoch:
+            self.stats.bump(batches=1, batched_queries=len(batch),
+                            queries=len(batch))
+            outcomes = self.mdm.engine.answer_many(
+                batch, distinct=distinct,
+                workers=self.max_workers if workers is None else workers,
+                return_exceptions=return_exceptions)
+            fingerprint = self.mdm.ontology.fingerprint()
+            return [
+                ServedAnswer(relation=None, epoch=epoch,
+                             fingerprint=fingerprint, error=outcome)
+                if isinstance(outcome, Exception) else
+                ServedAnswer(relation=outcome, epoch=epoch,
+                             fingerprint=fingerprint)
+                for outcome in outcomes]
+
+    def answer_many(self, queries: Iterable[OMQ | str],
+                    distinct: bool = True,
+                    workers: int | None = None,
+                    return_exceptions: bool = False,
+                    timeout: float | None = None,
+                    ) -> list[Relation | Exception]:
+        """Batch answering without the epoch evidence."""
+        return [served.relation if served.ok else served.error
+                for served in self.serve_many(
+                    queries, distinct=distinct, workers=workers,
+                    return_exceptions=return_exceptions,
+                    timeout=timeout)]
+
+    # -- steward side (writers) ----------------------------------------------
+
+    def apply_release(self, release: Release,
+                      absorbed_concepts: "frozenset[IRI] | set[IRI] | "
+                      "None" = None) -> dict[str, int]:
+        """Land a release: drain readers, run Algorithm 1, readmit.
+
+        Returns Algorithm 1's triples-added delta. Queries issued after
+        this returns observe a strictly larger serving epoch.
+        """
+        with self.lock.write(self.drain_timeout):
+            self.stats.bump(releases=1)
+            return self.mdm.register_release(
+                release, absorbed_concepts=absorbed_concepts)
+
+    def register_wrapper(self, wrapper: "Wrapper", **kwargs,
+                         ) -> dict[str, int]:
+        """Writer-side :meth:`MDM.register_wrapper` (same keywords)."""
+        with self.lock.write(self.drain_timeout):
+            self.stats.bump(releases=1)
+            return self.mdm.register_wrapper(wrapper, **kwargs)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Completed releases served by this service."""
+        return self.lock.epoch
+
+    def describe(self) -> str:
+        """Human-readable serving-layer state (lock, batches, cache)."""
+        from repro.mdm.analyst import describe_service
+        return describe_service(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<GovernedService epoch={self.lock.epoch} "
+                f"queries={self.stats.queries} "
+                f"releases={self.stats.releases}>")

@@ -1,0 +1,126 @@
+"""QueryEngine.answer_many: dedupe, fan-out, ordering, parse-memo LRU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY
+from repro.errors import UnanswerableQueryError
+from repro.query.engine import QueryEngine
+
+#: the same OMQ as EXEMPLARY_QUERY under different SPARQL surface syntax
+#: (reordered WHERE triples, different whitespace) — one canonical key
+VARIANT_QUERY = """
+SELECT ?x ?y
+FROM <http://www.essi.upc.edu/~snadal/BDIOntology/Global>
+WHERE {
+    VALUES (?x ?y) { (sup:applicationId sup:lagRatio) }
+    sup:InfoMonitor G:hasFeature sup:lagRatio .
+    sup:Monitor sup:generatesQoS sup:InfoMonitor .
+    sc:SoftwareApplication sup:hasMonitor sup:Monitor .
+    sc:SoftwareApplication   G:hasFeature   sup:applicationId
+}
+"""
+
+
+def _canon(relation) -> list[tuple]:
+    return sorted(tuple(sorted(row.items())) for row in relation.rows)
+
+
+class TestBatchAnswering:
+    def test_results_align_with_input_order(self, engine):
+        single = engine.answer(EXEMPLARY_QUERY)
+        batch = engine.answer_many(
+            [EXEMPLARY_QUERY, VARIANT_QUERY, EXEMPLARY_QUERY])
+        assert len(batch) == 3
+        for relation in batch:
+            assert _canon(relation) == _canon(single)
+
+    def test_textual_variants_rewrite_once_and_share_result(
+            self, ontology):
+        engine = QueryEngine(ontology)
+        batch = engine.answer_many(
+            [EXEMPLARY_QUERY, VARIANT_QUERY, EXEMPLARY_QUERY],
+            workers=4)
+        # One canonical key → one cache miss, results share the object.
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_stats.hits == 0
+        assert batch[0] is batch[1]
+        assert batch[1] is batch[2]
+
+    def test_threaded_equals_sequential(self, ontology):
+        sequential = QueryEngine(ontology).answer_many(
+            [EXEMPLARY_QUERY, VARIANT_QUERY])
+        threaded = QueryEngine(ontology).answer_many(
+            [EXEMPLARY_QUERY, VARIANT_QUERY], workers=8)
+        assert [_canon(r) for r in sequential] == \
+            [_canon(r) for r in threaded]
+
+    def test_empty_batch(self, engine):
+        assert engine.answer_many([]) == []
+
+    def test_uncached_engine_still_batches(self, ontology):
+        engine = QueryEngine(ontology, use_cache=False)
+        batch = engine.answer_many([EXEMPLARY_QUERY, VARIANT_QUERY],
+                                   workers=2)
+        assert _canon(batch[0]) == _canon(batch[1])
+
+
+class TestBatchFailures:
+    # bitrate exists in G but no wrapper provides it.
+    UNANSWERABLE = """
+    SELECT ?x WHERE {
+        VALUES (?x) { (sup:bitrate) }
+        sup:InfoMonitor G:hasFeature sup:bitrate
+    }
+    """
+
+    def test_default_raises_after_settling(self, engine):
+        with pytest.raises(UnanswerableQueryError):
+            engine.answer_many([EXEMPLARY_QUERY, self.UNANSWERABLE],
+                               workers=2)
+
+    def test_return_exceptions_keeps_slots(self, engine):
+        batch = engine.answer_many(
+            [EXEMPLARY_QUERY, self.UNANSWERABLE, EXEMPLARY_QUERY],
+            workers=2, return_exceptions=True)
+        assert isinstance(batch[1], UnanswerableQueryError)
+        assert _canon(batch[0]) == _canon(batch[2])
+
+
+class TestParseMemo:
+    def test_memo_is_lru_bounded(self, ontology):
+        engine = QueryEngine(ontology, parse_memo_max=2)
+        spacings = [EXEMPLARY_QUERY + "\n" * i for i in range(5)]
+        for query in spacings:
+            engine.rewrite(query)
+        assert engine.parse_memo_size() == 2
+        # All five texts canonicalize onto one cached rewriting.
+        assert engine.cache_stats.misses == 1
+        assert engine.cache_stats.hits == 4
+
+    def test_memo_keeps_recently_used_entries(self, ontology):
+        engine = QueryEngine(ontology, parse_memo_max=2)
+        a, b, c = (EXEMPLARY_QUERY, EXEMPLARY_QUERY + "\n",
+                   EXEMPLARY_QUERY + "\n\n")
+        engine.rewrite(a)
+        engine.rewrite(b)
+        engine.rewrite(a)  # refresh a; b is now the LRU victim
+        engine.rewrite(c)  # evicts b
+        size_before = engine.parse_memo_size()
+        engine.rewrite(a)  # must still be memoized — no growth
+        assert engine.parse_memo_size() == size_before == 2
+
+    def test_prefix_change_clears_memo(self, ontology):
+        engine = QueryEngine(ontology)
+        engine.rewrite(EXEMPLARY_QUERY)
+        engine.rewrite(EXEMPLARY_QUERY + "\n")
+        assert engine.parse_memo_size() == 2
+        engine.prefixes["extra"] = "urn:extra:"
+        engine.rewrite(EXEMPLARY_QUERY)
+        # The stale memo (built under the old bindings) was dropped.
+        assert engine.parse_memo_size() == 1
+
+    def test_parse_memo_max_validated(self, ontology):
+        with pytest.raises(ValueError):
+            QueryEngine(ontology, parse_memo_max=0)

@@ -1,0 +1,167 @@
+"""EpochLock semantics: parallel readers, draining writers, epochs."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import EpochDrainTimeout
+from repro.service import EpochLock
+
+
+class TestReadSide:
+    def test_read_yields_current_epoch(self):
+        lock = EpochLock()
+        with lock.read() as epoch:
+            assert epoch == 0
+        with lock.write():
+            pass
+        with lock.read() as epoch:
+            assert epoch == 1
+
+    def test_readers_run_in_parallel(self):
+        lock = EpochLock()
+        inside = threading.Semaphore(0)
+        proceed = threading.Event()
+        peak = []
+
+        def reader():
+            with lock.read():
+                inside.release()
+                assert proceed.wait(timeout=10)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(4):
+            assert inside.acquire(timeout=10)
+        peak.append(lock.active_readers)
+        proceed.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert peak == [4]
+        assert lock.stats.reads == 4
+
+    def test_release_read_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            EpochLock().release_read()
+
+
+class TestWriteSide:
+    def test_writer_excludes_and_drains_readers(self):
+        lock = EpochLock()
+        reader_in = threading.Event()
+        reader_release = threading.Event()
+        order: list[str] = []
+
+        def reader():
+            with lock.read():
+                reader_in.set()
+                assert reader_release.wait(timeout=10)
+                order.append("reader-exit")
+
+        def writer():
+            with lock.write() as epoch:
+                order.append("writer-enter")
+                assert epoch == 1
+
+        r = threading.Thread(target=reader)
+        r.start()
+        assert reader_in.wait(timeout=10)
+        w = threading.Thread(target=writer)
+        w.start()
+        # The writer must be parked behind the in-flight reader.
+        time.sleep(0.05)
+        assert "writer-enter" not in order
+        reader_release.set()
+        r.join(timeout=10)
+        w.join(timeout=10)
+        assert order == ["reader-exit", "writer-enter"]
+        assert lock.stats.writes == 1
+        assert lock.stats.writes_drained == 1
+        assert lock.stats.max_drained_readers == 1
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = EpochLock()
+        reader_in = threading.Event()
+        reader_release = threading.Event()
+
+        def reader_long():
+            with lock.read():
+                reader_in.set()
+                assert reader_release.wait(timeout=10)
+
+        r = threading.Thread(target=reader_long)
+        r.start()
+        assert reader_in.wait(timeout=10)
+        w = threading.Thread(target=lambda: (lock.acquire_write(),
+                                             lock.release_write()))
+        w.start()
+        time.sleep(0.05)  # writer is now waiting on the drain
+        # A new reader must not jump the waiting writer.
+        with pytest.raises(EpochDrainTimeout):
+            lock.acquire_read(timeout=0.05)
+        assert lock.stats.reads_blocked == 1
+        reader_release.set()
+        r.join(timeout=10)
+        w.join(timeout=10)
+        # After the writer finishes, readers flow again at epoch 1.
+        with lock.read() as epoch:
+            assert epoch == 1
+
+    def test_write_timeout_leaves_lock_clean(self):
+        lock = EpochLock()
+        reader_in = threading.Event()
+        reader_release = threading.Event()
+
+        def reader():
+            with lock.read():
+                reader_in.set()
+                assert reader_release.wait(timeout=10)
+
+        r = threading.Thread(target=reader)
+        r.start()
+        assert reader_in.wait(timeout=10)
+        with pytest.raises(EpochDrainTimeout):
+            lock.acquire_write(timeout=0.05)
+        # The failed writer withdrew: new readers are admitted again.
+        with lock.read() as epoch:
+            assert epoch == 0
+        reader_release.set()
+        r.join(timeout=10)
+        # And a later write still works.
+        with lock.write() as epoch:
+            assert epoch == 1
+
+    def test_release_write_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            EpochLock().release_write()
+
+    def test_release_write_from_foreign_thread_raises(self):
+        lock = EpochLock()
+        lock.acquire_write()
+        failure: list[Exception] = []
+
+        def foreign():
+            try:
+                lock.release_write()
+            except RuntimeError as exc:
+                failure.append(exc)
+
+        t = threading.Thread(target=foreign)
+        t.start()
+        t.join(timeout=10)
+        assert failure
+        assert lock.held_for_write()
+        lock.release_write()
+        assert not lock.held_for_write()
+
+    def test_epoch_counts_write_sections(self):
+        lock = EpochLock()
+        for expected in (1, 2, 3):
+            with lock.write() as epoch:
+                assert epoch == expected
+        assert lock.epoch == 3
+        assert lock.stats.writes == 3
