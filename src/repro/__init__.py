@@ -37,7 +37,7 @@ from repro.query import (
 )
 from repro.service import EpochLock, GovernedService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",

@@ -168,6 +168,11 @@ def describe_service(service: "GovernedService") -> str:
         f"  bypassed writes (outside the service) = "
         f"{stats.bypassed_writes}",
     ]
+    scan_stats = service.scan_cache.stats
+    lines.append(
+        f"  scan cache: {len(service.scan_cache)} cached scan(s), "
+        f"hits = {scan_stats.hits}, misses = {scan_stats.misses}, "
+        f"invalidations = {scan_stats.invalidations}")
     return "\n".join(lines) + "\n" + describe_cache(service.mdm.cache)
 
 

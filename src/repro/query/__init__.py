@@ -12,6 +12,7 @@ from repro.query.expansion import query_expansion
 from repro.query.inter_concept import inter_concept_generation
 from repro.query.intra_concept import ConceptWalks, intra_concept_generation
 from repro.query.omq import OMQ, parse_omq
+from repro.query.planner import PhysicalPlan, plan_ucq, plan_walk
 from repro.query.rewriter import RewritingResult, rewrite
 from repro.query.ucq import UCQ
 from repro.query.well_formed import is_well_formed, well_formed_query
@@ -25,6 +26,7 @@ __all__ = [
     "inter_concept_generation",
     "ConceptWalks", "intra_concept_generation",
     "OMQ", "parse_omq",
+    "PhysicalPlan", "plan_ucq", "plan_walk",
     "RewritingResult", "rewrite",
     "UCQ",
     "is_well_formed", "well_formed_query",

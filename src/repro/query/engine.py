@@ -33,8 +33,12 @@ from repro.errors import UnanswerableQueryError
 from repro.query.cache import CacheStats, RewriteCache, \
     canonical_omq_key
 from repro.query.omq import OMQ, parse_omq
+from repro.query.planner import PhysicalPlan, plan_ucq
 from repro.query.rewriter import RewritingResult, rewrite
 from repro.relational.algebra import DataProvider
+from repro.relational.physical import (
+    CachingScanProvider, ScanCache, ScanProvider, as_scan_provider,
+)
 from repro.relational.rows import Relation
 
 __all__ = ["QueryEngine"]
@@ -50,6 +54,7 @@ class QueryEngine:
                  prefixes: dict[str, str] | None = None,
                  cache: RewriteCache | None = None,
                  use_cache: bool = True,
+                 use_planner: bool = True,
                  parse_memo_max: int = PARSE_MEMO_MAX) -> None:
         if cache is not None and not use_cache:
             raise ValueError(
@@ -59,6 +64,10 @@ class QueryEngine:
             raise ValueError("parse_memo_max must be >= 1")
         self.ontology = ontology
         self.prefixes = dict(prefixes or {})
+        #: route evaluation through the physical planner (projection and
+        #: ID-filter pushdown, shared scans); False = naive logical
+        #: evaluation, the baseline the equivalence suite compares to.
+        self.use_planner = use_planner
         #: release-aware rewriting cache (None when use_cache is False);
         #: pass a shared instance to pool engines over one ontology.
         self.cache: RewriteCache | None = (
@@ -119,33 +128,96 @@ class QueryEngine:
         """
         return self._rewrite_parsed(self._parse(query))
 
+    def _scan_provider(self, provider: DataProvider | None,
+                       scan_cache: ScanCache | None) -> ScanProvider:
+        """The physical scan provider one evaluation runs against."""
+        scans = as_scan_provider(provider, self.ontology.physical_wrapper)
+        if scan_cache is not None:
+            scan_cache.validate(self.ontology.fingerprint())
+            scans = CachingScanProvider(scans, scan_cache)
+        return scans
+
+    def _plan_cached(self, result: RewritingResult,
+                     distinct: bool, scans: ScanProvider) -> PhysicalPlan:
+        """The physical plan of a rewriting, memoized on the result.
+
+        Rewriting results are cached per canonical OMQ key, so the plan
+        (whose construction issues SPARQL feature→attribute lookups)
+        rides along: plan once, execute per call. The memo lives and
+        dies with the cached rewriting — release-aware invalidation of
+        the rewrite cache invalidates the plan too. Cardinality
+        estimates are frozen at first planning; they only steer join
+        order, so staleness can never change an answer.
+        """
+        plans: dict[bool, PhysicalPlan] = \
+            result.__dict__.setdefault("_plans", {})
+        plan = plans.get(distinct)
+        if plan is None:
+            plan = plan_ucq(self.ontology, result.ucq, scans, distinct)
+            plans[distinct] = plan
+        return plan
+
     def _evaluate(self, omq: OMQ, key: str | None,
                   provider: DataProvider | None,
-                  distinct: bool) -> Relation:
+                  distinct: bool,
+                  scan_cache: ScanCache | None = None) -> Relation:
         result = self._rewrite_parsed(omq, key=key)
         if not result.walks:
             raise UnanswerableQueryError(
                 "no covering and minimal walk answers the query; "
                 "concepts involved: "
                 f"{[c.local_name for c in result.concepts]}")
-        return result.ucq.execute(self.ontology, provider, distinct)
+        if not self.use_planner:
+            return result.ucq.execute(self.ontology, provider, distinct,
+                                      use_planner=False)
+        scans = self._scan_provider(provider, scan_cache)
+        plan = self._plan_cached(result, distinct, scans)
+        return plan.execute(scans)
+
+    def plan(self, query: OMQ | str,
+             provider: DataProvider | None = None,
+             distinct: bool = True) -> PhysicalPlan:
+        """The physical plan :meth:`answer` would execute for *query*.
+
+        Built through the exact code path execution uses (rewrite →
+        :func:`~repro.query.planner.plan_ucq`), so what ``explain()``
+        prints is what runs. Raises
+        :class:`~repro.errors.UnanswerableQueryError` when no covering
+        and minimal walk exists.
+        """
+        result = self.rewrite(query)
+        if not result.walks:
+            raise UnanswerableQueryError(
+                "no covering and minimal walk answers the query; "
+                "concepts involved: "
+                f"{[c.local_name for c in result.concepts]}")
+        return self._plan_cached(result, distinct,
+                                 self._scan_provider(provider, None))
 
     def answer(self, query: OMQ | str,
                provider: DataProvider | None = None,
-               distinct: bool = True) -> Relation:
+               distinct: bool = True,
+               scan_cache: ScanCache | None = None) -> Relation:
         """OMQ → result relation with feature-named columns.
 
-        Raises :class:`UnanswerableQueryError` when no covering and
-        minimal walk exists for the query.
+        With the planner on (the default), union branches share one
+        scan per ``(wrapper, columns, filter)`` through *scan_cache* —
+        a private per-call cache unless the caller passes a longer-lived
+        one (the serving layer does, invalidating it at epoch
+        boundaries). Raises :class:`UnanswerableQueryError` when no
+        covering and minimal walk exists for the query.
         """
+        if scan_cache is None and self.use_planner:
+            scan_cache = ScanCache()
         return self._evaluate(self._parse(query), None, provider,
-                              distinct)
+                              distinct, scan_cache)
 
     def answer_many(self, queries: Sequence[OMQ | str] | Iterable[OMQ | str],
                     provider: DataProvider | None = None,
                     distinct: bool = True,
                     workers: int | None = None,
                     return_exceptions: bool = False,
+                    scan_cache: ScanCache | None = None,
                     ) -> list[Relation | Exception]:
         """Answer a batch of OMQs; results align with the input order.
 
@@ -164,7 +236,15 @@ class QueryEngine:
         mid-flight); with ``return_exceptions=True`` the exception
         object takes the failed query's slot instead, in the style of
         ``asyncio.gather``.
+
+        With the planner on, the *whole batch* shares one
+        :class:`~repro.relational.physical.ScanCache` (a private one
+        unless *scan_cache* is passed): every ``(wrapper, columns,
+        filter)`` combination is fetched exactly once, single-flighted
+        across the worker threads.
         """
+        if scan_cache is None and self.use_planner:
+            scan_cache = ScanCache()
         omqs = [self._parse(query) for query in queries]
         keys = [canonical_omq_key(omq) for omq in omqs]
         unique: "OrderedDict[str, OMQ]" = OrderedDict()
@@ -174,7 +254,8 @@ class QueryEngine:
         outcomes: dict[str, Relation | Exception] = {}
 
         def _answer_one(key: str, omq: OMQ) -> Relation:
-            return self._evaluate(omq, key, provider, distinct)
+            return self._evaluate(omq, key, provider, distinct,
+                                  scan_cache)
 
         if workers is not None and workers > 1 and len(unique) > 1:
             with ThreadPoolExecutor(
@@ -204,14 +285,28 @@ class QueryEngine:
         return results
 
     def explain(self, query: OMQ | str) -> str:
-        """Textual account of the rewriting phases plus the final UCQ."""
+        """Textual account of the rewriting phases, the final UCQ and —
+        with the planner on — the physical plan that :meth:`answer`
+        executes, with pushed-down columns/filters and shared-scan
+        annotations. The physical section renders the same
+        :class:`~repro.query.planner.PhysicalPlan` construction the
+        execution path uses, so the two cannot diverge.
+        """
         result = self.rewrite(query)
         lines = [result.report(), "", "final UCQ:"]
-        if result.walks:
+        if not result.walks:
+            lines.append("  ∅ (unanswerable)")
+            return "\n".join(lines)
+        if not self.use_planner:
             expression = result.ucq.to_expression(self.ontology)
             lines.append(f"  {expression.notation()}")
-        else:
-            lines.append("  ∅ (unanswerable)")
+            return "\n".join(lines)
+        plan = self._plan_cached(result, True,
+                                 self._scan_provider(None, None))
+        expression = result.ucq.to_expression(self.ontology)
+        lines.append(f"  {expression.notation()}")
+        lines.append("")
+        lines.append(plan.explain())
         return "\n".join(lines)
 
     # -- cache administration -----------------------------------------------

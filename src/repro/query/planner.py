@@ -1,0 +1,267 @@
+"""The physical query planner: rewritten UCQ → executable pushdown plan.
+
+Sits between rewriting (Algorithms 2-5, which produce the *logical*
+union of covering and minimal walks) and the wrapper layer. For every
+walk the planner emits a tree of physical operators
+(:mod:`repro.relational.physical`) with:
+
+* **projection pushdown** — each scan requests only the qualified
+  columns the branch actually outputs (final-projection sources plus
+  join keys); everything else never leaves the source;
+* **ID-filter / semi-join pushdown** — hash joins materialize their
+  build side first and push its distinct key set into a probe-side
+  scan, so high-fanout wrappers fetch only joinable rows;
+* **cardinality-aware join ordering** — wrappers join smallest-first
+  (by :meth:`~repro.wrappers.base.Wrapper.estimate_rows` estimates),
+  replacing the logical lowering's alphabetical left-deep order; the
+  smaller side of every join becomes the hash-build side;
+* **shared scans** — branches reading the same ``(wrapper, columns)``
+  are annotated, and executing the plan through a
+  :class:`~repro.relational.physical.ScanCache`-backed provider fetches
+  each of them exactly once per batch.
+
+Plans are pure descriptions: :meth:`PhysicalPlan.execute` takes the
+:class:`~repro.relational.physical.ScanProvider` to run against, so one
+plan serves both the production path (bound wrappers, shared cache) and
+explicitly supplied test providers. ``explain()`` renders the same
+object that executes — the two can no longer diverge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.ontology import BDIOntology
+from repro.errors import RewritingError, UnanswerableQueryError
+from repro.relational.physical import (
+    PhysicalHashJoin, PhysicalOperator, PhysicalProject, PhysicalScan,
+    PhysicalUnion, ScanProvider,
+)
+from repro.relational.rows import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.walk import Walk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.ucq import UCQ
+
+__all__ = ["PhysicalPlan", "plan_ucq", "plan_walk"]
+
+#: Resolves a wrapper name to its estimated cardinality (None = unknown).
+Estimator = Callable[[str], "int | None"]
+
+
+def _order_key(estimate: "int | None", name: str) -> tuple:
+    """Sort known-small first; unknown cardinalities last, by name."""
+    return (estimate is None, estimate if estimate is not None else 0,
+            name)
+
+
+@dataclass
+class PhysicalPlan:
+    """One executable plan for one rewritten UCQ."""
+
+    ucq: "UCQ"
+    root: PhysicalOperator
+    distinct: bool = True
+
+    def execute(self, provider: ScanProvider) -> Relation:
+        """Materialize the plan; output columns are feature names."""
+        raw = self.root.execute(provider)
+        # Present the output under a friendly relation name instead of
+        # the internal plan-derived one (mirrors UCQ.execute).
+        schema = RelationSchema("result", raw.schema.attributes)
+        return Relation.from_trusted(schema, list(raw))
+
+    def wrappers(self) -> set[str]:
+        return {scan.wrapper_name for scan in self.scans()}
+
+    def scans(self) -> list[PhysicalScan]:
+        out: list[PhysicalScan] = []
+
+        def visit(node: PhysicalOperator) -> None:
+            if isinstance(node, PhysicalScan):
+                out.append(node)
+            elif isinstance(node, PhysicalHashJoin):
+                visit(node.build)
+                visit(node.probe)
+            elif isinstance(node, PhysicalProject):
+                visit(node.child)
+            elif isinstance(node, PhysicalUnion):
+                for branch in node.branches:
+                    visit(branch)
+
+        visit(self.root)
+        return out
+
+    def explain(self) -> str:
+        """The plan as an indented operator tree with pushdown and
+        scan-sharing annotations."""
+        lines = ["physical plan (projection pushdown, semi-join "
+                 "pushdown, shared scans):"]
+        lines.extend(self.root.explain_lines(1))
+        return "\n".join(lines)
+
+
+def plan_walk(walk: Walk, mapping: dict[str, str],
+              estimate: Estimator) -> PhysicalOperator:
+    """Lower one walk into a physical branch.
+
+    *mapping* is the branch's closing projection: output column name →
+    qualified attribute (:meth:`UCQ.branch_mapping
+    <repro.query.ucq.UCQ.branch_mapping>`). Only attributes reachable
+    from it — plus join keys — are scanned.
+    """
+    if not walk.schemas:
+        raise RewritingError("cannot lower an empty walk")
+    if not walk.is_connected():
+        raise RewritingError(
+            f"walk over {sorted(walk.schemas)} is not connected by "
+            "its join conditions")
+
+    # --- projection pushdown: columns each wrapper must deliver --------
+    needed: dict[str, set[str]] = {name: set() for name in walk.schemas}
+    for condition in walk.joins:
+        needed[condition.left_wrapper].add(condition.left_attribute)
+        needed[condition.right_wrapper].add(condition.right_attribute)
+    for attribute in mapping.values():
+        for name, schema in walk.schemas.items():
+            if attribute in schema:
+                needed[name].add(attribute)
+                break
+        else:
+            raise RewritingError(
+                f"projection attribute {attribute!r} belongs to no "
+                f"wrapper of walk {walk.notation()}")
+
+    estimates = {name: estimate(name) for name in walk.schemas}
+
+    def leaf(name: str) -> PhysicalScan:
+        schema = walk.schemas[name]
+        total = len(schema.attributes)
+        wanted = needed[name]
+        if len(wanted) >= total:
+            columns = None  # full-width scan: maximal cache sharing
+            scan_schema = schema
+        else:
+            attrs = tuple(a for a in schema.attributes
+                          if a.name in wanted)
+            columns = tuple(a.name for a in attrs)
+            scan_schema = RelationSchema(schema.name, attrs,
+                                         schema.source)
+        return PhysicalScan(scan_schema, columns, total)
+
+    order = sorted(walk.schemas)
+    start = min(order, key=lambda n: _order_key(estimates[n], n))
+    included = {start}
+    tree: PhysicalOperator = leaf(start)
+    tree_estimate = estimates[start]
+    pending = set(walk.joins)
+
+    while len(included) < len(walk.schemas):
+        # Wrappers connected to the current tree by a pending condition.
+        frontier = set()
+        for condition in pending:
+            inside_left = condition.left_wrapper in included
+            inside_right = condition.right_wrapper in included
+            if inside_left != inside_right:
+                frontier.add(condition.right_wrapper if inside_left
+                             else condition.left_wrapper)
+        if not frontier:  # pragma: no cover - guarded by is_connected
+            raise RewritingError("join graph became disconnected")
+        newcomer = min(frontier,
+                       key=lambda n: _order_key(estimates[n], n))
+
+        # Every pending condition between the tree and the newcomer
+        # applies at once (multi-attribute joins).
+        tree_to_new: list[tuple[str, str]] = []
+        used = []
+        for condition in sorted(pending):
+            if (condition.left_wrapper in included
+                    and condition.right_wrapper == newcomer):
+                tree_to_new.append((condition.left_attribute,
+                                    condition.right_attribute))
+                used.append(condition)
+            elif (condition.right_wrapper in included
+                    and condition.left_wrapper == newcomer):
+                tree_to_new.append((condition.right_attribute,
+                                    condition.left_attribute))
+                used.append(condition)
+
+        new_estimate = estimates[newcomer]
+        # Build on the smaller side. Ties and unknowns keep the tree as
+        # the build side, so the newcomer scan stays on the probe side
+        # where the semi-join filter can be pushed into its fetch.
+        tree_builds = not (
+            new_estimate is not None
+            and (tree_estimate is None or new_estimate < tree_estimate))
+        if tree_builds:
+            build, probe = tree, leaf(newcomer)
+            conditions = tuple(tree_to_new)
+            build_estimate = tree_estimate
+        else:
+            build, probe = leaf(newcomer), tree
+            conditions = tuple((n, t) for t, n in tree_to_new)
+            build_estimate = new_estimate
+        tree = PhysicalHashJoin(build, probe, conditions,
+                                build_estimate=build_estimate)
+        included.add(newcomer)
+        pending.difference_update(used)
+        known = [e for e in (tree_estimate, new_estimate)
+                 if e is not None]
+        tree_estimate = min(known) if known else None
+
+    # Conditions between wrappers already joined (cycles) are not
+    # expected from the rewriting algorithm; mirror Walk.to_expression
+    # and refuse rather than silently dropping them.
+    if pending:
+        raise RewritingError(
+            f"redundant join conditions remain: "
+            f"{[str(j) for j in sorted(pending)]}")
+
+    return PhysicalProject(tree, dict(mapping))
+
+
+def plan_ucq(ontology: BDIOntology, ucq: "UCQ",
+             provider: ScanProvider | None = None,
+             distinct: bool = True) -> PhysicalPlan:
+    """Plan the full union: one physical branch per walk.
+
+    *provider* supplies cardinality estimates (plan-time only); when
+    omitted, bound physical wrappers are consulted directly.
+    """
+    if not ucq.walks:
+        raise UnanswerableQueryError(
+            "no covering and minimal walk answers the query")
+
+    if provider is not None:
+        estimate: Estimator = provider.estimate
+    else:
+        def estimate(name: str) -> "int | None":
+            if not ontology.has_physical_wrapper(name):
+                return None
+            try:
+                return ontology.physical_wrapper(name).estimate_rows()
+            except Exception:
+                return None
+
+    branches = [
+        plan_walk(walk, ucq.branch_mapping(ontology, walk), estimate)
+        for walk in ucq.walks]
+    root: PhysicalOperator
+    if len(branches) == 1 and not distinct:
+        root = branches[0]
+    else:
+        root = PhysicalUnion(tuple(branches), distinct=distinct)
+    plan = PhysicalPlan(ucq=ucq, root=root, distinct=distinct)
+
+    # Annotate scans shared between branches: with a ScanCache-backed
+    # provider these fetch once for the whole union.
+    scans = plan.scans()
+    counts = Counter((s.wrapper_name, s.columns) for s in scans)
+    for scan in scans:
+        copies = counts[(scan.wrapper_name, scan.columns)]
+        if copies > 1:
+            scan.annotation = f"(shared ×{copies})"
+    return plan

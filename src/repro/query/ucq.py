@@ -12,6 +12,7 @@ precisely how historical queries keep working after evolution).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.ontology import BDIOntology
 from repro.core.vocabulary import qualified_attribute_name, wrapper_uri
@@ -22,6 +23,9 @@ from repro.relational.algebra import (
 from repro.relational.rows import Relation
 from repro.relational.walk import Walk
 from repro.rdf.term import IRI
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.physical import ScanCache
 
 __all__ = ["UCQ"]
 
@@ -57,10 +61,12 @@ class UCQ:
 
     # -- lowering ------------------------------------------------------------
 
-    def branch_expression(self, ontology: BDIOntology,
-                          walk: Walk) -> Expression:
-        """One UCQ branch: the walk capped with the final projection."""
-        expression = walk.to_expression()
+    def branch_mapping(self, ontology: BDIOntology,
+                       walk: Walk) -> dict[str, str]:
+        """The branch's closing projection: output column → qualified
+        attribute of the walk providing the feature. Shared by the
+        logical lowering and the physical planner, so both project the
+        same attributes."""
         output_attrs = walk.output_attributes()
         mapping: dict[str, str] = {}
         for feature in self.features:
@@ -68,7 +74,13 @@ class UCQ:
             attribute = self._attribute_in_walk(ontology, walk, feature,
                                                 output_attrs)
             mapping[column] = attribute
-        return FinalProject(expression, mapping)
+        return mapping
+
+    def branch_expression(self, ontology: BDIOntology,
+                          walk: Walk) -> Expression:
+        """One UCQ branch: the walk capped with the final projection."""
+        return FinalProject(walk.to_expression(),
+                            self.branch_mapping(ontology, walk))
 
     def _attribute_in_walk(self, ontology: BDIOntology, walk: Walk,
                            feature: IRI,
@@ -101,8 +113,30 @@ class UCQ:
 
     def execute(self, ontology: BDIOntology,
                 provider: DataProvider | None = None,
-                distinct: bool = True) -> Relation:
-        """Evaluate the UCQ; *provider* defaults to the bound wrappers."""
+                distinct: bool = True,
+                use_planner: bool = True,
+                scan_cache: "ScanCache | None" = None) -> Relation:
+        """Evaluate the UCQ; *provider* defaults to the bound wrappers.
+
+        By default the physical planner lowers the union (projection and
+        ID-filter pushdown, shared scans via *scan_cache* when given);
+        ``use_planner=False`` evaluates the logical Π̃/⋈̃ tree naively —
+        the baseline the equivalence suite and benchmarks compare
+        against.
+        """
+        if use_planner:
+            from repro.query.planner import plan_ucq
+            from repro.relational.physical import (
+                CachingScanProvider, as_scan_provider,
+            )
+            resolve = (ontology.physical_wrapper
+                       if provider is None else None)
+            scans = as_scan_provider(provider, resolve)
+            if scan_cache is not None:
+                scan_cache.validate(ontology.fingerprint())
+                scans = CachingScanProvider(scans, scan_cache)
+            plan = plan_ucq(ontology, self, scans, distinct)
+            return plan.execute(scans)
         expression = self.to_expression(ontology, distinct)
         if provider is None:
             provider = ontology.data_provider

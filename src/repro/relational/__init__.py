@@ -10,6 +10,12 @@ from repro.relational.algebra import (
     DataProvider, Expression, FinalProject, Join, Project, Scan, Union,
     evaluate,
 )
+from repro.relational.physical import (
+    CachingScanProvider, IdFilter, PhysicalHashJoin, PhysicalOperator,
+    PhysicalProject, PhysicalScan, PhysicalUnion, RelationScanProvider,
+    ScanCache, ScanKey, ScanProvider, ScanStats, WrapperScanProvider,
+    as_scan_provider,
+)
 from repro.relational.rows import Relation, render_table
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.walk import JoinCondition, Walk
@@ -19,5 +25,10 @@ __all__ = [
     "Relation", "render_table",
     "DataProvider", "Expression", "FinalProject", "Join", "Project",
     "Scan", "Union", "evaluate",
+    "CachingScanProvider", "IdFilter", "PhysicalHashJoin",
+    "PhysicalOperator", "PhysicalProject", "PhysicalScan",
+    "PhysicalUnion", "RelationScanProvider", "ScanCache", "ScanKey",
+    "ScanProvider", "ScanStats", "WrapperScanProvider",
+    "as_scan_provider",
     "JoinCondition", "Walk",
 ]

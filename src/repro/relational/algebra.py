@@ -126,10 +126,8 @@ class Project(Expression):
         child_rows = self.child.evaluate(provider)
         out_schema = self.schema()
         names = out_schema.attribute_names
-        out = Relation(out_schema)
-        for row in child_rows:
-            out.append({n: row[n] for n in names})
-        return out
+        rows = [{n: row[n] for n in names} for row in child_rows]
+        return Relation.from_trusted(out_schema, rows)
 
     def notation(self) -> str:
         attrs = ",".join(self.non_ids)
@@ -203,7 +201,7 @@ class Join(Expression):
             table.setdefault(
                 tuple(row[k] for k in build_keys), []).append(row)
 
-        out = Relation(self.schema())
+        rows: list[dict[str, object]] = []
         for row in probe:
             matches = table.get(tuple(row[k] for k in probe_keys), ())
             for match in matches:
@@ -211,8 +209,8 @@ class Join(Expression):
                     (match, row) if build_is_left else (row, match))
                 merged = dict(left_row)
                 merged.update(right_row)
-                out.append(merged)
-        return out
+                rows.append(merged)
+        return Relation.from_trusted(self.schema(), rows)
 
     def notation(self) -> str:
         conds = ",".join(f"{l}={r}" for l, r in self.conditions)
@@ -250,11 +248,10 @@ class FinalProject(Expression):
 
     def evaluate(self, provider: DataProvider) -> Relation:
         child_rows = self.child.evaluate(provider)
-        out = Relation(self.schema())
-        for row in child_rows:
-            out.append({out_name: row[in_name]
-                        for out_name, in_name in self.mapping.items()})
-        return out
+        items = tuple(self.mapping.items())
+        rows = [{out_name: row[in_name] for out_name, in_name in items}
+                for row in child_rows]
+        return Relation.from_trusted(self.schema(), rows)
 
     def notation(self) -> str:
         cols = ",".join(f"{src}→{dst}" if src != dst else dst
@@ -297,11 +294,20 @@ class Union(Expression):
 
     def evaluate(self, provider: DataProvider) -> Relation:
         names = self.schema().attribute_names
-        out = Relation(self.schema())
+        rows: list[dict[str, object]] = []
+        # With distinct=True, deduplicate during the single append pass
+        # instead of materializing everything and copying through
+        # Relation.distinct().
+        seen: set[tuple] | None = set() if self.distinct else None
         for branch in self.branches:
             for row in branch.evaluate(provider):
-                out.append({n: row[n] for n in names})
-        return out.distinct() if self.distinct else out
+                if seen is not None:
+                    key = tuple(row[n] for n in names)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                rows.append({n: row[n] for n in names})
+        return Relation.from_trusted(self.schema(), rows)
 
     def notation(self) -> str:
         return " ∪ ".join(b.notation() for b in self.branches)

@@ -1,0 +1,625 @@
+"""Physical execution layer: scans, shared-scan cache, pushdown-aware
+operators.
+
+The logical algebra (:mod:`repro.relational.algebra`) describes *what*
+a UCQ computes — Π̃/⋈̃ trees whose :class:`~repro.relational.algebra.
+Scan` leaves materialize whole wrapper relations. This module is the
+*how*: operators an execution planner (:mod:`repro.query.planner`)
+assembles into a plan that
+
+* fetches only the columns a walk actually outputs (**projection
+  pushdown** — the request travels through :class:`ScanProvider` down
+  to the wrapper's capability protocol);
+* filters a hash join's probe side by the build side's key set
+  (**semi-join / ID-filter pushdown** — an :class:`IdFilter` handed to
+  the probe scan at run time);
+* fetches every ``(wrapper, columns, filter)`` combination **once** per
+  batch/union via a :class:`ScanCache` (single-flight, thread-safe,
+  invalidated at evolution-epoch boundaries).
+
+Physical operators exchange :class:`~repro.relational.rows.Relation`
+objects under source-qualified attribute names, exactly like the
+logical algebra — the equivalence suite holds both against each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from operator import itemgetter
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.algebra import DataProvider
+from repro.relational.rows import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ontology import OntologyFingerprint
+
+__all__ = [
+    "IdFilter", "ScanKey", "ScanStats", "ScanCache",
+    "ScanProvider", "WrapperScanProvider", "RelationScanProvider",
+    "CachingScanProvider", "as_scan_provider",
+    "PhysicalOperator", "PhysicalScan", "PhysicalHashJoin",
+    "PhysicalProject", "PhysicalUnion",
+]
+
+
+@dataclass(frozen=True)
+class IdFilter:
+    """A pushed-down semi-join filter: keep rows where *attribute* takes
+    one of *values*.
+
+    The filter is always a *prefilter* — the join re-checks its full
+    condition — so honoring it partially (or ignoring it) is never
+    incorrect, just slower. Attribute naming follows the carrier: the
+    planner builds filters over source-qualified names, the wrapper
+    layer receives them translated to local names.
+    """
+
+    attribute: str
+    values: frozenset
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.values, frozenset):
+            object.__setattr__(self, "values", frozenset(self.values))
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return row.get(self.attribute) in self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def notation(self) -> str:
+        return f"{self.attribute}∈{{{len(self.values)} ids}}"
+
+
+# ---------------------------------------------------------------------------
+# Scan cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanKey:
+    """Identity of one physical scan result.
+
+    ``data_version`` ties the entry to the state of the backing data
+    (wrappers bump it when their source mutates in place), so a cache
+    can survive across calls without serving stale rows.
+    """
+
+    wrapper: str
+    data_version: int
+    columns: frozenset[str] | None
+    id_filter: tuple[str, frozenset] | None
+
+
+@dataclass
+class ScanStats:
+    """Counters of one :class:`ScanCache` (shared-scan observability)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    #: entries dropped because their wrapper's data_version moved on
+    evictions: int = 0
+
+    @property
+    def shared_fetches_avoided(self) -> int:
+        return self.hits
+
+    def snapshot(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions}
+
+
+class _Inflight:
+    """Single-flight slot: one thread fetches, the rest wait."""
+
+    __slots__ = ("event", "relation", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.relation: Relation | None = None
+        self.error: BaseException | None = None
+
+
+class ScanCache:
+    """Shared, thread-safe cache of materialized wrapper scans.
+
+    Keys are :class:`ScanKey`; values are :class:`Relation` objects
+    shared between all consumers — treat them as immutable. Concurrent
+    requests for the same key are single-flighted: one thread fetches,
+    the rest block on the result, while *distinct* keys fetch fully in
+    parallel (wrapper I/O overlaps).
+
+    Epoch invalidation: :meth:`validate` compares the ontology
+    fingerprint the cache was populated under with the current one and
+    clears everything on mismatch — a release landing through
+    Algorithm 1 (or any out-of-band mutation of ``T``) drops all cached
+    scans at the epoch boundary.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[ScanKey, _Inflight] = {}
+        #: wrapper → data_version last seen; when a wrapper's version
+        #: moves on, its superseded entries are evicted so a
+        #: long-running cache cannot accumulate one generation of
+        #: materialized relations per data write
+        self._versions: dict[str, int] = {}
+        self._fingerprint: "OntologyFingerprint | None" = None
+        self.stats = ScanStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for slot in self._entries.values()
+                       if slot.event.is_set() and slot.error is None)
+
+    def clear(self) -> int:
+        """Drop every cached scan; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._versions.clear()
+            if dropped:
+                self.stats.invalidations += 1
+            return dropped
+
+    def validate(self, fingerprint: "OntologyFingerprint") -> None:
+        """Clear the cache if the ontology evolved since it was filled."""
+        with self._lock:
+            if self._fingerprint is not None and \
+                    self._fingerprint != fingerprint and self._entries:
+                self._entries.clear()
+                self._versions.clear()
+                self.stats.invalidations += 1
+            self._fingerprint = fingerprint
+
+    def get_or_fetch(self, key: ScanKey,
+                     fetch: Callable[[], Relation]) -> Relation:
+        with self._lock:
+            last = self._versions.get(key.wrapper)
+            if last is not None and last != key.data_version:
+                stale = [k for k in self._entries
+                         if k.wrapper == key.wrapper
+                         and k.data_version != key.data_version]
+                for k in stale:
+                    del self._entries[k]
+                self.stats.evictions += len(stale)
+            self._versions[key.wrapper] = key.data_version
+            slot = self._entries.get(key)
+            if slot is None:
+                slot = _Inflight()
+                self._entries[key] = slot
+                owner = True
+                self.stats.misses += 1
+            else:
+                owner = False
+                self.stats.hits += 1
+        if owner:
+            try:
+                slot.relation = fetch()
+            except BaseException as exc:
+                slot.error = exc
+                with self._lock:
+                    # Failed fetches are not cached; waiters re-raise.
+                    if self._entries.get(key) is slot:
+                        del self._entries[key]
+                slot.event.set()
+                raise
+            slot.event.set()
+            return slot.relation
+        slot.event.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.relation
+
+
+# ---------------------------------------------------------------------------
+# Scan providers
+# ---------------------------------------------------------------------------
+
+
+class ScanProvider:
+    """Resolves physical scans (qualified columns) for plan execution."""
+
+    def scan(self, name: str, columns: Sequence[str] | None = None,
+             id_filter: IdFilter | None = None) -> Relation:
+        """Materialize wrapper *name* restricted to *columns* (qualified
+        attribute names, None = all) and filtered by *id_filter*."""
+        raise NotImplementedError
+
+    def estimate(self, name: str) -> int | None:
+        """Estimated cardinality of the wrapper (None = unknown)."""
+        return None
+
+    def data_version(self, name: str) -> int:
+        """Version token of the wrapper's backing data."""
+        return 0
+
+
+class WrapperScanProvider(ScanProvider):
+    """Scans served by bound physical wrappers (the production path).
+
+    *resolve* maps a wrapper name to its :class:`~repro.wrappers.base.
+    Wrapper` — usually ``ontology.physical_wrapper``. Qualified column
+    names are translated to the wrapper's local names so its capability
+    protocol can push the work into the source.
+    """
+
+    def __init__(self, resolve: Callable[[str], object]) -> None:
+        self._resolve = resolve
+
+    def scan(self, name: str, columns: Sequence[str] | None = None,
+             id_filter: IdFilter | None = None) -> Relation:
+        wrapper = self._resolve(name)
+        local = {f"{wrapper.source_name}/{a}": a
+                 for a in wrapper.attributes}
+        local_columns = None
+        if columns is not None:
+            try:
+                local_columns = [local[c] for c in columns]
+            except KeyError as exc:
+                raise SchemaError(
+                    f"wrapper {name} is missing attribute {exc.args[0]!r}; "
+                    "the source likely evolved under the wrapper"
+                ) from None
+        local_filter = None
+        if id_filter is not None:
+            attr = local.get(id_filter.attribute)
+            if attr is None:
+                raise SchemaError(
+                    f"wrapper {name} has no attribute "
+                    f"{id_filter.attribute!r} to filter on")
+            local_filter = IdFilter(attr, id_filter.values)
+        return wrapper.relation(qualified=True, columns=local_columns,
+                                id_filter=local_filter)
+
+    def estimate(self, name: str) -> int | None:
+        try:
+            return self._resolve(name).estimate_rows()
+        except Exception:
+            return None
+
+    def data_version(self, name: str) -> int:
+        try:
+            return self._resolve(name).data_version()
+        except Exception:
+            return 0
+
+
+class RelationScanProvider(ScanProvider):
+    """Adapts a logical :data:`~repro.relational.algebra.DataProvider`
+    (mapping or callable of *full* qualified relations) to the physical
+    protocol: projection and filtering happen here, after the fetch.
+
+    The capability-less fallback — used for explicitly supplied test
+    providers, and the baseline the pushdown benchmarks compare against.
+    """
+
+    def __init__(self, provider: DataProvider) -> None:
+        self._provider = provider
+
+    def _resolve(self, name: str) -> Relation:
+        provider = self._provider
+        if callable(provider):
+            return provider(name)
+        try:
+            return provider[name]
+        except KeyError:
+            raise SchemaError(f"no data for relation {name!r}") from None
+
+    def scan(self, name: str, columns: Sequence[str] | None = None,
+             id_filter: IdFilter | None = None) -> Relation:
+        relation = self._resolve(name)
+        if columns is None and id_filter is None:
+            return relation
+        schema = relation.schema
+        if columns is not None:
+            missing = [c for c in columns if c not in schema]
+            if missing:
+                raise SchemaError(
+                    f"wrapper {name} is missing attributes "
+                    f"{sorted(missing)}")
+            wanted = frozenset(columns)
+            out_schema = RelationSchema(
+                schema.name,
+                tuple(a for a in schema.attributes if a.name in wanted),
+                schema.source)
+            names: tuple[str, ...] = tuple(
+                a.name for a in out_schema.attributes)
+        else:
+            out_schema = schema
+            names = schema.attribute_names
+        rows = []
+        for row in relation:
+            if id_filter is not None and not id_filter.matches(row):
+                continue
+            rows.append({n: row[n] for n in names}
+                        if columns is not None else dict(row))
+        return Relation.from_trusted(out_schema, rows)
+
+    def estimate(self, name: str) -> int | None:
+        provider = self._provider
+        if callable(provider):
+            return None  # resolving would trigger a fetch
+        try:
+            return len(provider[name])
+        except (KeyError, TypeError):
+            return None
+
+
+class CachingScanProvider(ScanProvider):
+    """Wraps a provider with a :class:`ScanCache` (shared scans)."""
+
+    def __init__(self, inner: ScanProvider, cache: ScanCache) -> None:
+        self.inner = inner
+        self.cache = cache
+
+    def scan(self, name: str, columns: Sequence[str] | None = None,
+             id_filter: IdFilter | None = None) -> Relation:
+        key = ScanKey(
+            wrapper=name,
+            data_version=self.inner.data_version(name),
+            columns=frozenset(columns) if columns is not None else None,
+            id_filter=(id_filter.attribute, id_filter.values)
+            if id_filter is not None else None)
+        return self.cache.get_or_fetch(
+            key, lambda: self.inner.scan(name, columns, id_filter))
+
+    def estimate(self, name: str) -> int | None:
+        return self.inner.estimate(name)
+
+    def data_version(self, name: str) -> int:
+        return self.inner.data_version(name)
+
+
+def as_scan_provider(provider: "DataProvider | ScanProvider | None",
+                     resolve_wrapper: Callable[[str], object]
+                     | None = None) -> ScanProvider:
+    """Coerce whatever the caller supplied into a :class:`ScanProvider`.
+
+    ``None`` requires *resolve_wrapper* (the ontology's bound physical
+    wrappers); an existing :class:`ScanProvider` passes through; plain
+    mappings/callables get the :class:`RelationScanProvider` fallback.
+    """
+    if isinstance(provider, ScanProvider):
+        return provider
+    if provider is None:
+        if resolve_wrapper is None:
+            raise SchemaError(
+                "no data provider given and no physical wrappers bound")
+        return WrapperScanProvider(resolve_wrapper)
+    return RelationScanProvider(provider)
+
+
+# ---------------------------------------------------------------------------
+# Physical operators
+# ---------------------------------------------------------------------------
+
+
+class PhysicalOperator:
+    """Base class of physical plan nodes."""
+
+    def schema(self) -> RelationSchema:
+        raise NotImplementedError
+
+    def execute(self, provider: ScanProvider,
+                runtime_filter: IdFilter | None = None) -> Relation:
+        """Materialize the node. *runtime_filter* only reaches scans —
+        a parent hash join pushes its build-side key set down here."""
+        raise NotImplementedError
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        raise NotImplementedError
+
+    def notation(self) -> str:
+        return "\n".join(self.explain_lines())
+
+    def __str__(self) -> str:
+        return self.notation()
+
+
+@dataclass
+class PhysicalScan(PhysicalOperator):
+    """A leaf scan with pushed-down projection (and, at run time, an
+    optional pushed-down semi-join filter)."""
+
+    relation_schema: RelationSchema
+    #: qualified column subset to fetch; None = all columns
+    columns: tuple[str, ...] | None = None
+    #: columns of the wrapper's full relation (for explain's "k/n")
+    total_columns: int = 0
+    #: filled by the planner: "(shared ×3)" etc.
+    annotation: str = ""
+
+    @property
+    def wrapper_name(self) -> str:
+        return self.relation_schema.name
+
+    def schema(self) -> RelationSchema:
+        return self.relation_schema
+
+    def execute(self, provider: ScanProvider,
+                runtime_filter: IdFilter | None = None) -> Relation:
+        return provider.scan(self.wrapper_name, self.columns,
+                             runtime_filter)
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        if self.columns is None:
+            cols = f"cols=*/{self.total_columns or '?'}"
+        else:
+            pushed = (self.total_columns - len(self.columns)
+                      if self.total_columns else 0)
+            cols = (f"cols={len(self.columns)}/{self.total_columns}"
+                    f" [pushed ↓{pushed}]")
+        note = f" {self.annotation}" if self.annotation else ""
+        return [f"{pad}scan {self.wrapper_name} {cols}{note}"]
+
+
+@dataclass
+class PhysicalHashJoin(PhysicalOperator):
+    """Hash equi-join with plan-time build-side choice and optional
+    semi-join pushdown into a probe-side scan.
+
+    *conditions* pairs ``(build_attr, probe_attr)`` in qualified names.
+    Execution materializes the build side first; when the probe is a
+    :class:`PhysicalScan` the distinct build keys of the first condition
+    travel down as an :class:`IdFilter`, so the probe fetches only
+    joinable rows. The join re-checks every condition, so the filter is
+    free to be a superset.
+    """
+
+    build: PhysicalOperator
+    probe: PhysicalOperator
+    conditions: tuple[tuple[str, str], ...]
+    #: estimated build-side cardinality (explain; None = unknown)
+    build_estimate: int | None = None
+    semi_join: bool = True
+
+    def schema(self) -> RelationSchema:
+        b, p = self.build.schema(), self.probe.schema()
+        return RelationSchema(
+            f"({b.name}⋈̃{p.name})",
+            tuple(b.attributes) + tuple(p.attributes), None)
+
+    def execute(self, provider: ScanProvider,
+                runtime_filter: IdFilter | None = None) -> Relation:
+        build_rel = self.build.execute(provider)
+        out_schema = self.schema()
+        if not len(build_rel):
+            return Relation.from_trusted(out_schema, [])
+
+        build_keys = [c[0] for c in self.conditions]
+        probe_keys = [c[1] for c in self.conditions]
+        # itemgetter keys: a scalar for single-condition joins, a tuple
+        # otherwise — consistent between the two sides.
+        build_key = itemgetter(*build_keys)
+        probe_key = itemgetter(*probe_keys)
+        table: dict[object, list[dict[str, object]]] = {}
+        for row in build_rel:
+            table.setdefault(build_key(row), []).append(row)
+
+        pushed: IdFilter | None = None
+        if self.semi_join and isinstance(self.probe, PhysicalScan):
+            try:
+                values = frozenset(
+                    row[build_keys[0]] for row in build_rel)
+                pushed = IdFilter(probe_keys[0], values)
+            except TypeError:
+                pushed = None  # unhashable key values: fetch unfiltered
+        probe_rel = self.probe.execute(provider, pushed)
+
+        rows: list[dict[str, object]] = []
+        for row in probe_rel:
+            matches = table.get(probe_key(row), ())
+            for match in matches:
+                merged = dict(match)
+                merged.update(row)
+                rows.append(merged)
+        return Relation.from_trusted(out_schema, rows)
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        conds = ",".join(f"{b}={p}" for b, p in self.conditions)
+        est = (f" build≈{self.build_estimate}"
+               if self.build_estimate is not None else "")
+        semi = ""
+        if self.semi_join and isinstance(self.probe, PhysicalScan):
+            semi = (f" semi-join→{self.probe.wrapper_name}"
+                    f"[{self.conditions[0][1]}]")
+        lines = [f"{pad}⋈ₕ[{conds}]{est}{semi}"]
+        lines.extend(self.build.explain_lines(indent + 1))
+        lines.extend(self.probe.explain_lines(indent + 1))
+        return lines
+
+
+@dataclass
+class PhysicalProject(PhysicalOperator):
+    """The closing projection of one UCQ branch: rename qualified
+    attributes onto feature column names (π of the paper's final step),
+    executed in one pass over the child's rows."""
+
+    child: PhysicalOperator
+    #: output column name → qualified input attribute
+    mapping: dict[str, str] = field(default_factory=dict)
+
+    def schema(self) -> RelationSchema:
+        child_schema = self.child.schema()
+        attrs = tuple(
+            Attribute(out_name, child_schema.attribute(in_name).is_id)
+            for out_name, in_name in self.mapping.items())
+        return RelationSchema(f"π({child_schema.name})", attrs, None)
+
+    def execute(self, provider: ScanProvider,
+                runtime_filter: IdFilter | None = None) -> Relation:
+        child_rows = self.child.execute(provider)
+        items = tuple(self.mapping.items())
+        rows = [{out: row[src] for out, src in items}
+                for row in child_rows]
+        return Relation.from_trusted(self.schema(), rows)
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        cols = ",".join(f"{dst}←{src}" if src != dst else dst
+                        for dst, src in self.mapping.items())
+        return [f"{pad}π{{{cols}}}",
+                *self.child.explain_lines(indent + 1)]
+
+
+@dataclass
+class PhysicalUnion(PhysicalOperator):
+    """Union of schema-compatible branches; ``distinct`` deduplicates
+    during the single output pass. Branch scans hitting one
+    :class:`ScanCache` fetch each shared wrapper once."""
+
+    branches: tuple[PhysicalOperator, ...]
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise SchemaError("union requires at least one branch")
+        first = set(self.branches[0].schema().attribute_names)
+        for branch in self.branches[1:]:
+            other = set(branch.schema().attribute_names)
+            if other != first:
+                raise SchemaError(
+                    "union branches have incompatible schemas: "
+                    f"{sorted(first)} vs {sorted(other)}")
+
+    def schema(self) -> RelationSchema:
+        return self.branches[0].schema()
+
+    def execute(self, provider: ScanProvider,
+                runtime_filter: IdFilter | None = None) -> Relation:
+        # Branch schemas are validated compatible, so branch rows are
+        # adopted as-is (consumers treat result rows as immutable);
+        # distinct deduplicates during the single pass.
+        rows: list[dict[str, object]] = []
+        if not self.distinct:
+            for branch in self.branches:
+                rows.extend(branch.execute(provider))
+            return Relation.from_trusted(self.schema(), rows)
+        key_of = itemgetter(*self.schema().attribute_names)
+        seen: set[object] = set()
+        for branch in self.branches:
+            for row in branch.execute(provider):
+                key = key_of(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rows.append(row)
+        return Relation.from_trusted(self.schema(), rows)
+
+    def explain_lines(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        kind = "distinct" if self.distinct else "all"
+        lines = [f"{pad}∪ {kind} [{len(self.branches)} branch"
+                 f"{'es' if len(self.branches) != 1 else ''}]"]
+        for branch in self.branches:
+            lines.extend(branch.explain_lines(indent + 1))
+        return lines

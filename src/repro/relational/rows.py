@@ -30,6 +30,20 @@ class Relation:
         for row in rows:
             self.append(row)
 
+    @classmethod
+    def from_trusted(cls, schema: RelationSchema,
+                     rows: list[dict[str, object]]) -> "Relation":
+        """Adopt *rows* without per-row schema validation.
+
+        For internal producers (wrappers after their own validation,
+        algebra operators whose output fits the schema by construction).
+        The caller hands over ownership of *rows* and of every dict in
+        it — they must not be mutated afterwards.
+        """
+        relation = cls(schema)
+        relation._rows = rows
+        return relation
+
     # -- mutation -----------------------------------------------------------
 
     def append(self, row: Row) -> None:

@@ -32,6 +32,7 @@ from repro.core.ontology import EvolutionEvent, OntologyFingerprint
 from repro.core.release import Release
 from repro.mdm.system import MDM
 from repro.query.omq import OMQ
+from repro.relational.physical import ScanCache
 from repro.relational.rows import Relation
 from repro.service.epoch_lock import EpochLock
 from repro.rdf.term import IRI
@@ -124,6 +125,12 @@ class GovernedService:
         self.drain_timeout = drain_timeout
         self.lock = EpochLock()
         self.stats = ServiceStats()
+        #: shared physical-scan cache: every (wrapper, columns, filter)
+        #: combination is fetched once per epoch across all queries and
+        #: batches; any evolution event — a release landing through the
+        #: write section or a bypassed write — clears it, and wrappers'
+        #: data_version tokens key out in-place data mutations.
+        self.scan_cache = ScanCache()
         self.mdm.ontology.add_evolution_listener(self._on_evolution)
 
     # -- lifecycle -----------------------------------------------------------
@@ -141,6 +148,9 @@ class GovernedService:
             self.mdm._serving = None
 
     def _on_evolution(self, event: EvolutionEvent) -> None:
+        # Epoch boundary: cached scans may describe the pre-release
+        # wrapper inventory; drop them all.
+        self.scan_cache.clear()
         if not self.lock.held_for_write():
             self.stats.bump(bypassed_writes=1)
 
@@ -151,7 +161,8 @@ class GovernedService:
         """Answer one OMQ under the read lock, with epoch evidence."""
         with self.lock.read(timeout) as epoch:
             self.stats.bump(queries=1)
-            relation = self.mdm.engine.answer(query, distinct=distinct)
+            relation = self.mdm.engine.answer(
+                query, distinct=distinct, scan_cache=self.scan_cache)
             return ServedAnswer(
                 relation=relation, epoch=epoch,
                 fingerprint=self.mdm.ontology.fingerprint())
@@ -187,7 +198,8 @@ class GovernedService:
             outcomes = self.mdm.engine.answer_many(
                 batch, distinct=distinct,
                 workers=self.max_workers if workers is None else workers,
-                return_exceptions=return_exceptions)
+                return_exceptions=return_exceptions,
+                scan_cache=self.scan_cache)
             fingerprint = self.mdm.ontology.fingerprint()
             return [
                 ServedAnswer(relation=None, epoch=epoch,

@@ -61,10 +61,10 @@ class LatencyWrapper(StaticWrapper):
         super().__init__(*args, **kwargs)
         self.latency = latency
 
-    def fetch_rows(self) -> list[dict]:
+    def fetch_rows(self, columns=None, id_filter=None) -> list[dict]:
         if self.latency > 0:
             time.sleep(self.latency)
-        return super().fetch_rows()
+        return super().fetch_rows(columns=columns, id_filter=id_filter)
 
 
 @dataclass

@@ -204,12 +204,28 @@ def _stage_project(docs: Iterable[Document], spec: dict
         yield out
 
 
+def _clone_along_path(document: dict, parts: list[str]) -> dict:
+    """Shallow-copy *document* plus every dict on *parts*' prefix, so a
+    later ``_set_path`` touches no structure shared with the input."""
+    clone = dict(document)
+    node = clone
+    for segment in parts[:-1]:
+        child = node.get(segment)
+        if not isinstance(child, dict):
+            break  # list index / missing segment: _set_path's territory
+        child = dict(child)
+        node[segment] = child
+        node = child
+    return clone
+
+
 def _stage_unwind(docs: Iterable[Document], spec: Any
                   ) -> Iterator[Document]:
     path = spec if isinstance(spec, str) else spec.get("path")
     if not isinstance(path, str) or not path.startswith("$"):
         raise AggregationError(f"$unwind expects a '$path', got {spec!r}")
     path = path[1:]
+    parts = path.split(".")
     for doc in docs:
         values = get_path(doc, path)
         if not isinstance(values, list):
@@ -217,7 +233,10 @@ def _stage_unwind(docs: Iterable[Document], spec: Any
                 yield doc
             continue
         for item in values:
-            clone = dict(doc)
+            # Clone the dicts along the unwound path: a top-level-only
+            # copy would make every yielded row share (and _set_path
+            # mutate) the *input document's* nested containers.
+            clone = _clone_along_path(doc, parts)
             _set_path(clone, path, item)
             yield clone
 
@@ -274,8 +293,15 @@ def _stage_group(docs: Iterable[Document], spec: dict
 
 def aggregate(documents: Iterable[Document],
               pipeline: list[dict]) -> list[Document]:
-    """Run an aggregation *pipeline* over *documents*."""
-    current: Iterable[Document] = [dict(d) for d in documents]
+    """Run an aggregation *pipeline* over *documents*.
+
+    Input documents are never mutated: stages either build fresh
+    documents or pass references through, and the final materialization
+    copies whatever survived. Filtering stages therefore never pay for
+    copying documents they discard — a leading ``$match`` (how wrappers
+    push ID filters down) touches only the surviving rows.
+    """
+    current: Iterable[Document] = documents
     for stage in pipeline:
         if not isinstance(stage, dict) or len(stage) != 1:
             raise AggregationError(
@@ -319,6 +345,12 @@ class Collection:
         self.name = name
         self._documents: list[Document] = []
         self._next_id = 1
+        self._data_version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (scan caches key fetches by it)."""
+        return self._data_version
 
     def insert_one(self, document: Document) -> Document:
         doc = dict(document)
@@ -326,6 +358,7 @@ class Collection:
             doc["_id"] = self._next_id
             self._next_id += 1
         self._documents.append(doc)
+        self._data_version += 1
         return doc
 
     def insert_many(self, documents: Iterable[Document]) -> int:
@@ -350,7 +383,10 @@ class Collection:
         else:
             self._documents = [d for d in self._documents
                                if not _matches(d, query)]
-        return before - len(self._documents)
+        removed = before - len(self._documents)
+        if removed:
+            self._data_version += 1
+        return removed
 
     def __len__(self) -> int:
         return len(self._documents)

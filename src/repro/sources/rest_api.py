@@ -70,12 +70,26 @@ class ApiVersion:
     def field_names(self) -> list[str]:
         return [f.name for f in self.fields]
 
-    def generate_documents(self, count: int, seed: int = 0) -> list[dict]:
+    def generate_documents(self, count: int, seed: int = 0,
+                           fields: Iterable[str] | None = None
+                           ) -> list[dict]:
+        """Serve *count* documents; *fields* selects top-level response
+        fields (the ``?fields=`` partial-response idiom of real APIs).
+
+        Generation always consumes the RNG for every declared field so
+        a partial response carries exactly the values the full response
+        would — only the payload shrinks, never the data.
+        """
         rng = random.Random((self.version, seed).__repr__())
-        return [
+        docs = [
             {f.name: f.generate(rng, i) for f in self.fields}
             for i in range(count)
         ]
+        if fields is None:
+            return docs
+        wanted = set(fields)
+        return [{k: v for k, v in doc.items() if k in wanted}
+                for doc in docs]
 
     def copy_with(self, version: str,
                   fields: Iterable[FieldSpec] | None = None) -> "ApiVersion":
@@ -123,11 +137,17 @@ class Endpoint:
         return self.versions[max(self.versions, key=key)]
 
     def fetch(self, version: str | None = None, count: int = 10,
-              seed: int = 0) -> list[dict]:
-        """Serve *count* JSON documents for *version* (default: latest)."""
+              seed: int = 0,
+              fields: Iterable[str] | None = None) -> list[dict]:
+        """Serve *count* JSON documents for *version* (default: latest).
+
+        *fields* requests a partial response restricted to the named
+        top-level fields — the server-side half of the wrapper layer's
+        projection pushdown.
+        """
         spec = (self.latest_version() if version is None
                 else self.version(version))
-        return spec.generate_documents(count, seed)
+        return spec.generate_documents(count, seed, fields=fields)
 
 
 @dataclass

@@ -1,12 +1,15 @@
 """Wrapper layer of the mediator/wrapper architecture."""
 
-from repro.wrappers.base import StaticWrapper, Wrapper, qualify
+from repro.wrappers.base import (
+    IdFilter, StaticWrapper, Wrapper, WrapperCapabilities, qualify,
+)
 from repro.wrappers.json_flatten import flatten_document, flatten_documents
 from repro.wrappers.mongo import MongoWrapper
 from repro.wrappers.rest import RestWrapper
 
 __all__ = [
-    "StaticWrapper", "Wrapper", "qualify",
+    "IdFilter", "StaticWrapper", "Wrapper", "WrapperCapabilities",
+    "qualify",
     "flatten_document", "flatten_documents",
     "MongoWrapper", "RestWrapper",
 ]

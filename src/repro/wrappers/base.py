@@ -6,22 +6,66 @@ REST, static) implement :meth:`Wrapper.fetch_rows`; the base class
 validates rows against the declared schema and provides the
 source-qualified view used by the ontology and the rewriting algorithm
 (attribute ``a`` of source ``D1`` is globally named ``D1/a``).
+
+Capability protocol (physical execution layer)
+----------------------------------------------
+
+The planner (:mod:`repro.query.planner`) pushes work down to sources
+when they can take it:
+
+* **projection pushdown** — ``fetch_rows(columns=[...])`` asks for a
+  subset of the declared attributes;
+* **ID-filter pushdown** — ``fetch_rows(id_filter=IdFilter(a, values))``
+  asks only for rows whose ID attribute ``a`` takes one of *values*
+  (the semi-join filter of a hash join's build side).
+
+A wrapper *declares* what it honors via :meth:`Wrapper.capabilities`;
+:meth:`Wrapper.fetch` is the capability-aware entry point: it forwards
+only the pushdowns the wrapper declared, validates what came back, and
+applies the residue (column trim, ID filter) itself — so a wrapper that
+declines (or mis-implements) a pushdown still yields exactly the
+requested relation. Legacy subclasses overriding the old zero-argument
+``fetch_rows()`` keep working: the base detects the signature and routes
+everything through the fallback.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import inspect
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
-from repro.errors import WrapperSchemaMismatchError
+from repro.errors import SchemaError, WrapperSchemaMismatchError
+from repro.relational.physical import IdFilter
 from repro.relational.rows import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
-__all__ = ["Wrapper", "StaticWrapper", "qualify"]
+__all__ = ["IdFilter", "Wrapper", "WrapperCapabilities", "StaticWrapper",
+           "qualify"]
 
 
 def qualify(source_name: str, attribute: str) -> str:
     """Source-qualified attribute name, e.g. ``D1/lagRatio``."""
     return f"{source_name}/{attribute}"
+
+
+@dataclass(frozen=True)
+class WrapperCapabilities:
+    """What a wrapper's native ``fetch_rows`` honors.
+
+    ``projection`` — the wrapper returns only the requested columns;
+    ``id_filter`` — the wrapper applies :class:`IdFilter` at the source.
+    Anything not declared is applied by :meth:`Wrapper.fetch` after the
+    full fetch (the validated fallback).
+    """
+
+    projection: bool = False
+    id_filter: bool = False
+
+    def notation(self) -> str:
+        flags = [name for name in ("projection", "id_filter")
+                 if getattr(self, name)]
+        return "+".join(flags) if flags else "none"
 
 
 class Wrapper:
@@ -34,6 +78,12 @@ class Wrapper:
         self.source_name = source_name
         self._ids = tuple(dict.fromkeys(id_attributes))
         self._non_ids = tuple(dict.fromkeys(non_id_attributes))
+        # Hot-path precomputations: schema validation compares row keys
+        # against this frozenset (no per-row set() allocation) and
+        # requalification uses one prebuilt rename map.
+        self._expected_keys = frozenset(self._ids + self._non_ids)
+        self._qualify_map = {a: qualify(source_name, a)
+                             for a in self._ids + self._non_ids}
 
     # -- schemas ---------------------------------------------------------------
 
@@ -72,34 +122,156 @@ class Wrapper:
         """Paper notation, e.g. ``w1({VoDmonitorId}, {lagRatio})``."""
         return self.schema.notation()
 
+    # -- capability protocol ---------------------------------------------------
+
+    def capabilities(self) -> WrapperCapabilities:
+        """Pushdowns the wrapper's ``fetch_rows`` honors natively.
+
+        The conservative default declares none: :meth:`fetch` then
+        fetches the full relation and applies projection/filter itself.
+        """
+        return WrapperCapabilities()
+
+    def estimate_rows(self) -> int | None:
+        """Estimated cardinality for planning (None = unknown).
+
+        Estimates only steer join ordering and build-side selection —
+        a wrong estimate can never make an answer wrong.
+        """
+        return None
+
+    def data_version(self) -> int:
+        """Version token of the *data* behind the wrapper.
+
+        Scan caches key fetched relations by ``(wrapper, data_version,
+        columns, filter)``; a wrapper whose backing data can mutate in
+        place must change this token so cached scans are not served
+        stale. Immutable/deterministic sources may keep the default
+        ``0``.
+        """
+        return 0
+
     # -- data ----------------------------------------------------------------------
 
-    def fetch_rows(self) -> list[dict]:
-        """Produce raw rows keyed by local attribute names (override)."""
+    def fetch_rows(self, columns: Sequence[str] | None = None,
+                   id_filter: IdFilter | None = None) -> list[dict]:
+        """Produce raw rows keyed by local attribute names (override).
+
+        *columns*/*id_filter* are only passed when the wrapper declares
+        the matching capability; implementations without any capability
+        may ignore both parameters (or keep the legacy zero-argument
+        signature).
+        """
         raise NotImplementedError
 
-    def relation(self, qualified: bool = False) -> Relation:
+    def _accepts_pushdown_kwargs(self) -> bool:
+        """True when the ``fetch_rows`` override takes the new kwargs."""
+        cached = getattr(self, "_fetch_rows_takes_kwargs", None)
+        if cached is None:
+            try:
+                params = inspect.signature(self.fetch_rows).parameters
+            except (TypeError, ValueError):  # pragma: no cover - C impls
+                params = {}
+            cached = ("columns" in params and "id_filter" in params) or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in params.values())
+            self._fetch_rows_takes_kwargs = cached
+        return cached
+
+    def fetch(self, columns: Sequence[str] | None = None,
+              id_filter: IdFilter | None = None) -> list[dict]:
+        """Capability-aware fetch with a validated fallback.
+
+        Returns rows keyed by local attribute names, restricted to
+        *columns* (schema order) and filtered by *id_filter* — whether
+        the wrapper did that work natively or the base class had to.
+        Raises :class:`~repro.errors.WrapperSchemaMismatchError` when a
+        row misses requested attributes (source drift under the
+        wrapper).
+        """
+        if columns is not None:
+            unknown = [c for c in columns if c not in self._expected_keys]
+            if unknown:
+                raise SchemaError(
+                    f"wrapper {self.name} has no attributes {unknown}")
+            wanted = frozenset(columns)
+        else:
+            wanted = self._expected_keys
+        if id_filter is not None and \
+                id_filter.attribute not in self._expected_keys:
+            raise SchemaError(
+                f"wrapper {self.name} has no attribute "
+                f"{id_filter.attribute!r} to filter on")
+
+        caps = self.capabilities()
+        push_columns = None
+        if columns is not None and caps.projection:
+            push_columns = list(columns)
+            if (id_filter is not None
+                    and id_filter.attribute not in wanted):
+                # The filtered attribute has to come back even though
+                # the caller did not ask for it — native filter
+                # implementations evaluate it per row, and the base's
+                # residual pass needs it when the wrapper declined; it
+                # is trimmed again below.
+                push_columns.append(id_filter.attribute)
+        if self._accepts_pushdown_kwargs():
+            rows = self.fetch_rows(
+                columns=push_columns,
+                id_filter=id_filter if caps.id_filter else None)
+        else:
+            rows = self.fetch_rows()
+
+        # Validated fallback: apply the ID filter residually *before*
+        # trimming (a no-op membership pass when the wrapper already
+        # honored it — which doubles as validation), trim undeclared
+        # columns, and reject rows missing requested attributes.
+        filter_attr = id_filter.attribute if id_filter is not None else None
+        out: list[dict] = []
+        for row in rows:
+            keys = row.keys()
+            if filter_attr is not None and filter_attr in keys and \
+                    row[filter_attr] not in id_filter.values:
+                continue
+            if keys != wanted:
+                if wanted - keys:
+                    raise WrapperSchemaMismatchError(
+                        f"wrapper {self.name} produced row with attributes "
+                        f"{sorted(keys)}, requested "
+                        f"{sorted(wanted)}; the source likely evolved "
+                        "under the wrapper — register a new release")
+                row = {k: row[k] for k in wanted}
+            out.append(row)
+        return out
+
+    def _subset_schema(self, full: RelationSchema,
+                       columns: frozenset[str]) -> RelationSchema:
+        attrs = tuple(a for a in full.attributes if a.name in columns)
+        return RelationSchema(full.name, attrs, full.source)
+
+    def relation(self, qualified: bool = False,
+                 columns: Sequence[str] | None = None,
+                 id_filter: IdFilter | None = None) -> Relation:
         """Fetch and validate the wrapper's relation.
 
         ``qualified=True`` rekeys columns to source-qualified names — the
-        form consumed by walk execution.
+        form consumed by walk execution. *columns* restricts the schema
+        (and the fetch, when the wrapper can push projections down);
+        *id_filter* restricts the rows. Both use *local* attribute names.
         """
-        rows = self.fetch_rows()
-        expected = set(self.attributes)
-        for row in rows:
-            got = set(row)
-            if got != expected:
-                raise WrapperSchemaMismatchError(
-                    f"wrapper {self.name} produced row with attributes "
-                    f"{sorted(got)}, declared schema has "
-                    f"{sorted(expected)}; the source likely evolved under "
-                    "the wrapper — register a new release")
+        rows = self.fetch(columns, id_filter)
+        schema = self.qualified_schema if qualified else self.schema
+        if columns is not None:
+            schema = self._subset_schema(schema, frozenset(
+                self._qualify_map[c] for c in columns)
+                if qualified else frozenset(columns))
         if not qualified:
-            return Relation(self.schema, rows)
-        mapping = {a: qualify(self.source_name, a) for a in self.attributes}
-        requalified = [
-            {mapping[k]: v for k, v in row.items()} for row in rows]
-        return Relation(self.qualified_schema, requalified)
+            return Relation.from_trusted(schema, rows)
+        qmap = self._qualify_map
+        names = tuple(columns) if columns is not None \
+            else self._ids + self._non_ids
+        requalified = [{qmap[k]: row[k] for k in names} for row in rows]
+        return Relation.from_trusted(schema, requalified)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.notation()}>"
@@ -122,15 +294,50 @@ class StaticWrapper(Wrapper):
                          non_id_attributes)
         self._projection = dict(projection or {})
         self._rows = [dict(r) for r in rows]
+        self._data_version = 0
 
-    def fetch_rows(self) -> list[dict]:
-        if not self._projection:
-            return [dict(r) for r in self._rows]
-        out = []
+    def capabilities(self) -> WrapperCapabilities:
+        return WrapperCapabilities(projection=True, id_filter=True)
+
+    def estimate_rows(self) -> int | None:
+        return len(self._rows)
+
+    def data_version(self) -> int:
+        return self._data_version
+
+    def fetch_rows(self, columns: Sequence[str] | None = None,
+                   id_filter: IdFilter | None = None) -> list[dict]:
+        names = tuple(columns) if columns is not None else self.attributes
+        rename = self._projection
+        filter_attr = id_filter.attribute if id_filter is not None else None
+        out: list[dict] = []
         for row in self._rows:
-            out.append({attr: row.get(raw)
-                        for attr, raw in self._projection.items()})
+            if not rename:
+                if filter_attr is not None and \
+                        row.get(filter_attr) not in id_filter.values:
+                    continue
+                if columns is None:
+                    out.append(dict(row))
+                    continue
+                try:
+                    # A missing declared attribute is schema drift and
+                    # must surface exactly as it does on a full fetch —
+                    # not be papered over as None.
+                    out.append({a: row[a] for a in names})
+                except KeyError as exc:
+                    raise WrapperSchemaMismatchError(
+                        f"wrapper {self.name} row is missing attribute "
+                        f"{exc.args[0]!r}; the source likely evolved "
+                        "under the wrapper — register a new release"
+                    ) from None
+            else:
+                projected = {a: row.get(rename.get(a, a)) for a in names}
+                if filter_attr is not None and \
+                        projected.get(filter_attr) not in id_filter.values:
+                    continue
+                out.append(projected)
         return out
 
     def replace_rows(self, rows: Iterable[Mapping[str, object]]) -> None:
         self._rows = [dict(r) for r in rows]
+        self._data_version += 1

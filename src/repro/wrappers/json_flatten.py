@@ -8,7 +8,13 @@ are nested, so this module provides the canonical flattening used by
 * nested objects flatten with ``.``-joined keys (``user.name``);
 * arrays of scalars serialize in place;
 * arrays of objects optionally *unwind* (cartesian expansion), mirroring
-  Mongo's ``$unwind``.
+  Mongo's ``$unwind``;
+* *paths* prunes the traversal to the subtrees that can produce one of
+  the named flat paths (the wrapper layer's projection pushdown) —
+  unwind paths are always walked so row multiplicity never depends on
+  which columns were requested. Pruned output is a best-effort
+  *superset* of the requested paths (leaves sharing a kept subtree may
+  ride along); callers project the exact columns they need.
 """
 
 from __future__ import annotations
@@ -19,20 +25,31 @@ __all__ = ["flatten_document", "flatten_documents"]
 
 
 def flatten_document(document: dict, separator: str = ".",
-                     unwind: Iterable[str] = ()) -> list[dict]:
+                     unwind: Iterable[str] = (),
+                     paths: Iterable[str] | None = None) -> list[dict]:
     """Flatten one document, returning one or more 1NF rows.
 
     *unwind* lists the (flattened) paths of object arrays to expand; every
     combination of unwound elements yields a row, like repeated Mongo
-    ``$unwind`` stages.
+    ``$unwind`` stages. *paths* restricts the walk to subtrees relevant
+    to the named flat paths (None = flatten everything).
     """
     unwind_set = set(unwind)
+    needed = None if paths is None else set(paths) | unwind_set
+
+    def relevant(path: str) -> bool:
+        if needed is None:
+            return True
+        prefix = path + separator
+        return any(n == path or n.startswith(prefix) for n in needed)
 
     def walk(node: Any, prefix: str) -> list[dict]:
         if isinstance(node, dict):
             rows: list[dict] = [{}]
             for key, value in node.items():
                 path = f"{prefix}{separator}{key}" if prefix else key
+                if not relevant(path):
+                    continue
                 sub_rows = walk(value, path)
                 rows = [dict(r, **s) for r in rows for s in sub_rows]
             return rows
@@ -53,9 +70,10 @@ def flatten_document(document: dict, separator: str = ".",
 
 
 def flatten_documents(documents: Iterable[dict], separator: str = ".",
-                      unwind: Iterable[str] = ()) -> list[dict]:
+                      unwind: Iterable[str] = (),
+                      paths: Iterable[str] | None = None) -> list[dict]:
     """Flatten many documents into a single list of rows."""
     rows: list[dict] = []
     for doc in documents:
-        rows.extend(flatten_document(doc, separator, unwind))
+        rows.extend(flatten_document(doc, separator, unwind, paths))
     return rows

@@ -15,14 +15,20 @@ exposes, e.g.::
         id_attributes=["VoDmonitorId"],
         non_id_attributes=["lagRatio"],
     )
+
+Pushdown: the wrapper declares both capabilities and expresses them as
+*extra pipeline stages* executed by the store itself — an ID filter
+becomes a trailing ``{"$match": {attr: {"$in": [...]}}}`` and a column
+subset a trailing inclusion ``$project`` — exactly how a real MongoDB
+deployment would evaluate them server-side.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.sources.document_store import DocumentStore
-from repro.wrappers.base import Wrapper
+from repro.wrappers.base import IdFilter, Wrapper, WrapperCapabilities
 
 __all__ = ["MongoWrapper"]
 
@@ -40,11 +46,37 @@ class MongoWrapper(Wrapper):
         self.collection = collection
         self.pipeline = list(pipeline)
 
-    def fetch_rows(self) -> list[dict]:
+    def capabilities(self) -> WrapperCapabilities:
+        return WrapperCapabilities(projection=True, id_filter=True)
+
+    def estimate_rows(self) -> int | None:
+        if self.collection not in self.store:
+            return None
+        # Pipelines may expand ($unwind) or shrink ($match/$group) the
+        # collection; its size is still the best zero-cost signal.
+        return len(self.store.get_collection(self.collection))
+
+    def data_version(self) -> int:
+        if self.collection not in self.store:
+            return 0
+        return self.store.get_collection(self.collection).data_version
+
+    def fetch_rows(self, columns: Sequence[str] | None = None,
+                   id_filter: IdFilter | None = None) -> list[dict]:
+        pipeline = list(self.pipeline)
+        if id_filter is not None:
+            pipeline.append({"$match": {
+                id_filter.attribute: {"$in": sorted(
+                    id_filter.values, key=repr)}}})
+        wanted = set(columns) if columns is not None else set(
+            self.attributes)
+        if columns is not None:
+            projection: dict = {"_id": 0}
+            projection.update({c: 1 for c in columns})
+            pipeline.append({"$project": projection})
         docs = self.store.get_collection(self.collection).aggregate(
-            self.pipeline)
+            pipeline)
         # Aggregation output may keep Mongo's synthetic _id; the declared
         # schema decides whether it is part of the relation.
-        wanted = set(self.attributes)
         return [{k: v for k, v in doc.items() if k in wanted}
                 for doc in docs]

@@ -3,15 +3,23 @@
 A :class:`RestWrapper` pins one endpoint *version* (schema versions are
 exactly what wrappers represent in the paper) and maps flattened JSON
 fields onto the wrapper's attributes, optionally computing derived values.
+
+Pushdown: the wrapper asks the endpoint for a *partial response*
+(top-level field selection, the ``?fields=`` idiom) and prunes the
+flattening walk to the needed paths; ID filters drop rows before any
+other attribute of the row is computed. Derived attributes declare the
+flat paths they read via *derived_inputs* — without that declaration a
+fetch involving the derived attribute falls back to the full payload
+(the base layer still trims the result, so answers never change).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import WrapperError
 from repro.sources.rest_api import Endpoint
-from repro.wrappers.base import Wrapper
+from repro.wrappers.base import IdFilter, Wrapper, WrapperCapabilities
 from repro.wrappers.json_flatten import flatten_documents
 
 __all__ = ["RestWrapper"]
@@ -30,6 +38,9 @@ class RestWrapper(Wrapper):
     derived:
         attribute name → callable computing the value from the flat row
         (e.g. the paper's ``lagRatio = waitTime / watchTime``).
+    derived_inputs:
+        attribute name → flat paths the derived callable reads; declaring
+        them keeps projection pushdown active for derived attributes.
     count / seed:
         how many documents the simulated endpoint serves, and the
         generation seed (kept deterministic for tests).
@@ -41,6 +52,7 @@ class RestWrapper(Wrapper):
                  non_id_attributes: Iterable[str],
                  field_map: Mapping[str, str] | None = None,
                  derived: Mapping[str, DerivedField] | None = None,
+                 derived_inputs: Mapping[str, Iterable[str]] | None = None,
                  unwind: Iterable[str] = (),
                  count: int = 10, seed: int = 0) -> None:
         super().__init__(name, source_name, id_attributes,
@@ -49,6 +61,8 @@ class RestWrapper(Wrapper):
         self.version = version
         self.field_map = dict(field_map or {})
         self.derived = dict(derived or {})
+        self.derived_inputs = {k: tuple(v) for k, v in
+                               (derived_inputs or {}).items()}
         self.unwind = tuple(unwind)
         self.count = count
         self.seed = seed
@@ -59,22 +73,75 @@ class RestWrapper(Wrapper):
                 f"wrapper {name}: attributes {missing} have neither a "
                 "field mapping nor a derivation")
 
-    def fetch_rows(self) -> list[dict]:
-        documents = self.endpoint.fetch(self.version, self.count, self.seed)
-        flat_rows = flatten_documents(documents, unwind=self.unwind)
+    def capabilities(self) -> WrapperCapabilities:
+        return WrapperCapabilities(projection=True, id_filter=True)
+
+    def estimate_rows(self) -> int | None:
+        return self.count
+
+    def data_version(self) -> int:
+        """A token over everything a fetch is a pure function of.
+
+        Generation is deterministic in (version schema, count, seed), so
+        two fetches under the same token return identical rows — exactly
+        the property a scan cache needs.
+        """
+        try:
+            fields = tuple(self.endpoint.version(self.version)
+                           .field_names())
+        except Exception:
+            fields = ()
+        return hash((self.version, self.count, self.seed, fields))
+
+    def _needed_paths(self, attributes: Sequence[str]
+                      ) -> tuple[list[str] | None, list[str] | None]:
+        """(endpoint top-level fields, flatten paths) or (None, None)
+        when some derived attribute has undeclared inputs."""
+        paths: list[str] = []
+        for attribute in attributes:
+            if attribute in self.field_map:
+                paths.append(self.field_map[attribute])
+            elif attribute in self.derived_inputs:
+                paths.extend(self.derived_inputs[attribute])
+            else:
+                return None, None  # opaque derivation: fetch everything
+        paths.extend(self.unwind)  # unwinds shape row multiplicity
+        fields = sorted({p.split(".", 1)[0] for p in paths})
+        return fields, sorted(set(paths))
+
+    def fetch_rows(self, columns: Sequence[str] | None = None,
+                   id_filter: IdFilter | None = None) -> list[dict]:
+        attributes = tuple(columns) if columns is not None \
+            else self.attributes
+        fields, paths = self._needed_paths(attributes)
+        documents = self.endpoint.fetch(self.version, self.count,
+                                        self.seed, fields=fields)
+        flat_rows = flatten_documents(documents, unwind=self.unwind,
+                                      paths=paths)
+
+        def value_of(attribute: str, flat: dict) -> Any:
+            if attribute in self.field_map:
+                path = self.field_map[attribute]
+                if path not in flat:
+                    raise WrapperError(
+                        f"wrapper {self.name}: version "
+                        f"{self.version} of {self.endpoint.name} has "
+                        f"no field {path!r} (schema drift?)")
+                return flat[path]
+            return self.derived[attribute](flat)
+
+        filter_attr = id_filter.attribute if id_filter is not None else None
         out: list[dict] = []
         for flat in flat_rows:
             row: dict[str, Any] = {}
-            for attribute in self.attributes:
-                if attribute in self.field_map:
-                    path = self.field_map[attribute]
-                    if path not in flat:
-                        raise WrapperError(
-                            f"wrapper {self.name}: version "
-                            f"{self.version} of {self.endpoint.name} has "
-                            f"no field {path!r} (schema drift?)")
-                    row[attribute] = flat[path]
-                else:
-                    row[attribute] = self.derived[attribute](flat)
+            if filter_attr is not None and filter_attr in attributes:
+                # Evaluate the filtered ID first; skip the row before
+                # computing anything else.
+                row[filter_attr] = value_of(filter_attr, flat)
+                if row[filter_attr] not in id_filter.values:
+                    continue
+            for attribute in attributes:
+                if attribute not in row:
+                    row[attribute] = value_of(attribute, flat)
             out.append(row)
         return out

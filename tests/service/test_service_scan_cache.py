@@ -1,0 +1,63 @@
+"""Serving-layer scan-cache tests: cross-query sharing, epoch
+invalidation, observability."""
+
+from repro.service.workload import (
+    analyst_panel, build_industrial_service, next_version_release,
+)
+
+
+def count_fetches(scenario):
+    """Instrument every bound wrapper; returns the live counter dict."""
+    counts: dict[str, int] = {}
+    for name, wrapper in scenario.ontology._physical.items():
+        original = wrapper.fetch_rows
+
+        def counted(columns=None, id_filter=None, _o=original, _n=name):
+            counts[_n] = counts.get(_n, 0) + 1
+            return _o(columns=columns, id_filter=id_filter)
+
+        wrapper.fetch_rows = counted
+    return counts
+
+
+class TestServingScanCache:
+    def test_repeated_queries_fetch_each_wrapper_once(self):
+        scenario = build_industrial_service(rows_per_wrapper=8)
+        counts = count_fetches(scenario)
+        service = scenario.mdm.serving()
+        query = scenario.query_texts()[0]
+        for _ in range(5):
+            assert len(service.answer(query)) == 8
+        assert sum(counts.values()) == 1  # one wrapper, one fetch
+        assert service.scan_cache.stats.hits >= 4
+
+    def test_batch_shares_scans_across_analysts(self):
+        scenario = build_industrial_service(rows_per_wrapper=6)
+        counts = count_fetches(scenario)
+        service = scenario.mdm.serving()
+        panel = analyst_panel(scenario, analysts=6)  # 30 queries, 5 keys
+        answers = service.serve_many(panel)
+        assert len(answers) == len(panel)
+        assert all(a.ok for a in answers)
+        # five unique queries over five wrappers: exactly one fetch each
+        assert sum(counts.values()) == 5
+
+    def test_release_invalidates_scan_cache(self):
+        scenario = build_industrial_service(rows_per_wrapper=4)
+        service = scenario.mdm.serving()
+        query = scenario.queries["twitter_api"]
+        before = {r["id"] for r in service.answer(query)}
+        assert len(service.scan_cache) > 0
+        release = next_version_release(scenario, rows_per_wrapper=4)
+        service.apply_release(release)
+        assert len(service.scan_cache) == 0  # epoch boundary cleared it
+        after = {r["id"] for r in service.answer(query)}
+        assert after != before  # fresh rows, not a stale cached scan
+
+    def test_describe_reports_scan_cache(self):
+        scenario = build_industrial_service(rows_per_wrapper=2)
+        service = scenario.mdm.serving()
+        service.answer(scenario.query_texts()[0])
+        text = service.describe()
+        assert "scan cache" in text
+        assert "misses = 1" in text

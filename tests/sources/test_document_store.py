@@ -149,6 +149,22 @@ class TestOtherStages:
         out = aggregate(docs, [{"$unwind": "$tags"}])
         assert [d["tags"] for d in out] == ["a", "b"]
 
+    def test_unwind_nested_path_leaves_input_untouched(self):
+        docs = [{"a": {"b": [1, 2]}}]
+        out = aggregate(docs, [{"$unwind": "$a.b"}])
+        assert [d["a"]["b"] for d in out] == [1, 2]
+        assert docs == [{"a": {"b": [1, 2]}}]  # input never mutated
+
+    def test_unwind_nested_path_on_collection(self):
+        from repro.sources.document_store import DocumentStore
+        store = DocumentStore()
+        store.collection("c").insert_one({"a": {"b": [1, 2]}})
+        out = store.get_collection("c").aggregate(
+            [{"$unwind": "$a.b"}])
+        assert sorted(d["a"]["b"] for d in out) == [1, 2]
+        # The stored document survives the pipeline intact.
+        assert store.get_collection("c").find()[0]["a"]["b"] == [1, 2]
+
     def test_group_sum_avg(self):
         out = aggregate(DOCS, [{"$group": {
             "_id": "$monitorId",
