@@ -7,6 +7,14 @@ each change to the right component — wrapper reconfiguration or ontology
 release — and analyst queries survive every step, including historical
 queries across renames.
 
+Analysts consume the system through the v1 protocol: a
+:class:`~repro.api.client.GovernedClient` session over the MDM, which
+tags every answer with the serving epoch and ontology fingerprint it
+observed. The changes here are applied by :class:`GovernedApi`
+*outside* the service's write sections, so the serving layer reports
+them as bypassed writes — the observability signal that a steward is
+mutating ``T`` behind the protocol's back.
+
 Run with::
 
     python examples/api_governance.py
@@ -15,7 +23,7 @@ Run with::
 from repro.evolution.apply import GovernedApi
 from repro.evolution.changes import Change, ChangeKind
 from repro.evolution.classifier import accommodation_of
-from repro.query.engine import QueryEngine
+from repro.mdm import MDM
 from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
 
 QUERY = """
@@ -63,13 +71,20 @@ def main() -> None:
 
     governed = GovernedApi(api)
     governed.model_endpoint("GET /readings", id_field="sensorId")
-    engine = QueryEngine(governed.ontology)
 
-    print("initial answer rows:", len(engine.answer(QUERY)))
+    # Analysts talk to the protocol surface, never to the internals:
+    # the same session shape would work over the HTTP gateway.
+    mdm = MDM(governed.ontology)
+    client = mdm.client()
+
+    response = client.query(QUERY)
+    print(f"initial answer: {len(response.rows)} rows "
+          f"@ epoch {response.epoch}")
 
     for change in CHANGELOG:
         report = governed.apply(change)
-        walks = len(engine.rewrite(QUERY).walks)
+        walks = len(mdm.rewrite(QUERY).walks)
+        response = client.query(QUERY)
         print(f"\n>> {change.kind.label} ({accommodation_of(change)})")
         print(f"   handler: {report.handler.value}")
         if report.new_wrapper:
@@ -78,10 +93,15 @@ def main() -> None:
         for note in report.notes:
             print(f"   note: {note}")
         print(f"   temperature query now unions {walks} version(s), "
-              f"{len(engine.answer(QUERY))} rows")
+              f"{len(response.rows)} rows "
+              f"(fingerprint epoch {response.fingerprint[0]})")
 
+    description = client.describe()
     print("\nfinal ontology:", governed.ontology.triple_counts())
     print("validation problems:", governed.ontology.validate() or "none")
+    print("serving state:", description.service["stats"])
+    print("(changes landed outside the protocol's write sections, "
+          "hence the bypassed_writes count)")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,20 @@ def main() -> None:
     print("\n=== Release-aware rewriting cache ===")
     print(mdm.describe_cache())
 
+    # 5. Production consumption goes through the protocol surface: a
+    #    GovernedClient session answers with epoch evidence and can
+    #    stream large answers as cursor-paginated pages. The same
+    #    session shape works over the HTTP gateway
+    #    (`python -m repro.api`).
+    print("\n=== The protocol surface (GovernedClient) ===")
+    with mdm.client() as client:
+        response = client.query(EXEMPLARY_QUERY)
+        print(f"epoch {response.epoch}, fingerprint {response.fingerprint},"
+              f" {response.total_rows} rows")
+        pages = list(client.stream(EXEMPLARY_QUERY, page_size=2))
+        print(f"streamed as {len(pages)} pages of <=2 rows, "
+              f"all at epoch {pages[0].epoch}")
+
     print("\nontology statistics:", mdm.statistics())
 
 

@@ -17,32 +17,46 @@ The package implements the paper's full stack, from substrates to system:
 * :mod:`repro.evolution` — the change taxonomy (Tables 3-5), the
   industrial study (Table 6), the Wordpress growth study (Figure 11);
 * :mod:`repro.mdm` — the Metadata Management System facade;
+* :mod:`repro.api` — the governed protocol surface: versioned
+  request/response envelopes, :class:`~repro.api.client.GovernedClient`
+  sessions (epoch pinning, cursor-paginated streaming, idempotent
+  releases) and the stdlib HTTP gateway;
 * :mod:`repro.datasets` — the SUPERSEDE running example.
 
 Quickstart::
 
+    from repro.api import GovernedClient
     from repro.datasets import build_supersede, EXEMPLARY_QUERY
     from repro.mdm import MDM
 
-    scenario = build_supersede(with_evolution=True)
-    mdm = MDM(scenario.ontology)
-    table = mdm.query(EXEMPLARY_QUERY)
-    print(table.to_ascii())
+    mdm = MDM(build_supersede(with_evolution=True).ontology)
+    with mdm.client() as client:
+        response = client.query(EXEMPLARY_QUERY)
+        print(response.epoch, response.rows)
 """
 
+from repro.api import (
+    DescribeResponse, ErrorInfo, GovernedClient, HttpGateway,
+    ProtocolEndpoint, QueryRequest, QueryResponse, ReleaseRequest,
+    ReleaseResponse,
+)
 from repro.core import BDIOntology, Release, new_release
 from repro.mdm import MDM
 from repro.query import (
     OMQ, QueryEngine, RewriteCache, parse_omq, rewrite,
 )
-from repro.service import EpochLock, GovernedService
+from repro.service import EpochLock, GovernedService, ServedAnswer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",
     "MDM",
     "OMQ", "QueryEngine", "RewriteCache", "parse_omq", "rewrite",
-    "EpochLock", "GovernedService",
+    "EpochLock", "GovernedService", "ServedAnswer",
+    "QueryRequest", "QueryResponse",
+    "ReleaseRequest", "ReleaseResponse",
+    "DescribeResponse", "ErrorInfo",
+    "ProtocolEndpoint", "GovernedClient", "HttpGateway",
     "__version__",
 ]

@@ -1,0 +1,34 @@
+"""The governed protocol surface (one API, every transport).
+
+Everything the system can do for a caller — answer queries, stream
+pages, land releases, describe itself — crosses this package as typed
+v1 envelopes (:mod:`repro.api.protocol`), handled by one server-side
+:class:`~repro.api.endpoint.ProtocolEndpoint` and consumed through one
+session object, :class:`~repro.api.client.GovernedClient`, that speaks
+either in-process or through the stdlib HTTP gateway
+(:class:`~repro.api.http_gateway.HttpGateway`). See
+``docs/architecture.md``, "The protocol layer".
+"""
+
+from repro.api.client import (
+    GovernedClient, HttpTransport, InProcessTransport, as_transport,
+)
+from repro.api.endpoint import ProtocolEndpoint
+from repro.api.http_gateway import HttpGateway
+from repro.api.protocol import (
+    PROTOCOL_VERSION, DescribeResponse, ErrorInfo, QueryRequest,
+    QueryResponse, ReleaseRequest, ReleaseResponse, error_code_of,
+    exception_for, http_status_of,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QueryRequest", "QueryResponse",
+    "ReleaseRequest", "ReleaseResponse",
+    "DescribeResponse", "ErrorInfo",
+    "error_code_of", "exception_for", "http_status_of",
+    "ProtocolEndpoint",
+    "GovernedClient", "InProcessTransport", "HttpTransport",
+    "as_transport",
+    "HttpGateway",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro.api`` — run the demo HTTP gateway.
+
+Serves the SUPERSEDE scenario over the v1 protocol; see
+:mod:`repro.api.http_gateway` for flags (``--host``, ``--port``,
+``--evolved``, ``--verbose``).
+"""
+
+from repro.api.http_gateway import main
+
+if __name__ == "__main__":
+    main()

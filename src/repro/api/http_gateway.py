@@ -1,0 +1,306 @@
+"""A stdlib JSON/HTTP gateway speaking the v1 protocol.
+
+:class:`HttpGateway` exposes one
+:class:`~repro.api.endpoint.ProtocolEndpoint` over a
+:class:`~http.server.ThreadingHTTPServer`:
+
+* ``POST /v1/query`` — a :class:`~repro.api.protocol.QueryRequest`
+  (fresh query or cursor continuation); batches ride the same route as
+  ``{"batch": [request, ...]}`` → ``{"responses": [...]}``;
+* ``POST /v1/releases`` — a declarative
+  :class:`~repro.api.protocol.ReleaseRequest`;
+* ``GET /v1/describe`` — ontology statistics + serving-layer state;
+* ``GET /healthz`` — liveness: ``{"status": "ok", "epoch": N}``.
+
+The gateway owns no logic: requests are decoded with the protocol
+codecs, handed to the same endpoint object the in-process transport
+uses — same epoch lock, same scan cache, same cursor store — and the
+response dict is the exact ``to_dict()`` the in-process path would
+produce (the parity property). HTTP statuses derive from the error
+taxonomy (:func:`~repro.api.protocol.http_status_of`); every reply is a
+JSON object.
+
+Run a demo gateway over the SUPERSEDE scenario::
+
+    PYTHONPATH=src python -m repro.api --port 8799
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import MalformedRequestError
+from repro.api.endpoint import ProtocolEndpoint
+from repro.api.protocol import (
+    ErrorInfo, QueryRequest, ReleaseRequest, http_status_of,
+)
+
+__all__ = ["HttpGateway"]
+
+#: request bodies above this are rejected (a malformed-client guard,
+#: not a security boundary — the gateway is an internal service door)
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing; all semantics live in the endpoint."""
+
+    # Keep-alive so a client session reuses one connection; requires
+    # exact Content-Length on every reply (we always set it).
+    protocol_version = "HTTP/1.1"
+    server: "_GatewayServer"
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        endpoint = self.server.endpoint
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/healthz":
+            self._reply(200, {"status": "ok",
+                              "epoch": endpoint.service.lock.epoch})
+        elif parsed.path == "/v1/describe":
+            try:
+                timeout = self._timeout_param(parsed.query)
+            except MalformedRequestError as exc:
+                self._error(400, "malformed_request", str(exc))
+                return
+            response = endpoint.handle_describe(timeout)
+            self._reply(self._status_of(response), response.to_dict())
+        else:
+            self._error(404, "not_found", f"no route for {self.path}")
+
+    @staticmethod
+    def _timeout_param(query: str) -> float | None:
+        values = urllib.parse.parse_qs(query).get("timeout")
+        if not values:
+            return None
+        try:
+            return float(values[0])
+        except ValueError:
+            raise MalformedRequestError(
+                "timeout must be a number of seconds") from None
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        endpoint = self.server.endpoint
+        try:
+            payload = self._read_json()
+        except MalformedRequestError as exc:
+            self._error(400, "malformed_request", str(exc))
+            return
+        try:
+            if self.path == "/v1/query":
+                if isinstance(payload, dict) and "batch" in payload:
+                    batch = payload["batch"]
+                    if not isinstance(batch, list):
+                        raise MalformedRequestError(
+                            "batch must be a list of query requests")
+                    responses = endpoint.handle_query_batch(
+                        [QueryRequest.from_dict(item) for item in batch])
+                    self._reply(200, {"responses": [
+                        r.to_dict() for r in responses]})
+                else:
+                    response = endpoint.handle_query(
+                        QueryRequest.from_dict(payload))
+                    self._reply(self._status_of(response),
+                                response.to_dict())
+            elif self.path == "/v1/releases":
+                response = endpoint.handle_release(
+                    ReleaseRequest.from_dict(payload))
+                self._reply(self._status_of(response),
+                            response.to_dict())
+            else:
+                self._error(404, "not_found",
+                            f"no route for {self.path}")
+        except Exception as exc:
+            # from_dict validation failures and anything the endpoint's
+            # own error envelope could not absorb
+            info = ErrorInfo.of(exc)
+            self._error(http_status_of(info.code), info.code,
+                        info.message, kind=info.kind)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _method_not_allowed(self) -> None:
+        self._error(405, "method_not_allowed",
+                    f"{self.command} is not part of the v1 protocol")
+
+    @staticmethod
+    def _status_of(response: Any) -> int:
+        if response.error is None:
+            return 200
+        return http_status_of(response.error.code)
+
+    def _read_json(self) -> Any:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise MalformedRequestError("Content-Length is required")
+        try:
+            size = int(length)
+        except ValueError:
+            raise MalformedRequestError("bad Content-Length") from None
+        if size > MAX_BODY_BYTES:
+            raise MalformedRequestError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = self.rfile.read(size)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise MalformedRequestError(
+                "request body is not valid JSON") from None
+
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, code: str, message: str,
+               kind: str = "ProtocolError") -> None:
+        self._reply(status, {
+            "ok": False,
+            "error": {"code": code, "kind": kind, "message": message,
+                      "retryable": False, "details": None},
+        })
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True
+    endpoint: ProtocolEndpoint
+    verbose: bool = False
+
+
+class HttpGateway:
+    """Lifecycle wrapper: bind, serve on a daemon thread, stop cleanly.
+
+    *target* is a :class:`~repro.service.serving.GovernedService`, an
+    :class:`~repro.mdm.system.MDM` or a ready
+    :class:`~repro.api.endpoint.ProtocolEndpoint` — the gateway shares
+    whatever epoch lock and scan cache that endpoint already serves
+    in-process. ``port=0`` binds an ephemeral port (tests).
+    """
+
+    def __init__(self, target: Any, *, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False) -> None:
+        self.endpoint = _as_endpoint(target)
+        self._server = _GatewayServer((host, port), _GatewayHandler)
+        self._server.endpoint = self.endpoint
+        self._server.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> str:
+        """Serve on a daemon thread; returns the base URL."""
+        if self._thread is not None:
+            return self.url
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"repro-gateway-{self.port}", daemon=True)
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=10)
+        self._server.server_close()
+        self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point's mode)."""
+        self._server.serve_forever()
+
+    def __enter__(self) -> "HttpGateway":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpGateway {self.url} {self.endpoint!r}>"
+
+
+def _as_endpoint(target: Any) -> ProtocolEndpoint:
+    if isinstance(target, ProtocolEndpoint):
+        return target
+    from repro.mdm.system import MDM
+    from repro.service.serving import GovernedService
+    if isinstance(target, MDM):
+        # Reuse a live memoized service rather than minting one with
+        # default parameters (which would close and replace it).
+        target = target._serving if target._serving is not None \
+            else target.serving()
+    if isinstance(target, GovernedService):
+        return target.endpoint
+    raise TypeError(
+        f"cannot serve {type(target).__name__} over the gateway; pass "
+        "a GovernedService, an MDM or a ProtocolEndpoint")
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    """Demo gateway over the SUPERSEDE scenario (see module docstring)."""
+    import argparse
+
+    from repro.datasets import EXEMPLARY_QUERY, build_supersede
+    from repro.mdm import MDM
+
+    parser = argparse.ArgumentParser(
+        description="serve the SUPERSEDE scenario over the v1 protocol")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8799)
+    parser.add_argument("--evolved", action="store_true",
+                        help="include the §2.1 evolution (wrapper w4)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each HTTP request")
+    args = parser.parse_args(argv)
+
+    scenario = build_supersede(with_evolution=args.evolved)
+    mdm = MDM(scenario.ontology)
+    gateway = HttpGateway(mdm, host=args.host, port=args.port,
+                          verbose=args.verbose)
+    print(f"serving the SUPERSEDE scenario at {gateway.url}")
+    print("try:")
+    print(f"  curl {gateway.url}/healthz")
+    print(f"  curl {gateway.url}/v1/describe")
+    query = json.dumps({"query": EXEMPLARY_QUERY})
+    print(f"  curl -X POST {gateway.url}/v1/query -d {query!r}")
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

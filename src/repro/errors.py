@@ -229,3 +229,57 @@ class ServiceError(ReproError):
 class EpochDrainTimeout(ServiceError):
     """A writer (release) could not drain in-flight readers in time, or a
     reader could not enter while a writer held the ontology."""
+
+
+class AnswerFailed(ServiceError):
+    """A :class:`~repro.service.serving.ServedAnswer` holds no relation.
+
+    Raised when rows are requested from an answer slot that failed
+    without a recorded error (the recorded error itself is re-raised
+    when present).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Protocol surface (repro.api)
+# ---------------------------------------------------------------------------
+
+
+class ProtocolError(ServiceError):
+    """Base class for errors in the versioned request/response protocol."""
+
+
+class MalformedRequestError(ProtocolError):
+    """A protocol envelope is structurally invalid (missing/bad fields)."""
+
+
+class UnsupportedApiVersion(ProtocolError):
+    """A request named an API version this endpoint does not speak."""
+
+
+class EpochSuperseded(ProtocolError):
+    """A pinned epoch or an open cursor was invalidated by a release.
+
+    Carries the epoch the caller pinned (``requested``) and the epoch
+    the service now serves (``serving``) when known, so sessions can
+    re-pin and retry deterministically.
+    """
+
+    def __init__(self, message: str, requested: int | None = None,
+                 serving: int | None = None) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.serving = serving
+
+
+class InvalidCursorError(ProtocolError):
+    """A continuation cursor is unknown, already exhausted or evicted."""
+
+
+class GatewayError(ProtocolError):
+    """The HTTP gateway (or its transport) failed outside the protocol.
+
+    Raised client-side when the wire response is not a decodable
+    protocol envelope (connection refused, truncated body, non-JSON
+    payload); protocol-level failures arrive as typed errors instead.
+    """

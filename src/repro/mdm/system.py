@@ -72,19 +72,19 @@ class MDM:
         self.release_log.append(release)
         return delta
 
-    def register_wrapper(self, wrapper: Wrapper,
-                         attribute_to_feature: dict[str, IRI | str]
-                         | None = None,
-                         subgraph=None,
-                         absorbed_concepts: frozenset[IRI] | set[IRI]
-                         | None = None) -> dict[str, int]:
-        """Register a physical wrapper, semi-automatically when possible.
+    def build_wrapper_release(self, wrapper: Wrapper,
+                              attribute_to_feature: dict[str, IRI | str]
+                              | None = None,
+                              subgraph=None) -> Release:
+        """Assemble the release registering *wrapper*, without applying.
 
         With no explicit ``F``, attribute→feature alignment is attempted
         (existing source mappings first, then name similarity); with no
         explicit subgraph, the minimal subgraph induced by the mapped
-        features is used. *absorbed_concepts* is forwarded to
-        :meth:`register_release`.
+        features is used. The one materialization path shared by
+        :meth:`register_wrapper` and the governed writers
+        (:meth:`GovernedService.register_wrapper
+        <repro.service.serving.GovernedService.register_wrapper>`).
         """
         if attribute_to_feature is None or subgraph is None:
             release = build_release(
@@ -93,9 +93,24 @@ class MDM:
                 non_id_attributes=list(wrapper.non_id_attributes),
                 feature_hints=attribute_to_feature)
             release.wrapper = wrapper
-        else:
-            release = Release.for_wrapper(wrapper, subgraph,
-                                          attribute_to_feature)
+            return release
+        return Release.for_wrapper(wrapper, subgraph,
+                                   attribute_to_feature)
+
+    def register_wrapper(self, wrapper: Wrapper,
+                         attribute_to_feature: dict[str, IRI | str]
+                         | None = None,
+                         subgraph=None,
+                         absorbed_concepts: frozenset[IRI] | set[IRI]
+                         | None = None) -> dict[str, int]:
+        """Register a physical wrapper, semi-automatically when possible.
+
+        See :meth:`build_wrapper_release` for the assembly rules;
+        *absorbed_concepts* is forwarded to :meth:`register_release`.
+        """
+        release = self.build_wrapper_release(
+            wrapper, attribute_to_feature=attribute_to_feature,
+            subgraph=subgraph)
         return self.register_release(release,
                                      absorbed_concepts=absorbed_concepts)
 
@@ -149,8 +164,38 @@ class MDM:
     def query_builder(self) -> OMQBuilder:
         return OMQBuilder(self.ontology)
 
+    def client(self, *, pin: bool = False,
+               timeout: float | None = None,
+               max_workers: int | None = None,
+               drain_timeout: float | None = None):
+        """A :class:`~repro.api.client.GovernedClient` session over this
+        MDM's governed service (the documented consumption path).
+
+        The session speaks the same v1 protocol the HTTP gateway
+        serves: epoch-pinned repeatable reads, cursor-paginated
+        streaming, idempotent release submission. With no explicit
+        *max_workers* / *drain_timeout*, an already-running memoized
+        service is reused as-is — a convenience accessor never closes
+        and replaces a configured live service (which would orphan its
+        open cursors); pass the parameters to reconfigure deliberately
+        through :meth:`serving`.
+        """
+        if max_workers is None and drain_timeout is None \
+                and self._serving is not None:
+            service = self._serving
+        else:
+            service = self.serving(
+                max_workers=4 if max_workers is None else max_workers,
+                drain_timeout=drain_timeout)
+        return service.client(pin=pin, timeout=timeout)
+
     def query(self, omq: str | OMQ, distinct: bool = True) -> Relation:
-        """Pose an OMQ; returns the result relation (Figure 9 pipeline)."""
+        """Pose an OMQ; returns the result relation (Figure 9 pipeline).
+
+        Legacy single-caller shape: it talks straight to the engine,
+        with no epoch evidence and no serialization against releases.
+        Anything concurrent or remote should use :meth:`client`.
+        """
         return self.engine.answer(omq, distinct=distinct)
 
     def answer_many(self, omqs, distinct: bool = True,

@@ -102,6 +102,17 @@ class Relation:
         out._rows = [dict(r) for r in self._rows if predicate(r)]
         return out
 
+    def page(self, offset: int, size: int) -> list[dict[str, object]]:
+        """One page of rows: copies of rows ``[offset, offset+size)``.
+
+        The protocol layer's pagination primitive: the relation stays
+        materialized server-side and only the requested window is
+        copied out, so a page response never re-serializes the answer.
+        """
+        if offset < 0 or size < 1:
+            raise SchemaError("page requires offset >= 0 and size >= 1")
+        return [dict(r) for r in self._rows[offset:offset + size]]
+
     def as_tuples(self, names: Sequence[str] | None = None) -> list[tuple]:
         names = list(names or self.schema.attribute_names)
         return [tuple(row[n] for n in names) for row in self._rows]

@@ -20,6 +20,13 @@ The service also registers an ontology evolution listener: a mutation of
 Algorithm 1 behind the service's back) is counted as a bypassed write —
 the cache still protects correctness via fingerprints, but the operator
 can see that the single-writer discipline was violated.
+
+Since the protocol redesign, the service's request handling lives in
+its :class:`~repro.api.endpoint.ProtocolEndpoint` (one implementation
+for in-process calls and the HTTP gateway); :meth:`GovernedService.
+serve`, :meth:`serve_many` and :meth:`apply_release` remain as thin
+shims over protocol envelopes so existing call sites keep working.
+New code should talk to :class:`~repro.api.client.GovernedClient`.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.core.ontology import EvolutionEvent, OntologyFingerprint
 from repro.core.release import Release
+from repro.errors import AnswerFailed
 from repro.mdm.system import MDM
 from repro.query.omq import OMQ
 from repro.relational.physical import ScanCache
@@ -38,6 +46,7 @@ from repro.service.epoch_lock import EpochLock
 from repro.rdf.term import IRI
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.endpoint import ProtocolEndpoint
     from repro.wrappers.base import Wrapper
 
 __all__ = ["GovernedService", "ServedAnswer", "ServiceStats"]
@@ -63,14 +72,28 @@ class ServedAnswer:
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and self.relation is not None
+
+    def require(self) -> Relation:
+        """The relation, or the typed failure of this slot.
+
+        Re-raises the stored :attr:`error`; a slot that somehow carries
+        neither relation nor error raises
+        :class:`~repro.errors.AnswerFailed` instead of a bare
+        ``AttributeError`` downstream.
+        """
+        if self.error is not None:
+            raise self.error
+        if self.relation is None:
+            raise AnswerFailed(
+                "answer slot holds no relation and recorded no error "
+                f"(epoch {self.epoch})")
+        return self.relation
 
     @property
     def rows(self) -> list[dict[str, object]]:
-        """The answer rows; re-raises :attr:`error` for failed slots."""
-        if self.error is not None:
-            raise self.error
-        return self.relation.rows
+        """The answer rows; raises the slot's typed failure instead."""
+        return self.require().rows
 
 
 @dataclass
@@ -131,7 +154,29 @@ class GovernedService:
         #: write section or a bypassed write — clears it, and wrappers'
         #: data_version tokens key out in-place data mutations.
         self.scan_cache = ScanCache()
+        #: lazily built protocol handler (see :attr:`endpoint`)
+        self._endpoint: "ProtocolEndpoint | None" = None
         self.mdm.ontology.add_evolution_listener(self._on_evolution)
+
+    @property
+    def endpoint(self) -> "ProtocolEndpoint":
+        """The v1 protocol handler over this service (memoized).
+
+        One endpoint per service: the in-process transport, the HTTP
+        gateway and the legacy ``serve*`` shims all share its cursor
+        store and idempotency log, so a cursor opened in-process can be
+        continued over the wire and vice versa.
+        """
+        if self._endpoint is None:
+            from repro.api.endpoint import ProtocolEndpoint
+            self._endpoint = ProtocolEndpoint(self)
+        return self._endpoint
+
+    def client(self, *, pin: bool = False, timeout: float | None = None):
+        """A :class:`~repro.api.client.GovernedClient` session over
+        this service (the documented way to consume it)."""
+        from repro.api.client import GovernedClient
+        return GovernedClient(self, pin=pin, timeout=timeout)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -149,8 +194,11 @@ class GovernedService:
 
     def _on_evolution(self, event: EvolutionEvent) -> None:
         # Epoch boundary: cached scans may describe the pre-release
-        # wrapper inventory; drop them all.
+        # wrapper inventory; drop them all, and supersede every open
+        # pagination cursor (a page stream never switches epochs).
         self.scan_cache.clear()
+        if self._endpoint is not None:
+            self._endpoint.on_evolution(event)
         if not self.lock.held_for_write():
             self.stats.bump(bypassed_writes=1)
 
@@ -158,14 +206,19 @@ class GovernedService:
 
     def serve(self, query: OMQ | str, distinct: bool = True,
               timeout: float | None = None) -> ServedAnswer:
-        """Answer one OMQ under the read lock, with epoch evidence."""
-        with self.lock.read(timeout) as epoch:
-            self.stats.bump(queries=1)
-            relation = self.mdm.engine.answer(
-                query, distinct=distinct, scan_cache=self.scan_cache)
-            return ServedAnswer(
-                relation=relation, epoch=epoch,
-                fingerprint=self.mdm.ontology.fingerprint())
+        """Answer one OMQ under the read lock, with epoch evidence.
+
+        Legacy shim: builds a :class:`~repro.api.protocol.QueryRequest`
+        and routes through :attr:`endpoint`, re-raising failures as
+        their original exceptions. Prefer :meth:`client`.
+        """
+        from repro.api.protocol import QueryRequest
+        response = self.endpoint.handle_query(QueryRequest(
+            query=query, distinct=distinct,
+            timeout=timeout)).raise_for_error()
+        return ServedAnswer(
+            relation=response.relation, epoch=response.epoch,
+            fingerprint=OntologyFingerprint(*response.fingerprint))
 
     def answer(self, query: OMQ | str, distinct: bool = True,
                timeout: float | None = None) -> Relation:
@@ -183,31 +236,35 @@ class GovernedService:
 
         The whole batch observes a single serving epoch — a release
         either precedes every answer in the batch or follows all of
-        them. Deduplication and the evaluation fan-out are
-        :meth:`QueryEngine.answer_many
-        <repro.query.engine.QueryEngine.answer_many>`'s; duplicates in
+        them. Legacy shim over :meth:`ProtocolEndpoint.
+        handle_query_batch <repro.api.endpoint.ProtocolEndpoint.
+        handle_query_batch>`; deduplication and the evaluation fan-out
+        are :meth:`QueryEngine.answer_many
+        <repro.query.engine.QueryEngine.answer_many>`'s, duplicates in
         the batch share one relation object. With
         ``return_exceptions=True`` a failed query yields a
         :class:`ServedAnswer`-shaped slot holding the exception in
         ``relation``'s place.
         """
-        batch = list(queries)
-        with self.lock.read(timeout) as epoch:
-            self.stats.bump(batches=1, batched_queries=len(batch),
-                            queries=len(batch))
-            outcomes = self.mdm.engine.answer_many(
-                batch, distinct=distinct,
-                workers=self.max_workers if workers is None else workers,
-                return_exceptions=return_exceptions,
-                scan_cache=self.scan_cache)
-            fingerprint = self.mdm.ontology.fingerprint()
-            return [
-                ServedAnswer(relation=None, epoch=epoch,
-                             fingerprint=fingerprint, error=outcome)
-                if isinstance(outcome, Exception) else
-                ServedAnswer(relation=outcome, epoch=epoch,
-                             fingerprint=fingerprint)
-                for outcome in outcomes]
+        from repro.api.protocol import QueryRequest
+        responses = self.endpoint.handle_query_batch(
+            [QueryRequest(query=query, distinct=distinct,
+                          timeout=timeout) for query in queries],
+            workers=workers)
+        answers: list[ServedAnswer] = []
+        for response in responses:
+            if response.error is not None and not return_exceptions:
+                response.raise_for_error()
+            fingerprint = (
+                OntologyFingerprint(*response.fingerprint)
+                if response.fingerprint is not None
+                else self.mdm.ontology.fingerprint())
+            answers.append(ServedAnswer(
+                relation=response.relation,
+                epoch=response.epoch if response.epoch is not None
+                else self.lock.epoch,
+                fingerprint=fingerprint, error=response.exception))
+        return answers
 
     def answer_many(self, queries: Iterable[OMQ | str],
                     distinct: bool = True,
@@ -229,17 +286,32 @@ class GovernedService:
                       "None" = None) -> dict[str, int]:
         """Land a release: drain readers, run Algorithm 1, readmit.
 
-        Returns Algorithm 1's triples-added delta. Queries issued after
-        this returns observe a strictly larger serving epoch.
+        Legacy shim over :meth:`ProtocolEndpoint.handle_release
+        <repro.api.endpoint.ProtocolEndpoint.handle_release>` (a typed
+        :class:`~repro.api.protocol.ReleaseRequest`). Returns Algorithm
+        1's triples-added delta. Queries issued after this returns
+        observe a strictly larger serving epoch.
         """
-        with self.lock.write(self.drain_timeout):
-            self.stats.bump(releases=1)
-            return self.mdm.register_release(
-                release, absorbed_concepts=absorbed_concepts)
+        from repro.api.protocol import ReleaseRequest
+        response = self.endpoint.handle_release(ReleaseRequest(
+            release=release,
+            absorbed_concepts=tuple(
+                str(c) for c in (absorbed_concepts or ())),
+            timeout=self.drain_timeout)).raise_for_error()
+        return response.triples_added
 
     def register_wrapper(self, wrapper: "Wrapper", **kwargs,
                          ) -> dict[str, int]:
-        """Writer-side :meth:`MDM.register_wrapper` (same keywords)."""
+        """Writer-side :meth:`MDM.register_wrapper` (same keywords).
+
+        Runs entirely inside the write section: release *assembly*
+        (:meth:`MDM.build_wrapper_release
+        <repro.mdm.system.MDM.build_wrapper_release>` reads the
+        ontology for alignment and subgraph induction) must observe a
+        settled epoch, exactly like the declarative release path in
+        :meth:`ProtocolEndpoint.handle_release
+        <repro.api.endpoint.ProtocolEndpoint.handle_release>`.
+        """
         with self.lock.write(self.drain_timeout):
             self.stats.bump(releases=1)
             return self.mdm.register_wrapper(wrapper, **kwargs)

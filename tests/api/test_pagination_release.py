@@ -1,0 +1,148 @@
+"""Satellite: pagination across a release boundary — no torn pages.
+
+The contract under test: a cursor opened at epoch *e* serves pages from
+one consistent snapshot; the moment a release lands, the cursor dies
+with a typed :class:`~repro.errors.EpochSuperseded` (never a silent
+switch to the new epoch, never a page mixing both), and a fresh request
+observes the new epoch immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import EpochSuperseded, InvalidCursorError
+from repro.service import build_industrial_service, next_version_release
+
+SLUG = "twitter_api"
+
+
+@pytest.fixture()
+def serving_scenario():
+    return build_industrial_service()
+
+
+@pytest.fixture()
+def service(serving_scenario):
+    svc = serving_scenario.mdm.serving(max_workers=4)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def client(service):
+    with service.client() as session:
+        yield session
+
+
+def _ids(rows) -> set:
+    return {row["id"] for row in rows}
+
+
+class TestPaginationAcrossRelease:
+    def test_cursor_dies_typed_and_fresh_request_serves_new_epoch(
+            self, serving_scenario, client):
+        query = serving_scenario.queries[SLUG]
+
+        first = client.query(query, page_size=10)
+        assert first.epoch == 0 and first.has_more
+        second = client.fetch_page(first.cursor)
+        assert second.epoch == 0
+
+        # A release lands mid-stream (the v2 wrapper serves a disjoint
+        # row set, so any torn page would be visible in the ids).
+        release_response = client.submit_release(
+            release=next_version_release(serving_scenario, SLUG))
+        assert release_response.epoch == 1
+
+        with pytest.raises(EpochSuperseded) as excinfo:
+            client.fetch_page(first.cursor)
+        assert excinfo.value.requested == 0
+        assert excinfo.value.serving == 1
+        # The superseded cursor is gone for good, not half-alive.
+        with pytest.raises(InvalidCursorError):
+            client.fetch_page(first.cursor)
+
+        # The pages that were served came entirely from the epoch-0
+        # snapshot: v1 ids only (v1 serves 0..23, v2 serves 24..47).
+        served_ids = _ids(second.rows) | _ids(first.rows)
+        assert served_ids and all(i < 24 for i in served_ids)
+
+        # A fresh request immediately observes the new epoch: the
+        # answer now unions both schema versions (48 ids), with no row
+        # missing or doubled across the new stream's pages.
+        fresh_pages = list(client.stream(query, page_size=10))
+        assert {p.epoch for p in fresh_pages} == {1}
+        fresh_ids = set()
+        for page in fresh_pages:
+            page_ids = _ids(page.rows)
+            assert not (page_ids & fresh_ids), "duplicated row"
+            fresh_ids |= page_ids
+        assert fresh_ids == set(range(48))
+
+    def test_bypassed_write_also_supersedes_cursors(
+            self, serving_scenario, service, client):
+        """Even ungoverned mutations of T kill open cursors."""
+        from repro.core.release import new_release
+
+        query = serving_scenario.queries[SLUG]
+        first = client.query(query, page_size=10)
+        # A release applied behind the service's back (no write lock).
+        new_release(serving_scenario.ontology,
+                    next_version_release(serving_scenario, SLUG))
+        assert service.stats.bypassed_writes == 1
+        with pytest.raises(EpochSuperseded):
+            client.fetch_page(first.cursor)
+
+    def test_release_during_concurrent_streams(self, serving_scenario,
+                                               service):
+        """Many streaming readers racing one release: every page a
+        reader got is pure, and every stream either completed at its
+        snapshot epoch or died with the typed invalidation."""
+        query = serving_scenario.queries[SLUG]
+        release = next_version_release(serving_scenario, SLUG)
+        start = threading.Barrier(5)
+        outcomes: list[tuple[str, object]] = []
+        outcomes_lock = threading.Lock()
+
+        def stream_pages() -> None:
+            session = service.client()
+            start.wait()
+            try:
+                pages = list(session.stream(query, page_size=6))
+            except EpochSuperseded as exc:
+                with outcomes_lock:
+                    outcomes.append(("superseded", exc))
+                return
+            epochs = {p.epoch for p in pages}
+            ids = [i for p in pages for i in _ids(p.rows)]
+            with outcomes_lock:
+                outcomes.append(("done", (epochs, ids)))
+
+        def land_release() -> None:
+            start.wait()
+            service.client().submit_release(release=release)
+
+        threads = [threading.Thread(target=stream_pages)
+                   for _ in range(4)]
+        threads.append(threading.Thread(target=land_release))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert len(outcomes) == 4
+        for kind, payload in outcomes:
+            if kind == "superseded":
+                continue
+            epochs, ids = payload
+            # One snapshot per stream, and the id set of exactly that
+            # snapshot's epoch: 24 v1 ids before the release, the full
+            # 48-id union after — never a torn blend in between.
+            assert len(epochs) == 1
+            expected = set(range(24)) if epochs == {0} \
+                else set(range(48))
+            assert len(ids) == len(expected)
+            assert set(ids) == expected

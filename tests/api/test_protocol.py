@@ -1,0 +1,189 @@
+"""Protocol envelopes: codecs, validation and the error taxonomy."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.api.protocol import (
+    PROTOCOL_VERSION, DescribeResponse, ErrorInfo, QueryRequest,
+    QueryResponse, ReleaseRequest, ReleaseResponse, error_code_of,
+    exception_for, http_status_of,
+)
+
+
+class TestQueryRequest:
+    def test_roundtrip_is_lossless(self):
+        request = QueryRequest(query="SELECT ...", distinct=False,
+                               epoch=3, page_size=10, timeout=1.5,
+                               request_id="r-1")
+        assert QueryRequest.from_dict(request.to_dict()) == request
+
+    def test_json_roundtrip(self):
+        request = QueryRequest(query="SELECT ...", page_size=2)
+        over_wire = json.loads(json.dumps(request.to_dict()))
+        assert QueryRequest.from_dict(over_wire) == request
+
+    def test_query_and_cursor_are_exclusive(self):
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest(query="q", cursor="c").validate()
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest().validate()
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest.from_dict({"query": "q", "page_size": 0})
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest.from_dict({"query": "q", "epoch": "zero"})
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest.from_dict({"query": "q", "distinct": "yes"})
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest.from_dict({"query": 42})
+
+    def test_programmatic_omq_has_no_wire_form(self):
+        from repro.datasets import EXEMPLARY_QUERY
+        from repro.query import parse_omq
+
+        parsed = parse_omq(EXEMPLARY_QUERY)
+        assert QueryRequest(query=parsed).query_text() \
+            == EXEMPLARY_QUERY
+        parsed.sparql = None
+        with pytest.raises(errors.MalformedRequestError):
+            QueryRequest(query=parsed).to_dict()
+
+
+class TestQueryResponse:
+    def test_roundtrip_is_lossless(self):
+        response = QueryResponse(
+            ok=True, columns=["a", "b"], rows=[{"a": 1, "b": "x"}],
+            epoch=2, fingerprint=(2, 12345), cursor="c1.deadbeef",
+            page=1, total_rows=7, has_more=True, request_id="r-9",
+            elapsed_ms=0.8)
+        assert QueryResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))) == response
+
+    def test_error_response_raises_typed(self):
+        info = ErrorInfo.of(errors.EpochSuperseded("gone", 1, 2))
+        response = QueryResponse(ok=False, error=info)
+        with pytest.raises(errors.EpochSuperseded):
+            response.raise_for_error()
+
+    def test_in_process_fields_never_serialize(self):
+        response = QueryResponse(ok=True, rows=[], columns=[],
+                                 relation=object(),
+                                 exception=ValueError("x"))
+        payload = response.to_dict()
+        assert "relation" not in payload
+        assert "exception" not in payload
+
+
+class TestReleaseEnvelopes:
+    def test_declarative_roundtrip(self):
+        request = ReleaseRequest(
+            source="s1", wrapper="w9", id_attributes=("id",),
+            non_id_attributes=("v",), feature_hints={"id": "urn:f:id"},
+            rows=({"id": 1, "v": 2},), absorbed_concepts=("urn:c:C",),
+            idempotency_key="k-1", request_id="r-2")
+        assert ReleaseRequest.from_dict(
+            json.loads(json.dumps(request.to_dict()))) == request
+
+    def test_typed_release_cannot_cross_the_wire(self):
+        request = ReleaseRequest(release=object())
+        with pytest.raises(errors.MalformedRequestError):
+            request.to_dict()
+
+    def test_validation(self):
+        with pytest.raises(errors.MalformedRequestError):
+            ReleaseRequest(source="s").validate()
+        with pytest.raises(errors.MalformedRequestError):
+            ReleaseRequest(source="s", wrapper="w").validate()
+
+    def test_response_roundtrip_and_replay(self):
+        response = ReleaseResponse(ok=True, epoch=4,
+                                   triples_added={"S": 3, "M": 2},
+                                   request_id="a")
+        wire = ReleaseResponse.from_dict(
+            json.loads(json.dumps(response.to_dict())))
+        assert wire == response
+        replay = response.replayed_as("b")
+        assert replay.replayed and replay.request_id == "b"
+        assert replay.epoch == 4
+
+
+class TestDescribeResponse:
+    def test_roundtrip(self):
+        response = DescribeResponse(
+            ok=True, epoch=1, fingerprint=(1, 99),
+            statistics={"concepts": 5},
+            service={"stats": {"queries": 2}})
+        assert DescribeResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))) == response
+
+
+class TestErrorTaxonomy:
+    def test_every_library_error_maps_to_a_code(self):
+        import inspect
+
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                code = error_code_of(obj("boom"))
+                assert code and code != "internal_error", name
+
+    def test_codes_are_stable_and_specific(self):
+        assert error_code_of(
+            errors.EpochSuperseded("x")) == "epoch_superseded"
+        assert error_code_of(
+            errors.UnanswerableQueryError("x")) == "unanswerable_query"
+        assert error_code_of(
+            errors.MalformedQueryError("x")) == "malformed_query"
+        assert error_code_of(ValueError("x")) == "internal_error"
+
+    def test_subclasses_inherit_the_nearest_code(self):
+        class CustomDrift(errors.EvolutionError):
+            pass
+
+        assert error_code_of(CustomDrift("x")) == "evolution_error"
+
+    def test_reconstruction_roundtrip(self):
+        original = errors.UnanswerableQueryError("no walk")
+        rebuilt = exception_for(ErrorInfo.of(original))
+        assert type(rebuilt) is errors.UnanswerableQueryError
+        assert str(rebuilt) == "no walk"
+
+    def test_epoch_superseded_keeps_structure_across_the_wire(self):
+        """requested/serving survive the JSON roundtrip, so wire
+        clients can re-pin deterministically."""
+        original = errors.EpochSuperseded("stale", requested=3,
+                                          serving=5)
+        info = ErrorInfo.from_dict(
+            json.loads(json.dumps(ErrorInfo.of(original).to_dict())))
+        rebuilt = exception_for(info)
+        assert type(rebuilt) is errors.EpochSuperseded
+        assert rebuilt.requested == 3 and rebuilt.serving == 5
+
+    def test_unknown_code_reconstructs_as_protocol_error(self):
+        info = ErrorInfo(code="from_the_future", kind="X", message="m")
+        assert isinstance(exception_for(info), errors.ProtocolError)
+
+    def test_retryable_flags(self):
+        assert ErrorInfo.of(errors.EpochSuperseded("x")).retryable
+        assert ErrorInfo.of(errors.EpochDrainTimeout("x")).retryable
+        assert not ErrorInfo.of(
+            errors.UnanswerableQueryError("x")).retryable
+
+    def test_http_statuses(self):
+        assert http_status_of("epoch_superseded") == 409
+        assert http_status_of("invalid_cursor") == 410
+        assert http_status_of("epoch_drain_timeout") == 503
+        assert http_status_of("internal_error") == 500
+        assert http_status_of("malformed_query") == 400
+        assert http_status_of("never_heard_of_it") == 400
+
+    def test_api_version_gate(self):
+        from repro.api.protocol import check_api_version
+
+        check_api_version(PROTOCOL_VERSION)
+        with pytest.raises(errors.UnsupportedApiVersion):
+            check_api_version("v2")
