@@ -1,0 +1,190 @@
+"""Durability-layer performance gates (CI-gated, ISSUE 5).
+
+Three asserted properties of the governance journal:
+
+* **append overhead** — journaling a release (prevalidate + encode +
+  fsync'd append) must add **< 20%** to the median release latency
+  versus the identical in-memory release path;
+* **replica catch-up** — a file-tailing replica must replay the
+  leader's journal at **≥ 5 000 records/s** (mixed steward commands —
+  the journal's cheap, high-volume record class);
+* **snapshot restore** — recovering a 500-release history from a
+  snapshot must be **≥ 10×** faster than cold-replaying the full
+  journal, because snapshots make restart cost independent of history
+  length.
+
+Emits ``BENCH_journal.json`` with the measured latencies and rates.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.mdm.system import MDM
+from repro.rdf.namespace import Namespace
+from repro.storage.replica import Replica
+from repro.wrappers.base import StaticWrapper
+
+J = Namespace("urn:journal:")
+
+#: releases per latency sample (medians over per-release timings)
+RELEASES = 250
+#: gate window: the last N releases — steady-state depth of a governed
+#: history, where Algorithm 1's cost dominates the fixed fsync cost
+STEADY_WINDOW = 100
+#: the 500-release history of the snapshot-restore gate
+HISTORY = 500
+#: steward command records for the catch-up gate
+TAIL_RECORDS = 5_000
+
+APPEND_OVERHEAD_LIMIT = 0.20
+CATCH_UP_FLOOR = 5_000.0
+RESTORE_SPEEDUP_FLOOR = 10.0
+
+FIELDS = ["name", "region", "status"]
+
+
+def seed_schema(mdm: MDM) -> None:
+    concept = mdm.add_concept(J.App)
+    mdm.add_feature(concept, J["app/id"], is_id=True)
+    for name in FIELDS:
+        mdm.add_feature(concept, J[f"app/{name}"])
+
+
+def register_release(mdm: MDM, version: int) -> None:
+    rows = [{"id": i, **{f: f"{f}-{version}-{i:04d}" for f in FIELDS}}
+            for i in range(8)]
+    wrapper = StaticWrapper(f"w_app_v{version}", "apps",
+                            id_attributes=["id"],
+                            non_id_attributes=FIELDS, rows=rows)
+    mdm.register_wrapper(
+        wrapper,
+        attribute_to_feature={"id": J["app/id"],
+                              **{f: J[f"app/{f}"] for f in FIELDS}},
+        absorbed_concepts={J.App})
+
+
+def _interleaved_release_latencies(
+        memory: MDM, durable: MDM,
+        count: int) -> tuple[list[float], list[float]]:
+    """Per-release timings, alternating the two paths.
+
+    Interleaving keeps ambient noise (CPU frequency shifts, page-cache
+    state) symmetric between the in-memory baseline and the journaled
+    path: both histories grow in lockstep, so release *i* performs the
+    same Algorithm-1 work on both sides.
+    """
+    memory_timings: list[float] = []
+    durable_timings: list[float] = []
+    for version in range(1, count + 1):
+        started = time.perf_counter()
+        register_release(memory, version)
+        memory_timings.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        register_release(durable, version)
+        durable_timings.append(time.perf_counter() - started)
+    return memory_timings, durable_timings
+
+
+def test_journal_append_catchup_and_snapshot_gates(
+        tmp_path_factory, write_result, write_json):
+    base = tmp_path_factory.mktemp("journal-bench")
+
+    # -- gate 1: fsync'd journal append overhead per release -------------
+    memory = MDM()
+    seed_schema(memory)
+    durable = MDM.open(base / "leader")
+    seed_schema(durable)
+    memory_timings, durable_timings = _interleaved_release_latencies(
+        memory, durable, RELEASES)
+    memory_median = statistics.median(memory_timings[-STEADY_WINDOW:])
+    durable_median = statistics.median(durable_timings[-STEADY_WINDOW:])
+    overhead = durable_median / memory_median - 1.0
+
+    # -- gate 2: replica catch-up rate on the leader's journal -----------
+    tail_leader = MDM.open(base / "tail-leader")
+    concept = tail_leader.add_concept(J.Metric)
+    for i in range(TAIL_RECORDS):
+        tail_leader.add_feature(concept, J[f"metric/f{i:05d}"])
+    replica = Replica.follow_file(base / "tail-leader" / "journal.jsonl")
+    started = time.perf_counter()
+    applied = replica.catch_up()
+    catch_up_seconds = time.perf_counter() - started
+    catch_up_rate = applied / catch_up_seconds
+    assert replica.lag == 0
+    assert replica.mdm.ontology.fingerprint() == \
+        tail_leader.ontology.fingerprint()
+    replica.stop()
+
+    # -- gate 3: snapshot restore vs cold replay on deep history ---------
+    deep = MDM.open(base / "deep")
+    seed_schema(deep)
+    for version in range(1, HISTORY + 1):
+        register_release(deep, version)
+    reference_epoch = deep.ontology.epoch
+    deep.close()
+
+    started = time.perf_counter()
+    replayed = MDM.open(base / "deep")
+    replay_seconds = time.perf_counter() - started
+    assert replayed.ontology.epoch == reference_epoch
+    replayed.snapshot()
+    replayed.close()
+
+    started = time.perf_counter()
+    restored = MDM.open(base / "deep")
+    restore_seconds = time.perf_counter() - started
+    assert restored.ontology.epoch == reference_epoch
+    assert restored.ontology.fingerprint() == \
+        replayed.ontology.fingerprint()
+    restored.close()
+    restore_speedup = replay_seconds / restore_seconds
+
+    report = "\n".join([
+        "journal durability gates",
+        "========================",
+        f"release latency, in-memory (median of last "
+        f"{STEADY_WINDOW} of {RELEASES}): {memory_median * 1e3:.3f} ms",
+        f"release latency, journaled+fsync:  "
+        f"{durable_median * 1e3:.3f} ms",
+        f"append overhead: {overhead * 100:.1f}% "
+        f"(gate < {APPEND_OVERHEAD_LIMIT * 100:.0f}%)",
+        "",
+        f"replica catch-up: {applied} records in "
+        f"{catch_up_seconds:.3f} s = {catch_up_rate:,.0f} records/s "
+        f"(gate >= {CATCH_UP_FLOOR:,.0f})",
+        "",
+        f"cold replay of {HISTORY}-release history: "
+        f"{replay_seconds:.3f} s",
+        f"snapshot restore of the same history:    "
+        f"{restore_seconds:.3f} s",
+        f"restore speedup: {restore_speedup:.1f}x "
+        f"(gate >= {RESTORE_SPEEDUP_FLOOR:.0f}x)",
+    ])
+    write_result("journal_durability.txt", report)
+    write_json("journal", {
+        "release_ms_memory_median": round(memory_median * 1e3, 4),
+        "release_ms_journaled_median": round(durable_median * 1e3, 4),
+        "append_overhead_pct": round(overhead * 100, 2),
+        "catch_up_records": applied,
+        "catch_up_records_per_s": round(catch_up_rate, 1),
+        "replay_seconds_500_releases": round(replay_seconds, 4),
+        "snapshot_restore_seconds": round(restore_seconds, 4),
+        "restore_speedup_x": round(restore_speedup, 2),
+        "gates": {
+            "append_overhead_limit_pct": APPEND_OVERHEAD_LIMIT * 100,
+            "catch_up_floor_records_per_s": CATCH_UP_FLOOR,
+            "restore_speedup_floor_x": RESTORE_SPEEDUP_FLOOR,
+        },
+    })
+
+    assert overhead < APPEND_OVERHEAD_LIMIT, (
+        f"journal append adds {overhead * 100:.1f}% release latency "
+        f"(gate < {APPEND_OVERHEAD_LIMIT * 100:.0f}%)")
+    assert catch_up_rate >= CATCH_UP_FLOOR, (
+        f"replica caught up at {catch_up_rate:,.0f} records/s "
+        f"(gate >= {CATCH_UP_FLOOR:,.0f})")
+    assert restore_speedup >= RESTORE_SPEEDUP_FLOOR, (
+        f"snapshot restore is only {restore_speedup:.1f}x faster than "
+        f"full replay (gate >= {RESTORE_SPEEDUP_FLOOR:.0f}x)")

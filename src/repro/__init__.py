@@ -21,6 +21,9 @@ The package implements the paper's full stack, from substrates to system:
   request/response envelopes, :class:`~repro.api.client.GovernedClient`
   sessions (epoch pinning, cursor-paginated streaming, idempotent
   releases) and the stdlib HTTP gateway;
+* :mod:`repro.storage` — the durable governance journal
+  (command-sourced mutations, fsync'd write-ahead log), snapshot/restore
+  and journal-tailing read replicas;
 * :mod:`repro.datasets` — the SUPERSEDE running example.
 
 Quickstart::
@@ -46,8 +49,9 @@ from repro.query import (
     OMQ, QueryEngine, RewriteCache, parse_omq, rewrite,
 )
 from repro.service import EpochLock, GovernedService, ServedAnswer
+from repro.storage import ChangeRecord, Journal, Replica, Snapshot
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",
@@ -58,5 +62,6 @@ __all__ = [
     "ReleaseRequest", "ReleaseResponse",
     "DescribeResponse", "ErrorInfo",
     "ProtocolEndpoint", "GovernedClient", "HttpGateway",
+    "ChangeRecord", "Journal", "Snapshot", "Replica",
     "__version__",
 ]

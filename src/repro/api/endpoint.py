@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.release import Release
 from repro.errors import (
     EpochSuperseded, InvalidCursorError, MalformedRequestError,
+    ReadOnlyReplicaError,
 )
 from repro.api.protocol import (
     DescribeResponse, ErrorInfo, QueryRequest, QueryResponse,
@@ -96,6 +97,27 @@ class ProtocolEndpoint:
         self._replays: "OrderedDict[str, ReleaseResponse]" = OrderedDict()
         self._state_lock = threading.Lock()
         self._token_counter = itertools.count(1)
+        # Both volatile stores are scoped to the journal's boot id:
+        # cursor tokens embed it (a token minted before a restart can
+        # never resolve against post-recovery state), and the
+        # idempotency replay store is *re-seeded from the journal* with
+        # epochs recomputed during recovery replay — never the epochs a
+        # previous boot recorded, which would be stale after a
+        # snapshot-assisted restart.
+        info = service.journal_info() \
+            if hasattr(service, "journal_info") else None
+        self.boot_id = ((info or {}).get("boot_id")
+                        or secrets.token_hex(8))
+        recovered = getattr(service.mdm, "recovered_idempotency", None)
+        for key, outcome in (recovered or {}).items():
+            self._replays[key] = ReleaseResponse(
+                ok=True, epoch=outcome.get("epoch"),
+                triples_added=outcome.get("triples_added"),
+                replayed=False)
+        while len(self._replays) > self.idempotency_capacity:
+            # recovery may hold more outcomes than this endpoint is
+            # configured to keep: evict oldest, like live appends do
+            self._replays.popitem(last=False)
 
     # -- lifecycle hooks -----------------------------------------------------
 
@@ -262,7 +284,8 @@ class ProtocolEndpoint:
     def _store_cursor(self, request: QueryRequest, relation: "Relation",
                       epoch: int, fingerprint: tuple[int, int],
                       size: int) -> str:
-        token = f"c{next(self._token_counter)}.{secrets.token_hex(12)}"
+        token = (f"{self.boot_id}.c{next(self._token_counter)}."
+                 f"{secrets.token_hex(12)}")
         state = _Cursor(relation=relation, epoch=epoch,
                         fingerprint=fingerprint, page_size=size,
                         offset=size, page=1,
@@ -280,6 +303,11 @@ class ProtocolEndpoint:
         with self._state_lock:
             state = self._cursors.get(token)
             if state is None:
+                if token and not token.startswith(f"{self.boot_id}."):
+                    raise InvalidCursorError(
+                        "cursor was issued by a previous boot of this "
+                        "service; its snapshot did not survive the "
+                        "restart — re-issue the query")
                 raise InvalidCursorError(
                     "unknown, exhausted or evicted cursor")
             if state.superseded:
@@ -331,6 +359,10 @@ class ProtocolEndpoint:
         try:
             check_api_version(request.api_version)
             request.validate()
+            if getattr(self.service, "read_only", False):
+                raise ReadOnlyReplicaError(
+                    "this endpoint serves a journal-tailing read "
+                    "replica; submit releases to the leader")
             key = request.idempotency_key
             if key is not None:
                 with self._state_lock:
@@ -354,7 +386,8 @@ class ProtocolEndpoint:
                 release, absorbed = self._materialize(request)
                 service.stats.bump(releases=1)
                 delta = service.mdm.register_release(
-                    release, absorbed_concepts=absorbed)
+                    release, absorbed_concepts=absorbed,
+                    idempotency_key=key)
                 response = ReleaseResponse(
                     ok=True, epoch=next_epoch, triples_added=delta,
                     replayed=False, request_id=request.request_id,
@@ -420,6 +453,8 @@ class ProtocolEndpoint:
                     "scan_cache": service.scan_cache.stats.snapshot(),
                     "open_cursors": self.open_cursors,
                     "max_workers": service.max_workers,
+                    "journal": service.journal_info()
+                    if hasattr(service, "journal_info") else None,
                 },
                 elapsed_ms=_elapsed(started))
         except Exception as exc:

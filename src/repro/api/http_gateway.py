@@ -70,8 +70,42 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 return
             response = endpoint.handle_describe(timeout)
             self._reply(self._status_of(response), response.to_dict())
+        elif parsed.path == "/v1/journal":
+            self._serve_journal(parsed.query)
         else:
             self._error(404, "not_found", f"no route for {self.path}")
+
+    def _serve_journal(self, query: str) -> None:
+        """``GET /v1/journal?after=<seq>[&limit=<n>]`` — the tail feed.
+
+        Serves the leader's change records past *after*, the exact
+        stream a :class:`~repro.storage.replica.HttpTailer` replays.
+        Nodes without a journal (in-memory demos, replicas) answer 404.
+        """
+        endpoint = self.server.endpoint
+        journal = getattr(endpoint.service.mdm, "journal", None)
+        if journal is None:
+            self._error(404, "not_found",
+                        "this node has no governance journal (start "
+                        "the gateway with --state-dir)")
+            return
+        params = urllib.parse.parse_qs(query)
+        try:
+            after = int(params.get("after", ["0"])[0])
+            limit = int(params["limit"][0]) if "limit" in params else None
+        except ValueError:
+            self._error(400, "malformed_request",
+                        "after/limit must be integers")
+            return
+        records = journal.records(after=after, limit=limit)
+        info = endpoint.service.journal_info() or {}
+        self._reply(200, {
+            "ok": True,
+            "boot_id": journal.boot_id,
+            "seq": journal.last_seq,
+            "snapshot_seq": info.get("snapshot_seq", 0),
+            "records": [record.to_dict() for record in records],
+        })
 
     @staticmethod
     def _timeout_param(query: str) -> float | None:
@@ -270,36 +304,79 @@ def _as_endpoint(target: Any) -> ProtocolEndpoint:
 
 
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover
-    """Demo gateway over the SUPERSEDE scenario (see module docstring)."""
+    """Gateway CLI: demo scenario, durable leader, or read replica.
+
+    * no flags — the in-memory SUPERSEDE demo (as before);
+    * ``--state-dir DIR`` — a durable leader: recovers the governed
+      state from DIR's snapshot + journal on start, journals every
+      release, and serves ``GET /v1/journal`` for followers;
+    * ``--follow URL`` — a read replica tailing the leader at URL.
+    """
     import argparse
 
-    from repro.datasets import EXEMPLARY_QUERY, build_supersede
     from repro.mdm import MDM
 
     parser = argparse.ArgumentParser(
-        description="serve the SUPERSEDE scenario over the v1 protocol")
+        description="serve the v1 protocol over HTTP")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8799)
+    parser.add_argument("--state-dir", default=None,
+                        help="durable mode: recover from and journal "
+                             "to this directory")
+    parser.add_argument("--follow", metavar="URL", default=None,
+                        help="replica mode: tail the journal of the "
+                             "leader gateway at URL")
+    parser.add_argument("--poll-interval", type=float, default=0.5,
+                        help="replica journal poll cadence in seconds")
     parser.add_argument("--evolved", action="store_true",
-                        help="include the §2.1 evolution (wrapper w4)")
+                        help="demo mode: include the §2.1 evolution "
+                             "(wrapper w4)")
     parser.add_argument("--verbose", action="store_true",
                         help="log each HTTP request")
     args = parser.parse_args(argv)
+    if args.state_dir and args.follow:
+        parser.error("--state-dir (leader) and --follow (replica) are "
+                     "mutually exclusive")
 
-    scenario = build_supersede(with_evolution=args.evolved)
-    mdm = MDM(scenario.ontology)
-    gateway = HttpGateway(mdm, host=args.host, port=args.port,
-                          verbose=args.verbose)
-    print(f"serving the SUPERSEDE scenario at {gateway.url}")
-    print("try:")
-    print(f"  curl {gateway.url}/healthz")
-    print(f"  curl {gateway.url}/v1/describe")
-    query = json.dumps({"query": EXEMPLARY_QUERY})
-    print(f"  curl -X POST {gateway.url}/v1/query -d {query!r}")
+    replica = None
+    if args.follow:
+        from repro.storage.replica import Replica
+
+        replica = Replica.follow_url(args.follow)
+        replica.catch_up()
+        replica.start(poll_interval=args.poll_interval)
+        gateway = HttpGateway(replica.service, host=args.host,
+                              port=args.port, verbose=args.verbose)
+        print(f"read replica of {args.follow} at {gateway.url} "
+              f"(applied seq {replica.applied_seq}, lag {replica.lag})")
+    elif args.state_dir:
+        mdm = MDM.open(args.state_dir)
+        gateway = HttpGateway(mdm.serving(), host=args.host,
+                              port=args.port, verbose=args.verbose)
+        print(f"durable governed gateway at {gateway.url} "
+              f"(state dir {args.state_dir}, epoch "
+              f"{mdm.ontology.epoch}, journal seq "
+              f"{mdm.journal.last_seq})")
+    else:
+        from repro.datasets import EXEMPLARY_QUERY, build_supersede
+
+        scenario = build_supersede(with_evolution=args.evolved)
+        mdm = MDM(scenario.ontology)
+        gateway = HttpGateway(mdm, host=args.host, port=args.port,
+                              verbose=args.verbose)
+        print(f"serving the SUPERSEDE scenario at {gateway.url}")
+        print("try:")
+        print(f"  curl {gateway.url}/healthz")
+        print(f"  curl {gateway.url}/v1/describe")
+        query = json.dumps({"query": EXEMPLARY_QUERY})
+        print(f"  curl -X POST {gateway.url}/v1/query -d {query!r}")
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        if replica is not None:
+            replica.stop()
 
 
 if __name__ == "__main__":  # pragma: no cover

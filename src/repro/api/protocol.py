@@ -60,7 +60,12 @@ _ERROR_CODES: dict[type[BaseException], tuple[str, bool]] = {
     errors.UnsupportedApiVersion: ("unsupported_api_version", False),
     errors.MalformedRequestError: ("malformed_request", False),
     errors.GatewayError: ("gateway_error", True),
+    errors.ReadOnlyReplicaError: ("read_only_replica", False),
     errors.ProtocolError: ("protocol_error", False),
+    errors.JournalCorruptedError: ("journal_corrupted", False),
+    errors.JournalError: ("journal_error", False),
+    errors.SnapshotError: ("snapshot_error", False),
+    errors.StorageError: ("storage_error", False),
     errors.EpochDrainTimeout: ("epoch_drain_timeout", True),
     errors.AnswerFailed: ("answer_failed", False),
     errors.ServiceError: ("service_error", False),
@@ -99,6 +104,11 @@ _CODE_CLASSES: dict[str, type[BaseException]] = {
 _HTTP_STATUS: dict[str, int] = {
     "epoch_superseded": 409,
     "invalid_cursor": 410,
+    "read_only_replica": 403,
+    "journal_corrupted": 500,
+    "journal_error": 500,
+    "snapshot_error": 500,
+    "storage_error": 500,
     "epoch_drain_timeout": 503,
     "gateway_error": 502,
     "not_found": 404,

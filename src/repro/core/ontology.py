@@ -249,6 +249,27 @@ class BDIOntology:
         except ValueError:
             pass
 
+    def restore_evolution_state(self, epoch: int,
+                                events: Iterable[EvolutionEvent],
+                                pending_gap: bool = False) -> None:
+        """Reinstate evolution bookkeeping after a snapshot restore.
+
+        Called once the dataset (triples *and* mutation counts) has been
+        rebuilt to the snapshotted state. *pending_gap* records whether
+        the writer had unattributed edits outstanding at snapshot time,
+        so :meth:`has_ungoverned_gap` keeps answering the same after the
+        restore. Listeners are never restored — they belong to live
+        serving objects, not to the governed state.
+        """
+        self._epoch = epoch
+        self._evolution_log = list(events)
+        self._evolution_bracket_gap = None
+        structure = self.fingerprint().structure
+        # ~structure is guaranteed different from structure, which is
+        # all has_ungoverned_gap() compares for.
+        self._structure_at_last_event = (
+            structure if not pending_gap else ~structure)
+
     def has_ungoverned_gap(self) -> bool:
         """True when T was mutated since the last recorded event.
 

@@ -34,7 +34,8 @@ from repro.rdf.term import IRI
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wrappers.base import Wrapper
 
-__all__ = ["Release", "new_release", "subgraph_concepts"]
+__all__ = ["Release", "new_release", "prevalidate_release",
+           "subgraph_concepts"]
 
 
 def subgraph_concepts(subgraph: Graph) -> frozenset[IRI]:
@@ -149,10 +150,37 @@ class Release:
                     "of the Global graph; extend G first")
 
 
+def prevalidate_release(ontology: BDIOntology, release: Release) -> None:
+    """Every check Algorithm 1 performs *before* mutating ``T``.
+
+    Raises :class:`ReleaseError` when the release would be rejected:
+    structural validation plus the §3.2 stable-semantics check (no
+    remapping of an already-mapped same-source attribute). Journaling
+    writers call this before appending the release's change record so
+    the journal never carries a record that is doomed to fail on
+    replay.
+    """
+    release.validate(ontology)
+    for attribute, feature in sorted(release.attribute_to_feature.items()):
+        attr_uri = attribute_uri(release.source_name, attribute)
+        existing = ontology.mappings.feature_of_attribute(attr_uri)
+        if existing is not None and existing != feature:
+            raise ReleaseError(
+                f"attribute {attr_uri} is already mapped to {existing}; "
+                f"release tries to remap it to {feature}. Same-source "
+                "attributes keep their semantics across versions (§3.2) — "
+                "use a differently named attribute")
+
+
 def new_release(ontology: BDIOntology, release: Release,
                 absorbed_concepts: "frozenset[IRI] | set[IRI] | None"
-                = None) -> dict[str, int]:
+                = None, *, prevalidated: bool = False) -> dict[str, int]:
     """Algorithm 1: adapt the BDI ontology ``T`` w.r.t. release ``R``.
+
+    *prevalidated* skips the redundant re-run of
+    :func:`prevalidate_release` when the caller just performed it
+    against the same settled ontology state (the journaling writers,
+    which validate before appending the change record).
 
     Returns the number of triples added per graph — used by the §6.4
     ontology-growth study (Figure 11).
@@ -167,19 +195,10 @@ def new_release(ontology: BDIOntology, release: Release,
     the event is marked ungoverned and release-aware caches flush
     wholesale rather than risk serving stale rewritings.
     """
-    release.validate(ontology)
-
-    # The §3.2 stable-semantics check runs before any mutation: a
-    # rejected release must not leave partial state in S or M.
-    for attribute, feature in sorted(release.attribute_to_feature.items()):
-        attr_uri = attribute_uri(release.source_name, attribute)
-        existing = ontology.mappings.feature_of_attribute(attr_uri)
-        if existing is not None and existing != feature:
-            raise ReleaseError(
-                f"attribute {attr_uri} is already mapped to {existing}; "
-                f"release tries to remap it to {feature}. Same-source "
-                "attributes keep their semantics across versions (§3.2) — "
-                "use a differently named attribute")
+    # Validation and the §3.2 stable-semantics check run before any
+    # mutation: a rejected release must not leave partial state in S or M.
+    if not prevalidated:
+        prevalidate_release(ontology, release)
 
     # Bracket Algorithm 1's own mutations; begin_evolution() flags edits
     # that were already pending when the release started (someone

@@ -241,6 +241,32 @@ class AnswerFailed(ServiceError):
 
 
 # ---------------------------------------------------------------------------
+# Durable storage (repro.storage)
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for errors in the durability layer (journal/snapshot)."""
+
+
+class JournalError(StorageError):
+    """The governance journal could not be written or read."""
+
+
+class JournalCorruptedError(JournalError):
+    """A journal record in the *interior* of the file failed to decode.
+
+    A torn final record is expected after a crash and is truncated
+    silently on recovery; a bad record with valid records after it means
+    the file was damaged and replay cannot be trusted.
+    """
+
+
+class SnapshotError(StorageError):
+    """A state snapshot could not be written, read or restored."""
+
+
+# ---------------------------------------------------------------------------
 # Protocol surface (repro.api)
 # ---------------------------------------------------------------------------
 
@@ -274,6 +300,14 @@ class EpochSuperseded(ProtocolError):
 
 class InvalidCursorError(ProtocolError):
     """A continuation cursor is unknown, already exhausted or evicted."""
+
+
+class ReadOnlyReplicaError(ProtocolError):
+    """A mutation was submitted to a journal-tailing read replica.
+
+    Replicas replay the leader's journal; accepting a release locally
+    would fork the governed history. Submit the release to the leader.
+    """
 
 
 class GatewayError(ProtocolError):

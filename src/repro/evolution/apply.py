@@ -23,7 +23,6 @@ import re
 from dataclasses import dataclass, field
 
 from repro.core.ontology import BDIOntology
-from repro.core.release import new_release
 from repro.core.vocabulary import attribute_uri
 from repro.errors import ChangeApplicationError
 from repro.evolution.changes import Change, ChangeKind, Handler
@@ -32,6 +31,7 @@ from repro.evolution.release_builder import build_release, release_impact
 from repro.rdf.namespace import Namespace
 from repro.rdf.term import IRI
 from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+from repro.storage.journal import execute_command, execute_release
 from repro.wrappers.rest import RestWrapper
 
 __all__ = ["ChangeReport", "GovernedApi"]
@@ -80,9 +80,16 @@ class GovernedApi:
     """A simulated API governed by the BDI ontology."""
 
     def __init__(self, api: RestApi,
-                 ontology: BDIOntology | None = None) -> None:
+                 ontology: BDIOntology | None = None,
+                 journal=None) -> None:
         self.api = api
         self.ontology = ontology or BDIOntology()
+        #: optional :class:`~repro.storage.journal.Journal`: every
+        #: ontology mutation this object performs (concept/feature
+        #: minting, datatype updates, releases) is then serialized as a
+        #: change record before it applies, so replaying the journal
+        #: reconstructs the governed state this API produced
+        self.journal = journal
         self.namespace = Namespace(f"urn:api:{_slug(api.name)}:")
         self._endpoints: dict[str, _EndpointState] = {}
         self.reports: list[ChangeReport] = []
@@ -122,7 +129,8 @@ class GovernedApi:
                 f"{endpoint_name} {version.version}")
         source = source_name or _slug(f"{self.api.name}_{endpoint_name}")
         concept = self.namespace[_slug(endpoint_name)]
-        self.ontology.globals.add_concept(concept)
+        execute_command(self, "add_concept", {"concept": str(concept)},
+                        journal=self.journal)
         state = _EndpointState(source_name=source, concept=concept,
                                id_field=id_field,
                                feature_key=_slug(endpoint_name))
@@ -140,8 +148,11 @@ class GovernedApi:
                         field_name: str, is_id: bool = False) -> IRI:
         feature = self._feature_iri(state, field_name)
         if not self.ontology.globals.is_feature(feature):
-            self.ontology.globals.add_feature(state.concept, feature,
-                                              is_id=is_id)
+            execute_command(
+                self, "add_feature",
+                {"concept": str(state.concept),
+                 "feature": str(feature), "is_id": is_id},
+                journal=self.journal)
         return feature
 
     def state(self, endpoint_name: str) -> _EndpointState:
@@ -214,9 +225,10 @@ class GovernedApi:
         # unless edits foreign to this object were detected, in which
         # case nothing can be attributed and the event must flush all.
         self.last_release_impact = release_impact(release, self.ontology)
-        new_release(self.ontology, release,
-                    absorbed_concepts=None if self._foreign_gap
-                    else {state.concept})
+        execute_release(self, release,
+                        absorbed_concepts=None if self._foreign_gap
+                        else {state.concept},
+                        journal=self.journal)
         # The event (governed or ungoverned) now covers everything seen.
         self._foreign_gap = False
         state.current_wrapper = wrapper_name
@@ -517,10 +529,12 @@ class GovernedApi:
             attribute_uri(state.source_name, parameter))
         if feature is None:
             feature = self._feature_iri(state, parameter)
-        self.ontology.globals.set_datatype(
-            feature,
-            f"http://www.w3.org/2001/XMLSchema#"
-            f"{xsd_map.get(new_type, 'string')}")
+        execute_command(
+            self, "set_datatype",
+            {"feature": str(feature),
+             "datatype": f"http://www.w3.org/2001/XMLSchema#"
+                         f"{xsd_map.get(new_type, 'string')}"},
+            journal=self.journal)
         self._release_new_version(endpoint_name, fields, report)
         report.notes.append(
             f"feature {feature.local_name} datatype updated")

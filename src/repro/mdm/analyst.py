@@ -173,6 +173,18 @@ def describe_service(service: "GovernedService") -> str:
         f"  scan cache: {len(service.scan_cache)} cached scan(s), "
         f"hits = {scan_stats.hits}, misses = {scan_stats.misses}, "
         f"invalidations = {scan_stats.invalidations}")
+    journal = service.journal_info() \
+        if hasattr(service, "journal_info") else None
+    if journal is None:
+        lines.append("  journal: none (in-memory state — a restart "
+                     "loses the governed history)")
+    else:
+        lag = journal.get("replica_lag")
+        lines.append(
+            f"  journal: {journal.get('role', 'leader')} at seq "
+            f"{journal.get('seq')} (boot {journal.get('boot_id')}, "
+            f"snapshot seq {journal.get('snapshot_seq')}, "
+            f"replica lag {lag})")
     return "\n".join(lines) + "\n" + describe_cache(service.mdm.cache)
 
 

@@ -12,9 +12,12 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Any
+
 from repro.core.ontology import BDIOntology
-from repro.core.release import Release, new_release
-from repro.errors import ReleaseError
+from repro.core.release import Release
+from repro.errors import ReleaseError, SnapshotError
 from repro.evolution.release_builder import build_release
 from repro.mdm.analyst import OMQBuilder, describe_cache, \
     describe_global_graph
@@ -27,9 +30,21 @@ from repro.rdf.ntriples import serialize_nquads
 from repro.rdf.term import IRI
 from repro.rdf.turtle import serialize_turtle
 from repro.relational.rows import Relation
+from repro.storage.journal import (
+    Journal, execute_command, execute_release, replay_into,
+)
+from repro.storage.snapshot import Snapshot, restore_state, take_snapshot
 from repro.wrappers.base import Wrapper
 
 __all__ = ["MDM"]
+
+#: on-disk layout of one ``state_dir``
+JOURNAL_FILE = "journal.jsonl"
+SNAPSHOT_FILE = "snapshot.json"
+
+#: journaled idempotency outcomes retained for replay across restarts
+#: (matches the endpoint-side replay store's order of magnitude)
+IDEMPOTENCY_OUTCOMES_KEPT = 512
 
 
 class MDM:
@@ -43,6 +58,99 @@ class MDM:
                                   use_cache=use_cache)
         self.release_log: list[Release] = []
         self._serving = None
+        #: the durable command journal (attached by :meth:`open`);
+        #: when set, every release is journaled before it is applied
+        self.journal: Journal | None = None
+        self._snapshot_path: Path | None = None
+        self._snapshot_seq = 0
+        #: idempotency outcomes recovered from the journal at
+        #: :meth:`open` time (key -> {"seq", "epoch", "triples_added"});
+        #: the protocol endpoint seeds its replay store from this
+        self.recovered_idempotency: dict[str, dict[str, Any]] = {}
+
+    # -- durable lifecycle ---------------------------------------------------
+
+    @classmethod
+    def open(cls, state_dir: str | Path, *,
+             cache: RewriteCache | None = None,
+             use_cache: bool = True, fsync: bool = True) -> "MDM":
+        """Open (or create) a durable MDM rooted at *state_dir*.
+
+        Recovery runs snapshot-then-journal: if ``snapshot.json``
+        exists its state is restored first (fingerprint-exact), then
+        every journal record past the snapshot's sequence number is
+        replayed through the deterministic command executor. A fresh
+        directory yields an empty governed MDM whose first mutation
+        starts the journal. A ``boot`` record is appended on every
+        open, scoping volatile serving state (cursors, idempotency
+        replays) to this process lifetime.
+        """
+        state = Path(state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        snapshot_path = state / SNAPSHOT_FILE
+        snapshot_seq = 0
+        recovered: dict[str, dict[str, Any]] = {}
+        if snapshot_path.exists():
+            snapshot = Snapshot.read(snapshot_path)
+            ontology, release_log = restore_state(snapshot)
+            mdm = cls(ontology, cache=cache, use_cache=use_cache)
+            mdm.release_log = release_log
+            snapshot_seq = snapshot.seq
+            recovered.update(snapshot.idempotency)
+        else:
+            mdm = cls(cache=cache, use_cache=use_cache)
+        journal = Journal.open(state / JOURNAL_FILE, fsync=fsync)
+        # Journal-suffix outcomes override snapshotted ones (same key,
+        # later release wins — replay recomputes the exact epochs).
+        recovered.update(replay_into(
+            mdm, journal.records(after=snapshot_seq), journal=journal))
+        while len(recovered) > IDEMPOTENCY_OUTCOMES_KEPT:
+            recovered.pop(next(iter(recovered)))
+        mdm.recovered_idempotency = recovered
+        journal.append_boot()
+        mdm.journal = journal
+        mdm._snapshot_path = snapshot_path
+        mdm._snapshot_seq = snapshot_seq
+        return mdm
+
+    def snapshot(self, path: str | Path | None = None) -> Snapshot:
+        """Checkpoint the current state (see :mod:`repro.storage.snapshot`).
+
+        Must not race mutations: call it from the steward thread, or
+        inside the service's write lock. With no explicit *path* the
+        snapshot lands at the state dir's ``snapshot.json`` and future
+        :meth:`open` calls restore from it instead of replaying the
+        full journal.
+        """
+        if path is None:
+            if self._snapshot_path is None:
+                raise SnapshotError(
+                    "this MDM has no state dir; open it with "
+                    "MDM.open(state_dir) or pass an explicit path")
+            path = self._snapshot_path
+        seq = self.journal.last_seq if self.journal is not None else 0
+        snapshot = take_snapshot(self, seq=seq)
+        snapshot.write(path)
+        if Path(path) == self._snapshot_path:
+            self._snapshot_seq = snapshot.seq
+        return snapshot
+
+    def journal_info(self) -> dict[str, Any] | None:
+        """Durability state for ``describe`` (None = in-memory MDM)."""
+        if self.journal is None:
+            return None
+        return {
+            "seq": self.journal.last_seq,
+            "boot_id": self.journal.boot_id,
+            "snapshot_seq": self._snapshot_seq,
+            "replica_lag": 0,
+            "role": "leader",
+        }
+
+    def close(self) -> None:
+        """Release the journal file handle (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
 
     @property
     def cache(self) -> RewriteCache | None:
@@ -55,9 +163,58 @@ class MDM:
 
     # -- steward interface ---------------------------------------------------
 
+    def add_concept(self, concept: IRI | str) -> IRI:
+        """Journaled steward command: register a Global-graph concept.
+
+        On a durable MDM the command is appended to the journal before
+        it applies (like every mutation); on an in-memory MDM it is
+        equivalent to ``ontology.globals.add_concept``. Always prefer
+        these steward commands over editing ``ontology.globals``
+        directly — direct edits are bypassed writes: they survive in a
+        snapshot but not in a journal replay, and releases over
+        features that only ever existed as bypassed writes cannot be
+        recovered.
+        """
+        iri = IRI(str(concept))
+        execute_command(self, "add_concept", {"concept": str(iri)},
+                        journal=self.journal)
+        return iri
+
+    def add_feature(self, concept: IRI | str, feature: IRI | str,
+                    datatype: IRI | str | None = None,
+                    is_id: bool = False) -> IRI:
+        """Journaled steward command: attach a feature to a concept."""
+        iri = IRI(str(feature))
+        payload: dict[str, Any] = {"concept": str(concept),
+                                   "feature": str(iri), "is_id": is_id}
+        if datatype is not None:
+            payload["datatype"] = str(datatype)
+        execute_command(self, "add_feature", payload,
+                        journal=self.journal)
+        return iri
+
+    def add_property(self, subject: IRI | str, predicate: IRI | str,
+                     obj: IRI | str) -> None:
+        """Journaled steward command: a concept→concept edge in G."""
+        execute_command(self, "add_property",
+                        {"subject": str(subject),
+                         "predicate": str(predicate),
+                         "object": str(obj)},
+                        journal=self.journal)
+
+    def set_datatype(self, feature: IRI | str,
+                     datatype: IRI | str) -> None:
+        """Journaled steward command: set a feature's xsd datatype."""
+        execute_command(self, "set_datatype",
+                        {"feature": str(feature),
+                         "datatype": str(datatype)},
+                        journal=self.journal)
+
     def register_release(self, release: Release,
                          absorbed_concepts: frozenset[IRI] | set[IRI]
-                         | None = None) -> dict[str, int]:
+                         | None = None,
+                         idempotency_key: str | None = None,
+                         ) -> dict[str, int]:
         """Apply Algorithm 1; returns triples added per graph.
 
         When the steward extended G in preparation of this release (e.g.
@@ -66,10 +223,30 @@ class MDM:
         so the release's evolution event stays concept-attributed;
         otherwise those pending edits degrade it to an ungoverned
         (cache-flushing) event.
+
+        On a durable MDM (:meth:`open`) the release is prevalidated,
+        serialized as a change record, fsync'd to the journal and only
+        then applied — crash-atomic by construction. *idempotency_key*
+        rides along in the record so the protocol endpoint's replay
+        store survives restarts with recomputed (never stale) epochs.
         """
-        delta = new_release(self.ontology, release,
-                            absorbed_concepts=absorbed_concepts)
-        self.release_log.append(release)
+        delta = execute_release(self, release,
+                                absorbed_concepts=absorbed_concepts,
+                                journal=self.journal,
+                                idempotency_key=idempotency_key)
+        if self.journal is not None and idempotency_key is not None:
+            # Mirror the journaled outcome so snapshots can persist it:
+            # a snapshot folds the release record in, so recovery
+            # replay alone would never see this key again.
+            self.recovered_idempotency[idempotency_key] = {
+                "seq": self.journal.last_seq,
+                "epoch": self.ontology.epoch,
+                "triples_added": delta,
+            }
+            while len(self.recovered_idempotency) > \
+                    IDEMPOTENCY_OUTCOMES_KEPT:
+                self.recovered_idempotency.pop(
+                    next(iter(self.recovered_idempotency)))
         return delta
 
     def build_wrapper_release(self, wrapper: Wrapper,
@@ -261,6 +438,9 @@ class MDM:
         counts["wrappers"] = len(self.ontology.sources.wrappers())
         counts["data_sources"] = len(self.ontology.sources.data_sources())
         counts["evolution_epoch"] = self.ontology.epoch
+        if self.journal is not None:
+            counts["journal_seq"] = self.journal.last_seq
+            counts["snapshot_seq"] = self._snapshot_seq
         if self.cache is not None:
             counts["cached_rewritings"] = len(self.cache)
             counts["cache_hits"] = self.cache.stats.hits

@@ -126,6 +126,32 @@ class Dataset:
         return (self._retired_mutations + self._default.mutation_count
                 + sum(g.mutation_count for g in self._named.values()))
 
+    def mutation_counts(self) -> dict[str, int]:
+        """Per-graph mutation counts plus the retired-graph carry-over.
+
+        The default graph is keyed ``""`` and dropped-graph history is
+        keyed ``"*retired*"`` — the exact state a snapshot must persist
+        for :meth:`restore_mutation_counts` to make a rebuilt dataset
+        fingerprint-identical to the writer.
+        """
+        counts = {"": self._default.mutation_count,
+                  "*retired*": self._retired_mutations}
+        for name, graph in self._named.items():
+            counts[str(name)] = graph.mutation_count
+        return counts
+
+    def restore_mutation_counts(self, counts: dict[str, int]) -> None:
+        """Reinstate recorded mutation counts (snapshot restore only)."""
+        retired = counts.get("*retired*", 0)
+        if retired < self._retired_mutations:
+            raise ValueError("retired mutation count may only advance")
+        self._retired_mutations = retired
+        for name, count in counts.items():
+            if name == "*retired*":
+                continue
+            graph = self._default if name == "" else self.graph(name)
+            graph.restore_mutation_count(count)
+
     def graphs_containing(self, s: object | None = None,
                           p: object | None = None,
                           o: object | None = None) -> list[IRI]:

@@ -146,6 +146,21 @@ class Graph:
         """
         return self._mutations
 
+    def restore_mutation_count(self, count: int) -> None:
+        """Reinstate a recorded mutation count (snapshot restore only).
+
+        Fingerprints hash the mutation count, so a graph rebuilt from a
+        snapshot must resume counting where the snapshotted graph left
+        off — otherwise the restored ontology could never reproduce the
+        writer's fingerprint. Monotonicity is preserved: the count may
+        only move forward.
+        """
+        if count < self._mutations:
+            raise ValueError(
+                f"mutation count may only advance ({self._mutations} -> "
+                f"{count})")
+        self._mutations = count
+
     # -- queries ----------------------------------------------------------------
 
     def match(self, s: object | None = None, p: object | None = None,

@@ -59,13 +59,24 @@ def _unescape(raw: str) -> str:
     return "".join(out)
 
 
-def _parse_term(text: str, pos: int) -> tuple[Term, int]:
+def _parse_term(text: str, pos: int,
+                interned: dict[str, IRI] | None = None,
+                ) -> tuple[Term, int]:
     m = _TERM_RE.match(text, pos)
     if not m:
         raise NTriplesSyntaxError(
             f"expected term at column {pos}: {text[pos:pos + 30]!r}")
     if m.group("iri"):
-        return IRI(m.group("iri")[1:-1]), m.end()
+        raw = m.group("iri")[1:-1]
+        if interned is None:
+            return IRI(raw), m.end()
+        iri = interned.get(raw)
+        if iri is None:
+            # Document-scoped interning: the same IRI recurs on almost
+            # every line (predicates, graph labels, concepts), so large
+            # restores validate and allocate each one exactly once.
+            iri = interned[raw] = IRI(raw)
+        return iri, m.end()
     if m.group("bnode"):
         return BlankNode(m.group("bnode")[2:]), m.end()
     raw = m.group("literal")
@@ -78,17 +89,19 @@ def _parse_term(text: str, pos: int) -> tuple[Term, int]:
     return Literal(value), m.end()
 
 
-def _parse_line(line: str, quads: bool) -> Triple | Quad | None:
+def _parse_line(line: str, quads: bool,
+                interned: dict[str, IRI] | None = None,
+                ) -> Triple | Quad | None:
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
         return None
-    s, pos = _parse_term(line, 0)
-    p, pos = _parse_term(line, pos)
-    o, pos = _parse_term(line, pos)
+    s, pos = _parse_term(line, 0, interned)
+    p, pos = _parse_term(line, pos, interned)
+    o, pos = _parse_term(line, pos, interned)
     graph_name: IRI | None = None
     rest = line[pos:].strip()
     if rest.startswith("<") and quads:
-        g, pos = _parse_term(line, pos)
+        g, pos = _parse_term(line, pos, interned)
         if not isinstance(g, IRI):
             raise NTriplesSyntaxError("graph label must be an IRI")
         graph_name = g
@@ -104,9 +117,10 @@ def _parse_line(line: str, quads: bool) -> Triple | Quad | None:
 def parse_ntriples(text: str) -> Graph:
     """Parse an N-Triples document into a graph."""
     g = Graph()
+    interned: dict[str, IRI] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         try:
-            t = _parse_line(line, quads=False)
+            t = _parse_line(line, quads=False, interned=interned)
         except NTriplesSyntaxError as exc:
             raise NTriplesSyntaxError(f"line {lineno}: {exc}") from None
         if t is not None:
@@ -117,9 +131,10 @@ def parse_ntriples(text: str) -> Graph:
 def parse_nquads(text: str) -> Dataset:
     """Parse an N-Quads document into a dataset."""
     ds = Dataset()
+    interned: dict[str, IRI] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         try:
-            q = _parse_line(line, quads=True)
+            q = _parse_line(line, quads=True, interned=interned)
         except NTriplesSyntaxError as exc:
             raise NTriplesSyntaxError(f"line {lineno}: {exc}") from None
         if q is not None:

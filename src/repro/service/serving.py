@@ -140,12 +140,27 @@ class GovernedService:
 
     def __init__(self, mdm: MDM | None = None, *,
                  max_workers: int = 4,
-                 drain_timeout: float | None = None) -> None:
+                 drain_timeout: float | None = None,
+                 state_dir: "str | None" = None,
+                 read_only: bool = False) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        self.mdm = mdm if mdm is not None else MDM()
+        if mdm is None:
+            # A state_dir makes the service durable: every release is
+            # journaled before it applies, and reopening the same
+            # directory recovers the governed history.
+            mdm = MDM.open(state_dir) if state_dir is not None else MDM()
+        elif state_dir is not None:
+            raise ValueError(
+                "pass either a ready MDM or a state_dir, not both")
+        self.mdm = mdm
         self.max_workers = max_workers
         self.drain_timeout = drain_timeout
+        #: True for journal-tailing replicas: the endpoint rejects
+        #: release submissions with ``read_only_replica``
+        self.read_only = read_only
+        #: replica-installed override for :meth:`journal_info`
+        self._journal_info_override = None
         self.lock = EpochLock()
         self.stats = ServiceStats()
         #: shared physical-scan cache: every (wrapper, columns, filter)
@@ -312,11 +327,27 @@ class GovernedService:
         :meth:`ProtocolEndpoint.handle_release
         <repro.api.endpoint.ProtocolEndpoint.handle_release>`.
         """
+        if self.read_only:
+            from repro.errors import ReadOnlyReplicaError
+            raise ReadOnlyReplicaError(
+                "this service is a read replica; submit releases to "
+                "the journal's leader")
         with self.lock.write(self.drain_timeout):
             self.stats.bump(releases=1)
             return self.mdm.register_wrapper(wrapper, **kwargs)
 
     # -- introspection -------------------------------------------------------
+
+    def journal_info(self) -> "dict | None":
+        """Durability & replication state for ``describe``.
+
+        ``{seq, boot_id, snapshot_seq, replica_lag, role}`` — from the
+        MDM's journal on a leader, from the replica's tail position on
+        a follower, ``None`` for a purely in-memory service.
+        """
+        if self._journal_info_override is not None:
+            return self._journal_info_override()
+        return self.mdm.journal_info()
 
     @property
     def epoch(self) -> int:

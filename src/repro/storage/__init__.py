@@ -1,0 +1,46 @@
+"""Durable governance storage: journal, snapshots, read replicas.
+
+The persistence layer of the governed system (``docs/architecture.md``,
+"Durability & replication"):
+
+* :mod:`repro.storage.codec` — versioned, CRC-framed
+  :class:`~repro.storage.codec.ChangeRecord` JSON codecs for releases,
+  wrappers and evolution events;
+* :mod:`repro.storage.journal` — the fsync'd write-ahead command
+  journal every mutation passes through, plus the deterministic replay
+  executor;
+* :mod:`repro.storage.snapshot` — fingerprint-exact checkpoints that
+  make restart cost independent of history length;
+* :mod:`repro.storage.replica` — journal-tailing read replicas (file
+  or HTTP tail) serving the full read protocol at their applied epoch.
+
+Entry points: :meth:`MDM.open <repro.mdm.system.MDM.open>` /
+``GovernedService(state_dir=...)`` for a durable writer,
+:class:`Replica` for a follower, ``python -m repro.api --state-dir`` /
+``--follow`` for the gateway CLI.
+"""
+
+from repro.storage.codec import ChangeRecord
+from repro.storage.journal import (
+    Journal, apply_record, execute_command, execute_release,
+    read_records, replay_into,
+)
+from repro.storage.snapshot import Snapshot, restore_state, take_snapshot
+
+__all__ = [
+    "ChangeRecord",
+    "Journal", "apply_record", "execute_command", "execute_release",
+    "read_records", "replay_into",
+    "Snapshot", "restore_state", "take_snapshot",
+    "Replica", "FileTailer", "HttpTailer", "TailBatch",
+]
+
+
+def __getattr__(name: str):
+    # Replica pulls in the MDM/service stack; import it lazily so the
+    # storage primitives stay importable from inside that stack.
+    if name in ("Replica", "FileTailer", "HttpTailer", "TailBatch"):
+        from repro.storage import replica
+
+        return getattr(replica, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,498 @@
+"""The durable governance journal: command-sourced mutation log.
+
+Every mutation of the governed state — a release landing through
+Algorithm 1, a steward extending G (concepts, features, datatypes) —
+is first serialized as a :class:`~repro.storage.codec.ChangeRecord`,
+appended to this fsync'd journal, and only then applied in memory (a
+classic write-ahead discipline). Replaying the journal from an empty
+ontology (or from a :mod:`~repro.storage.snapshot`) deterministically
+reconstructs the identical governed state: same ontology fingerprint,
+same epoch, same release history, same registered wrappers.
+
+Crash atomicity follows from the record framing: a record is one
+CRC-checked JSON line, so a crash mid-append leaves a torn tail that
+recovery truncates (the half-applied release is *fully absent*), while
+a crash after the fsync but before the in-memory apply loses nothing —
+replay applies the record (the release is *fully applied*). There is no
+third state.
+
+Record kinds:
+
+``boot``
+    control — a writer (re)opened the journal; carries the ``boot_id``
+    that scopes volatile serving state (cursors, idempotency replays).
+``revoke``
+    control — a previously appended record failed its in-memory apply
+    (only possible when a pre-append validation was bypassed); replay
+    skips the revoked seq.
+``release``
+    apply Algorithm 1 for the encoded release.
+``add_concept`` / ``add_feature`` / ``set_datatype``
+    steward extensions of the Global graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import secrets
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.core.release import new_release, prevalidate_release
+from repro.errors import JournalCorruptedError, JournalError
+from repro.rdf.term import IRI
+from repro.storage.codec import (
+    ChangeRecord, decode_record_line, encode_record_line,
+    decode_release, encode_release,
+)
+
+__all__ = ["Journal", "apply_record", "replay_into", "read_records",
+           "execute_release", "execute_command", "CONTROL_KINDS"]
+
+#: record kinds that carry no state mutation
+CONTROL_KINDS = frozenset({"boot", "revoke"})
+
+#: sparse-offset checkpoint cadence (records between index entries)
+INDEX_EVERY = 256
+
+
+def start_offset_for(index: "list[tuple[int, int]]", after: int) -> int:
+    """Byte offset at (or safely before) the first record > *after*,
+    given sparse ``(seq, offset)`` checkpoints sorted by seq — shared
+    by the journal's own reads and the file tailer."""
+    best = 0
+    for seq, offset in index:
+        if seq > after:
+            break
+        best = offset
+    return best
+
+
+def live_mutations(records: "list[ChangeRecord]",
+                   ) -> "list[ChangeRecord]":
+    """The records replay must apply: control records dropped, revoked
+    targets skipped — the one filtering rule recovery and replicas
+    share."""
+    revoked = {r.payload.get("target") for r in records
+               if r.kind == "revoke"}
+    return [r for r in records
+            if r.kind not in CONTROL_KINDS and r.seq not in revoked]
+
+
+class Journal:
+    """Append-only, fsync'd, CRC-framed record log (one JSON line each).
+
+    Thread-safe: appends serialize on an internal lock (callers
+    normally already hold the service write lock — the journal lock
+    only protects direct, unserved writers). Reading back records opens
+    an independent handle, so tailers never race the writer.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._last_seq = 0
+        self._boot_id: str | None = None
+        #: set after a failed append: the on-disk tail may hold partial
+        #: bytes, so further appends would merge into a garbage line —
+        #: the handle fail-stops and a reopen recovers (truncates)
+        self._poisoned: str | None = None
+        #: sparse (seq, byte offset) checkpoints so :meth:`records`
+        #: seeks near *after* instead of rescanning the whole file
+        self._index: list[tuple[int, int]] = []
+        self._end_offset = 0
+        self._recover_tail()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @classmethod
+    def open(cls, path: str | Path, *, fsync: bool = True) -> "Journal":
+        return cls(path, fsync=fsync)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._last_seq
+
+    @property
+    def boot_id(self) -> str | None:
+        """The current boot's identity (last ``boot`` record seen)."""
+        with self._lock:
+            return self._boot_id
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover_tail(self) -> None:
+        """Scan existing records; truncate a crash-torn final line.
+
+        Interior lines take a fast path (sequence-number regex on the
+        canonical tail, full decode only for ``boot`` records) so that
+        opening a long journal costs O(bytes), not O(records × JSON
+        decode); the final line — the only place a crash can tear — is
+        always checksum-verified in full. Suffix records that recovery
+        goes on to *replay* are fully verified by ``read_records``.
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        consumed = 0  # bytes covered by intact records
+        offset = 0
+        torn = False
+        lines = data.splitlines(keepends=True)
+        for index, raw in enumerate(lines):
+            end = offset + len(raw)
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                quick = None if index == len(lines) - 1 \
+                    else _SEQ_TAIL.search(raw.strip())
+                if quick is not None and b'"kind":"boot"' not in raw:
+                    seq = int(quick.group(1))
+                else:
+                    try:
+                        record = decode_record_line(line)
+                    except JournalCorruptedError:
+                        # Only the *final* bytes may be torn: anything
+                        # after a bad line means interior damage.
+                        if data[end:].strip():
+                            raise JournalCorruptedError(
+                                f"{self.path}: damaged record inside "
+                                "the journal (not a crash-torn tail)"
+                            ) from None
+                        torn = True
+                        break
+                    seq = record.seq
+                    if record.kind == "boot":
+                        self._boot_id = record.payload.get("boot_id")
+                if seq != self._last_seq + 1:
+                    raise JournalCorruptedError(
+                        f"{self.path}: record seq {seq} breaks "
+                        f"the contiguous sequence at {self._last_seq}")
+                self._last_seq = seq
+                self._note_offset(seq, offset)
+            consumed = end
+            offset = end
+        if torn:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(consumed)
+            self._end_offset = consumed
+        elif data and not data.endswith(b"\n"):
+            # Complete final record whose newline was lost in the
+            # crash: restore the framing before appending resumes.
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+            self._end_offset = len(data) + 1
+        else:
+            self._end_offset = len(data)
+
+    def _note_offset(self, seq: int, offset: int) -> None:
+        """Checkpoint every Nth record's byte offset (callers hold the
+        lock or own the only reference)."""
+        if seq % INDEX_EVERY == 0:
+            self._index.append((seq, offset))
+
+    def _start_offset_for(self, after: int) -> int:
+        return start_offset_for(self._index, after)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, kind: str, payload: dict[str, Any] | None = None,
+               ) -> ChangeRecord:
+        """Serialize one command and force it to disk; returns the record.
+
+        The record is on stable storage when this returns (write + flush
+        + fsync under the journal lock) — the caller may then apply the
+        mutation in memory knowing a crash cannot lose the command.
+
+        Appends are fail-stop: a failed write may leave partial bytes
+        on disk, so the handle is poisoned — retrying on it would merge
+        the next record into the partial line, corrupting the journal.
+        Reopening the journal recovers (the partial tail is truncated
+        like any crash-torn tail).
+        """
+        with self._lock:
+            if self._poisoned is not None:
+                raise JournalError(
+                    f"journal {self.path} is poisoned after a failed "
+                    f"append ({self._poisoned}); reopen it to recover "
+                    "the torn tail")
+            record = ChangeRecord(seq=self._last_seq + 1, kind=kind,
+                                  payload=dict(payload or {}))
+            line = encode_record_line(record)
+            try:
+                self._write_line(line)
+                self._file.flush()
+                if self._fsync:
+                    os.fsync(self._file.fileno())
+            except OSError as exc:
+                self._poisoned = f"{type(exc).__name__}: {exc}"
+                raise JournalError(
+                    f"cannot append to {self.path}: {exc}") from exc
+            self._last_seq = record.seq
+            self._note_offset(record.seq, self._end_offset)
+            self._end_offset += len(line.encode("utf-8")) + 1
+            return record
+
+    def _write_line(self, line: str) -> None:
+        """The byte-level append seam (fault-injection point in tests)."""
+        self._file.write(line + "\n")
+
+    def append_boot(self) -> str:
+        """Record a writer (re)opening; returns the fresh boot id."""
+        boot_id = secrets.token_hex(8)
+        self.append("boot", {"boot_id": boot_id})
+        with self._lock:
+            self._boot_id = boot_id
+        return boot_id
+
+    def append_revoke(self, seq: int, reason: str) -> ChangeRecord:
+        """Mark a journaled record as failed-to-apply (replay skips it)."""
+        return self.append("revoke", {"target": seq, "reason": reason})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    # -- reading -------------------------------------------------------------
+
+    def records(self, after: int = 0,
+                limit: int | None = None) -> list[ChangeRecord]:
+        """Intact records with ``seq > after`` (fresh read handle),
+        at most *limit* of them.
+
+        Seeks to the sparse offset checkpoint nearest *after* and stops
+        decoding once *limit* records are collected, so steady-state
+        tail feeds (the gateway's ``/v1/journal`` route, replica polls)
+        cost O(bytes served), not O(journal size).
+        """
+        with self._lock:
+            start = self._start_offset_for(after)
+        stream = read_records(self.path, after=after, start_offset=start)
+        if limit is None:
+            return list(stream)
+        return list(itertools.islice(stream, max(0, limit)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Journal {self.path} seq={self._last_seq} "
+                f"boot={self._boot_id}>")
+
+
+#: canonical key order puts ``"seq"`` second-to-last on every line
+_SEQ_TAIL = re.compile(rb'"seq":(\d+),"v":\d+\}\s*$')
+
+
+def read_records(path: str | Path, after: int = 0,
+                 start_offset: int = 0) -> Iterator[ChangeRecord]:
+    """Stream intact records from a journal file (tailer side).
+
+    Stops silently at a torn final line (the writer may be mid-append);
+    raises :class:`~repro.errors.JournalCorruptedError` only for damage
+    *followed by* further records. Lines at or before *after* are
+    skipped on a cheap sequence-number fast path (no JSON decode, no
+    checksum), and *start_offset* — a byte offset known to sit on a
+    record boundary at or before the first wanted record — skips the
+    bytes entirely: snapshot-assisted restarts and steady-state tail
+    polls must not pay for history they already hold.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        if start_offset:
+            handle.seek(start_offset)
+        data = handle.read()
+    lines = data.splitlines()
+    for index, raw in enumerate(lines):
+        if after:
+            skip = _SEQ_TAIL.search(raw)
+            if skip is not None and int(skip.group(1)) <= after:
+                continue
+        line = raw.decode("utf-8", errors="replace").strip()
+        if not line:
+            continue
+        try:
+            record = decode_record_line(line)
+        except JournalCorruptedError:
+            if any(rest.strip() for rest in lines[index + 1:]):
+                raise
+            return
+        if record.seq > after:
+            yield record
+
+
+# ---------------------------------------------------------------------------
+# Live write path (journal-first mutation)
+# ---------------------------------------------------------------------------
+
+
+def execute_release(target, release, absorbed_concepts=None, *,
+                    journal: "Journal | None" = None,
+                    idempotency_key: str | None = None) -> dict[str, int]:
+    """The one release applicator: journal first, then Algorithm 1.
+
+    Every state-mutating release path — :meth:`MDM.register_release
+    <repro.mdm.system.MDM.register_release>`, the protocol endpoint's
+    ``handle_release``, :class:`~repro.evolution.apply.GovernedApi`
+    version registration — lands here. With a journal, the release is
+    prevalidated (so the journal never records a doomed command),
+    serialized as a ``release`` change record, fsync'd, and only then
+    applied; without one, it applies directly (the in-memory demo
+    mode). *target* needs ``.ontology`` and may have ``.release_log``.
+
+    The in-memory apply uses the *original* release object (live
+    physical wrapper included) — the journaled twin decodes to the same
+    governed mutations, so replay is deterministic while live serving
+    keeps its richer bindings.
+    """
+    ontology = target.ontology
+    if journal is None:
+        delta = new_release(ontology, release,
+                            absorbed_concepts=absorbed_concepts)
+    else:
+        prevalidate_release(ontology, release)
+        payload = encode_release(release, absorbed_concepts)
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
+        record = journal.append("release", payload)
+        try:
+            delta = new_release(ontology, release,
+                                absorbed_concepts=absorbed_concepts,
+                                prevalidated=True)
+        except BaseException as exc:
+            # Prevalidation makes this unreachable for deterministic
+            # failures; anything that still slips through (listener
+            # bugs, OOM) is revoked so replay skips it.
+            journal.append_revoke(record.seq,
+                                  f"{type(exc).__name__}: {exc}")
+            raise
+    log = getattr(target, "release_log", None)
+    if log is not None:
+        log.append(release)
+    return delta
+
+
+def execute_command(target, kind: str, payload: dict[str, Any], *,
+                    journal: "Journal | None" = None) -> None:
+    """Journal one steward command, then apply it via the replay
+    executor — the live path literally runs :func:`apply_record`, so
+    live state and replayed state cannot diverge."""
+    if journal is None:
+        apply_record(target,
+                     ChangeRecord(seq=0, kind=kind, payload=dict(payload)))
+        return
+    record = journal.append(kind, payload)
+    try:
+        apply_record(target, record)
+    except BaseException as exc:
+        journal.append_revoke(record.seq, f"{type(exc).__name__}: {exc}")
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def apply_record(target, record: ChangeRecord) -> dict[str, int] | None:
+    """Apply one change record to *target* (an MDM-shaped object).
+
+    *target* needs ``.ontology`` (a :class:`~repro.core.ontology.
+    BDIOntology`) and may have ``.release_log`` (release records are
+    appended to it). This is the one executor both the cold replay and
+    the journal-tailing replica run — and it performs the *same*
+    mutations the live writer performed after journaling, which is what
+    makes recovery deterministic.
+
+    Returns Algorithm 1's triples-added delta for ``release`` records,
+    ``None`` otherwise.
+    """
+    ontology = target.ontology
+    kind, payload = record.kind, record.payload
+    if kind in CONTROL_KINDS:
+        return None
+    if kind == "release":
+        release, absorbed = decode_release(payload)
+        delta = new_release(ontology, release,
+                            absorbed_concepts=absorbed)
+        log = getattr(target, "release_log", None)
+        if log is not None:
+            log.append(release)
+        return delta
+    if kind == "add_concept":
+        ontology.globals.add_concept(IRI(payload["concept"]))
+        return None
+    if kind == "add_feature":
+        datatype = payload.get("datatype")
+        ontology.globals.add_feature(
+            IRI(payload["concept"]), IRI(payload["feature"]),
+            datatype=IRI(datatype) if datatype is not None else None,
+            is_id=bool(payload.get("is_id", False)))
+        return None
+    if kind == "add_property":
+        ontology.globals.add_property(
+            IRI(payload["subject"]), IRI(payload["predicate"]),
+            IRI(payload["object"]))
+        return None
+    if kind == "set_datatype":
+        ontology.globals.set_datatype(IRI(payload["feature"]),
+                                      IRI(payload["datatype"]))
+        return None
+    raise JournalCorruptedError(
+        f"journal record seq={record.seq} has unknown kind "
+        f"{kind!r} (codec version skew?)")
+
+
+def replay_into(target, records: Iterable[ChangeRecord],
+                journal: "Journal | None" = None,
+                ) -> dict[str, dict[str, Any]]:
+    """Replay *records* into *target*; returns recovered release outcomes.
+
+    The returned map is ``idempotency_key -> {"seq", "epoch",
+    "triples_added"}`` for every journaled release that carried an
+    idempotency key — with the epoch *recomputed during replay*, never
+    the epoch recorded by a previous boot. This is what a protocol
+    endpoint seeds its replay store from after a restart, so a
+    re-submitted release replays its recorded outcome instead of
+    re-running Algorithm 1 (and never reports a stale pre-restart
+    epoch).
+
+    Records named by a later ``revoke`` are skipped. A record that
+    fails to apply is tolerated only as the journal's final mutation
+    (the writer crashed between validation and apply — impossible under
+    the standard prevalidate-then-append discipline, but cheap to stay
+    safe against); when *journal* is passed (the recovery path), the
+    tolerated record is revoked on the spot, so later mutations cannot
+    turn it into unrecoverable interior damage on the next restart. An
+    interior failure raises.
+    """
+    mutations = live_mutations(list(records))
+    recovered: dict[str, dict[str, Any]] = {}
+    for index, record in enumerate(mutations):
+        try:
+            delta = apply_record(target, record)
+        except Exception as exc:
+            if index == len(mutations) - 1:
+                if journal is not None:
+                    journal.append_revoke(
+                        record.seq,
+                        f"failed recovery replay: "
+                        f"{type(exc).__name__}: {exc}")
+                break
+            raise JournalCorruptedError(
+                f"record seq={record.seq} ({record.kind}) failed to "
+                f"replay with records after it: {exc}") from exc
+        key = record.payload.get("idempotency_key") \
+            if record.kind == "release" else None
+        if key is not None:
+            recovered[str(key)] = {
+                "seq": record.seq,
+                "epoch": target.ontology.epoch,
+                "triples_added": delta,
+            }
+    return recovered

@@ -1,0 +1,318 @@
+"""Journal-tailing read replicas: horizontal read scale-out.
+
+A :class:`Replica` rebuilds the governed state by replaying the
+leader's journal — from a local file (same host) or over the wire via
+the gateway's ``GET /v1/journal?after=<seq>`` route — and serves reads
+through its own :class:`~repro.service.serving.GovernedService` with
+the full protocol semantics: epoch pinning, cursor pagination,
+fingerprint evidence. Each catch-up batch applies under the follower's
+write lock, so a release arriving mid-stream drains the follower's
+readers and supersedes its open cursors exactly like a local release
+would on the leader.
+
+Replicas are strictly read-only: their protocol endpoint rejects
+release submissions with ``read_only_replica`` (accepting one would
+fork the governed history). Lag is observable — ``describe`` reports
+``journal.replica_lag`` (leader records not yet applied).
+
+Equivalence guarantee: because replay runs the same deterministic
+command executor as crash recovery, a caught-up follower exhibits the
+leader's exact ontology fingerprint *epoch* and answers every OMQ with
+the same rows the leader serves at that epoch (structure hashes are
+process-local by design — Python string hashing is per-process — so
+cross-process equality is asserted on epochs, triples and answers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GatewayError, JournalCorruptedError
+from repro.storage.codec import ChangeRecord, decode_record_line
+from repro.storage.journal import (
+    INDEX_EVERY, _SEQ_TAIL, apply_record, live_mutations,
+    start_offset_for,
+)
+
+__all__ = ["Replica", "FileTailer", "HttpTailer", "TailBatch"]
+
+
+@dataclass
+class TailBatch:
+    """One poll of the leader's journal."""
+
+    records: list[ChangeRecord] = field(default_factory=list)
+    #: highest record seq the leader has durably written
+    leader_seq: int = 0
+    leader_boot_id: str | None = None
+    leader_snapshot_seq: int = 0
+
+
+class FileTailer:
+    """Tail a journal file directly (follower on the leader's host).
+
+    Keeps a sparse seq→byte-offset index across polls, so steady-state
+    polls read only the bytes appended since the resume position — not
+    the whole history — while still supporting re-delivery: a
+    ``poll(after)`` with an older *after* seeks back through the index
+    and serves the records again (a replica holding position in front
+    of a record awaiting its revoke relies on this).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: sparse (seq, byte offset of record start) checkpoints
+        self._index: list[tuple[int, int]] = []
+        self._max_offset_seen = 0
+
+    def _start_offset_for(self, after: int) -> int:
+        return start_offset_for(self._index, after)
+
+    def poll(self, after: int) -> TailBatch:
+        if not self.path.exists():
+            return TailBatch(leader_seq=after)
+        with open(self.path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < self._max_offset_seen:
+                # the file shrank (the leader truncated a torn tail on
+                # reopen): checkpoints past the end may dangle
+                self._index = []
+                self._max_offset_seen = 0
+            start = self._start_offset_for(after)
+            handle.seek(start)
+            data = handle.read()
+        offset = start
+        leader_seq = after
+        boot_id = None
+        records: list[ChangeRecord] = []
+        lines = data.splitlines(keepends=True)
+        for index, raw in enumerate(lines):
+            line_start = offset
+            offset += len(raw)
+            complete = raw.endswith(b"\n")
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            quick = _SEQ_TAIL.search(stripped) if complete else None
+            if quick is not None:
+                seq = int(quick.group(1))
+                if seq % INDEX_EVERY == 0 and (
+                        not self._index or seq > self._index[-1][0]):
+                    self._index.append((seq, line_start))
+                leader_seq = max(leader_seq, seq)
+                if seq <= after:
+                    continue  # already delivered: skip the decode
+            try:
+                record = decode_record_line(
+                    stripped.decode("utf-8", errors="replace"))
+            except JournalCorruptedError:
+                if any(rest.strip() for rest in lines[index + 1:]):
+                    raise
+                break  # the writer is mid-append; next poll retries
+            leader_seq = max(leader_seq, record.seq)
+            if record.kind == "boot":
+                boot_id = record.payload.get("boot_id")
+            if record.seq > after:
+                records.append(record)
+        self._max_offset_seen = max(self._max_offset_seen, offset)
+        return TailBatch(records=records, leader_seq=leader_seq,
+                         leader_boot_id=boot_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FileTailer {self.path}>"
+
+
+class HttpTailer:
+    """Tail a leader gateway's ``GET /v1/journal`` route."""
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0,
+                 page_size: int | None = None) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.page_size = page_size
+
+    def poll(self, after: int) -> TailBatch:
+        url = f"{self.base_url}/v1/journal?after={after}"
+        if self.page_size is not None:
+            url += f"&limit={self.page_size}"
+        try:
+            with urllib.request.urlopen(url,
+                                        timeout=self.timeout) as reply:
+                payload = json.loads(reply.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise GatewayError(
+                f"cannot tail journal at {url}: {exc}") from exc
+        if not isinstance(payload, dict) or not payload.get("ok"):
+            raise GatewayError(
+                f"leader rejected the journal tail: {payload!r}")
+        return TailBatch(
+            records=[ChangeRecord.from_dict(r)
+                     for r in payload.get("records") or ()],
+            leader_seq=int(payload.get("seq") or 0),
+            leader_boot_id=payload.get("boot_id"),
+            leader_snapshot_seq=int(payload.get("snapshot_seq") or 0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HttpTailer {self.base_url}>"
+
+
+class Replica:
+    """A read-only follower of one governance journal.
+
+    *tailer* is a :class:`FileTailer`, an :class:`HttpTailer`, or
+    anything with the same ``poll(after) -> TailBatch`` shape. The
+    replica owns a fresh MDM + governed service; route all reads
+    through :meth:`client` / :attr:`service` (or a gateway over
+    :attr:`service`).
+    """
+
+    def __init__(self, tailer, *, max_workers: int = 4,
+                 drain_timeout: float | None = None) -> None:
+        from repro.mdm.system import MDM
+        from repro.service.serving import GovernedService
+
+        self.tailer = tailer
+        self.mdm = MDM()
+        self.service = GovernedService(
+            self.mdm, max_workers=max_workers,
+            drain_timeout=drain_timeout, read_only=True)
+        self.service._journal_info_override = self._journal_info
+        self.applied_seq = 0
+        self.leader_seq = 0
+        self.leader_boot_id: str | None = None
+        #: background-follow health: consecutive failed polls and the
+        #: last failure, surfaced through ``describe`` so a silently
+        #: broken follower is observable, not just increasingly stale
+        self.failed_polls = 0
+        self.last_poll_error: str | None = None
+        self._poll_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def follow_file(cls, path: str | Path, **kwargs) -> "Replica":
+        return cls(FileTailer(path), **kwargs)
+
+    @classmethod
+    def follow_url(cls, base_url: str, **kwargs) -> "Replica":
+        return cls(HttpTailer(base_url), **kwargs)
+
+    # -- catch-up ------------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Poll once and apply everything new; returns records applied.
+
+        Mutations apply inside one follower write section per poll —
+        readers drain first, open cursors are superseded by the
+        evolution listener, and queries issued afterwards observe the
+        advanced epoch. Control records advance the applied position
+        without a write section.
+        """
+        with self._poll_lock:
+            batch = self.tailer.poll(self.applied_seq)
+            self.failed_polls = 0
+            self.last_poll_error = None
+            self.leader_seq = max(self.leader_seq, batch.leader_seq)
+            if batch.leader_boot_id is not None:
+                self.leader_boot_id = batch.leader_boot_id
+            records = [r for r in batch.records
+                       if r.seq > self.applied_seq]
+            if not records:
+                return 0
+            pending = live_mutations(records)
+            applied = 0
+            if pending:
+                with self.service.lock.write():
+                    for index, record in enumerate(pending):
+                        try:
+                            apply_record(self.mdm, record)
+                        except Exception as exc:
+                            # The position was already advanced past
+                            # every mutation this batch applied — a
+                            # retrying follow loop must never re-apply
+                            # that prefix (it would silently diverge
+                            # the follower from the leader).
+                            if index == len(pending) - 1:
+                                # The leader may still be about to
+                                # revoke this record; hold position
+                                # just before it and retry next poll.
+                                return applied
+                            raise JournalCorruptedError(
+                                f"replica cannot apply record seq="
+                                f"{record.seq} ({record.kind}) with "
+                                f"records after it: {exc}") from exc
+                        applied += 1
+                        self.applied_seq = record.seq
+            self.applied_seq = max(self.applied_seq, records[-1].seq)
+            return applied
+
+    @property
+    def lag(self) -> int:
+        """Leader records not yet applied here (0 = caught up)."""
+        return max(0, self.leader_seq - self.applied_seq)
+
+    def _journal_info(self) -> dict[str, Any]:
+        return {
+            "seq": self.applied_seq,
+            "boot_id": self.leader_boot_id,
+            "snapshot_seq": 0,
+            "replica_lag": self.lag,
+            "role": "replica",
+            "failed_polls": self.failed_polls,
+            "last_poll_error": self.last_poll_error,
+        }
+
+    # -- background following ------------------------------------------------
+
+    def start(self, poll_interval: float = 0.5) -> None:
+        """Tail continuously on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.is_set():
+                try:
+                    self.catch_up()
+                except Exception as exc:
+                    # Transient leader outages must not kill the
+                    # follower — but the failure is recorded, so
+                    # describe() shows a broken follow loop instead of
+                    # a silently staler and staler epoch.
+                    self.failed_polls += 1
+                    self.last_poll_error = \
+                        f"{type(exc).__name__}: {exc}"
+                self._stop.wait(poll_interval)
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-replica-tail", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.service.close()
+
+    def client(self, *, pin: bool = False, timeout: float | None = None):
+        """A protocol client session over this replica's service."""
+        return self.service.client(pin=pin, timeout=timeout)
+
+    def __enter__(self) -> "Replica":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Replica applied={self.applied_seq} "
+                f"leader={self.leader_seq} lag={self.lag}>")

@@ -1,0 +1,10 @@
+"""Fixtures for the durability test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def state_dir(tmp_path):
+    return tmp_path / "state"

@@ -1,0 +1,74 @@
+"""Shared scenario builders for the durability test suite.
+
+Imported by the storage tests as a plain sibling module (pytest's
+rootdir import mode puts this directory on sys.path)."""
+
+from __future__ import annotations
+
+from repro.mdm import MDM
+from repro.wrappers.base import StaticWrapper
+
+#: an OMQ over the App concept (id + name)
+APP_QUERY = """SELECT ?v1 ?v2 WHERE {
+    VALUES (?v1 ?v2) { (<urn:d:app/id> <urn:d:app/name>) }
+    <urn:d:App> G:hasFeature <urn:d:app/id> .
+    <urn:d:App> G:hasFeature <urn:d:app/name>
+}"""
+
+#: an OMQ over the Monitor concept
+MONITOR_QUERY = """SELECT ?v1 ?v2 WHERE {
+    VALUES (?v1 ?v2) { (<urn:d:mon/id> <urn:d:mon/lag>) }
+    <urn:d:Monitor> G:hasFeature <urn:d:mon/id> .
+    <urn:d:Monitor> G:hasFeature <urn:d:mon/lag>
+}"""
+
+
+def seed_schema(mdm: MDM) -> None:
+    """Journaled steward commands: two concepts with ID features."""
+    app = mdm.add_concept("urn:d:App")
+    mdm.add_feature(app, "urn:d:app/id", is_id=True)
+    mdm.add_feature(app, "urn:d:app/name")
+    monitor = mdm.add_concept("urn:d:Monitor")
+    mdm.add_feature(monitor, "urn:d:mon/id", is_id=True)
+    mdm.add_feature(monitor, "urn:d:mon/lag",
+                    datatype="http://www.w3.org/2001/XMLSchema#double")
+    mdm.add_property("urn:d:App", "urn:d:hasMonitor", "urn:d:Monitor")
+
+
+def app_wrapper(version: int, rows=None) -> StaticWrapper:
+    rows = rows if rows is not None else [
+        {"id": i, "name": f"app-{version}-{i}"} for i in range(4)]
+    return StaticWrapper(f"w_app_v{version}", "D1", ["id"], ["name"],
+                         rows=rows)
+
+
+def monitor_wrapper() -> StaticWrapper:
+    return StaticWrapper(
+        "w_mon_v1", "D2", ["id"], ["lag"],
+        rows=[{"id": i, "lag": i / 10} for i in range(3)])
+
+
+def register_app(mdm: MDM, version: int, **kwargs) -> dict[str, int]:
+    return mdm.register_wrapper(
+        app_wrapper(version),
+        attribute_to_feature={"id": "urn:d:app/id",
+                              "name": "urn:d:app/name"},
+        absorbed_concepts={"urn:d:App"}, **kwargs)
+
+
+def register_monitor(mdm: MDM) -> dict[str, int]:
+    return mdm.register_wrapper(
+        monitor_wrapper(),
+        attribute_to_feature={"id": "urn:d:mon/id",
+                              "lag": "urn:d:mon/lag"},
+        absorbed_concepts={"urn:d:Monitor"})
+
+
+def build_durable(state_dir) -> MDM:
+    """A durable writer with schema + three releases journaled."""
+    mdm = MDM.open(state_dir)
+    seed_schema(mdm)
+    register_app(mdm, 1)
+    register_monitor(mdm)
+    register_app(mdm, 2)
+    return mdm

@@ -1,0 +1,188 @@
+"""Crash atomicity: a release killed mid-append is all-or-nothing.
+
+Property-style sweep with a fault-injecting journal stub: the append of
+release B's change record is cut after *k* bytes (power loss mid-write)
+for cut points spanning the whole record, the "process" dies, and a
+fresh recovery must find either exactly the pre-B state or exactly the
+post-B state — with fingerprints matching an independently built
+reference, never a third state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JournalError
+from repro.mdm import MDM
+from repro.storage.codec import encode_record_line, encode_release
+from repro.storage.journal import Journal
+
+from storage_scenarios import (
+    APP_QUERY, app_wrapper, register_app, seed_schema,
+)
+
+
+class TornWriteJournal(Journal):
+    """Journal whose next append dies after writing *cut_at* bytes."""
+
+    def __init__(self, path, **kwargs):
+        super().__init__(path, **kwargs)
+        self.cut_at: int | None = None
+        #: bytes of the line the fault interrupted (newline excluded)
+        self.attempted_length: int | None = None
+
+    def _write_line(self, line: str) -> None:
+        if self.cut_at is None:
+            super()._write_line(line)
+            return
+        cut, self.cut_at = self.cut_at, None
+        self.attempted_length = len(line)
+        self._file.write((line + "\n")[:cut])
+        self._file.flush()
+        raise OSError("simulated power cut mid-append")
+
+
+def _build_leader(state_dir, journal_cls=Journal):
+    """A durable writer over a (possibly fault-injecting) journal."""
+    state_dir.mkdir(parents=True, exist_ok=True)
+    mdm = MDM()
+    journal = journal_cls(state_dir / "journal.jsonl")
+    journal.append_boot()
+    mdm.journal = journal
+    mdm._snapshot_path = state_dir / "snapshot.json"
+    seed_schema(mdm)
+    register_app(mdm, 1)
+    return mdm
+
+
+def _reference_views(tmp_path):
+    """Fingerprints of the only two legal post-crash states."""
+    before = _build_leader(tmp_path / "ref-before")
+    after = _build_leader(tmp_path / "ref-after")
+    register_app(after, 2)
+    views = (
+        (before.ontology.fingerprint(), before.ontology.epoch,
+         [r.wrapper_name for r in before.release_log]),
+        (after.ontology.fingerprint(), after.ontology.epoch,
+         [r.wrapper_name for r in after.release_log]),
+    )
+    before.close()
+    after.close()
+    return views
+
+
+def _release_record_length() -> int:
+    mdm = MDM()
+    seed_schema(mdm)
+    register_app(mdm, 1)
+    payload = encode_release(mdm.build_wrapper_release(
+        app_wrapper(2),
+        attribute_to_feature={"id": "urn:d:app/id",
+                              "name": "urn:d:app/name"}))
+    from repro.storage.codec import ChangeRecord
+    return len(encode_record_line(
+        ChangeRecord(seq=9, kind="release", payload=payload)))
+
+
+LINE_LENGTH = _release_record_length()
+
+#: cut points spanning the record: nothing written, fragments of every
+#: region (seq/kind/payload/crc), one byte short, the full line without
+#: its newline, and past the end (fsync'd fine, crash after)
+CUT_POINTS = sorted({0, 1, 7, LINE_LENGTH // 4, LINE_LENGTH // 2,
+                     (3 * LINE_LENGTH) // 4, LINE_LENGTH - 10,
+                     LINE_LENGTH - 1, LINE_LENGTH, LINE_LENGTH + 1,
+                     LINE_LENGTH + 2})
+
+
+class TestCrashMidRelease:
+    @pytest.mark.parametrize("cut_at", CUT_POINTS)
+    def test_release_is_fully_absent_or_fully_applied(
+            self, tmp_path, cut_at):
+        state_dir = tmp_path / "leader"
+        leader = _build_leader(state_dir, journal_cls=TornWriteJournal)
+        pre_crash_rows = leader.query(APP_QUERY).rows
+
+        leader.journal.cut_at = cut_at
+        # the append dies for every cut point — the caller always sees
+        # the failure, yet the record may or may not have hit the disk
+        with pytest.raises(JournalError):
+            register_app(leader, 2)
+        # the exact byte length of the record the fault interrupted
+        # (the estimate that chose the cut points can be off by a few
+        # digits of the sequence number)
+        record_length = leader.journal.attempted_length
+        # the "process" dies: buffered bytes reach disk, memory is gone
+        leader.close()
+
+        recovered = MDM.open(state_dir)
+        state = (recovered.ontology.fingerprint(),
+                 recovered.ontology.epoch,
+                 [r.wrapper_name for r in recovered.release_log])
+        absent, applied = _reference_views(tmp_path)
+        assert state in (absent, applied), (
+            f"cut at byte {cut_at}/{LINE_LENGTH} left a third state")
+        if cut_at < record_length:
+            # a torn record can never have been applied
+            assert state == absent
+            assert recovered.query(APP_QUERY).rows == pre_crash_rows
+        else:
+            # the full line reached the disk before the crash: the WAL
+            # contract finishes the release during recovery
+            assert state == applied
+        # the survivor keeps accepting releases
+        register_app(recovered, 3)
+        assert "w_app_v3" in recovered.ontology.wrapper_names()
+        recovered.close()
+
+    def test_crash_between_fsync_and_apply_replays_on_recovery(
+            self, tmp_path):
+        """The other half of the WAL contract: record durable, apply
+        lost — recovery must finish the release."""
+        state_dir = tmp_path / "leader"
+        leader = _build_leader(state_dir)
+        release = leader.build_wrapper_release(
+            app_wrapper(2),
+            attribute_to_feature={"id": "urn:d:app/id",
+                                  "name": "urn:d:app/name"})
+        # journal the command exactly like execute_release would...
+        leader.journal.append("release", encode_release(
+            release, absorbed_concepts={"urn:d:App"}))
+        # ...and die before the in-memory apply
+        leader.close()
+
+        recovered = MDM.open(state_dir)
+        assert "w_app_v2" in recovered.ontology.wrapper_names()
+        assert [r.wrapper_name for r in recovered.release_log] == \
+            ["w_app_v1", "w_app_v2"]
+        rows = {r["name"] for r in recovered.query(APP_QUERY).rows}
+        assert any(name.startswith("app-2-") for name in rows)
+        recovered.close()
+
+    def test_apply_failure_after_append_is_revoked(self, tmp_path,
+                                                   monkeypatch):
+        """If Algorithm 1 ever fails *after* the fsync (prevalidation
+        bypassed), the revoke record keeps replay consistent."""
+        state_dir = tmp_path / "leader"
+        leader = _build_leader(state_dir)
+
+        import repro.storage.journal as journal_module
+        real = journal_module.new_release
+
+        def exploding(*args, **kwargs):
+            raise RuntimeError("listener blew up mid-apply")
+
+        monkeypatch.setattr(journal_module, "new_release", exploding)
+        with pytest.raises(RuntimeError):
+            register_app(leader, 2)
+        monkeypatch.setattr(journal_module, "new_release", real)
+        register_app(leader, 3)  # the journal stays usable
+        view = (leader.ontology.epoch,
+                [r.wrapper_name for r in leader.release_log])
+        leader.close()
+
+        recovered = MDM.open(state_dir)
+        assert (recovered.ontology.epoch,
+                [r.wrapper_name for r in recovered.release_log]) == view
+        assert "w_app_v2" not in recovered.ontology.wrapper_names()
+        recovered.close()

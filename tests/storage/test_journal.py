@@ -1,0 +1,277 @@
+"""Journal mechanics: framing, boot records, torn tails, replay rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ontology import BDIOntology
+from repro.errors import JournalCorruptedError
+from repro.mdm import MDM
+from repro.rdf.term import IRI
+from repro.storage.codec import encode_record_line, ChangeRecord
+from repro.storage.journal import (
+    Journal, apply_record, read_records, replay_into,
+)
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    j = Journal.open(tmp_path / "journal.jsonl")
+    yield j
+    j.close()
+
+
+class TestAppendAndRead:
+    def test_sequences_are_contiguous_from_one(self, journal):
+        records = [journal.append("add_concept", {"concept": f"urn:c{i}"})
+                   for i in range(5)]
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+        assert journal.last_seq == 5
+
+    def test_records_after_filters(self, journal):
+        for i in range(4):
+            journal.append("add_concept", {"concept": f"urn:c{i}"})
+        tail = journal.records(after=2)
+        assert [r.seq for r in tail] == [3, 4]
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal.open(path)
+        j.append("add_concept", {"concept": "urn:a"})
+        j.close()
+        j2 = Journal.open(path)
+        record = j2.append("add_concept", {"concept": "urn:b"})
+        assert record.seq == 2
+        assert [r.seq for r in j2.records()] == [1, 2]
+        j2.close()
+
+    def test_boot_records_carry_identity(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal.open(path)
+        first_boot = j.append_boot()
+        j.close()
+        j2 = Journal.open(path)
+        assert j2.boot_id == first_boot  # last boot wins until re-boot
+        second_boot = j2.append_boot()
+        assert second_boot != first_boot
+        assert j2.boot_id == second_boot
+        j2.close()
+
+
+class TestTornTails:
+    def _write(self, path, *lines):
+        path.write_text("".join(lines), encoding="utf-8")
+
+    def test_torn_final_line_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = encode_record_line(
+            ChangeRecord(seq=1, kind="add_concept",
+                         payload={"concept": "urn:a"}))
+        torn = encode_record_line(
+            ChangeRecord(seq=2, kind="add_concept",
+                         payload={"concept": "urn:b"}))[:20]
+        self._write(path, good + "\n", torn)
+        j = Journal.open(path)
+        assert j.last_seq == 1
+        assert [r.seq for r in j.records()] == [1]
+        # the torn bytes are gone from disk, appends resume cleanly
+        record = j.append("add_concept", {"concept": "urn:c"})
+        assert record.seq == 2
+        assert [r.payload["concept"] for r in j.records()] == \
+            ["urn:a", "urn:c"]
+        j.close()
+
+    def test_missing_final_newline_is_repaired(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = encode_record_line(
+            ChangeRecord(seq=1, kind="add_concept",
+                         payload={"concept": "urn:a"}))
+        self._write(path, good)  # complete record, no newline
+        j = Journal.open(path)
+        assert j.last_seq == 1
+        j.append("add_concept", {"concept": "urn:b"})
+        assert [r.seq for r in j.records()] == [1, 2]
+        j.close()
+
+    def test_interior_damage_refuses_to_open(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = encode_record_line(
+            ChangeRecord(seq=1, kind="add_concept",
+                         payload={"concept": "urn:a"}))
+        later = encode_record_line(
+            ChangeRecord(seq=2, kind="add_concept",
+                         payload={"concept": "urn:b"}))
+        self._write(path, good[: len(good) // 2] + "\n", later + "\n")
+        with pytest.raises(JournalCorruptedError):
+            Journal.open(path)
+        with pytest.raises(JournalCorruptedError):
+            list(read_records(path))
+
+    def test_read_side_tolerates_writer_mid_append(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = encode_record_line(
+            ChangeRecord(seq=1, kind="add_concept",
+                         payload={"concept": "urn:a"}))
+        self._write(path, good + "\n", '{"half')
+        assert [r.seq for r in read_records(path)] == [1]
+
+
+class TestFailedAppends:
+    class _FlakyJournal(Journal):
+        """Next append writes partial bytes, then dies (e.g. ENOSPC)."""
+
+        fail_next = False
+
+        def _write_line(self, line: str) -> None:
+            if self.fail_next:
+                self.fail_next = False
+                self._file.write(line[: len(line) // 2])
+                self._file.flush()
+                raise OSError("no space left on device")
+            super()._write_line(line)
+
+    def test_failed_append_poisons_the_handle(self, tmp_path):
+        from repro.errors import JournalError
+
+        journal = self._FlakyJournal(tmp_path / "j.jsonl")
+        journal.append("add_concept", {"concept": "urn:a"})
+        journal.fail_next = True
+        with pytest.raises(JournalError):
+            journal.append("add_concept", {"concept": "urn:b"})
+        # a retry on the same handle would merge into the partial
+        # line; the handle fail-stops instead
+        with pytest.raises(JournalError, match="poisoned"):
+            journal.append("add_concept", {"concept": "urn:b"})
+        journal.close()
+
+        # reopening recovers: the partial tail is truncated, the
+        # acknowledged record survives, appends resume cleanly
+        reopened = Journal.open(tmp_path / "j.jsonl")
+        assert [r.payload["concept"] for r in reopened.records()] == \
+            ["urn:a"]
+        record = reopened.append("add_concept", {"concept": "urn:c"})
+        assert record.seq == 2
+        assert [r.payload["concept"] for r in reopened.records()] == \
+            ["urn:a", "urn:c"]
+        reopened.close()
+
+
+class TestSparseIndex:
+    def test_indexed_reads_match_naive_scan(self, tmp_path):
+        journal = Journal.open(tmp_path / "j.jsonl")
+        for i in range(600):  # crosses the 256-record checkpoints
+            journal.append("add_concept", {"concept": f"urn:c{i}"})
+        for after in (0, 1, 255, 256, 257, 500, 599, 600):
+            expected = [r for r in read_records(tmp_path / "j.jsonl")
+                        if r.seq > after]
+            assert journal.records(after=after) == expected
+        journal.close()
+
+    def test_file_tailer_is_incremental_and_redelivers(self, tmp_path):
+        from repro.storage.replica import FileTailer
+
+        path = tmp_path / "j.jsonl"
+        journal = Journal.open(path)
+        for i in range(300):
+            journal.append("add_concept", {"concept": f"urn:c{i}"})
+        tailer = FileTailer(path)
+        batch = tailer.poll(0)
+        assert [r.seq for r in batch.records] == list(range(1, 301))
+        assert batch.leader_seq == 300
+        # steady state: nothing new -> nothing returned
+        assert tailer.poll(300).records == []
+        journal.append("add_concept", {"concept": "urn:new"})
+        assert [r.seq for r in tailer.poll(300).records] == [301]
+        # re-delivery: an older position replays the suffix again
+        again = tailer.poll(290)
+        assert [r.seq for r in again.records] == list(range(291, 302))
+        journal.close()
+
+
+class TestReplay:
+    def test_apply_record_rejects_unknown_kind(self):
+        mdm = MDM()
+        with pytest.raises(JournalCorruptedError):
+            apply_record(mdm, ChangeRecord(seq=1, kind="warp_core"))
+
+    def test_replay_skips_control_and_revoked(self, journal):
+        journal.append_boot()
+        journal.append("add_concept", {"concept": "urn:t:A"})
+        bad = journal.append("add_concept", {"concept": "urn:t:B"})
+        journal.append_revoke(bad.seq, "simulated apply failure")
+        journal.append("add_concept", {"concept": "urn:t:C"})
+        mdm = MDM()
+        replay_into(mdm, journal.records())
+        concepts = {str(c) for c in mdm.ontology.globals.concepts()}
+        assert concepts == {"urn:t:A", "urn:t:C"}
+
+    def test_replay_tolerates_only_a_failing_tail(self, journal):
+        journal.append("add_concept", {"concept": "urn:t:A"})
+        # add_feature to a concept that was never registered fails
+        journal.append("add_feature", {"concept": "urn:t:GHOST",
+                                       "feature": "urn:t:g/f"})
+        mdm = MDM()
+        replay_into(mdm, journal.records())  # tail failure tolerated
+        assert [str(c) for c in mdm.ontology.globals.concepts()] == \
+            ["urn:t:A"]
+
+        journal.append("add_concept", {"concept": "urn:t:C"})
+        with pytest.raises(JournalCorruptedError):
+            replay_into(MDM(), journal.records())  # now it is interior
+
+    def test_recovery_revokes_a_tolerated_failing_tail(self, tmp_path):
+        """A skipped tail record must not brick the next restart."""
+        state_dir = tmp_path / "state"
+        first = MDM.open(state_dir)
+        first.add_concept("urn:t:A")
+        # a doomed record slipped past prevalidation (simulated by
+        # journaling it directly, as a crash-between-append-and-apply)
+        first.journal.append("add_feature", {"concept": "urn:t:GHOST",
+                                             "feature": "urn:t:g/f"})
+        first.close()
+
+        second = MDM.open(state_dir)  # tolerated AND revoked
+        assert [str(c) for c in second.ontology.globals.concepts()] == \
+            ["urn:t:A"]
+        second.add_concept("urn:t:B")  # the bad record is now interior
+        second.close()
+
+        third = MDM.open(state_dir)  # ...but revoked: still recoverable
+        assert [str(c) for c in third.ontology.globals.concepts()] == \
+            ["urn:t:A", "urn:t:B"]
+        third.close()
+
+    def test_live_and_replayed_state_agree(self, journal, tmp_path):
+        live = MDM()
+        live.journal = journal
+        concept = live.add_concept("urn:t:App")
+        live.add_feature(concept, "urn:t:app/id", is_id=True)
+        live.add_feature(concept, "urn:t:app/size",
+                         datatype="http://www.w3.org/2001/XMLSchema#long")
+        live.add_concept("urn:t:Monitor")
+        live.add_property("urn:t:App", "urn:t:hasMonitor",
+                          "urn:t:Monitor")
+        live.set_datatype("urn:t:app/size",
+                          "http://www.w3.org/2001/XMLSchema#double")
+
+        replayed = MDM()
+        replay_into(replayed, journal.records())
+        assert replayed.ontology.fingerprint() == \
+            live.ontology.fingerprint()
+        from repro.rdf.namespace import G as G_NS
+        datatypes = {str(o) for o in replayed.ontology.g.objects(
+            IRI("urn:t:app/size"), G_NS.hasDataType)}
+        assert "http://www.w3.org/2001/XMLSchema#double" in datatypes
+
+
+class TestOntologyRestoreGuards:
+    def test_mutation_counts_only_advance(self):
+        from repro.core.vocabulary import GLOBAL_GRAPH
+
+        ontology = BDIOntology()  # the metamodel already mutated G
+        assert ontology.g.mutation_count > 0
+        with pytest.raises(ValueError):
+            ontology.dataset.restore_mutation_counts(
+                {str(GLOBAL_GRAPH): 0})
+        with pytest.raises(ValueError):
+            ontology.dataset.restore_mutation_counts({"*retired*": -1})

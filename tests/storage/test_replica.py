@@ -1,0 +1,242 @@
+"""Journal-tailing read replicas: equivalence, lag, read-only, HTTP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.http_gateway import HttpGateway
+from repro.api.protocol import QueryRequest, ReleaseRequest
+from repro.errors import EpochSuperseded, ReadOnlyReplicaError
+from repro.mdm import MDM
+from repro.storage.replica import FileTailer, Replica
+
+from storage_scenarios import (
+    APP_QUERY, MONITOR_QUERY, build_durable, register_app,
+    register_monitor, seed_schema,
+)
+
+
+@pytest.fixture()
+def leader(state_dir):
+    mdm = build_durable(state_dir)
+    service = mdm.serving()
+    yield mdm
+    service.close()
+    mdm.close()
+
+
+@pytest.fixture()
+def journal_path(state_dir):
+    return state_dir / "journal.jsonl"
+
+
+class TestFileTailing:
+    def test_follower_matches_leader_at_same_epoch(self, leader,
+                                                   journal_path):
+        with Replica.follow_file(journal_path) as replica:
+            replica.catch_up()
+            assert replica.lag == 0
+            # identical governance epoch *and* identical answers
+            assert replica.mdm.ontology.epoch == leader.ontology.epoch
+            assert replica.mdm.ontology.fingerprint() == \
+                leader.ontology.fingerprint()
+            for query in (APP_QUERY, MONITOR_QUERY):
+                leader_response = leader.serving().endpoint.handle_query(
+                    QueryRequest(query=query))
+                follower_response = \
+                    replica.service.endpoint.handle_query(
+                        QueryRequest(query=query))
+                assert follower_response.ok
+                assert follower_response.fingerprint[0] == \
+                    leader_response.fingerprint[0]
+                assert follower_response.rows == leader_response.rows
+
+    def test_lag_is_visible_until_caught_up(self, leader, journal_path):
+        with Replica.follow_file(journal_path) as replica:
+            replica.catch_up()
+            register_app(leader, 3)  # leader moves ahead
+            assert replica.catch_up() > 0
+            assert replica.lag == 0
+            assert replica.mdm.ontology.epoch == leader.ontology.epoch
+
+    def test_release_mid_stream_supersedes_follower_cursors(
+            self, leader, journal_path):
+        with Replica.follow_file(journal_path) as replica:
+            replica.catch_up()
+            endpoint = replica.service.endpoint
+            first = endpoint.handle_query(
+                QueryRequest(query=APP_QUERY, page_size=1))
+            assert first.ok and first.has_more
+            register_app(leader, 3)
+            replica.catch_up()  # the release lands on the follower...
+            second = endpoint.handle_query(
+                QueryRequest(cursor=first.cursor))
+            # ...and the open pagination fails typed, exactly like on
+            # the leader: a page stream never switches epochs
+            assert not second.ok
+            assert second.error.code == "epoch_superseded"
+            with pytest.raises(EpochSuperseded):
+                second.raise_for_error()
+
+    def test_replica_is_read_only(self, leader, journal_path):
+        with Replica.follow_file(journal_path) as replica:
+            replica.catch_up()
+            response = replica.service.endpoint.handle_release(
+                ReleaseRequest(source="D9", wrapper="w9",
+                               id_attributes=("id",)))
+            assert not response.ok
+            assert response.error.code == "read_only_replica"
+            with pytest.raises(ReadOnlyReplicaError):
+                response.raise_for_error()
+            with pytest.raises(ReadOnlyReplicaError):
+                replica.service.register_wrapper(object())
+
+    def test_interior_apply_failure_never_reapplies_the_prefix(
+            self, tmp_path):
+        """A retrying follow loop must not re-apply mutations that
+        already landed before the failing record (silent divergence)."""
+        from repro.errors import JournalCorruptedError
+        from repro.storage.journal import Journal
+
+        path = tmp_path / "j.jsonl"
+        journal = Journal.open(path)
+        journal.append("add_concept", {"concept": "urn:d:A"})
+        journal.append("add_feature", {"concept": "urn:d:GHOST",
+                                       "feature": "urn:d:g/f"})  # bad
+        journal.append("add_concept", {"concept": "urn:d:B"})
+        journal.close()
+
+        with Replica.follow_file(path) as replica:
+            with pytest.raises(JournalCorruptedError):
+                replica.catch_up()
+            state = (replica.mdm.ontology.fingerprint(),
+                     replica.applied_seq)
+            assert [str(c) for c in
+                    replica.mdm.ontology.globals.concepts()] == \
+                ["urn:d:A"]
+            # every retry fails the same way without mutating anything
+            for _ in range(3):
+                with pytest.raises(JournalCorruptedError):
+                    replica.catch_up()
+            assert (replica.mdm.ontology.fingerprint(),
+                    replica.applied_seq) == state
+
+    def test_describe_reports_replication_state(self, leader,
+                                                journal_path):
+        with Replica.follow_file(journal_path) as replica:
+            replica.catch_up()
+            described = replica.service.endpoint.handle_describe()
+            info = described.service["journal"]
+            assert info["role"] == "replica"
+            assert info["replica_lag"] == 0
+            assert info["seq"] == leader.journal.last_seq
+            # and the leader reports its own durability state
+            leader_info = leader.serving().endpoint.handle_describe() \
+                .service["journal"]
+            assert leader_info["role"] == "leader"
+            assert leader_info["seq"] == leader.journal.last_seq
+            assert leader_info["boot_id"] == leader.journal.boot_id
+            assert leader_info["replica_lag"] == 0
+            assert "snapshot_seq" in leader_info
+
+    def test_describe_service_text_mentions_journal(self, leader):
+        text = leader.serving().describe()
+        assert "journal: leader at seq" in text
+        memory_only = MDM().serving()
+        assert "journal: none" in memory_only.describe()
+        memory_only.close()
+
+
+class TestHttpTailing:
+    def test_follower_over_the_wire(self, leader):
+        with HttpGateway(leader.serving()) as gateway:
+            with Replica.follow_url(gateway.url) as replica:
+                replica.catch_up()
+                assert replica.lag == 0
+                assert replica.mdm.ontology.epoch == \
+                    leader.ontology.epoch
+                response = replica.service.endpoint.handle_query(
+                    QueryRequest(query=APP_QUERY))
+                reference = leader.serving().endpoint.handle_query(
+                    QueryRequest(query=APP_QUERY))
+                assert response.ok and response.rows == reference.rows
+
+                register_app(leader, 3)
+                assert replica.catch_up() > 0
+                assert replica.mdm.ontology.epoch == \
+                    leader.ontology.epoch
+
+    def test_broken_follow_loop_is_observable(self):
+        import time
+
+        from repro.storage.replica import HttpTailer
+
+        replica = Replica(HttpTailer("http://127.0.0.1:9",
+                                     timeout=0.2))
+        try:
+            replica.start(poll_interval=0.01)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and \
+                    replica.failed_polls == 0:
+                time.sleep(0.01)
+            assert replica.failed_polls > 0
+            info = replica.service.endpoint.handle_describe() \
+                .service["journal"]
+            assert info["failed_polls"] > 0
+            assert "GatewayError" in info["last_poll_error"]
+        finally:
+            replica.stop()
+
+    def test_background_following(self, leader):
+        with HttpGateway(leader.serving()) as gateway:
+            replica = Replica.follow_url(gateway.url)
+            try:
+                replica.start(poll_interval=0.05)
+                register_app(leader, 3)
+                import time
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline and \
+                        replica.mdm.ontology.epoch != \
+                        leader.ontology.epoch:
+                    time.sleep(0.02)
+                assert replica.mdm.ontology.epoch == \
+                    leader.ontology.epoch
+            finally:
+                replica.stop()
+
+    def test_journal_route_shape_and_paging(self, leader):
+        import json
+        import urllib.request
+
+        with HttpGateway(leader.serving()) as gateway:
+            with urllib.request.urlopen(
+                    f"{gateway.url}/v1/journal?after=0") as reply:
+                payload = json.loads(reply.read())
+            assert payload["ok"] is True
+            assert payload["seq"] == leader.journal.last_seq
+            assert payload["boot_id"] == leader.journal.boot_id
+            seqs = [r["seq"] for r in payload["records"]]
+            assert seqs == list(range(1, leader.journal.last_seq + 1))
+
+            with urllib.request.urlopen(
+                    f"{gateway.url}/v1/journal?after=2&limit=3") as reply:
+                page = json.loads(reply.read())
+            assert [r["seq"] for r in page["records"]] == [3, 4, 5]
+
+    def test_journal_route_404_without_journal(self):
+        import urllib.error
+        import urllib.request
+
+        mdm = MDM()
+        seed_schema_inmemory(mdm)
+        with HttpGateway(mdm.serving()) as gateway:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{gateway.url}/v1/journal")
+            assert info.value.code == 404
+        mdm.serving().close()
+
+
+def seed_schema_inmemory(mdm: MDM) -> None:
+    seed_schema(mdm)
+    register_app(mdm, 1)
+    register_monitor(mdm)

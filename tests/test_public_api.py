@@ -23,7 +23,15 @@ PUBLIC_SURFACE: dict[str, list[str]] = {
         "ReleaseRequest", "ReleaseResponse",
         "DescribeResponse", "ErrorInfo",
         "ProtocolEndpoint", "GovernedClient", "HttpGateway",
+        "ChangeRecord", "Journal", "Snapshot", "Replica",
         "__version__",
+    ],
+    "repro.storage": [
+        "ChangeRecord",
+        "Journal", "apply_record", "execute_command", "execute_release",
+        "read_records", "replay_into",
+        "Snapshot", "restore_state", "take_snapshot",
+        "Replica", "FileTailer", "HttpTailer", "TailBatch",
     ],
     "repro.api": [
         "PROTOCOL_VERSION",
@@ -58,6 +66,9 @@ PUBLIC_ERRORS = [
     "ServiceError", "EpochDrainTimeout", "AnswerFailed",
     "ProtocolError", "MalformedRequestError", "UnsupportedApiVersion",
     "EpochSuperseded", "InvalidCursorError", "GatewayError",
+    "ReadOnlyReplicaError",
+    "StorageError", "JournalError", "JournalCorruptedError",
+    "SnapshotError",
     "QueryError", "MalformedQueryError", "UnanswerableQueryError",
     "OntologyError", "ReleaseError",
 ]
