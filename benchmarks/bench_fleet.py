@@ -1,0 +1,165 @@
+"""Fleet scale-out: aggregate read QPS under hundreds of connections.
+
+Boots the real topology twice — leader-only, then leader + N replicas
+behind the router — and drives both with the same thread-per-connection
+closed-loop load: every thread holds one persistent HTTP connection and
+a sticky session, so the router spreads the sessions across replicas
+and each request rides an already-open socket (the selectors-based
+front server exists exactly to hold hundreds of these at once).
+
+Reports p50/p99 latency and aggregate QPS per topology, and asserts the
+fleet's reason to exist: **>= 2x aggregate QPS** with N replicas over
+the leader alone. The speedup needs real parallel hardware, so the
+assertion is enforced when ``BENCH_FLEET_ENFORCE=1`` (CI sets it) or
+the machine has >= 4 cores; metrics are always emitted to
+``BENCH_fleet.json`` either way.
+
+Scale knobs (env): ``BENCH_FLEET_CONNECTIONS`` (default 200),
+``BENCH_FLEET_SECONDS`` (default 4.0), ``BENCH_FLEET_REPLICAS``
+(default 3).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+import urllib.parse
+
+from repro.fleet import Fleet
+from repro.fleet.__main__ import DEMO_QUERY, seed_demo_state
+
+CONNECTIONS = int(os.environ.get("BENCH_FLEET_CONNECTIONS", "200"))
+SECONDS = float(os.environ.get("BENCH_FLEET_SECONDS", "4.0"))
+REPLICAS = int(os.environ.get("BENCH_FLEET_REPLICAS", "3"))
+SPEEDUP_FLOOR = 2.0
+
+ENFORCE = os.environ.get("BENCH_FLEET_ENFORCE") == "1" or \
+    (os.cpu_count() or 1) >= 4
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1,
+                int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _drive(url: str, connections: int, seconds: float) -> dict:
+    """Closed-loop load: *connections* threads, one persistent socket
+    and one sticky session each, hammering POST /v1/query."""
+    parts = urllib.parse.urlsplit(url)
+    body = json.dumps({"query": DEMO_QUERY}).encode()
+    start = threading.Event()
+    deadline_box: list[float] = []
+    latencies: list[list[float]] = [[] for _ in range(connections)]
+    failures = [0] * connections
+    sheds = [0] * connections
+
+    def worker(index: int) -> None:
+        conn = http.client.HTTPConnection(parts.hostname, parts.port,
+                                          timeout=60)
+        headers = {"content-type": "application/json",
+                   "x-repro-session": f"bench-{index}"}
+        start.wait()
+        mine = latencies[index]
+        while time.perf_counter() < deadline_box[0]:
+            begin = time.perf_counter()
+            try:
+                conn.request("POST", "/v1/query", body, headers)
+                reply = conn.getresponse()
+                payload = reply.read()
+                status = reply.status
+            except (OSError, http.client.HTTPException):
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    parts.hostname, parts.port, timeout=60)
+                failures[index] += 1
+                continue
+            if status == 200 and (b'"ok": true' in payload
+                                  or b'"ok":true' in payload):
+                mine.append(time.perf_counter() - begin)
+            elif status == 429:  # admission control, not a failure
+                sheds[index] += 1
+            else:
+                failures[index] += 1
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(connections)]
+    for thread in threads:
+        thread.start()
+    deadline_box.append(time.perf_counter() + seconds)
+    wall_start = time.perf_counter()
+    start.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - wall_start
+    flat = sorted(lat for bucket in latencies for lat in bucket)
+    return {
+        "connections": connections,
+        "duration_s": round(elapsed, 3),
+        "requests": len(flat),
+        "failures": sum(failures),
+        "shed_429": sum(sheds),
+        "qps": round(len(flat) / elapsed, 1),
+        "p50_ms": round(_percentile(flat, 0.50) * 1e3, 2),
+        "p99_ms": round(_percentile(flat, 0.99) * 1e3, 2),
+    }
+
+
+def _bench_topology(tmp_path, replicas: int, name: str) -> dict:
+    state_dir = tmp_path / f"fleet-{name}"
+    seed_demo_state(state_dir)
+    with Fleet(state_dir, replicas=replicas) as fleet:
+        fleet.wait_converged(timeout=60)
+        _drive(fleet.url, min(CONNECTIONS, 16), 0.5)  # warm-up
+        measured = _drive(fleet.url, CONNECTIONS, SECONDS)
+        measured["replicas"] = replicas
+        state = fleet.router.fleet_state()
+        measured["shed_requests"] = state["admission"]["shed_requests"]
+    return measured
+
+
+def test_fleet_scale_out_qps(tmp_path, write_json, write_result):
+    leader_only = _bench_topology(tmp_path, 0, "leader-only")
+    fanned_out = _bench_topology(tmp_path, REPLICAS, "replicas")
+    speedup = (fanned_out["qps"] / leader_only["qps"]
+               if leader_only["qps"] else float("inf"))
+
+    payload = {
+        "connections": CONNECTIONS,
+        "seconds": SECONDS,
+        "enforced": ENFORCE,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup": round(speedup, 2),
+        "leader_only": leader_only,
+        f"replicas_{REPLICAS}": fanned_out,
+    }
+    write_json("fleet", payload)
+    write_result("fleet_scale_out.txt", (
+        f"fleet read scale-out @ {CONNECTIONS} connections, "
+        f"{SECONDS:.0f}s per topology\n"
+        f"  leader only : {leader_only['qps']:>8.1f} qps  "
+        f"p50 {leader_only['p50_ms']:.1f}ms  "
+        f"p99 {leader_only['p99_ms']:.1f}ms\n"
+        f"  {REPLICAS} replicas  : {fanned_out['qps']:>8.1f} qps  "
+        f"p50 {fanned_out['p50_ms']:.1f}ms  "
+        f"p99 {fanned_out['p99_ms']:.1f}ms\n"
+        f"  speedup     : {speedup:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x, "
+        f"{'enforced' if ENFORCE else 'not enforced: <4 cores'})\n"))
+
+    # the load itself must be clean: admission control may shed under
+    # overload, but every accepted request has to succeed
+    assert leader_only["failures"] == 0
+    assert fanned_out["failures"] == 0
+    assert fanned_out["requests"] > 0
+    if ENFORCE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{REPLICAS} replicas gave only {speedup:.2f}x the "
+            f"leader-only QPS (floor {SPEEDUP_FLOOR}x): "
+            f"{json.dumps(payload, indent=2)}")

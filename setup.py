@@ -8,7 +8,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.6.0",
     description=(
         "Reproduction of 'An Integration-Oriented Ontology to Govern "
         "Evolution in Big Data Ecosystems' (Nadal et al., EDBT 2017)"

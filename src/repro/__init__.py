@@ -51,7 +51,7 @@ from repro.query import (
 from repro.service import EpochLock, GovernedService, ServedAnswer
 from repro.storage import ChangeRecord, Journal, Replica, Snapshot
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",

@@ -28,9 +28,12 @@ Quickstart::
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import secrets
+import threading
+import time
+import urllib.parse
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import EpochSuperseded, GatewayError
@@ -78,59 +81,149 @@ class InProcessTransport:
         return f"<InProcessTransport {self.endpoint!r}>"
 
 
+#: shed responses the transport transparently retries (admission
+#: control rejected the request before any work happened, so a backoff
+#: retry is always safe)
+_SHED_CODES = frozenset({"overloaded", "no_fresh_replica"})
+
+
 class HttpTransport:
-    """The same envelopes as JSON over the HTTP gateway (stdlib urllib).
+    """The same envelopes as JSON over one persistent HTTP connection.
+
+    Each transport is one wire session: it keeps a single keep-alive
+    :class:`http.client.HTTPConnection` to the gateway (or fleet
+    router) and stamps every request with its ``X-Repro-Session`` id —
+    the token the fleet router uses for session-sticky,
+    epoch-monotonic routing.
 
     Protocol-level failures arrive as error envelopes and re-raise as
     their typed exceptions; transport-level failures (connection
-    refused, non-JSON body) raise
-    :class:`~repro.errors.GatewayError`.
+    refused, non-JSON body) raise :class:`~repro.errors.GatewayError`.
+    Transient failures are retried transparently with exponential
+    backoff (*retries* attempts beyond the first): connection-refused
+    always, mid-request transport failures and ``overloaded`` /
+    ``no_fresh_replica`` shed envelopes only for idempotent requests
+    (queries, describes, releases carrying an idempotency key).
     """
 
     def __init__(self, base_url: str, *,
-                 timeout: float | None = 30.0) -> None:
+                 timeout: float | None = 30.0, retries: int = 2,
+                 backoff: float = 0.05,
+                 session_id: str | None = None) -> None:
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https"):
+            raise ValueError(
+                f"a transport URL must be http(s)://..., got {base_url!r}")
+        self._scheme = parsed.scheme
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.session_id = session_id or f"s-{secrets.token_hex(8)}"
+        self._conn: http.client.HTTPConnection | None = None
+        self._lock = threading.Lock()
+
+    # -- the wire ------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            cls = http.client.HTTPSConnection \
+                if self._scheme == "https" else http.client.HTTPConnection
+            self._conn = cls(self._host, self._port,
+                             timeout=self.timeout)
+            self._conn.connect()
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._conn = None
+
+    def _request_once(self, conn: http.client.HTTPConnection,
+                      method: str, path: str,
+                      data: bytes | None) -> tuple[int, bytes]:
+        headers = {"Accept": "application/json",
+                   "X-Repro-Session": self.session_id}
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=data, headers=headers)
+        reply = conn.getresponse()
+        body = reply.read()
+        if "close" in (reply.getheader("Connection") or "").lower():
+            self._drop_connection()
+        return reply.status, body
 
     def _exchange(self, path: str, payload: Mapping[str, Any] | None,
-                  ) -> dict[str, Any]:
+                  *, idempotent: bool = True) -> dict[str, Any]:
         url = f"{self.base_url}{path}"
-        data = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        http_request = urllib.request.Request(url, data=data,
-                                              headers=headers)
-        try:
-            with urllib.request.urlopen(http_request,
-                                        timeout=self.timeout) as reply:
-                body = reply.read()
-        except urllib.error.HTTPError as exc:
-            # Protocol errors travel as JSON envelopes on non-2xx
-            # statuses; decode and let the caller re-raise typed.
-            body = exc.read()
-        except urllib.error.URLError as exc:
-            raise GatewayError(
-                f"gateway unreachable at {url}: {exc.reason}") from exc
-        try:
-            decoded = json.loads(body.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise GatewayError(
-                f"gateway at {url} returned a non-JSON body "
-                f"({body[:120]!r})") from exc
-        if not isinstance(decoded, dict):
-            raise GatewayError(
-                f"gateway at {url} returned a non-object body")
-        return decoded
+        data = None if payload is None \
+            else json.dumps(payload).encode("utf-8")
+        method = "GET" if data is None else "POST"
+        last_error: GatewayError | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            with self._lock:
+                try:
+                    conn = self._connect()
+                except (http.client.HTTPException, OSError) as exc:
+                    # connect-phase failure: nothing reached the server,
+                    # always safe to retry
+                    self._drop_connection()
+                    last_error = GatewayError(
+                        f"gateway unreachable at {url}: {exc}")
+                    last_error.__cause__ = exc
+                    continue
+                try:
+                    status, body = self._request_once(
+                        conn, method, path, data)
+                except (http.client.HTTPException, OSError) as exc:
+                    self._drop_connection()
+                    last_error = GatewayError(
+                        f"gateway unreachable at {url}: {exc}")
+                    last_error.__cause__ = exc
+                    # The request may have reached the server before
+                    # the transport died — replay-safe only when the
+                    # request is idempotent.
+                    if not idempotent:
+                        raise last_error
+                    continue
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise GatewayError(
+                    f"gateway at {url} returned a non-JSON body "
+                    f"({body[:120]!r})") from exc
+            if not isinstance(decoded, dict):
+                raise GatewayError(
+                    f"gateway at {url} returned a non-object body")
+            error = decoded.get("error")
+            if idempotent and isinstance(error, Mapping) and \
+                    error.get("code") in _SHED_CODES and \
+                    attempt < self.retries:
+                last_error = None
+                continue  # shed before any work — back off and retry
+            return decoded
+        assert last_error is not None
+        raise last_error
+
+    # -- transport protocol --------------------------------------------------
 
     def query(self, request: QueryRequest) -> QueryResponse:
         return QueryResponse.from_dict(
             self._exchange("/v1/query", request.to_dict()))
 
     def release(self, request: ReleaseRequest) -> ReleaseResponse:
-        return ReleaseResponse.from_dict(
-            self._exchange("/v1/releases", request.to_dict()))
+        # Without an idempotency key, a mid-flight transport failure is
+        # ambiguous (the release may have landed) — never replayed.
+        return ReleaseResponse.from_dict(self._exchange(
+            "/v1/releases", request.to_dict(),
+            idempotent=request.idempotency_key is not None))
 
     def describe(self, timeout: float | None = None) -> DescribeResponse:
         path = "/v1/describe" if timeout is None \
@@ -138,10 +231,12 @@ class HttpTransport:
         return DescribeResponse.from_dict(self._exchange(path, None))
 
     def close(self) -> None:
-        pass
+        with self._lock:
+            self._drop_connection()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<HttpTransport {self.base_url}>"
+        return (f"<HttpTransport {self.base_url} "
+                f"session={self.session_id}>")
 
 
 def as_transport(target: Any) -> Any:

@@ -389,7 +389,9 @@ class ProtocolEndpoint:
                     release, absorbed_concepts=absorbed,
                     idempotency_key=key)
                 response = ReleaseResponse(
-                    ok=True, epoch=next_epoch, triples_added=delta,
+                    ok=True, epoch=next_epoch,
+                    fingerprint=_fp(service.mdm.ontology.fingerprint()),
+                    triples_added=delta,
                     replayed=False, request_id=request.request_id,
                     elapsed_ms=_elapsed(started))
                 # Record the outcome before readmitting anyone: a

@@ -1,8 +1,12 @@
 """A stdlib JSON/HTTP gateway speaking the v1 protocol.
 
 :class:`HttpGateway` exposes one
-:class:`~repro.api.endpoint.ProtocolEndpoint` over a
-:class:`~http.server.ThreadingHTTPServer`:
+:class:`~repro.api.endpoint.ProtocolEndpoint` over an
+:class:`~repro.api.httpd.AsyncHttpServer` — a selectors-based
+event-loop front end that holds hundreds of concurrent connections on
+one thread while a bounded worker pool executes the handlers (the
+stdlib ``ThreadingHTTPServer`` it replaced spent one thread per
+connection and had no admission control):
 
 * ``POST /v1/query`` — a :class:`~repro.api.protocol.QueryRequest`
   (fresh query or cursor continuation); batches ride the same route as
@@ -10,6 +14,7 @@
 * ``POST /v1/releases`` — a declarative
   :class:`~repro.api.protocol.ReleaseRequest`;
 * ``GET /v1/describe`` — ontology statistics + serving-layer state;
+* ``GET /v1/journal`` — the change feed replicas tail;
 * ``GET /healthz`` — liveness: ``{"status": "ok", "epoch": N}``.
 
 The gateway owns no logic: requests are decoded with the protocol
@@ -18,7 +23,8 @@ uses — same epoch lock, same scan cache, same cursor store — and the
 response dict is the exact ``to_dict()`` the in-process path would
 produce (the parity property). HTTP statuses derive from the error
 taxonomy (:func:`~repro.api.protocol.http_status_of`); every reply is a
-JSON object.
+JSON object. When the admission queue overflows, requests are shed with
+``429 overloaded`` instead of queueing without bound.
 
 Run a demo gateway over the SUPERSEDE scenario::
 
@@ -28,13 +34,14 @@ Run a demo gateway over the SUPERSEDE scenario::
 from __future__ import annotations
 
 import json
-import threading
 import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.errors import MalformedRequestError
 from repro.api.endpoint import ProtocolEndpoint
+from repro.api.httpd import (
+    AsyncHttpServer, HttpRequest, HttpResponse, error_payload,
+)
 from repro.api.protocol import (
     ErrorInfo, QueryRequest, ReleaseRequest, http_status_of,
 )
@@ -46,66 +53,153 @@ __all__ = ["HttpGateway"]
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
-class _GatewayHandler(BaseHTTPRequestHandler):
+class _GatewayRoutes:
     """Route table + JSON plumbing; all semantics live in the endpoint."""
 
-    # Keep-alive so a client session reuses one connection; requires
-    # exact Content-Length on every reply (we always set it).
-    protocol_version = "HTTP/1.1"
-    server: "_GatewayServer"
+    def __init__(self, endpoint: ProtocolEndpoint,
+                 verbose: bool = False) -> None:
+        self.endpoint = endpoint
+        self.verbose = verbose
 
-    # -- routes --------------------------------------------------------------
+    # -- dispatch ------------------------------------------------------------
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        endpoint = self.server.endpoint
-        parsed = urllib.parse.urlsplit(self.path)
-        if parsed.path == "/healthz":
-            self._reply(200, {"status": "ok",
-                              "epoch": endpoint.service.lock.epoch})
-        elif parsed.path == "/v1/describe":
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        if self.verbose:  # pragma: no cover - debugging aid
+            print(f"{request.method} {request.path}", flush=True)
+        if request.method == "GET":
+            return self._handle_get(request)
+        if request.method == "POST":
+            return self._handle_post(request)
+        return self._error(
+            405, "method_not_allowed",
+            f"{request.method} is not part of the v1 protocol")
+
+    def _handle_get(self, request: HttpRequest) -> HttpResponse:
+        endpoint = self.endpoint
+        if request.path == "/healthz":
+            return self._reply(200, {
+                "status": "ok",
+                "epoch": endpoint.service.lock.epoch})
+        if request.path == "/v1/describe":
             try:
-                timeout = self._timeout_param(parsed.query)
+                timeout = self._timeout_param(request.query)
             except MalformedRequestError as exc:
-                self._error(400, "malformed_request", str(exc))
-                return
+                return self._error(400, "malformed_request", str(exc))
             response = endpoint.handle_describe(timeout)
-            self._reply(self._status_of(response), response.to_dict())
-        elif parsed.path == "/v1/journal":
-            self._serve_journal(parsed.query)
-        else:
-            self._error(404, "not_found", f"no route for {self.path}")
+            return self._reply(self._status_of(response),
+                               response.to_dict())
+        if request.path == "/v1/journal":
+            return self._serve_journal(request.query)
+        if request.path == "/v1/query":
+            return self._serve_query_get(request.query)
+        return self._error(404, "not_found",
+                           f"no route for {request.path}")
 
-    def _serve_journal(self, query: str) -> None:
+    def _serve_query_get(self, query_string: str) -> HttpResponse:
+        """``GET /v1/query?query=…`` — the curl-friendly read form.
+
+        Accepts the same fields as the POST envelope (``query`` or
+        ``cursor``, plus ``epoch``/``page_size``/``timeout``) as URL
+        parameters; the fleet router fans both forms out identically.
+        """
+        params = urllib.parse.parse_qs(query_string)
+
+        def _one(name: str) -> str | None:
+            values = params.get(name)
+            return values[0] if values else None
+
+        payload: dict[str, Any] = {}
+        for name in ("query", "cursor", "request_id"):
+            if _one(name) is not None:
+                payload[name] = _one(name)
+        try:
+            for name, cast in (("epoch", int), ("page_size", int),
+                               ("timeout", float)):
+                if _one(name) is not None:
+                    payload[name] = cast(_one(name))
+        except ValueError:
+            return self._error(400, "malformed_request",
+                               "epoch/page_size must be integers and "
+                               "timeout a number of seconds")
+        try:
+            response = self.endpoint.handle_query(
+                QueryRequest.from_dict(payload))
+            return self._reply(self._status_of(response),
+                               response.to_dict())
+        except Exception as exc:
+            info = ErrorInfo.of(exc)
+            return self._error(http_status_of(info.code), info.code,
+                               info.message, kind=info.kind,
+                               retryable=info.retryable)
+
+    def _handle_post(self, request: HttpRequest) -> HttpResponse:
+        endpoint = self.endpoint
+        try:
+            payload = self._read_json(request)
+        except MalformedRequestError as exc:
+            return self._error(400, "malformed_request", str(exc))
+        try:
+            if request.path == "/v1/query":
+                if isinstance(payload, dict) and "batch" in payload:
+                    batch = payload["batch"]
+                    if not isinstance(batch, list):
+                        raise MalformedRequestError(
+                            "batch must be a list of query requests")
+                    responses = endpoint.handle_query_batch(
+                        [QueryRequest.from_dict(item) for item in batch])
+                    return self._reply(200, {"responses": [
+                        r.to_dict() for r in responses]})
+                response = endpoint.handle_query(
+                    QueryRequest.from_dict(payload))
+                return self._reply(self._status_of(response),
+                                   response.to_dict())
+            if request.path == "/v1/releases":
+                response = endpoint.handle_release(
+                    ReleaseRequest.from_dict(payload))
+                return self._reply(self._status_of(response),
+                                   response.to_dict())
+            return self._error(404, "not_found",
+                               f"no route for {request.path}")
+        except Exception as exc:
+            # from_dict validation failures and anything the endpoint's
+            # own error envelope could not absorb
+            info = ErrorInfo.of(exc)
+            return self._error(http_status_of(info.code), info.code,
+                               info.message, kind=info.kind,
+                               retryable=info.retryable)
+
+    def _serve_journal(self, query: str) -> HttpResponse:
         """``GET /v1/journal?after=<seq>[&limit=<n>]`` — the tail feed.
 
         Serves the leader's change records past *after*, the exact
         stream a :class:`~repro.storage.replica.HttpTailer` replays.
         Nodes without a journal (in-memory demos, replicas) answer 404.
         """
-        endpoint = self.server.endpoint
+        endpoint = self.endpoint
         journal = getattr(endpoint.service.mdm, "journal", None)
         if journal is None:
-            self._error(404, "not_found",
-                        "this node has no governance journal (start "
-                        "the gateway with --state-dir)")
-            return
+            return self._error(
+                404, "not_found",
+                "this node has no governance journal (start the "
+                "gateway with --state-dir)")
         params = urllib.parse.parse_qs(query)
         try:
             after = int(params.get("after", ["0"])[0])
             limit = int(params["limit"][0]) if "limit" in params else None
         except ValueError:
-            self._error(400, "malformed_request",
-                        "after/limit must be integers")
-            return
+            return self._error(400, "malformed_request",
+                               "after/limit must be integers")
         records = journal.records(after=after, limit=limit)
         info = endpoint.service.journal_info() or {}
-        self._reply(200, {
+        return self._reply(200, {
             "ok": True,
             "boot_id": journal.boot_id,
             "seq": journal.last_seq,
             "snapshot_seq": info.get("snapshot_seq", 0),
             "records": [record.to_dict() for record in records],
         })
+
+    # -- plumbing ------------------------------------------------------------
 
     @staticmethod
     def _timeout_param(query: str) -> float | None:
@@ -118,161 +212,96 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             raise MalformedRequestError(
                 "timeout must be a number of seconds") from None
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        endpoint = self.server.endpoint
-        try:
-            payload = self._read_json()
-        except MalformedRequestError as exc:
-            self._error(400, "malformed_request", str(exc))
-            return
-        try:
-            if self.path == "/v1/query":
-                if isinstance(payload, dict) and "batch" in payload:
-                    batch = payload["batch"]
-                    if not isinstance(batch, list):
-                        raise MalformedRequestError(
-                            "batch must be a list of query requests")
-                    responses = endpoint.handle_query_batch(
-                        [QueryRequest.from_dict(item) for item in batch])
-                    self._reply(200, {"responses": [
-                        r.to_dict() for r in responses]})
-                else:
-                    response = endpoint.handle_query(
-                        QueryRequest.from_dict(payload))
-                    self._reply(self._status_of(response),
-                                response.to_dict())
-            elif self.path == "/v1/releases":
-                response = endpoint.handle_release(
-                    ReleaseRequest.from_dict(payload))
-                self._reply(self._status_of(response),
-                            response.to_dict())
-            else:
-                self._error(404, "not_found",
-                            f"no route for {self.path}")
-        except Exception as exc:
-            # from_dict validation failures and anything the endpoint's
-            # own error envelope could not absorb
-            info = ErrorInfo.of(exc)
-            self._error(http_status_of(info.code), info.code,
-                        info.message, kind=info.kind)
-
-    def do_PUT(self) -> None:  # noqa: N802 - http.server API
-        self._method_not_allowed()
-
-    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        self._method_not_allowed()
-
-    # -- plumbing ------------------------------------------------------------
-
-    def _method_not_allowed(self) -> None:
-        self._error(405, "method_not_allowed",
-                    f"{self.command} is not part of the v1 protocol")
-
     @staticmethod
     def _status_of(response: Any) -> int:
         if response.error is None:
             return 200
         return http_status_of(response.error.code)
 
-    def _read_json(self) -> Any:
-        length = self.headers.get("Content-Length")
-        if length is None:
+    @staticmethod
+    def _read_json(request: HttpRequest) -> Any:
+        if request.content_length is None:
             raise MalformedRequestError("Content-Length is required")
         try:
-            size = int(length)
-        except ValueError:
-            raise MalformedRequestError("bad Content-Length") from None
-        if size > MAX_BODY_BYTES:
-            raise MalformedRequestError(
-                f"request body exceeds {MAX_BODY_BYTES} bytes")
-        body = self.rfile.read(size)
-        try:
-            return json.loads(body.decode("utf-8"))
+            return json.loads(request.body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
             raise MalformedRequestError(
                 "request body is not valid JSON") from None
 
-    def _reply(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    @staticmethod
+    def _reply(status: int, payload: dict[str, Any]) -> HttpResponse:
+        return HttpResponse.json(status, payload)
 
-    def _error(self, status: int, code: str, message: str,
-               kind: str = "ProtocolError") -> None:
-        self._reply(status, {
-            "ok": False,
-            "error": {"code": code, "kind": kind, "message": message,
-                      "retryable": False, "details": None},
-        })
-
-    def log_message(self, format: str, *args: Any) -> None:
-        if self.server.verbose:
-            super().log_message(format, *args)
-
-
-class _GatewayServer(ThreadingHTTPServer):
-    daemon_threads = True
-    endpoint: ProtocolEndpoint
-    verbose: bool = False
+    @staticmethod
+    def _error(status: int, code: str, message: str,
+               kind: str = "ProtocolError", *,
+               retryable: bool = False) -> HttpResponse:
+        return HttpResponse.json(
+            status, error_payload(code, message, kind,
+                                  retryable=retryable))
 
 
 class HttpGateway:
-    """Lifecycle wrapper: bind, serve on a daemon thread, stop cleanly.
+    """Lifecycle wrapper: bind, serve on daemon threads, stop cleanly.
 
     *target* is a :class:`~repro.service.serving.GovernedService`, an
     :class:`~repro.mdm.system.MDM` or a ready
     :class:`~repro.api.endpoint.ProtocolEndpoint` — the gateway shares
     whatever epoch lock and scan cache that endpoint already serves
-    in-process. ``port=0`` binds an ephemeral port (tests).
+    in-process. ``port=0`` binds an ephemeral port (tests). *workers*
+    bounds concurrently executing handlers; *queue_capacity* is the
+    admission limit beyond which requests are shed with 429.
     """
 
     def __init__(self, target: Any, *, host: str = "127.0.0.1",
-                 port: int = 0, verbose: bool = False) -> None:
+                 port: int = 0, verbose: bool = False,
+                 workers: int = 16,
+                 queue_capacity: int = 1024) -> None:
         self.endpoint = _as_endpoint(target)
-        self._server = _GatewayServer((host, port), _GatewayHandler)
-        self._server.endpoint = self.endpoint
-        self._server.verbose = verbose
-        self._thread: threading.Thread | None = None
+        self.routes = _GatewayRoutes(self.endpoint, verbose=verbose)
+        self._server = AsyncHttpServer(
+            self.routes, host=host, port=port, workers=workers,
+            queue_capacity=queue_capacity,
+            max_body_bytes=MAX_BODY_BYTES, name="repro-gateway")
+        self._running = False
 
     # -- addresses -----------------------------------------------------------
 
     @property
     def host(self) -> str:
-        return self._server.server_address[0]
+        return self._server.host
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return self._server.port
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def shed_requests(self) -> int:
+        """Requests rejected by admission control since start."""
+        return self._server.shed_requests
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> str:
-        """Serve on a daemon thread; returns the base URL."""
-        if self._thread is not None:
-            return self.url
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name=f"repro-gateway-{self.port}", daemon=True)
-        self._thread.start()
+        """Serve on daemon threads; returns the base URL."""
+        if not self._running:
+            self._server.start()
+            self._running = True
         return self.url
 
     def stop(self) -> None:
-        if self._thread is None:
+        if not self._running:
             return
-        self._server.shutdown()
-        self._thread.join(timeout=10)
-        self._server.server_close()
-        self._thread = None
+        self._server.stop()
+        self._running = False
 
     def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI entry point's mode)."""
+        """Serve until interrupted (the CLI entry point's mode)."""
+        self._running = True
         self._server.serve_forever()
 
     def __enter__(self) -> "HttpGateway":
@@ -303,6 +332,21 @@ def _as_endpoint(target: Any) -> ProtocolEndpoint:
         "a GovernedService, an MDM or a ProtocolEndpoint")
 
 
+def announce_ready(role: str, url: str, **extra: Any) -> None:
+    """Print the machine-readable boot line process supervisors parse.
+
+    The :class:`~repro.fleet.supervisor.FleetSupervisor` reads child
+    stdout until it sees ``FLEET_READY {json}`` — that is how a child
+    bound to an ephemeral port (``--port 0``) reports where it actually
+    listens.
+    """
+    import os
+
+    payload = {"role": role, "url": url, "pid": os.getpid(), **extra}
+    print("FLEET_READY " + json.dumps(payload, sort_keys=True),
+          flush=True)
+
+
 def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     """Gateway CLI: demo scenario, durable leader, or read replica.
 
@@ -310,7 +354,9 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     * ``--state-dir DIR`` — a durable leader: recovers the governed
       state from DIR's snapshot + journal on start, journals every
       release, and serves ``GET /v1/journal`` for followers;
-    * ``--follow URL`` — a read replica tailing the leader at URL.
+    * ``--follow URL`` — a read replica tailing the leader at URL;
+    * ``--announce-ready`` — print ``FLEET_READY {json}`` once serving
+      (used by the fleet supervisor with ``--port 0``).
     """
     import argparse
 
@@ -328,6 +374,8 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
                              "leader gateway at URL")
     parser.add_argument("--poll-interval", type=float, default=0.5,
                         help="replica journal poll cadence in seconds")
+    parser.add_argument("--announce-ready", action="store_true",
+                        help="print FLEET_READY {json} once serving")
     parser.add_argument("--evolved", action="store_true",
                         help="demo mode: include the §2.1 evolution "
                              "(wrapper w4)")
@@ -349,6 +397,8 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
                               port=args.port, verbose=args.verbose)
         print(f"read replica of {args.follow} at {gateway.url} "
               f"(applied seq {replica.applied_seq}, lag {replica.lag})")
+        if args.announce_ready:
+            announce_ready("replica", gateway.url, leader=args.follow)
     elif args.state_dir:
         mdm = MDM.open(args.state_dir)
         gateway = HttpGateway(mdm.serving(), host=args.host,
@@ -357,6 +407,9 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
               f"(state dir {args.state_dir}, epoch "
               f"{mdm.ontology.epoch}, journal seq "
               f"{mdm.journal.last_seq})")
+        if args.announce_ready:
+            announce_ready("leader", gateway.url,
+                           state_dir=args.state_dir)
     else:
         from repro.datasets import EXEMPLARY_QUERY, build_supersede
 
@@ -370,6 +423,8 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
         print(f"  curl {gateway.url}/v1/describe")
         query = json.dumps({"query": EXEMPLARY_QUERY})
         print(f"  curl -X POST {gateway.url}/v1/query -d {query!r}")
+        if args.announce_ready:
+            announce_ready("demo", gateway.url)
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:

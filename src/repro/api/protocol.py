@@ -60,6 +60,10 @@ _ERROR_CODES: dict[type[BaseException], tuple[str, bool]] = {
     errors.UnsupportedApiVersion: ("unsupported_api_version", False),
     errors.MalformedRequestError: ("malformed_request", False),
     errors.GatewayError: ("gateway_error", True),
+    errors.OverloadedError: ("overloaded", True),
+    errors.NoFreshReplicaError: ("no_fresh_replica", True),
+    errors.FleetConfigError: ("fleet_config_error", False),
+    errors.FleetError: ("fleet_error", False),
     errors.ReadOnlyReplicaError: ("read_only_replica", False),
     errors.ProtocolError: ("protocol_error", False),
     errors.JournalCorruptedError: ("journal_corrupted", False),
@@ -111,6 +115,10 @@ _HTTP_STATUS: dict[str, int] = {
     "storage_error": 500,
     "epoch_drain_timeout": 503,
     "gateway_error": 502,
+    "overloaded": 429,
+    "no_fresh_replica": 503,
+    "fleet_config_error": 500,
+    "fleet_error": 500,
     "not_found": 404,
     "method_not_allowed": 405,
     "unknown_concept": 404,
@@ -533,6 +541,11 @@ class ReleaseResponse:
     ok: bool
     #: serving epoch after the release landed
     epoch: int | None = None
+    #: ontology fingerprint ``(epoch, structure)`` after the release —
+    #: the fingerprint epoch is replay-deterministic, so (unlike the
+    #: process-local serving epoch) it is comparable across a leader
+    #: and its replicas; fleet routing keys read-your-writes on it
+    fingerprint: tuple[int, int] | None = None
     #: Algorithm 1's triples-added delta per graph
     triples_added: dict[str, int] | None = None
     #: True when an idempotency key replayed a recorded outcome
@@ -559,6 +572,8 @@ class ReleaseResponse:
             "api_version": self.api_version,
             "ok": self.ok,
             "epoch": self.epoch,
+            "fingerprint": list(self.fingerprint)
+            if self.fingerprint is not None else None,
             "triples_added": self.triples_added,
             "replayed": self.replayed,
             "error": self.error.to_dict() if self.error is not None
@@ -570,9 +585,12 @@ class ReleaseResponse:
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ReleaseResponse":
         error = payload.get("error")
+        fingerprint = payload.get("fingerprint")
         return cls(
             ok=bool(payload.get("ok")),
             epoch=payload.get("epoch"),
+            fingerprint=tuple(fingerprint)
+            if fingerprint is not None else None,
             triples_added=dict(payload["triples_added"])
             if payload.get("triples_added") is not None else None,
             replayed=bool(payload.get("replayed", False)),

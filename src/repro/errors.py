@@ -317,3 +317,35 @@ class GatewayError(ProtocolError):
     protocol envelope (connection refused, truncated body, non-JSON
     payload); protocol-level failures arrive as typed errors instead.
     """
+
+
+# ---------------------------------------------------------------------------
+# Fleet tier (repro.fleet)
+# ---------------------------------------------------------------------------
+
+
+class FleetError(ProtocolError):
+    """Base class for errors raised by the replica-fleet tier."""
+
+
+class OverloadedError(FleetError):
+    """Admission control shed this request (bounded queue overflowed).
+
+    The server is alive but saturated; the request was never started.
+    Retrying after a backoff is always safe — hence ``retryable``.
+    """
+
+
+class NoFreshReplicaError(FleetError):
+    """No backend can serve the session's epoch floor.
+
+    Raised by the fleet router when every replica's applied epoch is
+    behind the epoch the session pinned (or last observed) *and* the
+    leader — the always-fresh fallback — is unreachable. Routing the
+    request anyway would time-travel the session backwards.
+    """
+
+
+class FleetConfigError(FleetError):
+    """The fleet topology is malformed (bad replica count, dead leader
+    URL, a supervisor asked to manage zero processes)."""

@@ -1,0 +1,315 @@
+"""Process supervision for the replica fleet.
+
+The :class:`FleetSupervisor` owns the child processes that make up a
+fleet: optionally a durable leader gateway (``python -m repro.api
+--state-dir DIR``) and N read replicas (``python -m repro.api --follow
+LEADER_URL``). Children bind ephemeral ports (``--port 0``) and report
+where they actually listen by printing ``FLEET_READY {json}`` — the
+supervisor blocks on that line at spawn, so a returned
+:class:`ManagedProcess` is already serving.
+
+Supervision semantics:
+
+* a monitor thread polls children; a replica that dies (crash or
+  chaos ``kill -9``) is respawned on a fresh port when ``restart``
+  is on, and every change is reported through ``on_change`` so the
+  router can swap the backend without a fleet restart;
+* teardown is guaranteed: :meth:`close` sends SIGTERM, escalates to
+  SIGKILL after a grace period, and reaps every child; an ``atexit``
+  hook does the same if the owner never calls close — chaos tests
+  must not leak orphan gateways between runs.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import FleetConfigError, FleetError
+
+__all__ = ["FleetSupervisor", "ManagedProcess"]
+
+READY_PREFIX = "FLEET_READY "
+
+#: seconds a child gets between SIGTERM and SIGKILL at teardown
+TERM_GRACE = 5.0
+
+
+class ManagedProcess:
+    """One supervised child gateway (leader or replica)."""
+
+    def __init__(self, key: str, role: str, popen: subprocess.Popen,
+                 url: str, pid: int, argv: list[str]) -> None:
+        self.key = key
+        self.role = role
+        self.popen = popen
+        self.url = url
+        self.pid = pid
+        self.argv = argv
+        self.restarts = 0
+        self.started_at = time.monotonic()
+
+    @property
+    def alive(self) -> bool:
+        return self.popen.poll() is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ManagedProcess {self.key} {self.role} pid={self.pid} "
+                f"alive={self.alive}>")
+
+
+def _child_env() -> dict[str, str]:
+    """Child env with this repro checkout first on PYTHONPATH, so the
+    fleet works from a source tree without an installed package."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (f"{src_root}{os.pathsep}{existing}"
+                         if existing else src_root)
+    return env
+
+
+class FleetSupervisor:
+    """Spawn, watch, and reliably tear down fleet child processes."""
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 python: str | None = None,
+                 spawn_timeout: float = 60.0,
+                 poll_interval: float = 0.1,
+                 restart: bool = True,
+                 monitor_interval: float = 0.25,
+                 on_change: Callable[[str, ManagedProcess | None,
+                                      ManagedProcess | None],
+                                     None] | None = None) -> None:
+        self.host = host
+        self.python = python or sys.executable
+        self.spawn_timeout = spawn_timeout
+        self.poll_interval = poll_interval
+        self.restart = restart
+        self.monitor_interval = monitor_interval
+        #: ``on_change(key, old, new)`` — new is None for a permanent
+        #: death, old is None for the initial spawn
+        self.on_change = on_change
+        self._procs: dict[str, ManagedProcess] = {}
+        self._lock = threading.Lock()
+        self._closing = False
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.deaths = 0
+        self.respawns = 0
+        self._atexit = atexit.register(self._emergency_cleanup)
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn_leader(self, state_dir: str | Path, *,
+                     key: str = "leader") -> ManagedProcess:
+        argv = [self.python, "-m", "repro.api",
+                "--state-dir", str(state_dir),
+                "--host", self.host, "--port", "0", "--announce-ready"]
+        return self._spawn(key, "leader", argv)
+
+    def spawn_replica(self, leader_url: str, *, key: str) -> ManagedProcess:
+        argv = [self.python, "-m", "repro.api",
+                "--follow", leader_url,
+                "--poll-interval", str(self.poll_interval),
+                "--host", self.host, "--port", "0", "--announce-ready"]
+        return self._spawn(key, "replica", argv)
+
+    def _spawn(self, key: str, role: str,
+               argv: list[str]) -> ManagedProcess:
+        if self._closing:
+            raise FleetError("supervisor is closing; refusing to spawn")
+        popen = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=_child_env(), start_new_session=True)
+        # One reader thread per child: it feeds _await_ready through a
+        # queue (so the spawn deadline holds even if the child hangs
+        # printing nothing) and keeps draining stdout afterwards so a
+        # chatty gateway can never fill the pipe and block itself.
+        lines: "queue.Queue[str | None]" = queue.Queue()
+        capture = threading.Event()
+        capture.set()
+
+        def _reader() -> None:
+            try:
+                assert popen.stdout is not None
+                for line in popen.stdout:
+                    if capture.is_set():
+                        lines.put(line)
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+            finally:
+                lines.put(None)
+
+        threading.Thread(target=_reader, daemon=True,
+                         name=f"repro-fleet-stdout-{key}").start()
+        try:
+            info = self._await_ready(popen, lines, argv)
+        except BaseException:
+            capture.clear()
+            self._reap(popen)
+            raise
+        capture.clear()
+        proc = ManagedProcess(key, role, popen, info["url"],
+                              int(info.get("pid") or popen.pid), argv)
+        with self._lock:
+            self._procs[key] = proc
+        return proc
+
+    def _await_ready(self, popen: subprocess.Popen,
+                     lines: "queue.Queue[str | None]",
+                     argv: list[str]) -> dict[str, Any]:
+        deadline = time.monotonic() + self.spawn_timeout
+        seen: list[str] = []
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FleetError(
+                    f"child {argv!r} did not announce readiness within "
+                    f"{self.spawn_timeout:.0f}s; output so far: "
+                    f"{''.join(seen[-20:])!r}")
+            try:
+                line = lines.get(timeout=min(remaining, 0.5))
+            except queue.Empty:
+                continue
+            if line is None:
+                code = popen.wait()
+                raise FleetError(
+                    f"child {argv!r} exited with status {code} before "
+                    f"announcing readiness; output: "
+                    f"{''.join(seen[-20:])!r}")
+            seen.append(line)
+            if line.startswith(READY_PREFIX):
+                try:
+                    info = json.loads(line[len(READY_PREFIX):])
+                except ValueError as exc:
+                    raise FleetError(
+                        f"malformed FLEET_READY line {line!r}") from exc
+                if not isinstance(info, dict) or "url" not in info:
+                    raise FleetConfigError(
+                        f"FLEET_READY without a url: {line!r}")
+                return info
+
+    # -- introspection -------------------------------------------------------
+
+    def processes(self) -> list[ManagedProcess]:
+        with self._lock:
+            return list(self._procs.values())
+
+    def process(self, key: str) -> ManagedProcess | None:
+        with self._lock:
+            return self._procs.get(key)
+
+    # -- chaos ---------------------------------------------------------------
+
+    def kill(self, key: str, sig: int = signal.SIGKILL) -> int:
+        """Send *sig* to the child (chaos helper); returns its pid."""
+        proc = self.process(key)
+        if proc is None:
+            raise FleetError(f"no managed process {key!r}")
+        os.kill(proc.pid, sig)
+        return proc.pid
+
+    # -- monitoring ----------------------------------------------------------
+
+    def start_monitor(self) -> None:
+        if self._monitor is not None:
+            return
+        self._stop.clear()
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-fleet-monitor", daemon=True)
+        self._monitor.start()
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.monitor_interval):
+            for proc in self.processes():
+                if proc.alive or self._closing:
+                    continue
+                self.deaths += 1
+                replacement = None
+                if self.restart and proc.role == "replica":
+                    try:
+                        replacement = self._respawn(proc)
+                    except FleetError:
+                        replacement = None
+                if replacement is None:
+                    with self._lock:
+                        if self._procs.get(proc.key) is proc:
+                            del self._procs[proc.key]
+                if self.on_change is not None:
+                    try:
+                        self.on_change(proc.key, proc, replacement)
+                    except Exception:  # pragma: no cover - callback bug
+                        pass
+
+    def _respawn(self, dead: ManagedProcess) -> ManagedProcess:
+        self._reap(dead.popen)
+        proc = self._spawn(dead.key, dead.role, dead.argv)
+        proc.restarts = dead.restarts + 1
+        self.respawns += 1
+        return proc
+
+    # -- teardown ------------------------------------------------------------
+
+    @staticmethod
+    def _reap(popen: subprocess.Popen) -> None:
+        if popen.poll() is None:
+            popen.terminate()
+            try:
+                popen.wait(timeout=TERM_GRACE)
+            except subprocess.TimeoutExpired:
+                popen.kill()
+                popen.wait(timeout=TERM_GRACE)
+        if popen.stdout is not None:
+            try:
+                popen.stdout.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        """Stop monitoring and reap every child. Idempotent."""
+        self._closing = True
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=10)
+            self._monitor = None
+        with self._lock:
+            procs, self._procs = list(self._procs.values()), {}
+        for proc in procs:
+            self._reap(proc.popen)
+        atexit.unregister(self._emergency_cleanup)
+
+    def _emergency_cleanup(self) -> None:  # pragma: no cover - atexit
+        self._closing = True
+        self._stop.set()
+        with self._lock:
+            procs, self._procs = list(self._procs.values()), {}
+        for proc in procs:
+            if proc.popen.poll() is None:
+                proc.popen.kill()
+                try:
+                    proc.popen.wait(timeout=TERM_GRACE)
+                except subprocess.TimeoutExpired:
+                    pass
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            keys = sorted(self._procs)
+        return f"<FleetSupervisor {keys}>"

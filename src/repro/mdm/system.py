@@ -145,6 +145,7 @@ class MDM:
             "snapshot_seq": self._snapshot_seq,
             "replica_lag": 0,
             "role": "leader",
+            "ready": True,
         }
 
     def close(self) -> None:

@@ -188,6 +188,12 @@ class Replica:
         self.applied_seq = 0
         self.leader_seq = 0
         self.leader_boot_id: str | None = None
+        #: False until the first catch-up poll *completes successfully*.
+        #: A router must never route to a cold replica: before the
+        #: first poll the follower reports epoch 0 / lag 0 — which is
+        #: indistinguishable from a caught-up follower of an empty
+        #: leader — so lag alone cannot gate routing.
+        self.ready = False
         #: background-follow health: consecutive failed polls and the
         #: last failure, surfaced through ``describe`` so a silently
         #: broken follower is observable, not just increasingly stale
@@ -226,6 +232,7 @@ class Replica:
             records = [r for r in batch.records
                        if r.seq > self.applied_seq]
             if not records:
+                self.ready = True  # a successful, empty catch-up poll
                 return 0
             pending = live_mutations(records)
             applied = 0
@@ -252,6 +259,7 @@ class Replica:
                         applied += 1
                         self.applied_seq = record.seq
             self.applied_seq = max(self.applied_seq, records[-1].seq)
+            self.ready = True
             return applied
 
     @property
@@ -266,6 +274,7 @@ class Replica:
             "snapshot_seq": 0,
             "replica_lag": self.lag,
             "role": "replica",
+            "ready": self.ready,
             "failed_polls": self.failed_polls,
             "last_poll_error": self.last_poll_error,
         }

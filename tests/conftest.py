@@ -33,3 +33,42 @@ def engine(scenario):
 @pytest.fixture()
 def evolved_engine(evolved_scenario):
     return QueryEngine(evolved_scenario.ontology)
+
+
+@pytest.fixture()
+def fleet_harness(tmp_path):
+    """Boot leader + N replica + router fleets on ephemeral ports.
+
+    Yields a factory: ``fleet = fleet_harness(replicas=2)`` seeds a
+    governed state directory (override with ``seed=callable``), boots
+    the fleet, and waits for every replica to converge. Teardown is
+    guaranteed — every child process is reaped even when the test
+    fails or chaos-kills replicas mid-run — and the fixture fails the
+    test if any child survives close (no orphan gateways may leak
+    between tests).
+    """
+    from repro.fleet import Fleet
+    from repro.fleet.__main__ import seed_demo_state
+
+    fleets = []
+
+    def _boot(replicas=2, *, seed=seed_demo_state, converge=True,
+              **kwargs):
+        state_dir = tmp_path / f"fleet-{len(fleets)}"
+        if seed is not None:
+            seed(state_dir)
+        fleet = Fleet(state_dir, replicas=replicas, **kwargs)
+        fleets.append(fleet)
+        fleet.start()
+        if converge:
+            fleet.wait_converged(timeout=60)
+        return fleet
+
+    yield _boot
+
+    leaked = []
+    for fleet in fleets:
+        procs = fleet.supervisor.processes()
+        fleet.close()
+        leaked += [p for p in procs if p.popen.poll() is None]
+    assert not leaked, f"fleet children leaked past teardown: {leaked}"

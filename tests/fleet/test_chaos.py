@@ -1,0 +1,169 @@
+"""Chaos: kill or hang replicas mid-query-stream; clients never notice.
+
+The acceptance bar for this suite is robustness, not luck — the router
+absorbs an uncleanly dead backend by retrying the in-flight request on
+the next candidate, so *zero* client requests may fail, run after run.
+
+Two distinct failure paths are covered:
+
+* SIGKILL — the supervisor sees the death and withdraws the backend
+  from the routing table (or respawns it when restart is on);
+* SIGSTOP — the process is alive but unresponsive, invisible to the
+  supervisor: only the router's probe loop can catch it, by crossing
+  the consecutive-failure threshold and evicting the backend until a
+  probe succeeds again (SIGCONT → rejoin).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+import urllib.request
+
+from repro.fleet.__main__ import DEMO_QUERY
+
+
+class LoadGenerator:
+    """A few client sessions hammering the router until stopped."""
+
+    def __init__(self, fleet, sessions: int = 3) -> None:
+        self.fleet = fleet
+        self.stop = threading.Event()
+        self.successes = 0
+        self.failures: list[str] = []
+        self._lock = threading.Lock()
+        self._threads = [threading.Thread(target=self._run)
+                         for _ in range(sessions)]
+
+    def _run(self) -> None:
+        client = self.fleet.client()
+        while not self.stop.is_set():
+            try:
+                assert len(client.rows(DEMO_QUERY)) == 4
+            except Exception as exc:  # noqa: BLE001
+                with self._lock:
+                    self.failures.append(
+                        f"{type(exc).__name__}: {exc}")
+                return
+            with self._lock:
+                self.successes += 1
+
+    def __enter__(self) -> "LoadGenerator":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join()
+
+
+def fleet_state(fleet) -> dict:
+    with urllib.request.urlopen(fleet.url + "/v1/fleet") as reply:
+        return json.loads(reply.read())
+
+
+class TestReplicaKill:
+    def test_sigkill_mid_stream_zero_failed_requests(
+            self, fleet_harness):
+        # restart=False: the supervisor reports the death and the
+        # router withdraws the backend instead of respawning it
+        fleet = fleet_harness(replicas=2, restart=False)
+        with LoadGenerator(fleet) as load:
+            time.sleep(0.5)
+            before = load.successes
+            fleet.kill_replica("replica-0")
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                keys = {b["key"]
+                        for b in fleet_state(fleet)["backends"]}
+                if "replica-0" not in keys:
+                    break
+                time.sleep(0.1)
+            assert "replica-0" not in keys, \
+                "dead replica was never withdrawn from routing"
+            time.sleep(1.0)  # keep serving well past the withdrawal
+            after = load.successes
+        assert load.failures == []
+        assert after > before, "traffic stalled after the kill"
+        survivors = fleet_state(fleet)["backends"]
+        assert sorted(b["role"] for b in survivors) == \
+            ["leader", "replica"]
+
+    def test_killed_replica_is_respawned_and_rejoins(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=1)  # restart defaults on
+        old_pid = fleet.supervisor.process("replica-0").pid
+        with LoadGenerator(fleet, sessions=2) as load:
+            time.sleep(0.3)
+            fleet.kill_replica("replica-0")
+            deadline = time.monotonic() + 30
+            rejoined = None
+            while time.monotonic() < deadline:
+                backends = {b["key"]: b
+                            for b in fleet_state(fleet)["backends"]}
+                replica = backends.get("replica-0")
+                if replica and replica["pid"] != old_pid \
+                        and replica["healthy"] and replica["ready"]:
+                    rejoined = replica
+                    break
+                time.sleep(0.1)
+            assert rejoined is not None, \
+                "replica never rejoined after SIGKILL"
+            time.sleep(0.5)
+        assert load.failures == []
+        assert fleet.supervisor.respawns >= 1
+        # the respawned process is a different pid, same key
+        proc = fleet.supervisor.process("replica-0")
+        assert proc.alive and proc.pid == rejoined["pid"] != old_pid
+
+
+class TestReplicaHang:
+    def test_sigstop_is_probe_evicted_and_sigcont_rejoins(
+            self, fleet_harness):
+        """A hung replica is invisible to the supervisor (the process
+        is alive) — only the router's failure-threshold probes can
+        take it out of rotation, and only a succeeding probe lets it
+        back in."""
+        fleet = fleet_harness(
+            replicas=2, restart=False,
+            # hung sockets must fail fast enough for the in-flight
+            # retry to stay invisible to clients
+            upstream_timeout=2.0, probe_timeout=1.0)
+        with LoadGenerator(fleet) as load:
+            time.sleep(0.3)
+            fleet.kill_replica("replica-0", sig=signal.SIGSTOP)
+            try:
+                deadline = time.monotonic() + 30
+                evicted = None
+                while time.monotonic() < deadline:
+                    replica = next(
+                        b for b in fleet_state(fleet)["backends"]
+                        if b["key"] == "replica-0")
+                    if replica["evicted"]:
+                        evicted = replica
+                        break
+                    time.sleep(0.1)
+                assert evicted is not None, \
+                    "hung replica was never evicted"
+                time.sleep(0.5)  # traffic flows around the corpse
+            finally:
+                fleet.kill_replica("replica-0", sig=signal.SIGCONT)
+            deadline = time.monotonic() + 30
+            rejoined = False
+            while time.monotonic() < deadline:
+                replica = next(
+                    b for b in fleet_state(fleet)["backends"]
+                    if b["key"] == "replica-0")
+                if replica["healthy"] and not replica["evicted"]:
+                    rejoined = True
+                    break
+                time.sleep(0.1)
+            assert rejoined, "revived replica never rejoined"
+        assert load.failures == []
+        state = fleet_state(fleet)
+        assert state["counters"]["evictions"] >= 1
+        assert state["counters"]["upstream_retries"] >= 1

@@ -1,0 +1,221 @@
+"""Fleet integration: routing, epoch consistency, rejection paths.
+
+Every test boots real child processes (leader + replicas) behind the
+in-process router via the ``fleet_harness`` fixture; clients speak the
+ordinary v1 wire protocol against the router URL and should not be able
+to tell it from a single gateway — except that reads scale out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+import pytest
+
+from repro.api.client import GovernedClient
+from repro.errors import EpochSuperseded, GatewayError, \
+    ReadOnlyReplicaError
+from repro.fleet.__main__ import DEMO_QUERY
+
+
+def fleet_state(fleet) -> dict:
+    with urllib.request.urlopen(fleet.url + "/v1/fleet") as reply:
+        return json.loads(reply.read())
+
+
+def release_kwargs(version: int, rows: int = 3) -> dict:
+    return dict(
+        source="D1", wrapper=f"w_app_v{version}",
+        id_attributes=["id"], non_id_attributes=["name"],
+        feature_hints={"id": "urn:d:app/id", "name": "urn:d:app/name"},
+        rows=[{"id": 100 * version + i, "name": f"v{version}-{i}"}
+              for i in range(rows)],
+        absorbed_concepts=["urn:d:App"])
+
+
+class TestRouting:
+    def test_reads_fan_out_and_writes_ride_the_leader(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        client = fleet.client()
+        for _ in range(8):
+            assert len(client.rows(DEMO_QUERY)) == 4
+        state = fleet_state(fleet)
+        assert state["counters"]["routed_to_replicas"] == 8
+        assert state["counters"]["routed_to_leader"] == 0
+
+        response = client.submit_release(**release_kwargs(2))
+        assert response.ok and response.fingerprint is not None
+        # the release landed on the leader — its journal advanced
+        leader = next(b for b in fleet_state(fleet)["backends"]
+                      if b["role"] == "leader")
+        assert leader["epoch"] == response.fingerprint[0]
+
+    def test_read_your_writes_after_a_routed_release(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        client = fleet.client()
+        client.rows(DEMO_QUERY)  # session now sticky to a replica
+        response = client.submit_release(**release_kwargs(3, rows=2))
+        # the very next read must observe the release even though the
+        # replicas may not have applied it yet (leader fallback)
+        page = client.query(DEMO_QUERY)
+        assert page.fingerprint[0] >= response.fingerprint[0]
+        assert len(page.rows) == 6
+
+    def test_sessions_are_sticky_across_requests(self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        client = fleet.client()
+        for _ in range(5):
+            client.rows(DEMO_QUERY)
+        routed = {b["key"]: b["routed"]
+                  for b in fleet_state(fleet)["backends"]
+                  if b["role"] == "replica"}
+        assert sorted(routed.values()) == [0, 5]  # one replica took all
+
+    def test_cursor_pages_resolve_on_the_sticky_backend(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        client = fleet.client()
+        rows = list(client.stream(DEMO_QUERY, page_size=1))
+        assert len(rows) == 4  # four pages, all resolved
+
+    def test_get_query_routes_like_post(self, fleet_harness):
+        fleet = fleet_harness(replicas=1)
+        qs = urllib.parse.urlencode({"query": DEMO_QUERY,
+                                     "page_size": 2})
+        with urllib.request.urlopen(
+                f"{fleet.url}/v1/query?{qs}") as reply:
+            payload = json.loads(reply.read())
+        assert payload["ok"] and len(payload["rows"]) == 2
+        assert payload["cursor"]
+        state = fleet_state(fleet)
+        assert state["counters"]["routed_to_replicas"] == 1
+
+    def test_fleet_route_reports_topology_and_health(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        state = fleet_state(fleet)
+        assert state["ok"] and state["role"] == "fleet-router"
+        roles = sorted(b["role"] for b in state["backends"])
+        assert roles == ["leader", "replica", "replica"]
+        for b in state["backends"]:
+            assert b["healthy"] and b["ready"]
+            assert b["pid"] is not None and b["lag"] == 0
+        assert state["admission"]["queue_capacity"] > 0
+
+
+class TestEpochConsistency:
+    def test_no_session_observes_history_running_backwards(
+            self, fleet_harness):
+        """The property the fleet exists to preserve: under concurrent
+        sessions and releases, each session's observed fingerprint
+        epoch is monotonically non-decreasing, whichever backend
+        served each read."""
+        fleet = fleet_harness(replicas=2)
+        stop = threading.Event()
+        violations: list[tuple] = []
+        failures: list[str] = []
+
+        def reader(index: int) -> None:
+            client = fleet.client()
+            last = -1
+            while not stop.is_set():
+                try:
+                    page = client.query(DEMO_QUERY)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                    return
+                observed = page.fingerprint[0]
+                if observed < last:
+                    violations.append((index, last, observed))
+                last = max(last, observed)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        writer = fleet.client()
+        try:
+            for version in range(4, 7):
+                writer.submit_release(**release_kwargs(version, rows=1))
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures
+        assert not violations
+
+    def test_pinned_session_never_served_below_its_pin(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=1)
+        client = fleet.client()
+        client.pin()
+        pinned_fingerprint = client.describe().fingerprint[0]
+        page = client.query(DEMO_QUERY)
+        assert page.fingerprint[0] == pinned_fingerprint
+
+        fleet.client().submit_release(**release_kwargs(8, rows=1))
+        # the pin now names a superseded epoch: the session gets the
+        # typed supersede signal, never an answer from the past
+        with pytest.raises(EpochSuperseded):
+            for _ in range(20):
+                response = client.query(DEMO_QUERY)
+                assert response.fingerprint[0] >= pinned_fingerprint
+                time.sleep(0.05)
+        client.refresh()
+        assert client.query(DEMO_QUERY).fingerprint[0] > \
+            pinned_fingerprint
+
+
+class TestMutationSafety:
+    def test_direct_replica_mutation_is_rejected(self, fleet_harness):
+        fleet = fleet_harness(replicas=1)
+        replica_url = fleet.supervisor.process("replica-0").url
+        direct = GovernedClient(replica_url)
+        with pytest.raises(ReadOnlyReplicaError):
+            direct.submit_release(**release_kwargs(5, rows=1))
+
+    def test_leaderless_fleet_rejects_mutations_but_serves_reads(
+            self, fleet_harness):
+        fleet = fleet_harness(replicas=2)
+        client = fleet.client()
+        client.rows(DEMO_QUERY)
+        # the leader dies and is not respawned (only replicas restart)
+        fleet.supervisor.kill("leader")
+        deadline = time.monotonic() + 15
+        while fleet.router.balancer.leader is not None:
+            assert time.monotonic() < deadline, \
+                "leader was never dropped from the routing table"
+            time.sleep(0.05)
+        # mutations cannot silently land on a read-only replica: the
+        # router answers with a typed, retryable gateway error
+        with pytest.raises(GatewayError):
+            client.submit_release(**release_kwargs(6, rows=1))
+        # ...while fan-out reads keep flowing from the replicas
+        for _ in range(5):
+            assert len(client.rows(DEMO_QUERY)) == 4
+
+    def test_session_floor_above_every_backend_is_a_typed_503(
+            self, fleet_harness):
+        from repro.errors import NoFreshReplicaError
+
+        fleet = fleet_harness(replicas=1)
+        client = fleet.client()
+        client.rows(DEMO_QUERY)
+        fleet.supervisor.kill("leader")
+        deadline = time.monotonic() + 15
+        while fleet.router.balancer.leader is not None:
+            time.sleep(0.05)
+            assert time.monotonic() < deadline
+        # forge a future floor for this session: nothing can serve it
+        transport = client.transport
+        session = fleet.router.balancer.session(transport.session_id)
+        session.floor = 10_000
+        with pytest.raises(NoFreshReplicaError):
+            client.rows(DEMO_QUERY)

@@ -8,3 +8,24 @@ import pytest
 @pytest.fixture()
 def state_dir(tmp_path):
     return tmp_path / "state"
+
+
+@pytest.fixture()
+def background_replica():
+    """Run replicas' background follow loops with guaranteed teardown.
+
+    Yields a factory: ``replica = background_replica(replica_obj)``
+    starts the follow thread and registers the replica for ``stop()``
+    at teardown, so no follow loop outlives its test even when the
+    test body raises before reaching a ``finally``.
+    """
+    replicas = []
+
+    def _start(replica, *, poll_interval=0.05):
+        replicas.append(replica)
+        replica.start(poll_interval=poll_interval)
+        return replica
+
+    yield _start
+    for replica in replicas:
+        replica.stop()

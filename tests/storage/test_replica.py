@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.api.http_gateway import HttpGateway
@@ -139,6 +141,33 @@ class TestFileTailing:
             assert leader_info["replica_lag"] == 0
             assert "snapshot_seq" in leader_info
 
+    def test_cold_replica_is_not_ready_until_first_catch_up(
+            self, leader, journal_path):
+        """Before its first successful poll a follower reports epoch 0
+        and lag 0 — indistinguishable from a caught-up follower of an
+        empty leader — so describe must expose ``ready: false`` until
+        a catch-up actually succeeds (routers gate on it)."""
+        with Replica.follow_file(journal_path) as replica:
+            info = replica.service.endpoint.handle_describe() \
+                .service["journal"]
+            assert info["ready"] is False
+            assert info["replica_lag"] == 0  # the trap: lag lies here
+            replica.catch_up()
+            info = replica.service.endpoint.handle_describe() \
+                .service["journal"]
+            assert info["ready"] is True
+            assert info["replica_lag"] == 0
+
+    def test_empty_catch_up_still_marks_ready(self, tmp_path):
+        from repro.storage.journal import Journal
+
+        path = tmp_path / "empty.jsonl"
+        Journal.open(path).close()  # a journal with zero records
+        with Replica.follow_file(path) as replica:
+            assert replica.ready is False
+            assert replica.catch_up() == 0
+            assert replica.ready is True
+
     def test_describe_service_text_mentions_journal(self, leader):
         text = leader.serving().describe()
         assert "journal: leader at seq" in text
@@ -166,43 +195,37 @@ class TestHttpTailing:
                 assert replica.mdm.ontology.epoch == \
                     leader.ontology.epoch
 
-    def test_broken_follow_loop_is_observable(self):
-        import time
-
+    def test_broken_follow_loop_is_observable(self,
+                                              background_replica):
         from repro.storage.replica import HttpTailer
 
-        replica = Replica(HttpTailer("http://127.0.0.1:9",
-                                     timeout=0.2))
-        try:
-            replica.start(poll_interval=0.01)
+        replica = background_replica(
+            Replica(HttpTailer("http://127.0.0.1:9", timeout=0.2)),
+            poll_interval=0.01)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and \
+                replica.failed_polls == 0:
+            time.sleep(0.01)
+        assert replica.failed_polls > 0
+        info = replica.service.endpoint.handle_describe() \
+            .service["journal"]
+        assert info["failed_polls"] > 0
+        assert "GatewayError" in info["last_poll_error"]
+        # a replica that never completed a poll must not claim ready
+        assert info["ready"] is False
+
+    def test_background_following(self, leader, background_replica):
+        with HttpGateway(leader.serving()) as gateway:
+            replica = background_replica(
+                Replica.follow_url(gateway.url))
+            register_app(leader, 3)
             deadline = time.monotonic() + 5.0
             while time.monotonic() < deadline and \
-                    replica.failed_polls == 0:
-                time.sleep(0.01)
-            assert replica.failed_polls > 0
-            info = replica.service.endpoint.handle_describe() \
-                .service["journal"]
-            assert info["failed_polls"] > 0
-            assert "GatewayError" in info["last_poll_error"]
-        finally:
-            replica.stop()
-
-    def test_background_following(self, leader):
-        with HttpGateway(leader.serving()) as gateway:
-            replica = Replica.follow_url(gateway.url)
-            try:
-                replica.start(poll_interval=0.05)
-                register_app(leader, 3)
-                import time
-                deadline = time.monotonic() + 5.0
-                while time.monotonic() < deadline and \
-                        replica.mdm.ontology.epoch != \
-                        leader.ontology.epoch:
-                    time.sleep(0.02)
-                assert replica.mdm.ontology.epoch == \
-                    leader.ontology.epoch
-            finally:
-                replica.stop()
+                    replica.mdm.ontology.epoch != \
+                    leader.ontology.epoch:
+                time.sleep(0.02)
+            assert replica.mdm.ontology.epoch == \
+                leader.ontology.epoch
 
     def test_journal_route_shape_and_paging(self, leader):
         import json
