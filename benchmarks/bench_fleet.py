@@ -36,6 +36,13 @@ SECONDS = float(os.environ.get("BENCH_FLEET_SECONDS", "4.0"))
 REPLICAS = int(os.environ.get("BENCH_FLEET_REPLICAS", "3"))
 SPEEDUP_FLOOR = 2.0
 
+# The load is one identical query; with the answer cache on, every
+# backend serves it from memory and the bench measures only protocol
+# overhead. Opt the whole fleet out (children inherit the env) so the
+# bench keeps stressing the execution path replicas exist to scale;
+# bench_columnar covers the answer-cache fast path.
+os.environ["REPRO_ANSWER_CACHE"] = "0"
+
 ENFORCE = os.environ.get("BENCH_FLEET_ENFORCE") == "1" or \
     (os.cpu_count() or 1) >= 4
 

@@ -46,17 +46,19 @@ from repro.api import (
 from repro.core import BDIOntology, Release, new_release
 from repro.mdm import MDM
 from repro.query import (
-    OMQ, QueryEngine, RewriteCache, parse_omq, rewrite,
+    OMQ, AnswerCache, QueryEngine, RewriteCache, parse_omq, rewrite,
 )
+from repro.relational import ColumnBatch
 from repro.service import EpochLock, GovernedService, ServedAnswer
 from repro.storage import ChangeRecord, Journal, Replica, Snapshot
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",
     "MDM",
-    "OMQ", "QueryEngine", "RewriteCache", "parse_omq", "rewrite",
+    "OMQ", "AnswerCache", "ColumnBatch", "QueryEngine",
+    "RewriteCache", "parse_omq", "rewrite",
     "EpochLock", "GovernedService", "ServedAnswer",
     "QueryRequest", "QueryResponse",
     "ReleaseRequest", "ReleaseResponse",

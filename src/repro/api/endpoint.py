@@ -453,6 +453,8 @@ class ProtocolEndpoint:
                     "stats": service.stats.snapshot(),
                     "lock": service.lock.stats.snapshot(),
                     "scan_cache": service.scan_cache.stats.snapshot(),
+                    "answer_cache":
+                        service.answer_cache.stats.snapshot(),
                     "open_cursors": self.open_cursors,
                     "max_workers": service.max_workers,
                     "journal": service.journal_info()

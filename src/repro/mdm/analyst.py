@@ -173,6 +173,13 @@ def describe_service(service: "GovernedService") -> str:
         f"  scan cache: {len(service.scan_cache)} cached scan(s), "
         f"hits = {scan_stats.hits}, misses = {scan_stats.misses}, "
         f"invalidations = {scan_stats.invalidations}")
+    answer_stats = service.answer_cache.stats
+    lines.append(
+        f"  answer cache: {len(service.answer_cache)} cached "
+        f"answer(s), hits = {answer_stats.hits}, "
+        f"misses = {answer_stats.misses}, "
+        f"evictions = {answer_stats.evictions}, "
+        f"invalidations = {answer_stats.invalidations}")
     journal = service.journal_info() \
         if hasattr(service, "journal_info") else None
     if journal is None:

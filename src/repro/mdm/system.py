@@ -162,6 +162,18 @@ class MDM:
         """
         return self.engine.cache
 
+    @property
+    def answer_cache(self):
+        """The engine's full answer cache (None when off).
+
+        Above the rewrite cache: a valid entry skips execution
+        entirely. Validity is evidenced per entry (ontology fingerprint
+        plus every scanned wrapper's data_version), so direct MDM use
+        is exactly as safe as governed serving — a release or an
+        in-place data write keys stale answers out at lookup time.
+        """
+        return self.engine.answer_cache
+
     # -- steward interface ---------------------------------------------------
 
     def add_concept(self, concept: IRI | str) -> IRI:
@@ -446,6 +458,11 @@ class MDM:
             counts["cached_rewritings"] = len(self.cache)
             counts["cache_hits"] = self.cache.stats.hits
             counts["cache_misses"] = self.cache.stats.misses
+        answer_cache = self.engine.answer_cache
+        if answer_cache is not None:
+            counts["cached_answers"] = len(answer_cache)
+            counts["answer_cache_hits"] = answer_cache.stats.hits
+            counts["answer_cache_misses"] = answer_cache.stats.misses
         return counts
 
     def describe_cache(self) -> str:

@@ -1,5 +1,8 @@
 """Ontology-mediated query answering under LAV mappings (paper §5)."""
 
+from repro.query.answer_cache import (
+    AnswerCache, AnswerCacheStats, CachedAnswer,
+)
 from repro.query.cache import (
     CacheStats, CachedRewriting, RewriteCache, canonical_omq_key,
     concepts_of_result,
@@ -18,6 +21,7 @@ from repro.query.ucq import UCQ
 from repro.query.well_formed import is_well_formed, well_formed_query
 
 __all__ = [
+    "AnswerCache", "AnswerCacheStats", "CachedAnswer",
     "CacheStats", "CachedRewriting", "RewriteCache",
     "canonical_omq_key", "concepts_of_result",
     "covering_and_minimal", "is_covering", "is_minimal", "lav_union",

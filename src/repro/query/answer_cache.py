@@ -1,0 +1,189 @@
+"""The full answer cache: canonical OMQ → materialized answer.
+
+Sits *above* the rewrite cache (which skips Algorithms 2-5) and the
+scan cache (which skips wrapper fetches): a valid entry here skips
+**execution entirely** — no physical operator runs, no wrapper is
+touched; the stored :class:`~repro.relational.rows.Relation` is handed
+back as-is. The repeated analyst panel — the dominant governed-serving
+workload — becomes a dictionary lookup.
+
+Validity is evidence-based, mirroring the rewrite cache's
+release-awareness:
+
+* the **ontology fingerprint** the answer was computed under must still
+  be current — any release landing through Algorithm 1 (or a bypassed
+  mutation of ``T``) keys the entry out;
+* the **data_version** of every wrapper the plan scanned must be
+  unchanged — an in-place data write (a document-store upsert, a REST
+  source refresh) invalidates exactly the answers that read it.
+
+Both checks happen per lookup, so the cache is correct even without
+cooperation; the governed serving layer additionally clears it from its
+evolution listener (the same hook that clears the scan cache), keeping
+memory tight across epochs.
+
+Entries are shared objects: treat returned relations as immutable,
+exactly like rewrite-cache results and shared scans.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.relational.rows import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ontology import OntologyFingerprint
+
+__all__ = ["AnswerCache", "AnswerCacheStats", "CachedAnswer",
+           "DataVersions", "answer_cache_env_enabled"]
+
+
+def answer_cache_env_enabled() -> bool:
+    """False when ``REPRO_ANSWER_CACHE=0`` opts this process out.
+
+    The deployment-level kill switch for default answer caching:
+    memory-constrained replicas and benchmarks that must stress
+    execution set it; an *explicitly* passed cache always wins over the
+    environment.
+    """
+    return os.environ.get("REPRO_ANSWER_CACHE", "1") != "0"
+
+#: the data-state evidence of one answer: ``(wrapper, data_version)``
+#: per wrapper the plan scanned, sorted for a canonical representation
+DataVersions = "tuple[tuple[str, int], ...]"
+
+
+@dataclass
+class AnswerCacheStats:
+    """Counters of one :class:`AnswerCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: entries dropped because their evidence (fingerprint or a
+    #: wrapper's data_version) no longer matched at lookup time
+    evictions: int = 0
+    #: whole-cache clears (evolution events, administrative resets)
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+@dataclass
+class CachedAnswer:
+    """One materialized answer plus the evidence it is valid under."""
+
+    key: str
+    distinct: bool
+    fingerprint: "OntologyFingerprint"
+    data_versions: "tuple[tuple[str, int], ...]"
+    relation: Relation
+    hit_count: int = 0
+
+
+class AnswerCache:
+    """Thread-safe, LRU-bounded cache of fully materialized answers.
+
+    Keys are ``(canonical OMQ key, distinct)``; validity evidence (the
+    ontology fingerprint and every scanned wrapper's data_version) is
+    stored per entry and re-checked on every lookup, so a stale entry
+    can never be served — at worst it is evicted and recomputed.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, bool], CachedAnswer]" = \
+            OrderedDict()
+        self.stats = AnswerCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return any(k[0] == key for k in self._entries)
+
+    def lookup(self, key: str, distinct: bool,
+               fingerprint: "OntologyFingerprint",
+               data_versions: "tuple[tuple[str, int], ...]",
+               ) -> Relation | None:
+        """The cached answer, or ``None`` when absent/stale.
+
+        A present entry whose evidence mismatches is evicted (it can
+        never become valid again — fingerprints and data_versions only
+        move forward) and counts as a miss.
+        """
+        slot = (key, distinct)
+        with self._lock:
+            entry = self._entries.get(slot)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.fingerprint != fingerprint or \
+                    entry.data_versions != data_versions:
+                del self._entries[slot]
+                self.stats.evictions += 1
+                self.stats.misses += 1
+                return None
+            entry.hit_count += 1
+            self.stats.hits += 1
+            self._entries.move_to_end(slot)
+            return entry.relation
+
+    def store(self, key: str, distinct: bool,
+              fingerprint: "OntologyFingerprint",
+              data_versions: "tuple[tuple[str, int], ...]",
+              relation: Relation) -> CachedAnswer:
+        """Install an answer (last-writer-wins; LRU-evicts past cap)."""
+        entry = CachedAnswer(key=key, distinct=distinct,
+                             fingerprint=fingerprint,
+                             data_versions=data_versions,
+                             relation=relation)
+        with self._lock:
+            self._entries[(key, distinct)] = entry
+            self._entries.move_to_end((key, distinct))
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return entry
+
+    def clear(self) -> int:
+        """Drop every cached answer; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.stats.invalidations += 1
+            return dropped
+
+    def entries(self) -> list[CachedAnswer]:
+        """Point-in-time snapshot of entries (observability aid)."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AnswerCache {len(self)} entr"
+                f"{'y' if len(self) == 1 else 'ies'}, "
+                f"hits={self.stats.hits} misses={self.stats.misses}>")

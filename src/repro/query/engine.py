@@ -30,6 +30,9 @@ from typing import Iterable, Sequence
 
 from repro.core.ontology import BDIOntology
 from repro.errors import UnanswerableQueryError
+from repro.query.answer_cache import (
+    AnswerCache, AnswerCacheStats, answer_cache_env_enabled,
+)
 from repro.query.cache import CacheStats, RewriteCache, \
     canonical_omq_key
 from repro.query.omq import OMQ, parse_omq
@@ -55,11 +58,18 @@ class QueryEngine:
                  cache: RewriteCache | None = None,
                  use_cache: bool = True,
                  use_planner: bool = True,
+                 vectorized: bool = True,
+                 answer_cache: AnswerCache | None = None,
+                 use_answer_cache: bool = True,
                  parse_memo_max: int = PARSE_MEMO_MAX) -> None:
         if cache is not None and not use_cache:
             raise ValueError(
                 "an explicit cache contradicts use_cache=False; pass "
                 "one or the other")
+        if answer_cache is not None and not use_answer_cache:
+            raise ValueError(
+                "an explicit answer_cache contradicts "
+                "use_answer_cache=False; pass one or the other")
         if parse_memo_max < 1:
             raise ValueError("parse_memo_max must be >= 1")
         self.ontology = ontology
@@ -68,11 +78,27 @@ class QueryEngine:
         #: ID-filter pushdown, shared scans); False = naive logical
         #: evaluation, the baseline the equivalence suite compares to.
         self.use_planner = use_planner
+        #: run plans through the columnar engine (whole-column hash
+        #: joins, zero-copy projections, one row materialization at the
+        #: boundary); False = the row-at-a-time engine over the same
+        #: plans — the baseline ``bench_columnar`` compares against.
+        self.vectorized = vectorized
         #: release-aware rewriting cache (None when use_cache is False);
         #: pass a shared instance to pool engines over one ontology.
         self.cache: RewriteCache | None = (
             cache if cache is not None
             else RewriteCache() if use_cache else None)
+        #: full answer cache (canonical OMQ key + fingerprint + scanned
+        #: data_versions → materialized relation); only consulted on
+        #: the production path (no explicit provider), validity
+        #: evidence re-checked per lookup. None when disabled — via
+        #: ``use_answer_cache=False`` or the ``REPRO_ANSWER_CACHE=0``
+        #: environment kill switch (an explicit cache beats both).
+        self.answer_cache: AnswerCache | None = (
+            answer_cache if answer_cache is not None
+            else AnswerCache()
+            if use_answer_cache and answer_cache_env_enabled()
+            else None)
         #: SPARQL text → parsed OMQ memo, LRU-bounded, valid for the
         #: prefix bindings it was built under. Guarded by _parse_lock:
         #: the stale-memo check and the clear happen under the same
@@ -172,7 +198,25 @@ class QueryEngine:
                                       use_planner=False)
         scans = self._scan_provider(provider, scan_cache)
         plan = self._plan_cached(result, distinct, scans)
-        return plan.execute(scans)
+
+        # Full answer cache: only on the production path (bound
+        # wrappers) — explicit providers have no data_version evidence,
+        # so answers computed against them are never cached.
+        cache = self.answer_cache if provider is None else None
+        if cache is None:
+            return plan.execute(scans, vectorized=self.vectorized)
+        if key is None:
+            key = canonical_omq_key(omq)
+        fingerprint = self.ontology.fingerprint()
+        versions = tuple(sorted(
+            (name, scans.data_version(name))
+            for name in plan.wrappers()))
+        cached = cache.lookup(key, distinct, fingerprint, versions)
+        if cached is not None:
+            return cached
+        relation = plan.execute(scans, vectorized=self.vectorized)
+        cache.store(key, distinct, fingerprint, versions, relation)
+        return relation
 
     def plan(self, query: OMQ | str,
              provider: DataProvider | None = None,
@@ -316,9 +360,20 @@ class QueryEngine:
         """Counters of the rewriting cache (None when caching is off)."""
         return self.cache.stats if self.cache is not None else None
 
+    @property
+    def answer_cache_stats(self) -> AnswerCacheStats | None:
+        """Counters of the answer cache (None when it is off)."""
+        return (self.answer_cache.stats
+                if self.answer_cache is not None else None)
+
     def clear_cache(self) -> int:
         """Drop every cached rewriting; returns how many were dropped."""
         return self.cache.clear() if self.cache is not None else 0
+
+    def clear_answer_cache(self) -> int:
+        """Drop every cached answer; returns how many were dropped."""
+        return (self.answer_cache.clear()
+                if self.answer_cache is not None else 0)
 
     def parse_memo_size(self) -> int:
         """Number of memoized SPARQL parses (observability aid)."""

@@ -15,6 +15,7 @@ steps follow the paper's numbering:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.ontology import BDIOntology
 from repro.core.vocabulary import qualified_attribute_name
@@ -33,7 +34,7 @@ class ConceptWalks:
     concept: IRI
     walks: list[Walk]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Walk]:
         return iter(self.walks)
 
     def __len__(self) -> int:

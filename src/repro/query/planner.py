@@ -66,11 +66,25 @@ class PhysicalPlan:
     root: PhysicalOperator
     distinct: bool = True
 
-    def execute(self, provider: ScanProvider) -> Relation:
-        """Materialize the plan; output columns are feature names."""
-        raw = self.root.execute(provider)
+    def execute(self, provider: ScanProvider,
+                vectorized: bool = True) -> Relation:
+        """Materialize the plan; output columns are feature names.
+
+        ``vectorized`` (the default) runs the columnar engine: the
+        operator tree exchanges :class:`~repro.relational.columnar.
+        ColumnBatch` objects and rows are materialized exactly once,
+        here at the plan boundary. ``vectorized=False`` runs the
+        original row-at-a-time engine over the same plan — the
+        comparison baseline of ``bench_columnar`` and the equivalence
+        suite.
+        """
         # Present the output under a friendly relation name instead of
         # the internal plan-derived one (mirrors UCQ.execute).
+        if vectorized:
+            batch = self.root.execute_batch(provider)
+            schema = RelationSchema("result", batch.schema.attributes)
+            return Relation.from_trusted(schema, batch.to_rows())
+        raw = self.root.execute(provider)
         schema = RelationSchema("result", raw.schema.attributes)
         return Relation.from_trusted(schema, list(raw))
 

@@ -10,6 +10,7 @@ from repro.relational.algebra import (
     DataProvider, Expression, FinalProject, Join, Project, Scan, Union,
     evaluate,
 )
+from repro.relational.columnar import ColumnBatch, concat_batches
 from repro.relational.physical import (
     CachingScanProvider, IdFilter, PhysicalHashJoin, PhysicalOperator,
     PhysicalProject, PhysicalScan, PhysicalUnion, RelationScanProvider,
@@ -23,6 +24,7 @@ from repro.relational.walk import JoinCondition, Walk
 __all__ = [
     "Attribute", "RelationSchema",
     "Relation", "render_table",
+    "ColumnBatch", "concat_batches",
     "DataProvider", "Expression", "FinalProject", "Join", "Project",
     "Scan", "Union", "evaluate",
     "CachingScanProvider", "IdFilter", "PhysicalHashJoin",

@@ -1,0 +1,293 @@
+"""Columnar batches: the vectorized exchange format of the physical layer.
+
+The row engine (PR 3) moves data as per-row dicts — every join match
+copies a dict, every projection rebuilds one, every dedup key runs an
+itemgetter per row. A :class:`ColumnBatch` turns that inside out: one
+Python list per column, plus an optional **selection vector** of live
+row indices, so operators work on whole columns at a time:
+
+* a hash join zips the key columns once, joins index lists, and gathers
+  each output column in a single ``map(column.__getitem__, indices)``
+  pass — no per-match dict merging;
+* a projection is a column *rename*: the underlying lists are shared,
+  nothing is copied;
+* dedup zips the value columns into tuples and keeps first occurrences
+  with one set — no per-row itemgetter calls.
+
+Batches cross back into row land exactly once, at the plan boundary
+(:meth:`to_relation`), so :class:`~repro.relational.rows.Relation`,
+the wrappers and the protocol envelopes are untouched on the outside.
+
+Batches are **immutable by convention**: columns may be shared between
+batches (projections alias their child's lists) and with the
+:class:`~repro.relational.rows.Relation` they were converted from via
+:meth:`Relation.columnar <repro.relational.rows.Relation.columnar>`'s
+memo — never mutate a column list you did not build yourself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.rows import Relation
+
+__all__ = ["ColumnBatch", "concat_batches"]
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise.
+
+    ``columns`` aligns position-for-position with
+    ``schema.attributes``. ``selection`` is either ``None`` (every
+    stored row is live) or a list of indices into the columns — the
+    standard vectorized-execution trick for filters: dropping rows
+    costs one index list, not one copy per surviving column.
+    """
+
+    __slots__ = ("schema", "columns", "selection", "_length")
+
+    def __init__(self, schema: RelationSchema,
+                 columns: Sequence[list[object]],
+                 selection: list[int] | None = None,
+                 _length: int | None = None) -> None:
+        if len(columns) != len(schema.attributes):
+            raise SchemaError(
+                f"batch for {schema.name} expects "
+                f"{len(schema.attributes)} columns, got {len(columns)}")
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.selection = selection
+        if _length is not None:
+            stored = _length
+        else:
+            stored = len(columns[0]) if columns else 0
+        for column in self.columns:
+            if len(column) != stored:
+                raise SchemaError(
+                    f"ragged batch for {schema.name}: column lengths "
+                    f"{[len(c) for c in self.columns]}")
+        self._length = (len(selection) if selection is not None
+                        else stored)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, schema: RelationSchema,
+                  rows: Sequence[Mapping[str, object]]) -> "ColumnBatch":
+        """Pivot row dicts into columns (the row→batch adapter)."""
+        names = schema.attribute_names
+        return cls(schema,
+                   [[row[name] for row in rows] for name in names],
+                   _length=len(rows))
+
+    @classmethod
+    def from_relation(cls, relation: "Relation") -> "ColumnBatch":
+        """The batch view of a relation, memoized on the relation.
+
+        Shared scans hitting one cached
+        :class:`~repro.relational.rows.Relation` pivot to columns once;
+        every later consumer reuses the same (immutable) column lists.
+        """
+        return relation.columnar()
+
+    @classmethod
+    def empty(cls, schema: RelationSchema) -> "ColumnBatch":
+        return cls(schema, [[] for _ in schema.attributes], _length=0)
+
+    # -- shape ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sel = (f" selection={len(self.selection)}"
+               if self.selection is not None else "")
+        return (f"<ColumnBatch {self.schema.name}: {len(self)} rows × "
+                f"{len(self.columns)} cols{sel}>")
+
+    # -- column access -------------------------------------------------------
+
+    def column(self, name: str) -> list[object]:
+        """The live values of one column (selection applied)."""
+        try:
+            index = self.schema.attribute_names.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"{self.schema.name} has no attribute {name!r}") from None
+        return self.column_at(index)
+
+    def column_at(self, index: int) -> list[object]:
+        column = self.columns[index]
+        if self.selection is None:
+            return list(column) if not isinstance(column, list) \
+                else column
+        return list(map(column.__getitem__, self.selection))
+
+    def dense_columns(self) -> tuple[list[object], ...]:
+        """Every column with the selection applied (compacted)."""
+        if self.selection is None:
+            return self.columns
+        getters = self.selection
+        return tuple(list(map(column.__getitem__, getters))
+                     for column in self.columns)
+
+    def compact(self) -> "ColumnBatch":
+        """A selection-free copy (no-op when already dense)."""
+        if self.selection is None:
+            return self
+        return ColumnBatch(self.schema, self.dense_columns(),
+                           _length=len(self))
+
+    # -- vectorized operations ----------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather rows by *live-row* position (dense output)."""
+        if self.selection is not None:
+            base = self.selection
+            indices = [base[i] for i in indices]
+        columns = tuple(list(map(column.__getitem__, indices))
+                        for column in self.columns)
+        return ColumnBatch(self.schema, columns, _length=len(indices))
+
+    def select(self, indices: list[int]) -> "ColumnBatch":
+        """Restrict to *live-row* positions via a selection vector.
+
+        Columns are shared, only the index list is new — the cheap form
+        of :meth:`take` for operators that filter without reordering.
+        """
+        if self.selection is not None:
+            base = self.selection
+            indices = [base[i] for i in indices]
+        return ColumnBatch(self.schema, self.columns, indices)
+
+    def filter_in(self, attribute: str,
+                  values: frozenset | set) -> "ColumnBatch":
+        """Vectorized membership filter → selection vector."""
+        column = self.column(attribute)
+        keep = [i for i, value in enumerate(column) if value in values]
+        if len(keep) == len(self):
+            return self
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str],
+               name: str | None = None) -> "ColumnBatch":
+        """Project onto ``output → input`` *mapping*, sharing columns.
+
+        The vectorized final projection: output attribute order follows
+        the mapping, each output column aliases the input column it
+        renames — zero data movement.
+        """
+        if not mapping:
+            schema = RelationSchema(name or f"π({self.schema.name})",
+                                    (), None)
+            return ColumnBatch(schema, (), _length=len(self))
+        names = self.schema.attribute_names
+        attrs: list[Attribute] = []
+        columns: list[list[object]] = []
+        for out_name, in_name in mapping.items():
+            try:
+                index = names.index(in_name)
+            except ValueError:
+                raise SchemaError(
+                    f"{self.schema.name} has no attribute "
+                    f"{in_name!r}") from None
+            attrs.append(Attribute(out_name,
+                                   self.schema.attributes[index].is_id))
+            columns.append(self.columns[index])
+        schema = RelationSchema(name or f"π({self.schema.name})",
+                                tuple(attrs), None)
+        stored = len(self.columns[0]) if self.columns else len(self)
+        return ColumnBatch(schema, columns, self.selection,
+                           _length=stored)
+
+    def reorder(self, names: Sequence[str]) -> "ColumnBatch":
+        """The same batch with columns in *names* order (shared data)."""
+        if tuple(names) == self.schema.attribute_names:
+            return self
+        return self.rename({n: n for n in names},
+                           name=self.schema.name)
+
+    def distinct(self) -> "ColumnBatch":
+        """First-occurrence dedup over all columns (one zip pass)."""
+        dense = self.dense_columns()
+        if not dense:
+            # Zero-column batches deduplicate to at most one row.
+            return ColumnBatch(self.schema, (),
+                               _length=min(len(self), 1))
+        seen: set = set()
+        keep: list[int] = []
+        add = seen.add
+        if len(dense) == 1:
+            for i, key in enumerate(dense[0]):
+                if key not in seen:
+                    add(key)
+                    keep.append(i)
+        else:
+            for i, key in enumerate(zip(*dense)):
+                if key not in seen:
+                    add(key)
+                    keep.append(i)
+        if len(keep) == len(self):
+            return self.compact()
+        columns = tuple(list(map(column.__getitem__, keep))
+                        for column in dense)
+        return ColumnBatch(self.schema, columns, _length=len(keep))
+
+    # -- boundary adapters ---------------------------------------------------
+
+    def iter_rows(self) -> Iterable[dict[str, object]]:
+        names = self.schema.attribute_names
+        for values in zip(*self.dense_columns()):
+            yield dict(zip(names, values))
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Pivot back to row dicts (the batch→row adapter)."""
+        names = self.schema.attribute_names
+        if not names:
+            return [{} for _ in range(len(self))]
+        return [dict(zip(names, values))
+                for values in zip(*self.dense_columns())]
+
+    def to_relation(self, name: str | None = None) -> "Relation":
+        from repro.relational.rows import Relation
+        schema = self.schema
+        if name is not None and name != schema.name:
+            schema = RelationSchema(name, schema.attributes,
+                                    schema.source)
+        return Relation.from_trusted(schema, self.to_rows())
+
+
+def concat_batches(schema: RelationSchema,
+                   batches: Sequence[ColumnBatch]) -> ColumnBatch:
+    """Column-wise concatenation under *schema*'s attribute order.
+
+    Batches may order their columns differently (union branches are
+    compatible as attribute *sets*); each is aligned by name before its
+    columns are extended onto the output.
+    """
+    names = schema.attribute_names
+    for batch in batches:
+        if set(batch.schema.attribute_names) != set(names):
+            raise SchemaError(
+                "cannot concatenate batch over "
+                f"{sorted(batch.schema.attribute_names)} under schema "
+                f"{sorted(names)}")
+    if len(batches) == 1:
+        return batches[0].reorder(names)
+    out: tuple[list[object], ...] = tuple([] for _ in names)
+    total = 0
+    for batch in batches:
+        aligned = batch.reorder(names)
+        dense = aligned.dense_columns()
+        for target, column in zip(out, dense):
+            target.extend(column)
+        total += len(aligned)
+    return ColumnBatch(schema, out, _length=total)

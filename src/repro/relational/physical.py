@@ -27,10 +27,11 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError
 from repro.relational.algebra import DataProvider
+from repro.relational.columnar import ColumnBatch, concat_batches
 from repro.relational.rows import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
@@ -402,16 +403,36 @@ def as_scan_provider(provider: "DataProvider | ScanProvider | None",
 
 
 class PhysicalOperator:
-    """Base class of physical plan nodes."""
+    """Base class of physical plan nodes.
+
+    Every operator offers two execution modes over the same plan shape:
+    :meth:`execute` is the original row-at-a-time engine (per-row dicts
+    and itemgetters — kept as the comparison baseline and fallback),
+    :meth:`execute_batch` is the vectorized engine exchanging
+    :class:`~repro.relational.columnar.ColumnBatch` objects, converting
+    to rows only at the plan boundary.
+    """
 
     def schema(self) -> RelationSchema:
         raise NotImplementedError
 
     def execute(self, provider: ScanProvider,
                 runtime_filter: IdFilter | None = None) -> Relation:
-        """Materialize the node. *runtime_filter* only reaches scans —
-        a parent hash join pushes its build-side key set down here."""
+        """Materialize the node row-at-a-time. *runtime_filter* only
+        reaches scans — a parent hash join pushes its build-side key
+        set down here."""
         raise NotImplementedError
+
+    def execute_batch(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> ColumnBatch:
+        """Vectorized execution: materialize the node as a batch.
+
+        The default adapts :meth:`execute` (row engine) so custom
+        operators keep working inside a vectorized plan; the built-in
+        operators override it with whole-column implementations.
+        """
+        return self.execute(provider, runtime_filter).columnar()
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         raise NotImplementedError
@@ -447,6 +468,20 @@ class PhysicalScan(PhysicalOperator):
                 runtime_filter: IdFilter | None = None) -> Relation:
         return provider.scan(self.wrapper_name, self.columns,
                              runtime_filter)
+
+    def execute_batch(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> ColumnBatch:
+        # The row→batch boundary: the wrapper's relation pivots to
+        # columns once and the pivot is memoized on the relation, so a
+        # scan shared through the ScanCache pays it once per fetch.
+        # Wrappers are free to order columns differently than the plan
+        # declared (rows are dicts, so the row engine never noticed);
+        # the batch is realigned to the plan's order — a zero-copy
+        # rename — so downstream operators can trust plan schemas.
+        batch = provider.scan(self.wrapper_name, self.columns,
+                              runtime_filter).columnar()
+        return batch.reorder(self.relation_schema.attribute_names)
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
@@ -523,6 +558,72 @@ class PhysicalHashJoin(PhysicalOperator):
                 rows.append(merged)
         return Relation.from_trusted(out_schema, rows)
 
+    def execute_batch(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> ColumnBatch:
+        """Vectorized hash join: key columns are zipped once into an
+        index table, matches join as two index lists, and every output
+        column is gathered in a single pass — no per-match dict
+        merging."""
+        build = self.build.execute_batch(provider)
+        if not len(build):
+            return ColumnBatch.empty(self.schema())
+
+        build_keys = [c[0] for c in self.conditions]
+        probe_keys = [c[1] for c in self.conditions]
+        build_key_columns = [build.column(k) for k in build_keys]
+        table: dict[object, list[int]] = {}
+        if len(build_key_columns) == 1:
+            for i, key in enumerate(build_key_columns[0]):
+                table.setdefault(key, []).append(i)
+        else:
+            for i, key in enumerate(zip(*build_key_columns)):
+                table.setdefault(key, []).append(i)
+
+        pushed: IdFilter | None = None
+        if self.semi_join and isinstance(self.probe, PhysicalScan):
+            try:
+                pushed = IdFilter(probe_keys[0],
+                                  frozenset(build_key_columns[0]))
+            except TypeError:
+                pushed = None  # unhashable key values: fetch unfiltered
+        probe = self.probe.execute_batch(provider, pushed)
+
+        probe_key_columns = [probe.column(k) for k in probe_keys]
+        probe_iter: Iterable[object]
+        if len(probe_key_columns) == 1:
+            probe_iter = probe_key_columns[0]
+        else:
+            probe_iter = zip(*probe_key_columns)
+        build_indices: list[int] = []
+        probe_indices: list[int] = []
+        get = table.get
+        append_probe = probe_indices.append
+        for j, key in enumerate(probe_iter):
+            matches = get(key)
+            if matches is None:
+                continue
+            build_indices += matches
+            if len(matches) == 1:
+                append_probe(j)
+            else:
+                probe_indices += [j] * len(matches)
+
+        columns = [list(map(column.__getitem__, build_indices))
+                   for column in build.dense_columns()]
+        columns += [list(map(column.__getitem__, probe_indices))
+                    for column in probe.dense_columns()]
+        # Output schema follows the executed batches' actual column
+        # order (a custom child may emit columns in any order); all
+        # downstream access is by name, so order is free to differ
+        # from the planner's declared schema.
+        out_schema = RelationSchema(
+            f"({build.schema.name}⋈̃{probe.schema.name})",
+            tuple(build.schema.attributes) + tuple(probe.schema.attributes),
+            None)
+        return ColumnBatch(out_schema, columns,
+                           _length=len(build_indices))
+
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
         conds = ",".join(f"{b}={p}" for b, p in self.conditions)
@@ -562,6 +663,13 @@ class PhysicalProject(PhysicalOperator):
         rows = [{out: row[src] for out, src in items}
                 for row in child_rows]
         return Relation.from_trusted(self.schema(), rows)
+
+    def execute_batch(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> ColumnBatch:
+        # Vectorized projection is a rename: output columns alias the
+        # child's lists, no data moves at all.
+        return self.child.execute_batch(provider).rename(self.mapping)
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
@@ -614,6 +722,18 @@ class PhysicalUnion(PhysicalOperator):
                 seen.add(key)
                 rows.append(row)
         return Relation.from_trusted(self.schema(), rows)
+
+    def execute_batch(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> ColumnBatch:
+        """Vectorized union: branch batches are aligned by attribute
+        name, concatenated column-wise, and deduplicated (when
+        ``distinct``) in one zip pass over the value columns."""
+        schema = self.schema()
+        batches = [branch.execute_batch(provider)
+                   for branch in self.branches]
+        merged = concat_batches(schema, batches)
+        return merged.distinct() if self.distinct else merged
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent

@@ -8,10 +8,14 @@ to reproduce Tables 1 and 2 of the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, \
+    Mapping, Sequence
 
 from repro.errors import SchemaError
 from repro.relational.schema import RelationSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.columnar import ColumnBatch
 
 __all__ = ["Relation", "render_table"]
 
@@ -21,12 +25,13 @@ Row = Mapping[str, object]
 class Relation:
     """A materialized relation (bag semantics, stable order)."""
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_columnar")
 
     def __init__(self, schema: RelationSchema,
                  rows: Iterable[Row] = ()) -> None:
         self.schema = schema
         self._rows: list[dict[str, object]] = []
+        self._columnar: "ColumnBatch | None" = None
         for row in rows:
             self.append(row)
 
@@ -42,6 +47,16 @@ class Relation:
         """
         relation = cls(schema)
         relation._rows = rows
+        return relation
+
+    @classmethod
+    def from_batch(cls, batch: "ColumnBatch",
+                   name: str | None = None) -> "Relation":
+        """Materialize a columnar batch as a relation (batch→row
+        adapter); the batch stays attached as the columnar view."""
+        relation = batch.to_relation(name)
+        if name is None or name == batch.schema.name:
+            relation._columnar = batch.compact()
         return relation
 
     # -- mutation -----------------------------------------------------------
@@ -60,6 +75,7 @@ class Relation:
             raise SchemaError(
                 f"row does not fit schema {self.schema.name}: "
                 + ", ".join(parts))
+        self._columnar = None  # the memoized batch no longer matches
         self._rows.append(dict(row))
 
     def extend(self, rows: Iterable[Row]) -> None:
@@ -71,6 +87,23 @@ class Relation:
     @property
     def rows(self) -> list[dict[str, object]]:
         return list(self._rows)
+
+    def columnar(self) -> "ColumnBatch":
+        """The columnar view of this relation, memoized.
+
+        Consumers treat produced relations as immutable (shared-scan
+        results explicitly so), which makes the pivot safe to share:
+        a wrapper scan cached across a whole batch of queries is
+        pivoted to columns once, then every vectorized plan reuses the
+        same column lists. The memo drops on :meth:`append`. The
+        returned batch's columns are shared — never mutate them.
+        """
+        batch = self._columnar
+        if batch is None:
+            from repro.relational.columnar import ColumnBatch
+            batch = ColumnBatch.from_rows(self.schema, self._rows)
+            self._columnar = batch
+        return batch
 
     def column(self, name: str) -> list[object]:
         self.schema.attribute(name)  # validate

@@ -169,6 +169,24 @@ class GovernedService:
         #: write section or a bypassed write — clears it, and wrappers'
         #: data_version tokens key out in-place data mutations.
         self.scan_cache = ScanCache()
+        #: the engine's full answer cache (repeated analyst panels skip
+        #: execution entirely); cleared at every epoch boundary through
+        #: the evolution listener, exactly like the scan cache. If the
+        #: engine was built with ``use_answer_cache=False`` the service
+        #: installs its own so governed serving always has one.
+        #: ``REPRO_ANSWER_CACHE=0`` in the environment opts a deployment
+        #: out (memory-constrained replicas, benchmarks that must stress
+        #: execution); the service then keeps a detached, always-empty
+        #: cache so its observability surfaces stay valid.
+        from repro.query.answer_cache import (
+            AnswerCache, answer_cache_env_enabled,
+        )
+        if self.mdm.engine.answer_cache is None and \
+                answer_cache_env_enabled():
+            self.mdm.engine.answer_cache = AnswerCache()
+        self.answer_cache = (self.mdm.engine.answer_cache
+                             if self.mdm.engine.answer_cache is not None
+                             else AnswerCache())
         #: lazily built protocol handler (see :attr:`endpoint`)
         self._endpoint: "ProtocolEndpoint | None" = None
         self.mdm.ontology.add_evolution_listener(self._on_evolution)
@@ -208,10 +226,14 @@ class GovernedService:
             self.mdm._serving = None
 
     def _on_evolution(self, event: EvolutionEvent) -> None:
-        # Epoch boundary: cached scans may describe the pre-release
-        # wrapper inventory; drop them all, and supersede every open
-        # pagination cursor (a page stream never switches epochs).
+        # Epoch boundary: cached scans and materialized answers may
+        # describe the pre-release state; drop both (the answer cache's
+        # per-entry fingerprint evidence would key them out anyway —
+        # clearing eagerly frees the memory at the boundary), and
+        # supersede every open pagination cursor (a page stream never
+        # switches epochs).
         self.scan_cache.clear()
+        self.answer_cache.clear()
         if self._endpoint is not None:
             self._endpoint.on_evolution(event)
         if not self.lock.held_for_write():

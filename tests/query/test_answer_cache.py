@@ -1,0 +1,222 @@
+"""Full answer cache: unit semantics, engine integration, evidence-based
+invalidation (ontology fingerprint + wrapper data_versions)."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.datasets.supersede import register_w4
+from repro.query import AnswerCache, QueryEngine
+from repro.relational import Relation
+from repro.relational.schema import RelationSchema
+
+
+def relation_of(n):
+    schema = RelationSchema.of("r", ids=["id"], non_ids=[], source=None)
+    return Relation(schema, [{"id": i} for i in range(n)])
+
+
+VERSIONS = (("w1", 0), ("w3", 2))
+
+
+class TestAnswerCacheUnit:
+    def test_store_then_hit(self):
+        cache = AnswerCache()
+        answer = relation_of(2)
+        cache.store("q", True, "fp", VERSIONS, answer)
+        assert cache.lookup("q", True, "fp", VERSIONS) is answer
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert "q" in cache
+
+    def test_distinct_keys_separately(self):
+        cache = AnswerCache()
+        bag, dedup = relation_of(3), relation_of(2)
+        cache.store("q", False, "fp", VERSIONS, bag)
+        cache.store("q", True, "fp", VERSIONS, dedup)
+        assert len(cache) == 2
+        assert cache.lookup("q", False, "fp", VERSIONS) is bag
+        assert cache.lookup("q", True, "fp", VERSIONS) is dedup
+
+    def test_fingerprint_mismatch_evicts(self):
+        cache = AnswerCache()
+        cache.store("q", True, "fp1", VERSIONS, relation_of(1))
+        assert cache.lookup("q", True, "fp2", VERSIONS) is None
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 0  # gone, not retried
+
+    def test_data_version_mismatch_evicts(self):
+        cache = AnswerCache()
+        cache.store("q", True, "fp", VERSIONS, relation_of(1))
+        moved = (("w1", 0), ("w3", 3))
+        assert cache.lookup("q", True, "fp", moved) is None
+        assert cache.stats.evictions == 1
+
+    def test_lru_eviction_past_cap(self):
+        cache = AnswerCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.store(key, True, "fp", VERSIONS, relation_of(1))
+        assert len(cache) == 2
+        assert "a" not in cache  # oldest dropped
+        # a hit refreshes recency
+        cache.lookup("b", True, "fp", VERSIONS)
+        cache.store("d", True, "fp", VERSIONS, relation_of(1))
+        assert "b" in cache and "c" not in cache
+
+    def test_clear_counts_invalidations(self):
+        cache = AnswerCache()
+        cache.store("q", True, "fp", VERSIONS, relation_of(1))
+        assert cache.clear() == 1
+        assert cache.clear() == 0  # empty clears are not events
+        assert cache.stats.invalidations == 1
+        snapshot = cache.stats.snapshot()
+        assert snapshot["stores"] == 1
+        assert snapshot["hit_rate"] == 0.0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            AnswerCache(max_entries=0)
+
+
+@pytest.fixture()
+def scenario():
+    return build_supersede(with_evolution=True)
+
+
+def count_fetches(scenario):
+    counts: dict[str, int] = {}
+    for name, wrapper in scenario.wrappers.items():
+        original = wrapper.fetch_rows
+
+        def counted(columns=None, id_filter=None, _o=original, _n=name):
+            counts[_n] = counts.get(_n, 0) + 1
+            return _o(columns=columns, id_filter=id_filter)
+
+        wrapper.fetch_rows = counted
+    return counts
+
+
+class TestEngineIntegration:
+    def test_warm_repeat_skips_execution_entirely(self, scenario):
+        counts = count_fetches(scenario)
+        engine = QueryEngine(scenario.ontology)
+        first = engine.answer(EXEMPLARY_QUERY)
+        fetched = sum(counts.values())
+        assert fetched > 0
+        second = engine.answer(EXEMPLARY_QUERY)
+        assert second is first  # the materialized answer itself
+        assert sum(counts.values()) == fetched  # zero new fetches
+        assert engine.answer_cache_stats.hits == 1
+
+    def test_data_version_bump_invalidates(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        before = engine.answer(EXEMPLARY_QUERY)
+        w3 = scenario.wrappers["w3"]
+        w3.replace_rows(w3._rows)  # same data, new data_version
+        after = engine.answer(EXEMPLARY_QUERY)
+        assert after is not before
+        assert after == before  # recomputed, same content
+        assert engine.answer_cache.stats.evictions == 1
+
+    def test_release_invalidates_via_fingerprint(self):
+        scenario = build_supersede()  # pre-evolution
+        engine = QueryEngine(scenario.ontology)
+        before = engine.answer(EXEMPLARY_QUERY)
+        register_w4(scenario)  # release: w4 branch appears
+        after = engine.answer(EXEMPLARY_QUERY)
+        assert after is not before
+        assert len(after) >= len(before)
+        assert engine.answer_cache.stats.hits == 0
+
+    def test_distinct_flag_keys_separately(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        engine.answer(EXEMPLARY_QUERY, distinct=True)
+        engine.answer(EXEMPLARY_QUERY, distinct=False)
+        assert len(engine.answer_cache) == 2
+        assert engine.answer_cache.stats.hits == 0
+
+    def test_explicit_provider_bypasses_cache(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        provider = {
+            name: wrapper.relation(qualified=True)
+            for name, wrapper in scenario.wrappers.items()}
+        engine.answer(EXEMPLARY_QUERY, provider=provider)
+        assert len(engine.answer_cache) == 0
+        assert engine.answer_cache.stats.lookups == 0
+
+    def test_disabled_cache(self, scenario):
+        engine = QueryEngine(scenario.ontology, use_answer_cache=False)
+        engine.answer(EXEMPLARY_QUERY)
+        engine.answer(EXEMPLARY_QUERY)
+        assert engine.answer_cache is None
+        assert engine.answer_cache_stats is None
+        assert engine.clear_answer_cache() == 0
+
+    def test_explicit_cache_contradiction_raises(self, scenario):
+        with pytest.raises(ValueError, match="contradicts"):
+            QueryEngine(scenario.ontology, answer_cache=AnswerCache(),
+                        use_answer_cache=False)
+
+    def test_env_kill_switch(self, scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_ANSWER_CACHE", "0")
+        assert QueryEngine(scenario.ontology).answer_cache is None
+        # an explicit cache beats the environment
+        explicit = AnswerCache()
+        engine = QueryEngine(scenario.ontology, answer_cache=explicit)
+        assert engine.answer_cache is explicit
+        # the serving layer keeps a detached (empty) cache for its
+        # observability surfaces but the engine never populates it
+        from repro.mdm import MDM
+        service = MDM(scenario.ontology).serving()
+        service.answer(EXEMPLARY_QUERY)
+        service.answer(EXEMPLARY_QUERY)
+        assert service.answer_cache.stats.lookups == 0
+        assert len(service.answer_cache) == 0
+
+    def test_shared_cache_across_engines(self, scenario):
+        shared = AnswerCache()
+        one = QueryEngine(scenario.ontology, answer_cache=shared)
+        two = QueryEngine(scenario.ontology, answer_cache=shared)
+        one.answer(EXEMPLARY_QUERY)
+        two.answer(EXEMPLARY_QUERY)
+        assert shared.stats.hits == 1
+
+    def test_row_engine_populates_the_same_cache(self, scenario):
+        engine = QueryEngine(scenario.ontology, vectorized=False)
+        first = engine.answer(EXEMPLARY_QUERY)
+        assert engine.answer(EXEMPLARY_QUERY) is first
+
+    def test_clear_answer_cache(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        engine.answer(EXEMPLARY_QUERY)
+        assert engine.clear_answer_cache() == 1
+        assert len(engine.answer_cache) == 0
+
+
+class TestServiceIntegration:
+    def test_release_clears_answer_cache(self):
+        from repro.mdm import MDM
+        scenario = build_supersede()  # pre-evolution
+        mdm = MDM(scenario.ontology)
+        service = mdm.serving()
+        service.answer(EXEMPLARY_QUERY)
+        assert len(service.answer_cache) == 1
+        register_w4(scenario)
+        assert len(service.answer_cache) == 0  # listener cleared it
+        assert service.answer_cache.stats.invalidations == 1
+
+    def test_describe_reports_answer_cache(self, scenario):
+        from repro.mdm import MDM
+        service = MDM(scenario.ontology).serving()
+        service.answer(EXEMPLARY_QUERY)
+        service.answer(EXEMPLARY_QUERY)
+        assert "answer cache" in service.describe()
+
+    def test_mdm_statistics_expose_answer_cache(self, scenario):
+        from repro.mdm import MDM
+        mdm = MDM(scenario.ontology)
+        mdm.query(EXEMPLARY_QUERY)
+        mdm.query(EXEMPLARY_QUERY)
+        stats = mdm.statistics()
+        assert stats["cached_answers"] == 1
+        assert stats["answer_cache_hits"] == 1

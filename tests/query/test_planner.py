@@ -66,13 +66,18 @@ def test_randomized_walk_equivalence(seed):
     naive = logical.evaluate(provider)
 
     scans = RelationScanProvider(provider)
-    planned = plan_walk(walk, mapping, scans.estimate).execute(scans)
+    branch = plan_walk(walk, mapping, scans.estimate)
+    planned = branch.execute(scans)
     assert planned == naive
 
+    # The vectorized engine must agree with the row engine exactly.
+    vectorized = branch.execute_batch(scans).to_relation()
+    assert vectorized == naive
+
     # Unknown cardinalities must not change the answer either.
-    planned_blind = plan_walk(walk, mapping,
-                              lambda name: None).execute(scans)
-    assert planned_blind == naive
+    blind = plan_walk(walk, mapping, lambda name: None)
+    assert blind.execute(scans) == naive
+    assert blind.execute_batch(scans).to_relation() == naive
 
 
 @pytest.mark.parametrize("seed", range(12))
@@ -113,9 +118,9 @@ def test_randomized_union_equivalence(seed, distinct):
 
     from repro.relational.physical import PhysicalUnion
     naive = Union(branches_logical, distinct=distinct).evaluate(provider)
-    planned = PhysicalUnion(tuple(branches_physical),
-                            distinct=distinct).execute(scans)
-    assert planned == naive
+    union = PhysicalUnion(tuple(branches_physical), distinct=distinct)
+    assert union.execute(scans) == naive
+    assert union.execute_batch(scans).to_relation() == naive
 
 
 def test_empty_wrapper_edge_case():
@@ -125,11 +130,13 @@ def test_empty_wrapper_edge_case():
     provider = {"w0": Relation(schema, [])}
     mapping = {"a": "D0/a"}
     scans = RelationScanProvider(provider)
-    planned = plan_walk(walk, mapping, scans.estimate).execute(scans)
+    branch = plan_walk(walk, mapping, scans.estimate)
+    planned = branch.execute(scans)
     naive = FinalProject(walk.to_expression(), mapping) \
         .evaluate(provider)
     assert planned == naive
     assert len(planned) == 0
+    assert len(branch.execute_batch(scans)) == 0
 
 
 # ---------------------------------------------------------------------------

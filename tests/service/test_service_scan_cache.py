@@ -29,6 +29,18 @@ class TestServingScanCache:
         for _ in range(5):
             assert len(service.answer(query)) == 8
         assert sum(counts.values()) == 1  # one wrapper, one fetch
+        # warm repeats are served above the scan cache entirely
+        assert service.answer_cache.stats.hits >= 4
+
+    def test_scan_cache_shares_fetches_when_answers_not_cached(self):
+        scenario = build_industrial_service(rows_per_wrapper=8)
+        counts = count_fetches(scenario)
+        service = scenario.mdm.serving()
+        query = scenario.query_texts()[0]
+        for _ in range(5):
+            service.answer_cache.clear()  # force re-execution
+            assert len(service.answer(query)) == 8
+        assert sum(counts.values()) == 1  # scans still shared
         assert service.scan_cache.stats.hits >= 4
 
     def test_batch_shares_scans_across_analysts(self):

@@ -1,0 +1,102 @@
+"""The benchmark-regression gate (benchmarks/compare_bench.py):
+direction inference, tolerance bands, exit codes, summary table."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (pathlib.Path(__file__).parent.parent / "benchmarks"
+          / "compare_bench.py")
+spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+class TestDirection:
+    @pytest.mark.parametrize("name", [
+        "join_speedup", "answer_cache_speedup", "speedup",
+        "speedup_vs_sequential.16", "restore_speedup_x",
+        "cache_stats.hit_rate", "hit_rate",
+    ])
+    def test_gated_up(self, name):
+        assert compare_bench.direction_of(name) == "up"
+
+    @pytest.mark.parametrize("name", [
+        "rows", "cold_seconds", "qps", "leader_only.qps", "p99_ms",
+        "append_overhead_pct", "client_overhead_vs_serve",
+        "speedup_floor", "gates.restore_speedup_floor_x",
+        "gates.append_overhead_limit_pct",
+    ])
+    def test_informational(self, name):
+        assert compare_bench.direction_of(name) is None
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves(self):
+        flat = compare_bench.flatten(
+            {"a": 1, "b": {"c": 2.5, "d": {"e": 3}}, "s": "text",
+             "ok": True})
+        assert flat == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+
+def run(tmp_path, baseline, fresh, tolerance=0.4):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    (baselines / "BENCH_x.json").write_text(json.dumps(baseline))
+    if fresh is not None:
+        (results / "BENCH_x.json").write_text(json.dumps(fresh))
+    return compare_bench.main([
+        "--baselines", str(baselines), "--results", str(results),
+        "--tolerance", str(tolerance)])
+
+
+class TestGate:
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        code = run(tmp_path, {"join_speedup": 2.0, "rows": 10},
+                   {"join_speedup": 1.5, "rows": 99})
+        assert code == 0
+        assert "all gated metrics" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        code = run(tmp_path, {"join_speedup": 2.0},
+                   {"join_speedup": 1.0})
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error::" in out
+        assert "join_speedup" in out
+
+    def test_informational_drop_never_fails(self, tmp_path):
+        assert run(tmp_path, {"qps": 1000.0, "cold_seconds": 1.0},
+                   {"qps": 10.0, "cold_seconds": 50.0}) == 0
+
+    def test_missing_fresh_file_fails(self, tmp_path):
+        assert run(tmp_path, {"join_speedup": 2.0}, None) == 1
+
+    def test_missing_gated_metric_fails(self, tmp_path):
+        assert run(tmp_path, {"join_speedup": 2.0}, {"rows": 5}) == 1
+
+    def test_new_metric_is_reported_not_gated(self, tmp_path, capsys):
+        code = run(tmp_path, {"join_speedup": 2.0},
+                   {"join_speedup": 2.0, "fresh_speedup": 0.1})
+        assert code == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_no_baselines_errors(self, tmp_path, capsys):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "results").mkdir()
+        code = compare_bench.main([
+            "--baselines", str(tmp_path / "baselines"),
+            "--results", str(tmp_path / "results")])
+        assert code == 2
+
+    def test_step_summary_written(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        run(tmp_path, {"join_speedup": 2.0}, {"join_speedup": 2.1})
+        text = summary.read_text()
+        assert "Benchmark regression gate" in text
+        assert "| BENCH_x | join_speedup |" in text
