@@ -172,14 +172,26 @@ def describe_service(service: "GovernedService") -> str:
     lines.append(
         f"  scan cache: {len(service.scan_cache)} cached scan(s), "
         f"hits = {scan_stats.hits}, misses = {scan_stats.misses}, "
+        f"hit rate = {scan_stats.hit_rate:.1%}, "
         f"invalidations = {scan_stats.invalidations}")
     answer_stats = service.answer_cache.stats
     lines.append(
         f"  answer cache: {len(service.answer_cache)} cached "
         f"answer(s), hits = {answer_stats.hits}, "
         f"misses = {answer_stats.misses}, "
+        f"hit rate = {answer_stats.hit_rate:.1%}, "
         f"evictions = {answer_stats.evictions}, "
         f"invalidations = {answer_stats.invalidations}")
+    lines.append(
+        f"  incremental maintenance: patches = {answer_stats.patches}, "
+        f"seeds = {answer_stats.seeds}, "
+        f"fallbacks = {answer_stats.fallbacks}")
+    panels = getattr(service, "panels", None)
+    if panels:
+        lines.append(
+            f"  standing panels: {len(panels)} "
+            f"({sum(len(qs) for qs in panels.values())} quer"
+            f"{'y' if sum(len(qs) for qs in panels.values()) == 1 else 'ies'})")
     journal = service.journal_info() \
         if hasattr(service, "journal_info") else None
     if journal is None:

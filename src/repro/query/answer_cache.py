@@ -31,13 +31,14 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.relational.rows import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.ontology import OntologyFingerprint
+    from repro.streaming.standing import StandingQuery
 
 __all__ = ["AnswerCache", "AnswerCacheStats", "CachedAnswer",
            "DataVersions", "answer_cache_env_enabled"]
@@ -70,6 +71,14 @@ class AnswerCacheStats:
     evictions: int = 0
     #: whole-cache clears (evolution events, administrative resets)
     invalidations: int = 0
+    #: stale entries brought current by O(Δ) incremental maintenance
+    #: instead of eviction (the patch path)
+    patches: int = 0
+    #: standing queries lazily created (first patchable miss per entry)
+    seeds: int = 0
+    #: patch attempts that degraded to a full recompute (the valve
+    #: tripped on delta volume, or the patch path raised)
+    fallbacks: int = 0
 
     @property
     def lookups(self) -> int:
@@ -84,12 +93,21 @@ class AnswerCacheStats:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "patches": self.patches, "seeds": self.seeds,
+                "fallbacks": self.fallbacks,
                 "hit_rate": round(self.hit_rate, 4)}
 
 
 @dataclass
 class CachedAnswer:
-    """One materialized answer plus the evidence it is valid under."""
+    """One materialized answer plus the evidence it is valid under.
+
+    ``standing`` is the entry's incremental maintainer (a
+    :class:`~repro.streaming.standing.StandingQuery`), attached lazily
+    the first time the entry goes stale under an unchanged ontology;
+    ``lock`` serializes patch attempts on this entry so concurrent
+    readers refresh it once.
+    """
 
     key: str
     distinct: bool
@@ -97,6 +115,10 @@ class CachedAnswer:
     data_versions: "tuple[tuple[str, int], ...]"
     relation: Relation
     hit_count: int = 0
+    standing: "StandingQuery | None" = field(
+        default=None, repr=False, compare=False)
+    lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False)
 
 
 class AnswerCache:
@@ -128,12 +150,18 @@ class AnswerCache:
     def lookup(self, key: str, distinct: bool,
                fingerprint: "OntologyFingerprint",
                data_versions: "tuple[tuple[str, int], ...]",
-               ) -> Relation | None:
+               patchable: bool = False) -> Relation | None:
         """The cached answer, or ``None`` when absent/stale.
 
         A present entry whose evidence mismatches is evicted (it can
         never become valid again — fingerprints and data_versions only
-        move forward) and counts as a miss.
+        move forward) and counts as a miss. With ``patchable=True`` a
+        *data-stale* entry under an unchanged fingerprint survives the
+        miss: only the wrappers' data moved, so the incremental patch
+        path (:meth:`patchable_entry` → :meth:`install_patch`) can
+        bring it current for O(Δ) instead of a recompute. An epoch
+        change (fingerprint mismatch) still evicts — the rewriting
+        itself may no longer be valid.
         """
         slot = (key, distinct)
         with self._lock:
@@ -141,16 +169,70 @@ class AnswerCache:
             if entry is None:
                 self.stats.misses += 1
                 return None
-            if entry.fingerprint != fingerprint or \
-                    entry.data_versions != data_versions:
+            if entry.fingerprint != fingerprint:
                 del self._entries[slot]
                 self.stats.evictions += 1
+                self.stats.misses += 1
+                return None
+            if entry.data_versions != data_versions:
+                if not patchable:
+                    del self._entries[slot]
+                    self.stats.evictions += 1
                 self.stats.misses += 1
                 return None
             entry.hit_count += 1
             self.stats.hits += 1
             self._entries.move_to_end(slot)
             return entry.relation
+
+    def patchable_entry(self, key: str, distinct: bool,
+                        fingerprint: "OntologyFingerprint",
+                        ) -> CachedAnswer | None:
+        """The entry a patch attempt may refresh: present and computed
+        under the current fingerprint (its data_versions may lag)."""
+        with self._lock:
+            entry = self._entries.get((key, distinct))
+            if entry is None or entry.fingerprint != fingerprint:
+                return None
+            return entry
+
+    def install_patch(self, entry: CachedAnswer, relation: Relation,
+                      data_versions: "tuple[tuple[str, int], ...]",
+                      standing: "StandingQuery", kind: str) -> None:
+        """Publish a maintained answer back into *entry*.
+
+        *kind* is the accounting bucket: ``"seed"`` (standing query
+        just created), ``"patch"`` (O(Δ) refresh), ``"fallback"``
+        (the valve reseeded). Caller holds ``entry.lock``; the entry is
+        updated in place so a concurrent LRU eviction at worst orphans
+        it — the returned relation stays correct either way.
+        """
+        with self._lock:
+            entry.relation = relation
+            entry.data_versions = data_versions
+            entry.standing = standing
+            if kind == "seed":
+                self.stats.seeds += 1
+            elif kind == "fallback":
+                self.stats.fallbacks += 1
+            else:
+                self.stats.patches += 1
+            slot = (entry.key, entry.distinct)
+            if self._entries.get(slot) is entry:
+                self._entries.move_to_end(slot)
+
+    def discard(self, key: str, distinct: bool,
+                fallback: bool = False) -> bool:
+        """Drop one entry (a failed patch attempt clears its state so
+        the normal recompute-and-store path takes over)."""
+        with self._lock:
+            entry = self._entries.pop((key, distinct), None)
+            if entry is None:
+                return False
+            self.stats.evictions += 1
+            if fallback:
+                self.stats.fallbacks += 1
+            return True
 
     def store(self, key: str, distinct: bool,
               fingerprint: "OntologyFingerprint",

@@ -43,6 +43,8 @@ from repro.relational.physical import (
     CachingScanProvider, ScanCache, ScanProvider, as_scan_provider,
 )
 from repro.relational.rows import Relation
+from repro.streaming.deltas import incremental_env_enabled
+from repro.streaming.standing import StandingQuery
 
 __all__ = ["QueryEngine"]
 
@@ -61,6 +63,7 @@ class QueryEngine:
                  vectorized: bool = True,
                  answer_cache: AnswerCache | None = None,
                  use_answer_cache: bool = True,
+                 incremental: bool | None = None,
                  parse_memo_max: int = PARSE_MEMO_MAX) -> None:
         if cache is not None and not use_cache:
             raise ValueError(
@@ -99,6 +102,16 @@ class QueryEngine:
             else AnswerCache()
             if use_answer_cache and answer_cache_env_enabled()
             else None)
+        #: incremental answer maintenance: when a cached answer's only
+        #: staleness is advanced wrapper data_versions (same ontology
+        #: fingerprint), *patch* it through a standing query fed by CDC
+        #: deltas — O(Δ) per refresh — instead of evicting and
+        #: re-executing. None defers to the ``REPRO_INCREMENTAL``
+        #: environment kill switch (on unless set to ``0``); only
+        #: meaningful while the answer cache and planner are active.
+        self.incremental: bool = (
+            incremental if incremental is not None
+            else incremental_env_enabled())
         #: SPARQL text → parsed OMQ memo, LRU-bounded, valid for the
         #: prefix bindings it was built under. Guarded by _parse_lock:
         #: the stale-memo check and the clear happen under the same
@@ -211,12 +224,62 @@ class QueryEngine:
         versions = tuple(sorted(
             (name, scans.data_version(name))
             for name in plan.wrappers()))
-        cached = cache.lookup(key, distinct, fingerprint, versions)
+        cached = cache.lookup(key, distinct, fingerprint, versions,
+                              patchable=self.incremental)
         if cached is not None:
             return cached
+        if self.incremental:
+            patched = self._patch_answer(cache, key, distinct,
+                                         fingerprint, versions, plan,
+                                         scans)
+            if patched is not None:
+                return patched
         relation = plan.execute(scans, vectorized=self.vectorized)
         cache.store(key, distinct, fingerprint, versions, relation)
         return relation
+
+    def _patch_answer(self, cache: AnswerCache, key: str,
+                      distinct: bool, fingerprint: object,
+                      versions: "tuple[tuple[str, int], ...]",
+                      plan: PhysicalPlan,
+                      scans: ScanProvider) -> Relation | None:
+        """Bring a data-stale cached answer current by O(Δ) maintenance.
+
+        Called on an answer-cache miss whose entry survived (same
+        fingerprint, advanced data_versions). The entry's standing
+        query pulls CDC deltas from the wrappers and patches the
+        maintained result; the first stale miss seeds the standing
+        state from full scans (through the shared scan cache) so the
+        cold path stays byte-identical. Any failure — a wrapper that
+        cannot serve exact deltas *and* whose rescan raises, an
+        unmaintainable operator, corrupted state — discards the entry
+        and returns None, handing control back to the ordinary
+        recompute-and-store path.
+        """
+        entry = cache.patchable_entry(key, distinct, fingerprint)
+        if entry is None:
+            return None
+        try:
+            with entry.lock:
+                if entry.data_versions == versions:
+                    # a concurrent reader already patched this far
+                    return entry.relation
+                standing = entry.standing
+                if standing is None:
+                    standing = StandingQuery(
+                        plan, self.ontology.physical_wrapper)
+                    outcome = standing.seed(scans)
+                    kind = "seed"
+                else:
+                    outcome = standing.refresh(scans)
+                    kind = "fallback" if outcome.reseeded else "patch"
+                cache.install_patch(entry, outcome.relation,
+                                    outcome.data_versions, standing,
+                                    kind)
+                return outcome.relation
+        except Exception:
+            cache.discard(key, distinct, fallback=True)
+            return None
 
     def plan(self, query: OMQ | str,
              provider: DataProvider | None = None,

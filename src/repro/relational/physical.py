@@ -110,10 +110,16 @@ class ScanStats:
     def shared_fetches_avoided(self) -> int:
         return self.hits
 
-    def snapshot(self) -> dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
-                "evictions": self.evictions}
+                "evictions": self.evictions,
+                "hit_rate": round(self.hit_rate, 4)}
 
 
 class _Inflight:

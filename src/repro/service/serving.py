@@ -187,6 +187,17 @@ class GovernedService:
         self.answer_cache = (self.mdm.engine.answer_cache
                              if self.mdm.engine.answer_cache is not None
                              else AnswerCache())
+        #: registered standing panels: name → the OMQs the panel
+        #: serves. Panel answers are maintained incrementally (when the
+        #: engine's patch path is on) — a :meth:`refresh_panels` tick,
+        #: or any ordinary read of the same query, brings them current
+        #: for O(Δ) against the CDC change streams.
+        self.panels: dict[str, tuple[OMQ | str, ...]] = {}
+        #: attached change-stream drift monitors (see
+        #: :meth:`attach_drift_monitor`) and the drafts they produced
+        #: awaiting steward review
+        self.drift_monitors: list = []
+        self.drift_drafts: list = []
         #: lazily built protocol handler (see :attr:`endpoint`)
         self._endpoint: "ProtocolEndpoint | None" = None
         self.mdm.ontology.add_evolution_listener(self._on_evolution)
@@ -315,6 +326,77 @@ class GovernedService:
                     queries, distinct=distinct, workers=workers,
                     return_exceptions=return_exceptions,
                     timeout=timeout)]
+
+    # -- standing panels (incremental maintenance) ---------------------------
+
+    def register_panel(self, name: str,
+                       queries: Iterable[OMQ | str],
+                       distinct: bool = True,
+                       warm: bool = True) -> None:
+        """Declare a served panel: a named set of OMQs kept warm.
+
+        ``warm=True`` answers the panel immediately, so its entries
+        (and, once the sources churn, their standing queries) live in
+        the answer cache from the start. Re-registering a name replaces
+        its query set.
+        """
+        self.panels[name] = tuple(queries)
+        if warm:
+            self.serve_many(self.panels[name], distinct=distinct,
+                            return_exceptions=True)
+
+    def refresh_panels(self, workers: int | None = None,
+                       distinct: bool = True) -> dict[str, dict]:
+        """One maintenance tick: re-answer every registered panel.
+
+        Each panel batch runs under one read section; stale cached
+        answers are *patched* through their standing queries (O(Δ)
+        against the sources' change logs) rather than recomputed, and
+        the per-panel report says which it was: ``{queries, failures,
+        patches, seeds, fallbacks, hits}`` — the deltas of the answer
+        cache's counters across the tick.
+        """
+        report: dict[str, dict] = {}
+        for name, queries in self.panels.items():
+            stats = self.answer_cache.stats
+            before = (stats.patches, stats.seeds, stats.fallbacks,
+                      stats.hits)
+            served = self.serve_many(queries, distinct=distinct,
+                                     workers=workers,
+                                     return_exceptions=True)
+            report[name] = {
+                "queries": len(served),
+                "failures": sum(1 for s in served if not s.ok),
+                "patches": stats.patches - before[0],
+                "seeds": stats.seeds - before[1],
+                "fallbacks": stats.fallbacks - before[2],
+                "hits": stats.hits - before[3],
+            }
+        return report
+
+    def attach_drift_monitor(self, monitor) -> None:
+        """Attach a change-stream drift monitor (e.g. a
+        :class:`~repro.streaming.drift_feed.CollectionDriftMonitor`):
+        :meth:`poll_drift` will tail it for in-flight schema drift."""
+        self.drift_monitors.append(monitor)
+
+    def poll_drift(self) -> list:
+        """Screen every attached monitor's change stream once.
+
+        New drafts (auto-drafted releases, or pending-confirmation
+        reports for low-confidence renames) are returned *and*
+        accumulated on :attr:`drift_drafts` for the steward — this
+        deliberately never applies a release by itself: adaptation
+        stays semi-automatic, the steward lands drafts through
+        :meth:`apply_release`.
+        """
+        drafts = []
+        for monitor in self.drift_monitors:
+            draft = monitor.poll()
+            if draft is not None:
+                drafts.append(draft)
+        self.drift_drafts.extend(drafts)
+        return drafts
 
     # -- steward side (writers) ----------------------------------------------
 

@@ -1,17 +1,21 @@
 """Simulated data-source substrate (document store, REST APIs, registry)."""
 
-from repro.sources.document_store import Collection, DocumentStore, aggregate
+from repro.sources.document_store import (
+    ChangeRecord, Collection, DocumentStore, aggregate,
+)
 from repro.sources.generators import (
     PAPER_FEEDBACK_EVENTS, PAPER_RELATIONSHIPS, PAPER_VOD_EVENTS,
     application_relationships, feedback_events, vod_monitor_events,
 )
 from repro.sources.registry import DataSource, SourceRegistry
-from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec, RestApi
+from repro.sources.rest_api import (
+    ApiVersion, Endpoint, EndpointChange, FieldSpec, RestApi,
+)
 
 __all__ = [
-    "Collection", "DocumentStore", "aggregate",
+    "ChangeRecord", "Collection", "DocumentStore", "aggregate",
     "PAPER_FEEDBACK_EVENTS", "PAPER_RELATIONSHIPS", "PAPER_VOD_EVENTS",
     "application_relationships", "feedback_events", "vod_monitor_events",
     "DataSource", "SourceRegistry",
-    "ApiVersion", "Endpoint", "FieldSpec", "RestApi",
+    "ApiVersion", "Endpoint", "EndpointChange", "FieldSpec", "RestApi",
 ]

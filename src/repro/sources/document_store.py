@@ -21,14 +21,39 @@ Supported ``$match`` operators: equality, ``$eq``, ``$ne``, ``$gt``,
 
 from __future__ import annotations
 
+import copy
 import re
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
 from repro.errors import AggregationError, UnknownCollectionError
 
-__all__ = ["DocumentStore", "Collection", "aggregate"]
+__all__ = ["DocumentStore", "Collection", "ChangeRecord", "aggregate",
+           "CHANGE_LOG_LIMIT"]
 
 Document = dict
+
+#: bound on the per-collection CDC log: readers further behind than this
+#: get ``None`` from :meth:`Collection.changes_since` and must fall back
+#: to a full rescan — the log can never grow without bound.
+CHANGE_LOG_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One entry of a collection's append-only change log.
+
+    ``seq`` is the ``data_version`` the mutation advanced the collection
+    to (mutations batched in one call share a seq). ``document`` is the
+    post-image for inserts/updates and the pre-image for deletes;
+    ``before`` carries the pre-image of an update. Images are deep
+    copies — later mutations of the live document never rewrite history.
+    """
+
+    seq: int
+    op: str  # "insert" | "update" | "delete"
+    document: Document
+    before: Document | None = None
 
 
 def get_path(document: Any, path: str) -> Any:
@@ -53,6 +78,16 @@ def _set_path(document: dict, path: str, value: Any) -> None:
     for segment in parts[:-1]:
         node = node.setdefault(segment, {})
     node[parts[-1]] = value
+
+
+def _unset_path(document: dict, path: str) -> None:
+    node: Any = document
+    parts = path.split(".")
+    for segment in parts[:-1]:
+        node = node.get(segment) if isinstance(node, dict) else None
+        if not isinstance(node, dict):
+            return
+    node.pop(parts[-1], None)
 
 
 # ---------------------------------------------------------------------------
@@ -339,18 +374,41 @@ def aggregate(documents: Iterable[Document],
 
 
 class Collection:
-    """A named list of documents with ``insert``/``find``/``aggregate``."""
+    """A named list of documents with ``insert``/``find``/``aggregate``.
 
-    def __init__(self, name: str) -> None:
+    Every mutation advances ``data_version`` and appends per-document
+    :class:`ChangeRecord` entries to a bounded CDC log, so wrappers can
+    serve exact row-level deltas between two versions
+    (:meth:`changes_since`).
+    """
+
+    def __init__(self, name: str, start_version: int = 0,
+                 change_log_limit: int = CHANGE_LOG_LIMIT) -> None:
         self.name = name
         self._documents: list[Document] = []
         self._next_id = 1
-        self._data_version = 0
+        self._data_version = start_version
+        self._change_log_limit = change_log_limit
+        self._log: list[ChangeRecord] = []
+        #: readers whose cursor predates this version cannot be served
+        #: from the log (records were trimmed, or the collection started
+        #: at a floor inherited from a dropped incarnation)
+        self._log_floor = start_version
 
     @property
     def data_version(self) -> int:
         """Monotonic mutation counter (scan caches key fetches by it)."""
         return self._data_version
+
+    def _record(self, op: str, document: Document,
+                before: Document | None = None) -> None:
+        self._log.append(ChangeRecord(
+            seq=self._data_version, op=op,
+            document=copy.deepcopy(document),
+            before=copy.deepcopy(before) if before is not None else None))
+        while len(self._log) > self._change_log_limit:
+            dropped = self._log.pop(0)
+            self._log_floor = dropped.seq
 
     def insert_one(self, document: Document) -> Document:
         doc = dict(document)
@@ -359,7 +417,11 @@ class Collection:
             self._next_id += 1
         self._documents.append(doc)
         self._data_version += 1
-        return doc
+        self._record("insert", doc)
+        # A *copy* goes back to the caller: handing out the stored dict
+        # would let callers mutate documents in place, bypassing the
+        # data_version bump that scan caches and the CDC log rely on.
+        return dict(doc)
 
     def insert_many(self, documents: Iterable[Document]) -> int:
         count = 0
@@ -376,17 +438,63 @@ class Collection:
     def aggregate(self, pipeline: list[dict]) -> list[Document]:
         return aggregate(self._documents, pipeline)
 
+    def update_many(self, query: dict | None, update: dict) -> int:
+        """Apply ``$set``/``$unset``/``$inc`` to matching documents.
+
+        The sanctioned in-place mutation path: each changed document
+        bumps ``data_version`` and logs an update record carrying both
+        images, so delta readers see it as (−old, +new).
+        """
+        unknown = set(update) - {"$set", "$unset", "$inc"}
+        if unknown:
+            raise AggregationError(
+                f"unsupported update operators {sorted(unknown)}")
+        updated = 0
+        for doc in self._documents:
+            if query and not _matches(doc, query):
+                continue
+            before = copy.deepcopy(doc)
+            for path, value in update.get("$set", {}).items():
+                _set_path(doc, path, value)
+            for path in update.get("$unset", {}):
+                _unset_path(doc, path)
+            for path, delta in update.get("$inc", {}).items():
+                current = get_path(doc, path)
+                _set_path(doc, path, (current or 0) + delta)
+            if doc != before:
+                updated += 1
+                self._data_version += 1
+                self._record("update", doc, before=before)
+        return updated
+
     def delete_many(self, query: dict | None = None) -> int:
-        before = len(self._documents)
+        removed = [d for d in self._documents
+                   if not query or _matches(d, query)]
+        if not removed:
+            return 0
         if not query:
-            self._documents.clear()
+            self._documents = []
         else:
             self._documents = [d for d in self._documents
                                if not _matches(d, query)]
-        removed = before - len(self._documents)
-        if removed:
-            self._data_version += 1
-        return removed
+        self._data_version += 1
+        for doc in removed:
+            self._record("delete", doc)
+        return len(removed)
+
+    def changes_since(self, version: int) -> list[ChangeRecord] | None:
+        """Change records after *version*, oldest first.
+
+        ``None`` means the log cannot reconstruct the interval — the
+        cursor predates the bounded log (or this collection incarnation
+        entirely), or comes from a future/foreign incarnation — and the
+        caller must fall back to a full snapshot diff or rescan.
+        """
+        if version > self._data_version or version < self._log_floor:
+            return None
+        if version == self._data_version:
+            return []
+        return [r for r in self._log if r.seq > version]
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -397,11 +505,17 @@ class DocumentStore:
 
     def __init__(self) -> None:
         self._collections: dict[str, Collection] = {}
+        #: name → data_version floor a recreated collection must start
+        #: above; without it a drop/recreate would restart data_version
+        #: at 0 and scan caches keyed by (collection, version) would
+        #: serve the dropped incarnation's rows as current
+        self._version_floors: dict[str, int] = {}
 
     def collection(self, name: str) -> Collection:
         """Get or create a collection (Mongo's implicit-creation style)."""
         if name not in self._collections:
-            self._collections[name] = Collection(name)
+            self._collections[name] = Collection(
+                name, start_version=self._version_floors.get(name, 0))
         return self._collections[name]
 
     def get_collection(self, name: str) -> Collection:
@@ -413,7 +527,10 @@ class DocumentStore:
                 f"collection {name!r} does not exist") from None
 
     def drop_collection(self, name: str) -> bool:
-        return self._collections.pop(name, None) is not None
+        dropped = self._collections.pop(name, None)
+        if dropped is not None:
+            self._version_floors[name] = dropped.data_version + 1
+        return dropped is not None
 
     def collection_names(self) -> list[str]:
         return sorted(self._collections)

@@ -20,13 +20,18 @@ change auth, ...), driving end-to-end functional tests.
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import EndpointError, UnknownVersionError
 
-__all__ = ["FieldSpec", "ApiVersion", "Endpoint", "RestApi"]
+__all__ = ["FieldSpec", "ApiVersion", "Endpoint", "EndpointChange",
+           "RestApi", "ENDPOINT_CHANGE_LOG_LIMIT"]
+
+#: bound on an endpoint's CDC log; older cursors fall back to a rescan
+ENDPOINT_CHANGE_LOG_LIMIT = 4096
 
 #: Generates one field value given a seeded RNG and the record index.
 ValueGenerator = Callable[[random.Random, int], Any]
@@ -66,9 +71,33 @@ class ApiVersion:
     fields: list[FieldSpec]
     response_format: str = "json"
     deprecated: bool = False
+    #: bumped by in-place payload refreshes (:meth:`update_field`) so
+    #: wrapper data_version tokens change even though the schema did not
+    revision: int = 0
 
     def field_names(self) -> list[str]:
         return [f.name for f in self.fields]
+
+    def update_field(self, name: str,
+                     generator: ValueGenerator | None = None,
+                     field_type: str | None = None) -> FieldSpec:
+        """Refresh how one field's payload is generated, in place.
+
+        The sanctioned mutation path for "same schema, new values" —
+        e.g. a provider re-ingesting a feed. Bumps :attr:`revision`;
+        mutating a :class:`FieldSpec` directly would silently leave
+        every scan cache serving the old payload.
+        """
+        for spec in self.fields:
+            if spec.name == name:
+                if generator is not None:
+                    spec.generator = generator
+                if field_type is not None:
+                    spec.field_type = field_type
+                self.revision += 1
+                return spec
+        raise EndpointError(
+            f"version {self.version} has no field {name!r}")
 
     def generate_documents(self, count: int, seed: int = 0,
                            fields: Iterable[str] | None = None
@@ -100,15 +129,49 @@ class ApiVersion:
         )
 
 
+@dataclass(frozen=True)
+class EndpointChange:
+    """One entry of an endpoint's append-only change log.
+
+    Live documents pushed/updated/deleted on one schema *version* of
+    the endpoint; ``seq`` is globally monotonic across versions.
+    ``document`` is the post-image (pre-image for deletes), ``before``
+    the pre-image of an update.
+    """
+
+    seq: int
+    op: str  # "insert" | "update" | "delete"
+    version: str
+    document: dict
+    before: dict | None = None
+
+
 @dataclass
 class Endpoint:
-    """A REST method (e.g. ``GET /posts``) with versioned schemas."""
+    """A REST method (e.g. ``GET /posts``) with versioned schemas.
+
+    Besides the deterministic generated payload, each version carries a
+    mutable **live overlay** — documents pushed at run time, served after
+    the generated ones — and every overlay mutation lands in a bounded,
+    monotonically-sequenced change log (:meth:`changes_since`), the CDC
+    stream wrappers read exact deltas from.
+    """
 
     name: str
     versions: dict[str, ApiVersion] = field(default_factory=dict)
     error_codes: set[int] = field(default_factory=lambda: {400, 401, 404})
     rate_limit: int | None = None
     domain_url: str | None = None
+    change_log_limit: int = ENDPOINT_CHANGE_LOG_LIMIT
+    _live: dict[str, list[dict]] = field(default_factory=dict,
+                                         init=False, repr=False)
+    _log: list[EndpointChange] = field(default_factory=list,
+                                       init=False, repr=False)
+    _change_seq: int = field(default=0, init=False, repr=False)
+    _log_floor: int = field(default=0, init=False, repr=False)
+    #: version → last seq that touched it (per-version staleness token)
+    _version_seqs: dict[str, int] = field(default_factory=dict,
+                                          init=False, repr=False)
 
     def add_version(self, version: ApiVersion) -> "Endpoint":
         if version.version in self.versions:
@@ -139,7 +202,8 @@ class Endpoint:
     def fetch(self, version: str | None = None, count: int = 10,
               seed: int = 0,
               fields: Iterable[str] | None = None) -> list[dict]:
-        """Serve *count* JSON documents for *version* (default: latest).
+        """Serve *count* generated documents for *version* (default:
+        latest), followed by the version's live overlay.
 
         *fields* requests a partial response restricted to the named
         top-level fields — the server-side half of the wrapper layer's
@@ -147,7 +211,91 @@ class Endpoint:
         """
         spec = (self.latest_version() if version is None
                 else self.version(version))
-        return spec.generate_documents(count, seed, fields=fields)
+        docs = spec.generate_documents(count, seed, fields=fields)
+        live = self._live.get(spec.version)
+        if live:
+            if fields is None:
+                docs.extend(dict(d) for d in live)
+            else:
+                wanted = set(fields)
+                docs.extend({k: v for k, v in d.items() if k in wanted}
+                            for d in live)
+        return docs
+
+    # -- live overlay / change stream ------------------------------------
+
+    def live_seq(self, version: str) -> int:
+        """Last change-log seq that touched *version* (0 = untouched)."""
+        return self._version_seqs.get(version, 0)
+
+    def _record(self, op: str, version: str, document: dict,
+                before: dict | None = None) -> None:
+        self._change_seq += 1
+        self._version_seqs[version] = self._change_seq
+        self._log.append(EndpointChange(
+            seq=self._change_seq, op=op, version=version,
+            document=copy.deepcopy(document),
+            before=copy.deepcopy(before) if before is not None else None))
+        while len(self._log) > self.change_log_limit:
+            dropped = self._log.pop(0)
+            self._log_floor = dropped.seq
+
+    def push_documents(self, version: str,
+                       documents: Iterable[dict]) -> int:
+        """Append live documents to *version*'s overlay (CDC inserts)."""
+        spec = self.version(version)
+        bucket = self._live.setdefault(spec.version, [])
+        count = 0
+        for document in documents:
+            doc = dict(document)
+            bucket.append(doc)
+            self._record("insert", spec.version, doc)
+            count += 1
+        return count
+
+    def update_documents(self, version: str, match: Mapping[str, Any],
+                         changes: Mapping[str, Any]) -> int:
+        """Set top-level fields on live documents matching *match*
+        (top-level equality); each change is logged as an update."""
+        spec = self.version(version)
+        updated = 0
+        for doc in self._live.get(spec.version, ()):
+            if any(doc.get(k) != v for k, v in match.items()):
+                continue
+            before = dict(doc)
+            doc.update(changes)
+            if doc != before:
+                updated += 1
+                self._record("update", spec.version, doc, before=before)
+        return updated
+
+    def delete_documents(self, version: str,
+                         match: Mapping[str, Any]) -> int:
+        """Remove live documents matching *match* (top-level equality)."""
+        spec = self.version(version)
+        bucket = self._live.get(spec.version)
+        if not bucket:
+            return 0
+        kept: list[dict] = []
+        removed = 0
+        for doc in bucket:
+            if all(doc.get(k) == v for k, v in match.items()):
+                removed += 1
+                self._record("delete", spec.version, doc)
+            else:
+                kept.append(doc)
+        self._live[spec.version] = kept
+        return removed
+
+    def changes_since(self, seq: int,
+                      version: str) -> list[EndpointChange] | None:
+        """Change records for *version* after global *seq*, oldest
+        first; ``None`` when the bounded log was trimmed past *seq* (or
+        *seq* is from the future) — callers must rescan."""
+        if seq > self._change_seq or seq < self._log_floor:
+            return None
+        return [r for r in self._log
+                if r.seq > seq and r.version == version]
 
 
 @dataclass

@@ -1,0 +1,36 @@
+"""Incremental answer maintenance over CDC change streams.
+
+Sources emit per-row change logs (:mod:`repro.sources`), wrappers
+expose them as signed relational deltas
+(:meth:`~repro.wrappers.base.Wrapper.fetch_deltas`), and this package
+turns those deltas into O(Δ) refresh of materialized answers:
+:class:`~repro.streaming.deltas.DeltaBatch` is the exchange format,
+:mod:`~repro.streaming.operators` maintains each physical operator
+incrementally, :class:`~repro.streaming.standing.StandingQuery` owns
+one maintained result, and
+:class:`~repro.streaming.drift_feed.CollectionDriftMonitor` feeds the
+same change streams into drift detection so in-flight schema drift
+auto-drafts releases for the steward.
+"""
+
+from repro.streaming.deltas import (
+    DeltaBatch, RowTuple, incremental_env_enabled,
+)
+from repro.streaming.drift_feed import CollectionDriftMonitor, DriftDraft
+from repro.streaming.operators import (
+    DeltaNode, JoinState, ProjectState, ScanState, UnionState,
+    build_states,
+)
+from repro.streaming.standing import (
+    FALLBACK_DELTA_FRACTION, FALLBACK_MIN_DELTA_ROWS, RefreshOutcome,
+    StandingQuery,
+)
+
+__all__ = [
+    "DeltaBatch", "RowTuple", "incremental_env_enabled",
+    "CollectionDriftMonitor", "DriftDraft",
+    "DeltaNode", "JoinState", "ProjectState", "ScanState", "UnionState",
+    "build_states",
+    "FALLBACK_DELTA_FRACTION", "FALLBACK_MIN_DELTA_ROWS",
+    "RefreshOutcome", "StandingQuery",
+]

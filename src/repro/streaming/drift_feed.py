@@ -1,0 +1,147 @@
+"""Change streams feeding drift detection: governance goes continuous.
+
+Drift detection (:mod:`repro.evolution.drift`) compares *observed*
+documents against a wrapper's declared field set — but someone has to
+observe them. Before CDC, that meant periodically refetching whole
+sources. A :class:`CollectionDriftMonitor` instead tails a
+collection's change log: every polled batch of in-flight documents
+(inserts and update images since the cursor) is screened, and the
+moment drifted payloads appear the monitor auto-drafts a
+:class:`~repro.core.release.Release` adapting the ontology — ready for
+steward approval, exactly the semi-automatic loop the paper's future
+work calls for. Low-confidence renames stay pending (the draft then
+carries the steward's to-confirm list instead of a release).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.ontology import BDIOntology
+from repro.core.release import Release
+from repro.errors import EvolutionError
+from repro.evolution.drift import (
+    DriftReport, FieldDrift, detect_drift, propose_release,
+)
+from repro.sources.document_store import DocumentStore
+
+__all__ = ["DriftDraft", "CollectionDriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftDraft:
+    """One auto-drafted adaptation, awaiting the steward.
+
+    ``release`` is ready to hand to Algorithm 1 when every rename was
+    confident; otherwise it is None and ``pending`` lists the
+    confirmations the steward owes (``error`` says why drafting
+    stopped).
+    """
+
+    source_name: str
+    wrapper_name: str
+    new_wrapper_name: str
+    report: DriftReport
+    release: Release | None
+    pending: tuple[FieldDrift, ...]
+    error: str | None = None
+
+    @property
+    def auto_applicable(self) -> bool:
+        return self.release is not None
+
+    def summary(self) -> str:
+        status = ("release drafted" if self.release is not None
+                  else f"steward input needed ({self.error})")
+        return (f"{self.report.summary()}\n  → {status}")
+
+
+class CollectionDriftMonitor:
+    """Tails one collection's CDC log and drafts releases on drift.
+
+    *declared_fields* are the **raw document fields** the wrapper's
+    pipeline consumes (drift happens under the pipeline, in the source
+    payloads); *id_fields* mark which observed fields can serve as
+    identifiers in the drafted release. A truncated change log (cursor
+    fell off the bounded window) degrades to screening the full
+    collection — same answer, more documents read.
+    """
+
+    def __init__(self, ontology: BDIOntology, store: DocumentStore,
+                 collection: str, source_name: str, wrapper_name: str,
+                 declared_fields: Iterable[str],
+                 id_fields: Iterable[str],
+                 new_wrapper_name: str | None = None) -> None:
+        self.ontology = ontology
+        self.store = store
+        self.collection = collection
+        self.source_name = source_name
+        self.wrapper_name = wrapper_name
+        self.declared_fields = tuple(declared_fields)
+        self.id_fields = tuple(id_fields)
+        self._new_wrapper_name = new_wrapper_name
+        self._serial = 0
+        self._cursor = (store.get_collection(collection).data_version
+                        if collection in store else 0)
+        self._last_signature: object = None
+
+    def _next_wrapper_name(self) -> str:
+        if self._new_wrapper_name is not None:
+            return self._new_wrapper_name
+        self._serial += 1
+        return f"{self.wrapper_name}_drift{self._serial}"
+
+    def poll(self) -> DriftDraft | None:
+        """Screen documents that changed since the last poll; returns a
+        draft the first time a new drift signature shows up, None when
+        the stream is quiet or the drift was already drafted."""
+        if self.collection not in self.store:
+            return None
+        collection = self.store.get_collection(self.collection)
+        records = collection.changes_since(self._cursor)
+        documents: Sequence[dict]
+        if records is None:
+            # cursor truncated out of the log: screen everything
+            documents = collection.find()
+        elif not records:
+            return None
+        else:
+            documents = [r.document for r in records
+                         if r.op != "delete"]
+        # the store's synthetic _id is bookkeeping, not payload schema
+        documents = [{k: v for k, v in doc.items() if k != "_id"}
+                     for doc in documents]
+        self._cursor = collection.data_version
+        if not documents:
+            return None
+        report = detect_drift(self.source_name, self.wrapper_name,
+                              self.declared_fields, documents)
+        if not report.has_drift:
+            # payloads conform again; future drift should re-draft
+            self._last_signature = None
+            return None
+        signature = (tuple(report.added), tuple(report.removed),
+                     tuple((r.old_field, r.new_field)
+                           for r in report.renames))
+        if signature == self._last_signature:
+            return None  # identical drift already drafted
+        self._last_signature = signature
+        new_name = self._next_wrapper_name()
+        release: Release | None
+        error: str | None
+        try:
+            release = propose_release(self.ontology, report, new_name,
+                                      self.id_fields)
+            error = None
+        except EvolutionError as exc:
+            release = None
+            error = str(exc)
+        return DriftDraft(
+            source_name=self.source_name,
+            wrapper_name=self.wrapper_name,
+            new_wrapper_name=new_name,
+            report=report,
+            release=release,
+            pending=tuple(report.pending_confirmations),
+            error=error)

@@ -1,0 +1,359 @@
+"""Standing queries: materialized answers maintained by O(Δ) refresh.
+
+A :class:`StandingQuery` owns everything needed to keep one rewritten
+query's answer current without re-running it: the incremental state
+tree (:mod:`repro.streaming.operators`), a per-wrapper CDC cursor, the
+maintained result bag, and the materialized
+:class:`~repro.relational.rows.Relation` consumers read.
+
+Refresh protocol, per wrapper feeding the plan:
+
+1. if the wrapper's ``data_version`` token still matches the one the
+   state reflects, the feed contributes nothing (common case: most
+   ticks touch few sources);
+2. otherwise ask for **exact deltas** since the stored cursor
+   (:meth:`~repro.wrappers.base.Wrapper.fetch_deltas`);
+3. a ``None`` answer (capability missing, cursor truncated out of the
+   change log, payload regenerated wholesale) degrades to a
+   **snapshot diff**: rescan the projected wrapper bag through the
+   shared scan cache and bag-diff it against the leaf state — still a
+   correct delta, just O(relation) to compute;
+4. the **fallback valve**: when total delta volume exceeds
+   ``max(min_delta_rows, max_delta_fraction × leaf rows)`` the query
+   reseeds from scratch instead — at that churn rate propagating
+   deltas costs more than recomputing, and reseeding also self-heals
+   any state drift.
+
+Version tokens are read *before* the data they describe (same
+read-then-use discipline as the answer cache's evidence): if a source
+mutates mid-read the state may be newer than its token, which only
+makes the next refresh re-diff against an identical snapshot — never
+serve stale rows.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import SchemaError
+from repro.relational.physical import ScanProvider
+from repro.relational.rows import Relation
+from repro.relational.schema import RelationSchema
+from repro.streaming.deltas import DeltaBatch, RowTuple
+from repro.streaming.operators import DeltaNode, ScanState, build_states
+from repro.wrappers.base import Wrapper
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.planner import PhysicalPlan
+
+__all__ = ["StandingQuery", "RefreshOutcome",
+           "FALLBACK_MIN_DELTA_ROWS", "FALLBACK_DELTA_FRACTION"]
+
+#: Below this absolute delta volume the valve never triggers — tiny
+#: states would otherwise reseed on every refresh.
+FALLBACK_MIN_DELTA_ROWS = 256
+
+#: Reseed when the delta volume exceeds this fraction of the leaf rows.
+FALLBACK_DELTA_FRACTION = 0.5
+
+#: How a standing query resolves wrapper names to live wrappers —
+#: usually ``ontology.physical_wrapper``.
+WrapperResolver = Callable[[str], Wrapper]
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """What one seed/refresh did, for cache accounting and telemetry."""
+
+    relation: Relation
+    #: evidence in the answer cache's format: sorted (wrapper, token)
+    data_versions: tuple[tuple[str, object], ...]
+    #: True when O(Δ) maintenance served this refresh (incl. no-ops)
+    patched: bool
+    #: True when the state was rebuilt from full scans
+    reseeded: bool
+    delta_rows: int
+    reason: str
+
+
+class _ScanFeed:
+    """One wrapper's CDC bookkeeping: cursor, version token, and the
+    scan states (plan leaves) it feeds."""
+
+    __slots__ = ("name", "states", "cursor", "version")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.states: list[ScanState] = []
+        self.cursor: object = None
+        self.version: object = None
+
+
+class StandingQuery:
+    """A maintained query result: seed once, then patch per refresh.
+
+    Thread-safe: seed/refresh run under an internal lock; the
+    materialized :attr:`relation` is replaced (never mutated), so
+    readers holding an old snapshot — e.g. a paginating client — are
+    unaffected by later refreshes.
+    """
+
+    def __init__(self, plan: "PhysicalPlan", resolve: WrapperResolver,
+                 *, min_delta_rows: int = FALLBACK_MIN_DELTA_ROWS,
+                 max_delta_fraction: float = FALLBACK_DELTA_FRACTION,
+                 ) -> None:
+        self.plan = plan
+        self.resolve = resolve
+        self.min_delta_rows = min_delta_rows
+        self.max_delta_fraction = max_delta_fraction
+        self.lock = threading.RLock()
+        self.refreshes = 0
+        self.patches = 0
+        self.reseeds = 0
+        self.root: DeltaNode
+        self.scan_states: list[ScanState]
+        self._feeds: dict[str, _ScanFeed]
+        self.result: Counter[RowTuple]
+        self.relation: Relation
+        self.seeded = False
+        self._build()
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        """(Re)create the state tree empty; feeds group leaves by
+        wrapper so each source's delta is fetched once per refresh."""
+        self.root, self.scan_states = build_states(self.plan.root)
+        feeds: dict[str, _ScanFeed] = {}
+        for state in self.scan_states:
+            feed = feeds.get(state.wrapper_name)
+            if feed is None:
+                feed = _ScanFeed(state.wrapper_name)
+                feeds[state.wrapper_name] = feed
+            feed.states.append(state)
+        self._feeds = feeds
+        self.result = Counter()
+        self.relation = self._materialize()
+
+    # -- views ---------------------------------------------------------------
+
+    def data_versions(self) -> tuple[tuple[str, object], ...]:
+        """The evidence tuple the answer cache stores: which data state
+        the maintained result reflects."""
+        return tuple(sorted((feed.name, feed.version)
+                            for feed in self._feeds.values()))
+
+    def state_rows(self) -> int:
+        return self.root.state_rows()
+
+    def snapshot(self) -> dict[str, int]:
+        """Maintenance counters (standing-query observability)."""
+        return {"refreshes": self.refreshes, "patches": self.patches,
+                "reseeds": self.reseeds,
+                "result_rows": len(self.relation),
+                "state_rows": self.root.state_rows()}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def seed(self, provider: ScanProvider) -> RefreshOutcome:
+        """Full scans through the (shared) provider → initial state."""
+        with self.lock:
+            self.refreshes += 1
+            return self._reseed(provider, reason="initial seed")
+
+    def refresh(self, provider: ScanProvider) -> RefreshOutcome:
+        """Bring the maintained result up to date: O(Δ) when the
+        wrappers can serve deltas, valve-guarded otherwise."""
+        with self.lock:
+            self.refreshes += 1
+            if not self.seeded:
+                return self._reseed(provider, reason="initial seed")
+
+            pending: dict[ScanState, Counter[RowTuple]] = {}
+            updates: dict[str, tuple[object, object]] = {}
+            delta_rows = 0
+            for feed in self._feeds.values():
+                token = provider.data_version(feed.name)
+                if token == feed.version:
+                    continue
+                wrapper = self.resolve(feed.name)
+                deltas = (wrapper.fetch_deltas(feed.cursor)
+                          if wrapper.supports_deltas() else None)
+                if deltas is not None:
+                    local_of = {f"{wrapper.source_name}/{a}": a
+                                for a in wrapper.attributes}
+                    for state in feed.states:
+                        gather = self._local_names(state, local_of)
+                        counts = pending.setdefault(state, Counter())
+                        for sign, row in deltas.changes:
+                            counts[tuple(row[name] for name in gather)
+                                   ] += sign
+                        delta_rows += len(deltas.changes)
+                    updates[feed.name] = (deltas.cursor,
+                                          deltas.data_version)
+                else:
+                    cursor, version, fresh = self._stable_rescan(
+                        provider, wrapper, feed)
+                    for state, new_rows in zip(feed.states, fresh):
+                        diff = self._bag_diff(state.rows, new_rows)
+                        delta_rows += sum(abs(c) for c in diff.values())
+                        pending.setdefault(state, Counter()).update(diff)
+                    updates[feed.name] = (cursor, version)
+
+            if not updates:
+                self.patches += 1
+                return RefreshOutcome(
+                    self.relation, self.data_versions(), patched=True,
+                    reseeded=False, delta_rows=0, reason="no changes")
+
+            threshold = max(self.min_delta_rows, int(
+                self.max_delta_fraction * self.root.state_rows()))
+            if delta_rows > threshold:
+                return self._reseed(
+                    provider,
+                    reason=f"delta volume {delta_rows} exceeds "
+                           f"threshold {threshold}")
+
+            scan_deltas = {
+                state: DeltaBatch.from_counts(state.schema, counts)
+                for state, counts in pending.items()}
+            out = self.root.apply(scan_deltas)
+            changed = self._fold_result(out)
+            for name, (cursor, version) in updates.items():
+                feed = self._feeds[name]
+                feed.cursor = cursor
+                feed.version = version
+            if changed:
+                self.relation = self._materialize()
+            self.patches += 1
+            return RefreshOutcome(
+                self.relation, self.data_versions(), patched=True,
+                reseeded=False, delta_rows=delta_rows,
+                reason="patched" if changed else "no-op delta")
+
+    # -- internals -----------------------------------------------------------
+
+    def _reseed(self, provider: ScanProvider,
+                reason: str) -> RefreshOutcome:
+        self._build()
+        scan_deltas: dict[ScanState, DeltaBatch] = {}
+        delta_rows = 0
+        for feed in self._feeds.values():
+            wrapper = self.resolve(feed.name)
+            batches: list[DeltaBatch] = []
+            # Stable-read loop: retry while the version token moves
+            # under the scan, so cursor/token and rows agree.
+            for _attempt in range(3):
+                feed.cursor = wrapper.delta_cursor()
+                feed.version = provider.data_version(feed.name)
+                batches = [self._full_scan(provider, state)
+                           for state in feed.states]
+                if provider.data_version(feed.name) == feed.version:
+                    break
+            for state, batch in zip(feed.states, batches):
+                scan_deltas[state] = batch
+                delta_rows += len(batch)
+        out = self.root.apply(scan_deltas)
+        self._fold_result(out)
+        self.relation = self._materialize()
+        self.seeded = True
+        self.reseeds += 1
+        return RefreshOutcome(
+            self.relation, self.data_versions(), patched=False,
+            reseeded=True, delta_rows=delta_rows, reason=reason)
+
+    def _full_scan(self, provider: ScanProvider,
+                   state: ScanState) -> DeltaBatch:
+        """A leaf's whole bag as an all-inserts delta (shares the scan
+        cache with cold executions of the same plan)."""
+        relation = provider.scan(state.wrapper_name, state.columns, None)
+        batch = relation.columnar().reorder(state.schema.attribute_names)
+        return DeltaBatch(batch, [1] * len(batch))
+
+    def _stable_rescan(self, provider: ScanProvider, wrapper: Wrapper,
+                       feed: _ScanFeed,
+                       ) -> tuple[object, object,
+                                  list[Counter[RowTuple]]]:
+        """Snapshot-diff fallback input: fresh bags for every leaf of
+        one wrapper, with cursor/token read under a stable-read loop."""
+        cursor: object = None
+        version: object = None
+        fresh: list[Counter[RowTuple]] = []
+        for _attempt in range(3):
+            cursor = wrapper.delta_cursor()
+            version = provider.data_version(feed.name)
+            fresh = []
+            for state in feed.states:
+                relation = provider.scan(feed.name, state.columns, None)
+                batch = relation.columnar().reorder(
+                    state.schema.attribute_names)
+                dense = batch.dense_columns()
+                bag: Counter[RowTuple] = Counter()
+                if dense:
+                    for row in zip(*dense):
+                        bag[row] += 1
+                else:
+                    bag[()] = len(batch)
+                fresh.append(bag)
+            if provider.data_version(feed.name) == version:
+                break
+        return cursor, version, fresh
+
+    @staticmethod
+    def _bag_diff(old: Counter[RowTuple],
+                  new: Counter[RowTuple]) -> Counter[RowTuple]:
+        diff: Counter[RowTuple] = Counter()
+        for row, count in new.items():
+            delta = count - old.get(row, 0)
+            if delta:
+                diff[row] = delta
+        for row, count in old.items():
+            if row not in new and count:
+                diff[row] = -count
+        return diff
+
+    @staticmethod
+    def _local_names(state: ScanState,
+                     local_of: dict[str, str]) -> tuple[str, ...]:
+        """Wrapper-local name of each tuple position of *state*."""
+        try:
+            return tuple(local_of[q]
+                         for q in state.schema.attribute_names)
+        except KeyError as exc:
+            raise SchemaError(
+                f"wrapper {state.wrapper_name} is missing attribute "
+                f"{exc.args[0]!r}; the source likely evolved under the "
+                "wrapper") from None
+
+    def _fold_result(self, out: DeltaBatch) -> bool:
+        changed = False
+        for row, count in out.tuples():
+            changed = True
+            updated = self.result[row] + count
+            if updated:
+                self.result[row] = updated
+            else:
+                del self.result[row]
+        return changed
+
+    def _materialize(self) -> Relation:
+        """The maintained bag as a Relation (same ``result`` schema as
+        :meth:`~repro.query.planner.PhysicalPlan.execute`, so bag
+        equality against a cold recompute holds structurally)."""
+        schema = RelationSchema("result", self.root.schema.attributes)
+        names = self.root.schema.attribute_names
+        rows: list[dict[str, object]] = []
+        for values, count in self.result.items():
+            if count <= 0:  # retraction overshoot: never emit phantoms
+                continue
+            row = dict(zip(names, values))
+            if count == 1:
+                rows.append(row)
+            else:
+                # duplicates share the dict — results are immutable by
+                # convention, same as union-all branch adoption
+                rows.extend([row] * count)
+        return Relation.from_trusted(schema, rows)

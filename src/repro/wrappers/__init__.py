@@ -1,7 +1,8 @@
 """Wrapper layer of the mediator/wrapper architecture."""
 
 from repro.wrappers.base import (
-    IdFilter, StaticWrapper, Wrapper, WrapperCapabilities, qualify,
+    IdFilter, StaticWrapper, Wrapper, WrapperCapabilities, WrapperDeltas,
+    qualify,
 )
 from repro.wrappers.json_flatten import flatten_document, flatten_documents
 from repro.wrappers.mongo import MongoWrapper
@@ -9,7 +10,7 @@ from repro.wrappers.rest import RestWrapper
 
 __all__ = [
     "IdFilter", "StaticWrapper", "Wrapper", "WrapperCapabilities",
-    "qualify",
+    "WrapperDeltas", "qualify",
     "flatten_document", "flatten_documents",
     "MongoWrapper", "RestWrapper",
 ]

@@ -33,15 +33,15 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError, WrapperSchemaMismatchError
 from repro.relational.physical import IdFilter
 from repro.relational.rows import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
-__all__ = ["IdFilter", "Wrapper", "WrapperCapabilities", "StaticWrapper",
-           "qualify"]
+__all__ = ["IdFilter", "Wrapper", "WrapperCapabilities", "WrapperDeltas",
+           "StaticWrapper", "qualify"]
 
 
 def qualify(source_name: str, attribute: str) -> str:
@@ -66,6 +66,28 @@ class WrapperCapabilities:
         flags = [name for name in ("projection", "id_filter")
                  if getattr(self, name)]
         return "+".join(flags) if flags else "none"
+
+
+@dataclass(frozen=True)
+class WrapperDeltas:
+    """Exact row-level changes between two delta cursors.
+
+    ``changes`` is an ordered sequence of ``(sign, row)`` pairs — sign
+    ``+1`` for an inserted row, ``-1`` for a deleted one; an update is a
+    delete of the old row followed by an insert of the new — with rows
+    keyed by *local* attribute names over the wrapper's full schema,
+    exactly like an unprojected :meth:`Wrapper.fetch`. Multiplicities
+    are bag semantics: a row inserted twice appears twice.
+
+    ``cursor`` is the position the changes advance a reader to (pass it
+    to the next ``fetch_deltas``); ``data_version`` is the matching
+    scan-cache token — a reader that applies the changes holds the
+    relation a full fetch at that version would return.
+    """
+
+    changes: "tuple[tuple[int, dict], ...]"
+    cursor: object
+    data_version: object
 
 
 class Wrapper:
@@ -150,6 +172,32 @@ class Wrapper:
         ``0``.
         """
         return 0
+
+    # -- change-data-capture protocol ------------------------------------------
+
+    def supports_deltas(self) -> bool:
+        """Whether :meth:`fetch_deltas` can ever serve exact row-level
+        changes. ``False`` (the default) routes incremental consumers
+        to their snapshot-diff fallback; even a ``True`` wrapper may
+        return ``None`` from a particular ``fetch_deltas`` call (log
+        trimmed, payload base changed)."""
+        return False
+
+    def delta_cursor(self) -> object:
+        """Opaque position token for :meth:`fetch_deltas`.
+
+        Distinct from :meth:`data_version` because version tokens need
+        not be monotonic (REST wrappers hash theirs); the cursor is
+        whatever the wrapper's change log sequences by.
+        """
+        return self.data_version()
+
+    def fetch_deltas(self, since: object) -> WrapperDeltas | None:
+        """Row changes between cursor *since* and now, or ``None`` when
+        the wrapper cannot reconstruct them exactly (no native support,
+        change log trimmed, cursor from another incarnation of the
+        source) — callers then diff full snapshots instead."""
+        return None
 
     # -- data ----------------------------------------------------------------------
 
@@ -278,12 +326,21 @@ class Wrapper:
 
 
 class StaticWrapper(Wrapper):
-    """A wrapper over fixed in-memory rows (tests, relationship tables).
+    """A wrapper over mutable in-memory rows (tests, relationship tables).
 
     *projection* optionally renames raw keys to schema attributes, e.g.
     ``{"TargetApp": "appId"}`` projects raw field ``appId`` as attribute
     ``TargetApp``.
+
+    Row mutations (:meth:`append_rows`, :meth:`update_rows`,
+    :meth:`remove_rows`) bump ``data_version`` and feed a bounded change
+    log, so the wrapper serves exact deltas; :meth:`replace_rows` is the
+    wholesale swap — it truncates the log and delta readers resync with
+    a full fetch.
     """
+
+    #: bound on the change log; older cursors fall back to a rescan
+    CHANGE_LOG_LIMIT = 4096
 
     def __init__(self, name: str, source_name: str,
                  id_attributes: Iterable[str],
@@ -295,6 +352,9 @@ class StaticWrapper(Wrapper):
         self._projection = dict(projection or {})
         self._rows = [dict(r) for r in rows]
         self._data_version = 0
+        #: (seq, sign, raw row) triples; seq = data_version at mutation
+        self._log: list[tuple[int, int, dict]] = []
+        self._log_floor = 0
 
     def capabilities(self) -> WrapperCapabilities:
         return WrapperCapabilities(projection=True, id_filter=True)
@@ -339,5 +399,98 @@ class StaticWrapper(Wrapper):
         return out
 
     def replace_rows(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Swap the whole row set (no per-row change records).
+
+        The log is truncated at the new version: delta readers whose
+        cursor predates the swap get ``None`` and resync with a full
+        fetch — a wholesale replacement rarely beats one.
+        """
         self._rows = [dict(r) for r in rows]
         self._data_version += 1
+        self._log.clear()
+        self._log_floor = self._data_version
+
+    # -- change-data-capture --------------------------------------------------
+
+    def _record(self, sign: int, row: Mapping[str, object]) -> None:
+        self._log.append((self._data_version, sign, dict(row)))
+        while len(self._log) > self.CHANGE_LOG_LIMIT:
+            seq, _, _ = self._log.pop(0)
+            self._log_floor = seq
+
+    def _project_row(self, row: Mapping[str, object]) -> dict:
+        """One raw row keyed by schema attribute names (full width)."""
+        rename = self._projection
+        if rename:
+            return {a: row.get(rename.get(a, a)) for a in self.attributes}
+        try:
+            return {a: row[a] for a in self.attributes}
+        except KeyError as exc:
+            raise WrapperSchemaMismatchError(
+                f"wrapper {self.name} row is missing attribute "
+                f"{exc.args[0]!r}; the source likely evolved under the "
+                "wrapper — register a new release") from None
+
+    def append_rows(self, rows: Iterable[Mapping[str, object]]) -> int:
+        """Insert rows (raw keys, like the constructor's *rows*)."""
+        added = [dict(r) for r in rows]
+        if not added:
+            return 0
+        self._data_version += 1
+        for row in added:
+            self._rows.append(row)
+            self._record(+1, row)
+        return len(added)
+
+    def update_rows(self, predicate: Callable[[Mapping[str, object]], bool],
+                    updates: Mapping[str, object]) -> int:
+        """Set raw fields on rows matching *predicate*; each changed
+        row is logged as (−old, +new)."""
+        updated = 0
+        pending: list[tuple[dict, dict]] = []
+        for row in self._rows:
+            if not predicate(row):
+                continue
+            before = dict(row)
+            row.update(updates)
+            if row != before:
+                pending.append((before, row))
+        if pending:
+            self._data_version += 1
+            for before, after in pending:
+                self._record(-1, before)
+                self._record(+1, after)
+            updated = len(pending)
+        return updated
+
+    def remove_rows(self, predicate: Callable[[Mapping[str, object]], bool]
+                    ) -> int:
+        """Delete rows matching *predicate* (raw keys)."""
+        kept: list[dict] = []
+        removed: list[dict] = []
+        for row in self._rows:
+            (removed if predicate(row) else kept).append(row)
+        if not removed:
+            return 0
+        self._rows = kept
+        self._data_version += 1
+        for row in removed:
+            self._record(-1, row)
+        return len(removed)
+
+    def supports_deltas(self) -> bool:
+        return True
+
+    def delta_cursor(self) -> int:
+        return self._data_version
+
+    def fetch_deltas(self, since: object) -> "WrapperDeltas | None":
+        if not isinstance(since, int) or isinstance(since, bool):
+            return None
+        if since > self._data_version or since < self._log_floor:
+            return None
+        changes = tuple(
+            (sign, self._project_row(row))
+            for seq, sign, row in self._log if seq > since)
+        return WrapperDeltas(changes, cursor=self._data_version,
+                             data_version=self._data_version)

@@ -27,10 +27,18 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.sources.document_store import DocumentStore
-from repro.wrappers.base import IdFilter, Wrapper, WrapperCapabilities
+from repro.sources.document_store import DocumentStore, aggregate
+from repro.wrappers.base import (
+    IdFilter, Wrapper, WrapperCapabilities, WrapperDeltas,
+)
 
 __all__ = ["MongoWrapper"]
+
+#: stages evaluated per document: running them over one changed document
+#: yields exactly that document's contribution to the wrapper relation.
+#: $sort/$skip/$limit/$group/$count see the whole stream, so pipelines
+#: using them cannot serve exact deltas.
+_PER_DOCUMENT_STAGES = frozenset({"$match", "$project", "$unwind"})
 
 
 class MongoWrapper(Wrapper):
@@ -80,3 +88,44 @@ class MongoWrapper(Wrapper):
         # schema decides whether it is part of the relation.
         return [{k: v for k, v in doc.items() if k in wanted}
                 for doc in docs]
+
+    # -- change-data-capture --------------------------------------------------
+
+    def supports_deltas(self) -> bool:
+        """Exact deltas need a per-document pipeline: each stage must
+        map one input document to its own output rows independently."""
+        return all(isinstance(stage, dict) and len(stage) == 1
+                   and next(iter(stage)) in _PER_DOCUMENT_STAGES
+                   for stage in self.pipeline)
+
+    def delta_cursor(self) -> int:
+        return self.data_version()
+
+    def fetch_deltas(self, since: object) -> WrapperDeltas | None:
+        if not self.supports_deltas():
+            return None
+        if not isinstance(since, int) or isinstance(since, bool):
+            return None
+        if self.collection not in self.store:
+            return None
+        collection = self.store.get_collection(self.collection)
+        records = collection.changes_since(since)
+        if records is None:
+            return None
+        wanted = set(self.attributes)
+        changes: list[tuple[int, dict]] = []
+        for record in records:
+            if record.op == "insert":
+                images = [(+1, record.document)]
+            elif record.op == "delete":
+                images = [(-1, record.document)]
+            else:  # update = retract old image, assert new one
+                images = [(-1, record.before or {}),
+                          (+1, record.document)]
+            for sign, doc in images:
+                for out in aggregate([doc], self.pipeline):
+                    changes.append((sign, {k: v for k, v in out.items()
+                                           if k in wanted}))
+        version = collection.data_version
+        return WrapperDeltas(tuple(changes), cursor=version,
+                             data_version=version)

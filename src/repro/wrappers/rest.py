@@ -19,7 +19,9 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import WrapperError
 from repro.sources.rest_api import Endpoint
-from repro.wrappers.base import IdFilter, Wrapper, WrapperCapabilities
+from repro.wrappers.base import (
+    IdFilter, Wrapper, WrapperCapabilities, WrapperDeltas,
+)
 from repro.wrappers.json_flatten import flatten_documents
 
 __all__ = ["RestWrapper"]
@@ -79,19 +81,33 @@ class RestWrapper(Wrapper):
     def estimate_rows(self) -> int | None:
         return self.count
 
+    def _base_token(self) -> tuple:
+        """Everything the *generated* payload is a pure function of.
+
+        Includes the version's :attr:`~repro.sources.rest_api.ApiVersion.
+        revision` — an in-place payload refresh (``update_field``)
+        regenerates every document, so it must rotate the token even
+        though the schema is unchanged.
+        """
+        spec = self.endpoint.version(self.version)
+        return (self.version, self.count, self.seed,
+                tuple(spec.field_names()), spec.revision)
+
     def data_version(self) -> int:
         """A token over everything a fetch is a pure function of.
 
-        Generation is deterministic in (version schema, count, seed), so
-        two fetches under the same token return identical rows — exactly
-        the property a scan cache needs.
+        Generation is deterministic in (version schema + revision,
+        count, seed); the live-overlay seq covers documents pushed,
+        updated or deleted at run time. Two fetches under the same
+        token return identical rows — exactly the property a scan
+        cache needs.
         """
         try:
-            fields = tuple(self.endpoint.version(self.version)
-                           .field_names())
+            base = self._base_token()
+            live = self.endpoint.live_seq(self.version)
         except Exception:
-            fields = ()
-        return hash((self.version, self.count, self.seed, fields))
+            base, live = (), -1
+        return hash((base, live))
 
     def _needed_paths(self, attributes: Sequence[str]
                       ) -> tuple[list[str] | None, list[str] | None]:
@@ -109,6 +125,17 @@ class RestWrapper(Wrapper):
         fields = sorted({p.split(".", 1)[0] for p in paths})
         return fields, sorted(set(paths))
 
+    def _value_of(self, attribute: str, flat: Mapping[str, Any]) -> Any:
+        if attribute in self.field_map:
+            path = self.field_map[attribute]
+            if path not in flat:
+                raise WrapperError(
+                    f"wrapper {self.name}: version "
+                    f"{self.version} of {self.endpoint.name} has "
+                    f"no field {path!r} (schema drift?)")
+            return flat[path]
+        return self.derived[attribute](flat)
+
     def fetch_rows(self, columns: Sequence[str] | None = None,
                    id_filter: IdFilter | None = None) -> list[dict]:
         attributes = tuple(columns) if columns is not None \
@@ -119,17 +146,6 @@ class RestWrapper(Wrapper):
         flat_rows = flatten_documents(documents, unwind=self.unwind,
                                       paths=paths)
 
-        def value_of(attribute: str, flat: dict) -> Any:
-            if attribute in self.field_map:
-                path = self.field_map[attribute]
-                if path not in flat:
-                    raise WrapperError(
-                        f"wrapper {self.name}: version "
-                        f"{self.version} of {self.endpoint.name} has "
-                        f"no field {path!r} (schema drift?)")
-                return flat[path]
-            return self.derived[attribute](flat)
-
         filter_attr = id_filter.attribute if id_filter is not None else None
         out: list[dict] = []
         for flat in flat_rows:
@@ -137,11 +153,66 @@ class RestWrapper(Wrapper):
             if filter_attr is not None and filter_attr in attributes:
                 # Evaluate the filtered ID first; skip the row before
                 # computing anything else.
-                row[filter_attr] = value_of(filter_attr, flat)
+                row[filter_attr] = self._value_of(filter_attr, flat)
                 if row[filter_attr] not in id_filter.values:
                     continue
             for attribute in attributes:
                 if attribute not in row:
-                    row[attribute] = value_of(attribute, flat)
+                    row[attribute] = self._value_of(attribute, flat)
             out.append(row)
         return out
+
+    # -- change-data-capture --------------------------------------------------
+
+    def _rows_of_document(self, document: dict) -> list[dict]:
+        """Full-width wrapper rows of one source document."""
+        flat_rows = flatten_documents([document], unwind=self.unwind,
+                                      paths=None)
+        return [{a: self._value_of(a, flat) for a in self.attributes}
+                for flat in flat_rows]
+
+    def supports_deltas(self) -> bool:
+        return True
+
+    def delta_cursor(self) -> object:
+        """(generated-payload token, live-overlay seq).
+
+        The base token pins the deterministic part of the payload: if
+        the schema, revision, count or seed changed, every generated
+        row changed with it, and the only honest answer to "what
+        changed since?" is a full resync (``fetch_deltas`` → None).
+        """
+        try:
+            return (self._base_token(),
+                    self.endpoint.live_seq(self.version))
+        except Exception:
+            return None
+
+    def fetch_deltas(self, since: object) -> WrapperDeltas | None:
+        if not isinstance(since, tuple) or len(since) != 2:
+            return None
+        base, seq = since
+        try:
+            current_base = self._base_token()
+        except Exception:
+            return None
+        if base != current_base or not isinstance(seq, int):
+            return None
+        records = self.endpoint.changes_since(seq, self.version)
+        if records is None:
+            return None
+        changes: list[tuple[int, dict]] = []
+        for record in records:
+            if record.op == "insert":
+                images = [(+1, record.document)]
+            elif record.op == "delete":
+                images = [(-1, record.document)]
+            else:
+                images = [(-1, record.before or {}),
+                          (+1, record.document)]
+            for sign, doc in images:
+                for row in self._rows_of_document(doc):
+                    changes.append((sign, row))
+        cursor = (current_base, self.endpoint.live_seq(self.version))
+        return WrapperDeltas(tuple(changes), cursor=cursor,
+                             data_version=self.data_version())

@@ -229,6 +229,16 @@ class TestDescribe:
         assert description.service["open_cursors"] == 1
         assert description.service["max_workers"] == 4
 
+    def test_describe_reports_cache_maintenance_stats(
+            self, serving_scenario, client):
+        client.query(serving_scenario.queries["twitter_api"],
+                     page_size=4)
+        description = client.describe()
+        answer_cache = description.service["answer_cache"]
+        for field in ("hit_rate", "patches", "seeds", "fallbacks"):
+            assert field in answer_cache
+        assert "hit_rate" in description.service["scan_cache"]
+
 
 class TestBatchEndpoint:
     def test_batch_shares_one_epoch(self, serving_scenario, service):

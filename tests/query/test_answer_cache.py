@@ -109,7 +109,9 @@ class TestEngineIntegration:
         assert engine.answer_cache_stats.hits == 1
 
     def test_data_version_bump_invalidates(self, scenario):
-        engine = QueryEngine(scenario.ontology)
+        # incremental=False restores the original evict-and-recompute
+        # contract (the patch path is covered in tests/streaming/)
+        engine = QueryEngine(scenario.ontology, incremental=False)
         before = engine.answer(EXEMPLARY_QUERY)
         w3 = scenario.wrappers["w3"]
         w3.replace_rows(w3._rows)  # same data, new data_version
@@ -117,6 +119,23 @@ class TestEngineIntegration:
         assert after is not before
         assert after == before  # recomputed, same content
         assert engine.answer_cache.stats.evictions == 1
+
+    def test_data_version_bump_patches_incrementally(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        assert engine.incremental  # the default
+        before = engine.answer(EXEMPLARY_QUERY)
+        w3 = scenario.wrappers["w3"]
+        w3.replace_rows(w3._rows)  # same data, new data_version
+        after = engine.answer(EXEMPLARY_QUERY)
+        assert after == before  # maintained, same content
+        stats = engine.answer_cache.stats
+        assert stats.evictions == 0  # kept, not evicted
+        assert stats.seeds == 1  # standing query attached lazily
+        # further churn rides the now-seeded standing query
+        w3.replace_rows(w3._rows)
+        again = engine.answer(EXEMPLARY_QUERY)
+        assert again == before
+        assert engine.answer_cache.stats.patches >= 1
 
     def test_release_invalidates_via_fingerprint(self):
         scenario = build_supersede()  # pre-evolution

@@ -1,0 +1,160 @@
+"""CDC change logs of the source substrate, and the data_version
+bugfixes the streaming layer flushed out (mutations that used to leave
+stale cache evidence behind)."""
+
+import pytest
+
+from repro.errors import AggregationError
+from repro.sources.document_store import (
+    CHANGE_LOG_LIMIT, Collection, DocumentStore,
+)
+from repro.sources.rest_api import ApiVersion, Endpoint, FieldSpec
+
+
+class TestCollectionChangeLog:
+    def test_insert_update_delete_are_recorded(self):
+        c = Collection("events")
+        c.insert_one({"id": 1, "v": 10})
+        c.insert_one({"id": 2, "v": 20})
+        cursor = c.data_version
+        c.update_many({"id": 1}, {"$set": {"v": 11}})
+        c.delete_many({"id": 2})
+        records = c.changes_since(cursor)
+        assert [r.op for r in records] == ["update", "delete"]
+        update, delete = records
+        assert update.before["v"] == 10 and update.document["v"] == 11
+        assert delete.document["id"] == 2
+        # seqs advance with data_version, strictly past the cursor
+        assert all(r.seq > cursor for r in records)
+        assert records[-1].seq == c.data_version
+
+    def test_changes_since_current_is_empty(self):
+        c = Collection("events")
+        c.insert_one({"id": 1})
+        assert c.changes_since(c.data_version) == []
+
+    def test_changes_since_future_cursor_is_none(self):
+        c = Collection("events")
+        c.insert_one({"id": 1})
+        assert c.changes_since(c.data_version + 1) is None
+
+    def test_truncated_log_returns_none(self):
+        c = Collection("events", change_log_limit=3)
+        for i in range(6):
+            c.insert_one({"id": i})
+        assert c.changes_since(0) is None  # fell off the window
+        # cursors still inside the window keep working
+        recent = c.changes_since(c.data_version - 2)
+        assert [r.document["id"] for r in recent] == [4, 5]
+
+    def test_log_is_bounded(self):
+        c = Collection("events", change_log_limit=4)
+        for i in range(50):
+            c.insert_one({"id": i})
+        assert len(c._log) == 4
+        assert CHANGE_LOG_LIMIT >= 1024  # production default is roomy
+
+    def test_update_many_set_unset_inc(self):
+        c = Collection("events")
+        c.insert_one({"id": 1, "v": 1, "tag": "x"})
+        changed = c.update_many({"id": 1}, {"$set": {"v": 5},
+                                           "$unset": {"tag": ""},
+                                           "$inc": {"n": 2}})
+        assert changed == 1
+        doc = c.find({"id": 1})[0]
+        assert doc["v"] == 5 and doc["n"] == 2 and "tag" not in doc
+
+    def test_update_many_unknown_operator_raises(self):
+        c = Collection("events")
+        c.insert_one({"id": 1})
+        with pytest.raises(AggregationError):
+            c.update_many({}, {"$rename": {"id": "key"}})
+
+    def test_noop_update_bumps_nothing(self):
+        c = Collection("events")
+        c.insert_one({"id": 1, "v": 1})
+        version = c.data_version
+        assert c.update_many({"id": 99}, {"$set": {"v": 2}}) == 0
+        assert c.data_version == version
+        assert c.changes_since(version) == []
+
+
+class TestVersionBumpRegressions:
+    def test_insert_one_returns_a_copy(self):
+        # Regression: insert_one used to hand back the stored dict —
+        # callers mutating the "returned document" silently edited the
+        # collection without a data_version bump.
+        c = Collection("events")
+        returned = c.insert_one({"id": 1, "v": 10})
+        version = c.data_version
+        returned["v"] = 999
+        assert c.find({"id": 1})[0]["v"] == 10
+        assert c.data_version == version
+
+    def test_drop_recreate_advances_the_version_floor(self):
+        # Regression: a dropped-and-recreated collection restarted its
+        # data_version at 0, so ScanCache/AnswerCache entries keyed
+        # under the dead collection's versions could be served again.
+        store = DocumentStore()
+        first = store.collection("vod")
+        first.insert_many([{"id": 1}, {"id": 2}])
+        dropped_at = first.data_version
+        assert store.drop_collection("vod")
+        recreated = store.collection("vod")
+        assert recreated.data_version > dropped_at
+        recreated.insert_one({"id": 3})
+        assert recreated.data_version > dropped_at + 1
+
+
+class TestEndpointChangeLog:
+    def make_endpoint(self):
+        spec = ApiVersion("v1", [FieldSpec("id", "int"),
+                                 FieldSpec("score", "float")])
+        return Endpoint("metrics", {"v1": spec})
+
+    def test_live_overlay_is_served_and_logged(self):
+        endpoint = self.make_endpoint()
+        base = endpoint.fetch("v1", count=3, seed=0)
+        cursor = endpoint.live_seq("v1")
+        assert endpoint.push_documents(
+            "v1", [{"id": 100, "score": 1.5}]) == 1
+        docs = endpoint.fetch("v1", count=3, seed=0)
+        assert len(docs) == len(base) + 1
+        assert docs[-1] == {"id": 100, "score": 1.5}
+        records = endpoint.changes_since(cursor, "v1")
+        assert [r.op for r in records] == ["insert"]
+
+    def test_update_and_delete_documents(self):
+        endpoint = self.make_endpoint()
+        endpoint.push_documents("v1", [{"id": 1, "score": 0.5},
+                                       {"id": 2, "score": 0.7}])
+        cursor = endpoint.live_seq("v1")
+        assert endpoint.update_documents(
+            "v1", {"id": 1}, {"score": 0.9}) == 1
+        assert endpoint.delete_documents("v1", {"id": 2}) == 1
+        records = endpoint.changes_since(cursor, "v1")
+        assert [r.op for r in records] == ["update", "delete"]
+        assert records[0].before["score"] == 0.5
+        assert records[0].document["score"] == 0.9
+
+    def test_changes_are_per_version(self):
+        spec_v1 = ApiVersion("v1", [FieldSpec("id", "int")])
+        spec_v2 = ApiVersion("v2", [FieldSpec("id", "int")])
+        endpoint = Endpoint("metrics", {"v1": spec_v1, "v2": spec_v2})
+        endpoint.push_documents("v1", [{"id": 1}])
+        endpoint.push_documents("v2", [{"id": 2}])
+        v1_records = endpoint.changes_since(0, "v1")
+        assert [r.document["id"] for r in v1_records] == [1]
+
+    def test_update_field_bumps_revision(self):
+        # Regression: refreshing a field's generator regenerated every
+        # payload but left the version's identity unchanged, so caches
+        # kept serving the pre-refresh rows.
+        endpoint = self.make_endpoint()
+        spec = endpoint.version("v1")
+        before = spec.revision
+        first = endpoint.fetch("v1", count=3, seed=0)
+        spec.update_field("score", field_type="int")
+        assert spec.revision == before + 1
+        second = endpoint.fetch("v1", count=3, seed=0)
+        assert first != second  # payload actually regenerated

@@ -1,0 +1,127 @@
+"""CollectionDriftMonitor: change streams feeding drift detection.
+
+The monitor tails a collection's CDC log; drifted in-flight payloads
+become auto-drafted releases (or pending-confirmation drafts) for the
+steward — never applied automatically.
+"""
+
+from repro.datasets import build_supersede
+from repro.rdf.namespace import SUP
+from repro.streaming import CollectionDriftMonitor
+
+
+DECLARED = ["VoDmonitorId", "lagRatio"]
+
+
+def make_monitor(scenario, **kwargs):
+    live = scenario.store.collection("vod_live")
+    live.insert_many([{"VoDmonitorId": 12, "lagRatio": 0.25},
+                      {"VoDmonitorId": 18, "lagRatio": 0.4}])
+    monitor = CollectionDriftMonitor(
+        scenario.ontology, scenario.store, "vod_live",
+        source_name="D1", wrapper_name="w1",
+        declared_fields=DECLARED, id_fields=["VoDmonitorId"], **kwargs)
+    return live, monitor
+
+
+class TestPoll:
+    def test_quiet_stream_yields_nothing(self):
+        live, monitor = make_monitor(build_supersede())
+        assert monitor.poll() is None
+
+    def test_conforming_churn_yields_nothing(self):
+        live, monitor = make_monitor(build_supersede())
+        live.insert_one({"VoDmonitorId": 44, "lagRatio": 0.1})
+        assert monitor.poll() is None
+
+    def test_confident_rename_drafts_a_release(self):
+        live, monitor = make_monitor(build_supersede())
+        # lagRatio → lagRatioV2: string-similar enough to auto-apply
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        draft = monitor.poll()
+        assert draft is not None
+        assert draft.auto_applicable
+        assert draft.new_wrapper_name == "w1_drift1"
+        assert draft.release.attribute_to_feature["lagRatioV2"] == \
+            SUP.lagRatio  # feature inherited through the rename
+        assert "release drafted" in draft.summary()
+
+    def test_low_confidence_rename_stays_pending(self):
+        live, monitor = make_monitor(build_supersede())
+        # the paper's own rename: similarity 0.38, below auto threshold
+        live.insert_one({"VoDmonitorId": 44, "bufferingRatio": 0.1})
+        draft = monitor.poll()
+        assert draft is not None
+        assert not draft.auto_applicable
+        assert draft.release is None
+        assert [(p.old_field, p.new_field) for p in draft.pending] == \
+            [("lagRatio", "bufferingRatio")]
+        assert "confirmation" in draft.error
+
+    def test_identical_drift_drafted_once(self):
+        live, monitor = make_monitor(build_supersede())
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        assert monitor.poll() is not None
+        live.insert_one({"VoDmonitorId": 45, "lagRatioV2": 0.2})
+        assert monitor.poll() is None  # same signature, no new draft
+
+    def test_recovered_then_redrifted_redrafts(self):
+        live, monitor = make_monitor(build_supersede())
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        first = monitor.poll()
+        assert first is not None
+        # payloads conform again…
+        live.insert_one({"VoDmonitorId": 45, "lagRatio": 0.2})
+        assert monitor.poll() is None
+        # …then the same drift returns: it must be drafted again
+        live.insert_one({"VoDmonitorId": 46, "lagRatioV2": 0.3})
+        second = monitor.poll()
+        assert second is not None
+        assert second.new_wrapper_name != first.new_wrapper_name
+
+    def test_deletes_are_not_screened(self):
+        live, monitor = make_monitor(build_supersede())
+        live.delete_many({"VoDmonitorId": 12})
+        assert monitor.poll() is None  # delete images are not payloads
+
+    def test_truncated_log_screens_full_collection(self):
+        scenario = build_supersede()
+        live, monitor = make_monitor(scenario)
+        live._change_log_limit = 1
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        live.insert_one({"VoDmonitorId": 45, "lagRatioV2": 0.2})
+        draft = monitor.poll()  # cursor fell off → full screen
+        assert draft is not None
+        assert draft.report.has_drift
+
+    def test_explicit_wrapper_name_wins(self):
+        live, monitor = make_monitor(build_supersede(),
+                                     new_wrapper_name="w9")
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        assert monitor.poll().new_wrapper_name == "w9"
+
+
+class TestServingIntegration:
+    def test_attach_and_poll_accumulates_drafts(self):
+        from repro.mdm import MDM
+        scenario = build_supersede()
+        live, monitor = make_monitor(scenario)
+        service = MDM(scenario.ontology).serving()
+        service.attach_drift_monitor(monitor)
+        assert service.poll_drift() == []
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        drafts = service.poll_drift()
+        assert len(drafts) == 1
+        assert service.drift_drafts == drafts
+        # polling never applies anything: the ontology is untouched
+        assert not scenario.ontology.has_physical_wrapper("w1_drift1")
+
+    def test_auto_draft_lands_through_the_steward_path(self):
+        from repro.core.release import new_release
+        scenario = build_supersede()
+        live, monitor = make_monitor(scenario)
+        live.insert_one({"VoDmonitorId": 44, "lagRatioV2": 0.1})
+        draft = monitor.poll()
+        assert draft.auto_applicable
+        new_release(scenario.ontology, draft.release)
+        assert scenario.ontology.validate() == []

@@ -1,0 +1,146 @@
+"""QueryEngine + answer cache on the incremental path: the patch
+lifecycle, the kill switch, and the recompute fallback valve."""
+
+import pytest
+
+from repro.datasets import EXEMPLARY_QUERY, build_supersede
+from repro.query import QueryEngine
+
+
+@pytest.fixture()
+def scenario():
+    return build_supersede(with_evolution=True)
+
+
+def churn(scenario, n=1):
+    vod = scenario.store.get_collection("vod")
+    for i in range(n):
+        vod.insert_one({"monitorId": 5000 + i, "waitTime": 1.0,
+                        "watchTime": 4.0})
+
+
+class TestKillSwitch:
+    def test_env_disables_incremental(self, scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        engine = QueryEngine(scenario.ontology)
+        assert not engine.incremental
+        engine.answer(EXEMPLARY_QUERY)
+        churn(scenario)
+        engine.answer(EXEMPLARY_QUERY)
+        stats = engine.answer_cache.stats
+        assert stats.evictions == 1  # the old contract: evict + rerun
+        assert stats.seeds == 0 and stats.patches == 0
+
+    def test_explicit_argument_beats_env(self, scenario, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        assert QueryEngine(scenario.ontology, incremental=True
+                           ).incremental
+        monkeypatch.delenv("REPRO_INCREMENTAL")
+        assert not QueryEngine(scenario.ontology, incremental=False
+                               ).incremental
+
+
+class TestPatchLifecycle:
+    def test_patch_serves_correct_answer(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        cold = QueryEngine(scenario.ontology, use_answer_cache=False)
+        engine.answer(EXEMPLARY_QUERY)
+        for tick in range(3):
+            churn(scenario, n=2)
+            assert engine.answer(EXEMPLARY_QUERY) == \
+                cold.answer(EXEMPLARY_QUERY), f"diverged at {tick}"
+        stats = engine.answer_cache.stats
+        assert stats.seeds == 1
+        assert stats.patches == 2  # first stale miss seeds, rest patch
+        assert stats.evictions == 0
+
+    def test_unchanged_data_is_a_plain_hit(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        first = engine.answer(EXEMPLARY_QUERY)
+        assert engine.answer(EXEMPLARY_QUERY) is first
+        stats = engine.answer_cache.stats
+        assert stats.hits == 1
+        assert stats.seeds == 0  # no churn → standing query never built
+
+    def test_fingerprint_change_still_evicts(self, scenario):
+        from repro.datasets.supersede import register_w4
+        pre = build_supersede()  # no w4 yet
+        engine = QueryEngine(pre.ontology)
+        before = engine.answer(EXEMPLARY_QUERY)
+        register_w4(pre)  # ontology release → fingerprint rotates
+        after = engine.answer(EXEMPLARY_QUERY)
+        assert len(after) >= len(before)
+        assert engine.answer_cache.stats.evictions == 1
+        assert engine.answer_cache.stats.patches == 0
+
+    def test_patch_failure_falls_back_to_recompute(self, scenario,
+                                                   monkeypatch):
+        engine = QueryEngine(scenario.ontology)
+        cold = QueryEngine(scenario.ontology, use_answer_cache=False)
+        engine.answer(EXEMPLARY_QUERY)
+        churn(scenario)
+        from repro.streaming.standing import StandingQuery
+
+        def boom(self, provider):
+            raise RuntimeError("synthetic standing-query failure")
+
+        monkeypatch.setattr(StandingQuery, "seed", boom)
+        answer = engine.answer(EXEMPLARY_QUERY)
+        assert answer == cold.answer(EXEMPLARY_QUERY)
+        stats = engine.answer_cache.stats
+        assert stats.fallbacks == 1
+        assert stats.evictions == 1  # the broken entry was discarded
+
+    def test_valve_reseed_counts_as_fallback(self, scenario):
+        engine = QueryEngine(scenario.ontology)
+        engine.answer(EXEMPLARY_QUERY)
+        churn(scenario)  # attach + seed the standing query
+        engine.answer(EXEMPLARY_QUERY)
+        # shrink the valve so the next delta trips it
+        entry = engine.answer_cache.patchable_entry(
+            *self._entry_key(engine, scenario))
+        entry.standing.min_delta_rows = 0
+        entry.standing.max_delta_fraction = 0.0
+        churn(scenario, n=3)
+        cold = QueryEngine(scenario.ontology, use_answer_cache=False)
+        assert engine.answer(EXEMPLARY_QUERY) == \
+            cold.answer(EXEMPLARY_QUERY)
+        assert engine.answer_cache.stats.fallbacks >= 1
+
+    @staticmethod
+    def _entry_key(engine, scenario):
+        from repro.query.cache import canonical_omq_key
+        from repro.query.omq import parse_omq
+        key = canonical_omq_key(parse_omq(EXEMPLARY_QUERY))
+        return key, True, scenario.ontology.fingerprint()
+
+
+class TestServingPanels:
+    def test_register_panel_warms_and_refreshes(self, scenario):
+        from repro.mdm import MDM
+        service = MDM(scenario.ontology).serving()
+        service.register_panel("vod-quality", [EXEMPLARY_QUERY])
+        assert "vod-quality" in service.panels
+        churn(scenario)
+        report = service.refresh_panels()
+        panel = report["vod-quality"]
+        assert panel["queries"] == 1
+        assert panel["failures"] == 0
+        assert panel["seeds"] + panel["patches"] >= 1
+
+    def test_refresh_without_churn_is_cheap(self, scenario):
+        from repro.mdm import MDM
+        service = MDM(scenario.ontology).serving()
+        service.register_panel("vod-quality", [EXEMPLARY_QUERY])
+        report = service.refresh_panels()
+        panel = report["vod-quality"]
+        assert panel["hits"] == 1  # straight cache hit, no maintenance
+        assert panel["patches"] == 0
+
+    def test_describe_mentions_panels_and_maintenance(self, scenario):
+        from repro.mdm import MDM
+        service = MDM(scenario.ontology).serving()
+        service.register_panel("vod-quality", [EXEMPLARY_QUERY])
+        text = service.describe()
+        assert "standing panels: 1" in text
+        assert "incremental maintenance" in text
