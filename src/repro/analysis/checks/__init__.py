@@ -1,0 +1,15 @@
+"""Built-in checkers; importing this package registers all of them."""
+
+from repro.analysis.checks.capabilities import WrapperCapabilitiesChecker
+from repro.analysis.checks.determinism import ReplayDeterminismChecker
+from repro.analysis.checks.frozen_protocol import FrozenProtocolChecker
+from repro.analysis.checks.guarded_by import GuardedByChecker
+from repro.analysis.checks.taxonomy import ErrorTaxonomyChecker
+
+__all__ = [
+    "ErrorTaxonomyChecker",
+    "FrozenProtocolChecker",
+    "GuardedByChecker",
+    "ReplayDeterminismChecker",
+    "WrapperCapabilitiesChecker",
+]

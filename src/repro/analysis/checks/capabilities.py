@@ -1,0 +1,158 @@
+"""wrapper-capabilities: advertised wrapper features have real methods.
+
+PR 3's physical layer plans pushdown against what a wrapper *says* it
+can do — ``capabilities()`` advertises projection / id-filter pushdown
+and ``supports_deltas()`` advertises CDC — and PR 8's incremental
+maintenance trusts those advertisements to pick delta feeds. The
+planner never re-verifies: a wrapper that returns
+``WrapperCapabilities(projection=True)`` but whose ``fetch_rows``
+ignores the ``columns`` argument silently produces wrong (or
+un-pruned) scans, and one that claims deltas without ``fetch_deltas``
+fails deep inside a refresh cycle instead of at review time.
+
+The contract enforced here is deliberately local: a class that
+advertises a capability **in its own body** must implement the
+matching surface in its own body —
+
+* ``capabilities()`` returning ``WrapperCapabilities(projection=True)``
+  ⇒ the class defines ``fetch_rows`` with a ``columns`` parameter;
+* ``... id_filter=True`` ⇒ ``fetch_rows`` has an ``id_filter``
+  parameter;
+* ``supports_deltas()`` containing ``return True`` ⇒ the class defines
+  ``fetch_deltas`` with a ``since`` parameter **and** a
+  ``delta_cursor`` method.
+
+An inherited generic implementation cannot honor a capability its base
+never advertised, so "the base class has it" is not an excuse — if a
+subclass genuinely delegates, it says so with a justified suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project, SourceFile
+from repro.analysis.registry import Checker, register
+
+__all__ = ["WrapperCapabilitiesChecker"]
+
+CAPS_CLASS = "WrapperCapabilities"
+
+#: capability keyword -> (method it promises, parameter that method
+#: must accept)
+_FEATURE_SURFACE: dict[str, tuple[str, str]] = {
+    "projection": ("fetch_rows", "columns"),
+    "id_filter": ("fetch_rows", "id_filter"),
+}
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                node.name == name:
+            return node
+    return None
+
+
+def _param_names(method: ast.FunctionDef) -> set[str]:
+    args = method.args
+    names = {a.arg for a in args.posonlyargs}
+    names |= {a.arg for a in args.args}
+    names |= {a.arg for a in args.kwonlyargs}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _advertised_features(method: ast.FunctionDef) -> dict[str, int]:
+    """capability name -> line, from ``WrapperCapabilities(...)`` calls
+    with ``<feature>=True`` constant keywords inside *method*."""
+    features: dict[str, int] = {}
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        if name != CAPS_CLASS:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg in _FEATURE_SURFACE and \
+                    isinstance(keyword.value, ast.Constant) and \
+                    keyword.value.value is True:
+                features.setdefault(keyword.arg, node.lineno)
+    return features
+
+
+def _returns_true(method: ast.FunctionDef) -> int | None:
+    """Line of a ``return True`` constant in *method*, if any."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and \
+                isinstance(node.value, ast.Constant) and \
+                node.value.value is True:
+            return node.lineno
+    return None
+
+
+@register
+class WrapperCapabilitiesChecker(Checker):
+    name = "wrapper-capabilities"
+    description = ("wrappers advertising capabilities()/supports_deltas() "
+                   "features implement the matching methods and "
+                   "signatures locally")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            for cls in self.classes_of(source):
+                yield from self._check_class(source, cls)
+
+    def _check_class(self, source: SourceFile,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        caps = _method(cls, "capabilities")
+        if caps is not None:
+            for feature, line in sorted(
+                    _advertised_features(caps).items()):
+                method_name, param = _FEATURE_SURFACE[feature]
+                method = _method(cls, method_name)
+                if method is None:
+                    yield source.finding(
+                        line, self.name,
+                        f"{cls.name}.capabilities advertises "
+                        f"{feature}=True but the class defines no "
+                        f"`{method_name}`; the planner will push down "
+                        "work nothing implements")
+                elif param not in _param_names(method):
+                    yield source.finding(
+                        method.lineno, self.name,
+                        f"{cls.name}.{method_name} lacks a `{param}` "
+                        f"parameter although capabilities() advertises "
+                        f"{feature}=True; the pushdown argument would "
+                        "be silently dropped")
+
+        supports = _method(cls, "supports_deltas")
+        if supports is not None:
+            line = _returns_true(supports)
+            if line is None:
+                return
+            fetch = _method(cls, "fetch_deltas")
+            if fetch is None:
+                yield source.finding(
+                    line, self.name,
+                    f"{cls.name}.supports_deltas returns True but the "
+                    "class defines no `fetch_deltas`; incremental "
+                    "refresh would fail mid-cycle")
+            elif "since" not in _param_names(fetch):
+                yield source.finding(
+                    fetch.lineno, self.name,
+                    f"{cls.name}.fetch_deltas lacks a `since` "
+                    "parameter; delta feeds resume from a cursor and "
+                    "must accept one")
+            if _method(cls, "delta_cursor") is None:
+                yield source.finding(
+                    line, self.name,
+                    f"{cls.name}.supports_deltas returns True but the "
+                    "class defines no `delta_cursor`; feeds cannot "
+                    "snapshot a resume point")

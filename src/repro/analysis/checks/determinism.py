@@ -1,0 +1,189 @@
+"""replay-determinism: no nondeterminism in journal-replay-reachable code.
+
+PR 5's core invariant is that replaying the governance journal from an
+empty ontology reproduces the **byte-identical** governed state (same
+fingerprint, same epoch, same release history), and PR 8 extends the
+same discipline to incremental maintenance: a standing query patched by
+deltas must equal a cold recompute. Both properties die silently the
+moment replay-reachable code consults a wall clock, an RNG, process
+identity or environment, or folds an unordered ``set`` into an output.
+
+The checker computes the modules *reachable by imports* from the replay
+roots — ``repro.storage.journal`` (home of ``Journal.apply_record``,
+the one executor recovery and replicas run), every ``repro.streaming``
+module (the incremental operator states), and any module carrying a
+``# repro-lint: replay-root`` marker — and flags, inside that set:
+
+* clock reads: ``time.time``/``time_ns``/``monotonic``/``perf_counter``,
+  ``datetime.now``/``utcnow``/``today``;
+* randomness: any use of ``random``, ``secrets`` or ``uuid``;
+* environment reads: ``os.environ`` / ``os.getenv``;
+* process identity: the builtin ``id()`` (its value varies per run, so
+  it must never feed persisted or replayed state);
+* unordered-set iteration into an output: ``for … in {…}``,
+  comprehensions over ``set(...)``, ``list``/``tuple``/``join`` over a
+  set expression — Python sets iterate in hash order, which varies with
+  interning and insertion history across processes. ``sorted(set(...))``
+  is the deterministic form and is not flagged.
+
+Deliberate exceptions (a seeded RNG, a boot id on a control record that
+replay skips) carry a justified suppression — the policy makes the
+exception reviewable instead of invisible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project, SourceFile
+from repro.analysis.registry import Checker, register
+
+__all__ = ["ReplayDeterminismChecker", "DEFAULT_ROOTS"]
+
+#: modules whose import closure must stay deterministic
+DEFAULT_ROOTS = ("repro.storage.journal",)
+
+#: every module under these packages is also a root
+ROOT_PACKAGES = ("repro.streaming",)
+
+#: marker that declares additional roots in the source itself
+ROOT_MARKER = "replay-root"
+
+#: module -> attribute names whose *use* is nondeterministic
+#: (``None`` = every attribute of the module)
+_BANNED_ATTRS: dict[str, frozenset[str] | None] = {
+    "time": frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                       "perf_counter", "perf_counter_ns"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "random": None,
+    "secrets": None,
+    "uuid": None,
+    "os": frozenset({"environ", "getenv", "getpid", "urandom"}),
+}
+
+_SET_WRAPPERS = frozenset({"list", "tuple"})
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class _ModuleScan:
+    """One reachable module's walk: resolves imported names, emits hits."""
+
+    def __init__(self, source: SourceFile, chain: tuple[str, ...]) -> None:
+        self.source = source
+        self.via = " -> ".join(chain)
+        #: local alias -> banned module it names (``import random as r``)
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> (module, member) for from-imports of banned members
+        self.member_aliases: dict[str, tuple[str, str]] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_ATTRS:
+                        self.module_aliases[
+                            alias.asname or root] = root
+            elif isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                banned = _BANNED_ATTRS.get(module)
+                if module not in _BANNED_ATTRS:
+                    continue
+                for alias in node.names:
+                    if banned is None or alias.name in banned:
+                        self.member_aliases[alias.asname or alias.name] = (
+                            module, alias.name)
+
+    # -- emission --------------------------------------------------------------
+
+    def findings(self) -> Iterator[Finding]:
+        for node in ast.walk(self.source.tree):
+            yield from self._check_node(node)
+
+    def _emit(self, node: ast.AST, what: str) -> Finding:
+        return self.source.finding(
+            getattr(node, "lineno", 1), "replay-determinism",
+            f"{what} in replay-reachable module "
+            f"{self.source.module} (import chain: {self.via}); "
+            "replayed state must be byte-deterministic")
+
+    def _check_node(self, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name):
+            module = self.module_aliases.get(node.value.id)
+            if module is not None:
+                banned = _BANNED_ATTRS[module]
+                if banned is None or node.attr in banned:
+                    yield self._emit(
+                        node, f"use of `{module}.{node.attr}`")
+        elif isinstance(node, ast.Name) and \
+                isinstance(node.ctx, ast.Load):
+            origin = self.member_aliases.get(node.id)
+            if origin is not None:
+                yield self._emit(
+                    node, f"use of `{origin[0]}.{origin[1]}` "
+                          f"(imported as `{node.id}`)")
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expression(node.iter):
+                yield self._emit(
+                    node.iter, "iteration over an unordered set")
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    yield self._emit(
+                        generator.iter,
+                        "comprehension over an unordered set")
+
+    def _check_call(self, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "id" and node.args:
+                yield self._emit(
+                    node, "use of builtin `id()` (per-process identity)")
+            elif func.id in _SET_WRAPPERS and node.args and \
+                    _is_set_expression(node.args[0]):
+                yield self._emit(
+                    node, f"`{func.id}()` over an unordered set "
+                          "(use `sorted(...)`)")
+        elif isinstance(func, ast.Attribute) and func.attr == "join" and \
+                node.args and _is_set_expression(node.args[0]):
+            yield self._emit(
+                node, "`.join()` over an unordered set "
+                      "(use `sorted(...)`)")
+
+
+@register
+class ReplayDeterminismChecker(Checker):
+    name = "replay-determinism"
+    description = (
+        "no clocks, RNGs, env reads, id() or unordered-set iteration in "
+        "modules reachable from Journal.apply_record / repro.streaming")
+
+    def roots(self, project: Project) -> list[str]:
+        roots = [m for m in DEFAULT_ROOTS if m in project.by_module]
+        for module in project.modules():
+            if any(module == pkg or module.startswith(pkg + ".")
+                   for pkg in ROOT_PACKAGES):
+                roots.append(module)
+        for source in project.files:
+            if ROOT_MARKER in source.markers and source.module:
+                roots.append(source.module)
+        return sorted(dict.fromkeys(roots))
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        chains = project.reachable_from(self.roots(project))
+        for module in sorted(chains):
+            source = project.by_module[module]
+            yield from _ModuleScan(source, chains[module]).findings()

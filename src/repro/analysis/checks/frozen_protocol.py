@@ -1,0 +1,229 @@
+"""frozen-protocol: wire envelopes stay frozen and field/dict-parity clean.
+
+PR 4 froze the v1 protocol surface: every envelope that crosses the
+wire is an immutable dataclass whose declared fields, ``to_dict`` keys
+and ``from_dict`` constructor kwargs are the same set — that is what
+makes request hashing stable, responses safely shareable across
+threads, and old clients able to round-trip envelopes they did not
+produce. The invariant erodes one field at a time: someone adds a
+field but forgets ``to_dict``, or serializes a key that ``from_dict``
+never reads back. This checker pins all three views together.
+
+Scope: the module ``repro.api.protocol`` plus any module carrying a
+``# repro-lint: frozen-surface`` marker. For every ``@dataclass`` in
+scope it enforces:
+
+* the decorator says ``frozen=True`` — envelopes are immutable;
+* *wire fields* are the declared fields **not** opted out via
+  ``field(compare=False)`` (the idiom for process-local attachments
+  like a materialized relation or a caught exception);
+* ``to_dict``'s returned dict literal has exactly the wire-field keys;
+* ``from_dict``'s ``cls(...)`` call passes exactly the wire fields as
+  keywords.
+
+Modules that serialize non-frozen records with deliberately abbreviated
+keys (e.g. the journal codec's ``ChangeRecord``) simply stay outside
+the marker scope — the checker binds the *protocol* surface, not every
+``to_dict`` in the repo.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project, SourceFile
+from repro.analysis.registry import Checker, register
+
+__all__ = ["FrozenProtocolChecker"]
+
+PROTOCOL_MODULE = "repro.api.protocol"
+SCOPE_MARKER = "frozen-surface"
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    """The ``dataclass`` decorator node of *cls*, if present."""
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen" and \
+                isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _declared_fields(cls: ast.ClassDef) -> dict[str, tuple[int, bool]]:
+    """field name -> (line, is_wire) from the class body.
+
+    A field is *wire* unless its default is a ``field(...)`` call with
+    ``compare=False`` — the declared idiom for process-local payloads.
+    ClassVar annotations are not fields and are skipped.
+    """
+    fields: dict[str, tuple[int, bool]] = {}
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or \
+                not isinstance(node.target, ast.Name):
+            continue
+        annotation = node.annotation
+        ann_name = None
+        if isinstance(annotation, ast.Subscript):
+            base = annotation.value
+            if isinstance(base, ast.Name):
+                ann_name = base.id
+            elif isinstance(base, ast.Attribute):
+                ann_name = base.attr
+        elif isinstance(annotation, ast.Name):
+            ann_name = annotation.id
+        if ann_name == "ClassVar":
+            continue
+        wire = True
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            func_name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if func_name == "field":
+                for keyword in value.keywords:
+                    if keyword.arg == "compare" and \
+                            isinstance(keyword.value, ast.Constant) and \
+                            keyword.value.value is False:
+                        wire = False
+        fields[node.target.id] = (node.lineno, wire)
+    return fields
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                node.name == name:
+            return node
+    return None
+
+
+def _to_dict_keys(method: ast.FunctionDef) -> tuple[set[str], int] | None:
+    """Keys of the dict literal ``to_dict`` returns, or None if the
+    method does not return a statically-analyzable dict literal."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and \
+                isinstance(node.value, ast.Dict):
+            keys: set[str] = set()
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and \
+                        isinstance(key.value, str):
+                    keys.add(key.value)
+                else:
+                    return None  # computed/spread keys: not analyzable
+            return keys, node.value.lineno
+    return None
+
+
+def _from_dict_kwargs(cls: ast.ClassDef,
+                      method: ast.FunctionDef,
+                      ) -> tuple[set[str], int] | None:
+    """Keyword names of the ``cls(...)`` (or ``ClassName(...)``) call
+    inside ``from_dict``, or None when no such call is found or the
+    call uses ``**`` splatting."""
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_ctor = (isinstance(func, ast.Name)
+                   and func.id in ("cls", cls.name))
+        if not is_ctor:
+            continue
+        kwargs: set[str] = set()
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                return None  # **splat: not analyzable
+            kwargs.add(keyword.arg)
+        return kwargs, node.lineno
+    return None
+
+
+def _parity_message(what: str, missing: set[str], extra: set[str]) -> str:
+    parts = []
+    if missing:
+        parts.append(f"missing {sorted(missing)}")
+    if extra:
+        parts.append(f"extra {sorted(extra)}")
+    return f"{what} {' and '.join(parts)}"
+
+
+@register
+class FrozenProtocolChecker(Checker):
+    name = "frozen-protocol"
+    description = ("protocol envelope dataclasses stay frozen=True with "
+                   "field/to_dict/from_dict parity on the wire surface")
+
+    def scoped_files(self, project: Project) -> Iterator[SourceFile]:
+        for source in project.files:
+            if source.module == PROTOCOL_MODULE or \
+                    SCOPE_MARKER in source.markers:
+                yield source
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in self.scoped_files(project):
+            for cls in self.classes_of(source):
+                decorator = _dataclass_decorator(cls)
+                if decorator is None:
+                    continue
+                yield from self._check_class(source, cls, decorator)
+
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef,
+                     decorator: ast.expr) -> Iterator[Finding]:
+        if not _is_frozen(decorator):
+            yield source.finding(
+                cls.lineno, self.name,
+                f"{cls.name} is a protocol dataclass but not "
+                "`@dataclass(frozen=True)`; envelopes must be immutable "
+                "once constructed")
+        fields = _declared_fields(cls)
+        wire = {name for name, (_line, is_wire) in fields.items()
+                if is_wire}
+
+        to_dict = _method(cls, "to_dict")
+        if to_dict is not None:
+            analyzed = _to_dict_keys(to_dict)
+            if analyzed is None:
+                yield source.finding(
+                    to_dict.lineno, self.name,
+                    f"{cls.name}.to_dict does not return a plain dict "
+                    "literal with constant keys; the wire surface must "
+                    "stay statically checkable")
+            else:
+                keys, line = analyzed
+                if keys != wire:
+                    yield source.finding(line, self.name, _parity_message(
+                        f"{cls.name}.to_dict keys diverge from declared "
+                        "wire fields:", wire - keys, keys - wire))
+
+        from_dict = _method(cls, "from_dict")
+        if from_dict is not None:
+            analyzed = _from_dict_kwargs(cls, from_dict)
+            if analyzed is None:
+                yield source.finding(
+                    from_dict.lineno, self.name,
+                    f"{cls.name}.from_dict has no statically-checkable "
+                    f"keyword-only `cls(...)` call; the wire surface "
+                    "must stay analyzable")
+            else:
+                kwargs, line = analyzed
+                if kwargs != wire:
+                    yield source.finding(line, self.name, _parity_message(
+                        f"{cls.name}.from_dict kwargs diverge from "
+                        "declared wire fields:", wire - kwargs,
+                        kwargs - wire))

@@ -1,0 +1,166 @@
+"""guarded-by: annotated shared state mutates only under its lock.
+
+PR 2 made serving concurrent (queries as readers, releases as writers
+under the epoch lock) and PR 6 put a routed fleet on top; since then
+every cache, journal and balancer carries an internal lock and a
+comment saying which attributes it guards. Comments don't enforce
+anything — this checker turns them into a contract.
+
+Annotate an attribute where it is initialized::
+
+    self._entries: OrderedDict[...] = OrderedDict()  # guarded-by: _lock
+
+From then on, **every** ``self._entries`` access in that class — read
+or write, any method — must sit lexically inside a ``with self._lock:``
+block. Exemptions:
+
+* ``__init__`` itself (the constructor owns the only reference;
+  nothing can race it);
+* methods whose ``def`` line carries a justified
+  ``# repro-lint: disable=guarded-by -- …`` suppression — the idiom
+  for private helpers documented as "caller holds the lock".
+
+The check is lexical, not interprocedural, by design: a helper that
+relies on its caller's lock is exactly the kind of invisible contract
+that breaks under refactoring, so it must say so in a reviewable
+suppression rather than pass silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project, SourceFile
+from repro.analysis.registry import Checker, register
+
+__all__ = ["GuardedByChecker"]
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _guarded_attrs(source: SourceFile,
+                   cls: ast.ClassDef) -> dict[str, tuple[str, int]]:
+    """attribute -> (lock name, annotation line) for one class.
+
+    An annotation is a ``# guarded-by: <lock>`` comment on any line of
+    a ``self.<attr> = …`` statement (or annotated assignment) inside
+    the class body — normally the initialization in ``__init__``.
+    """
+    guards: dict[str, tuple[str, int]] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        end = getattr(node, "end_lineno", node.lineno) or node.lineno
+        lock = None
+        line_found = node.lineno
+        for line in range(node.lineno, end + 1):
+            comment = source.comments.get(line)
+            if comment is None:
+                continue
+            matched = _GUARDED_RE.search(comment)
+            if matched is not None:
+                lock = matched.group(1)
+                line_found = line
+                break
+        if lock is None:
+            continue
+        for target in targets:
+            attr = _self_attribute(target)
+            if attr is not None:
+                guards[attr] = (lock, line_found)
+    return guards
+
+
+def _with_holds(node: ast.With | ast.AsyncWith, lock: str) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if _self_attribute(expr) == lock:
+            return True
+        # ``with self._lock, other:`` handled by the loop; also accept
+        # an explicit ``self._lock.acquire()``-style context manager
+        # factory call like ``with self._lock:``-wrapping helpers.
+        if isinstance(expr, ast.Call) and \
+                _self_attribute(expr.func) == lock:
+            return True
+    return False
+
+
+class _MethodScan:
+    """Walk one method, tracking which guarded locks are lexically held."""
+
+    def __init__(self, source: SourceFile, cls: ast.ClassDef,
+                 method: ast.FunctionDef,
+                 guards: dict[str, tuple[str, int]]) -> None:
+        self.source = source
+        self.cls = cls
+        self.method = method
+        self.guards = guards
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        for statement in self.method.body:
+            self._walk(statement, held=frozenset())
+        return self.findings
+
+    def _walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = {lock for lock, _ in self.guards.values()
+                        if _with_holds(node, lock)}
+            inner = held | acquired
+            for item in node.items:
+                self._walk(item.context_expr, held)
+            for child in node.body:
+                self._walk(child, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not self.method:
+            # A nested function may run after the lock is released —
+            # treat its body as lock-free.
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, frozenset())
+            return
+        attr = _self_attribute(node)
+        if attr is not None and attr in self.guards:
+            lock, _ = self.guards[attr]
+            if lock not in held:
+                self.findings.append(self.source.finding(
+                    node.lineno, "guarded-by",
+                    f"{self.cls.name}.{self.method.name} touches "
+                    f"`self.{attr}` outside `with self.{lock}:` "
+                    f"(annotated guarded-by: {lock})"))
+            return  # the inner Name("self") needs no separate walk
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+
+@register
+class GuardedByChecker(Checker):
+    name = "guarded-by"
+    description = ("attributes annotated `# guarded-by: <lock>` are only "
+                   "touched inside `with self.<lock>:` in their class")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            for cls in self.classes_of(source):
+                guards = _guarded_attrs(source, cls)
+                if not guards:
+                    continue
+                for method in self.methods_of(cls):
+                    if method.name == "__init__":
+                        continue
+                    yield from _MethodScan(
+                        source, cls, method, guards).run()

@@ -1,0 +1,324 @@
+"""error-taxonomy: every error is catchable, codable, and wire-mapped.
+
+PR 4's protocol surface promises that failures cross the wire as a
+machine-readable taxonomy: every exception class in ``repro.errors``
+resolves (via its MRO) to a stable snake_case code in
+``repro.api.protocol._ERROR_CODES``, clients reconstruct the typed
+exception from the code, and the gateway maps codes onto HTTP statuses.
+That promise has no runtime guard — a new error class that nobody
+registers silently degrades to its parent's code, and an error class
+defined outside the taxonomy module cannot be reconstructed client-side
+at all. This checker closes the gap statically:
+
+* every class in ``repro.errors`` derives (transitively) from
+  ``ReproError`` — the one-``except`` contract;
+* every class MRO-resolves to a registered code, and every **direct**
+  child of ``ReproError`` (a taxonomy family base) carries its own
+  exact entry — families must be distinguishable on the wire;
+* wire codes are unique, and every ``_ERROR_CODES`` key names a class
+  that actually exists (renames cannot leave dangling registrations);
+* every ``_HTTP_STATUS`` key is a registered code (or one of the
+  gateway's route-level synthetics) with a sane status value;
+* a ``raise`` site anywhere in the project that names a
+  ``repro.errors`` member must name one that exists;
+* an exception class *defined* outside ``repro.errors`` is flagged:
+  wire clients can never reconstruct it. Internal control-flow
+  sentinels that provably never cross the surface carry a justified
+  suppression instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, Project, SourceFile
+from repro.analysis.registry import Checker, register
+
+__all__ = ["ErrorTaxonomyChecker"]
+
+ERRORS_MODULE = "repro.errors"
+PROTOCOL_MODULE = "repro.api.protocol"
+
+#: taxonomy root every library error must derive from
+ROOT_CLASS = "ReproError"
+
+#: codes the gateway synthesizes at the HTTP routing layer without a
+#: backing exception class
+SYNTHETIC_CODES = frozenset({"not_found", "method_not_allowed"})
+
+
+def _class_table(source: SourceFile) -> dict[str, tuple[ast.ClassDef,
+                                                        list[str]]]:
+    """name -> (node, base names) for top-level classes of a module."""
+    table: dict[str, tuple[ast.ClassDef, list[str]]] = {}
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
+            table[node.name] = (node, bases)
+    return table
+
+
+def _derives_from_root(name: str,
+                       table: dict[str, tuple[ast.ClassDef, list[str]]],
+                       ) -> bool:
+    seen: set[str] = set()
+    queue = [name]
+    while queue:
+        current = queue.pop()
+        if current == ROOT_CLASS:
+            return True
+        if current in seen or current not in table:
+            continue
+        seen.add(current)
+        queue.extend(table[current][1])
+    return False
+
+
+def _mro_resolves(name: str,
+                  table: dict[str, tuple[ast.ClassDef, list[str]]],
+                  registered: set[str]) -> bool:
+    """Whether *name* or any ancestor (incl. ``Exception``) is registered."""
+    seen: set[str] = set()
+    queue = [name]
+    while queue:
+        current = queue.pop(0)
+        if current in registered or current == "Exception":
+            return current in registered or "Exception" in registered
+        if current in seen:
+            continue
+        seen.add(current)
+        if current in table:
+            queue.extend(table[current][1])
+    return False
+
+
+def _dict_literal(source: SourceFile, name: str) -> ast.Dict | None:
+    for node in source.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name and \
+                    isinstance(value, ast.Dict):
+                return value
+    return None
+
+
+def _code_entries(dict_node: ast.Dict) -> Iterator[tuple[ast.expr, str]]:
+    """(key node, wire code) pairs of the ``_ERROR_CODES`` literal."""
+    for key, value in zip(dict_node.keys, dict_node.values):
+        if key is None:
+            continue
+        code = None
+        if isinstance(value, ast.Tuple) and value.elts and \
+                isinstance(value.elts[0], ast.Constant) and \
+                isinstance(value.elts[0].value, str):
+            code = value.elts[0].value
+        elif isinstance(value, ast.Constant) and \
+                isinstance(value.value, str):
+            code = value.value
+        if code is not None:
+            yield key, code
+
+
+def _key_class_name(key: ast.expr) -> str | None:
+    if isinstance(key, ast.Attribute):
+        return key.attr
+    if isinstance(key, ast.Name):
+        return key.id
+    return None
+
+
+class _RaiseSiteScan:
+    """Raise sites + out-of-module exception definitions of one file."""
+
+    def __init__(self, source: SourceFile, error_classes: set[str],
+                 table: dict[str, tuple[ast.ClassDef, list[str]]]) -> None:
+        self.source = source
+        self.error_classes = error_classes
+        self.table = table
+        #: local names bound to repro.errors members
+        self.imported: dict[str, str] = {}
+        #: local aliases of the errors module itself
+        self.module_aliases: set[str] = set()
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.source.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == ERRORS_MODULE:
+                    for alias in node.names:
+                        self.imported[alias.asname or alias.name] = \
+                            alias.name
+                elif node.module == "repro":
+                    for alias in node.names:
+                        if alias.name == "errors":
+                            self.module_aliases.add(
+                                alias.asname or "errors")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == ERRORS_MODULE:
+                        self.module_aliases.add(
+                            alias.asname or "repro")
+
+    def findings(self) -> Iterator[Finding]:
+        for node in ast.walk(self.source.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                yield from self._check_raise(node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_classdef(node)
+
+    def _check_raise(self, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name: str | None = None
+        if isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id in self.module_aliases:
+            name = target.attr
+        elif isinstance(target, ast.Name) and target.id in self.imported:
+            name = self.imported[target.id]
+        if name is not None and name not in self.error_classes:
+            yield self.source.finding(
+                node.lineno, "error-taxonomy",
+                f"raise site names repro.errors.{name}, which does not "
+                "exist in the taxonomy module")
+
+    def _check_classdef(self, node: ast.ClassDef) -> Iterator[Finding]:
+        for base in node.bases:
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name is None:
+                continue
+            is_error_base = (
+                base_name in ("Exception", "BaseException")
+                or base_name in self.error_classes
+                or self.imported.get(base_name) in self.error_classes
+                or base_name in _BUILTIN_ERROR_BASES)
+            if is_error_base:
+                yield self.source.finding(
+                    node.lineno, "error-taxonomy",
+                    f"exception class {node.name} defined outside "
+                    f"{ERRORS_MODULE}; wire clients cannot reconstruct "
+                    "it — add it to the taxonomy module or justify why "
+                    "it never crosses the protocol surface")
+                return
+
+
+#: builtin exception bases that mark a ClassDef as an exception class
+_BUILTIN_ERROR_BASES = frozenset({
+    "ValueError", "TypeError", "RuntimeError", "KeyError",
+    "OSError", "IOError", "LookupError", "ArithmeticError",
+    "AttributeError", "NotImplementedError",
+})
+
+
+@register
+class ErrorTaxonomyChecker(Checker):
+    name = "error-taxonomy"
+    description = ("repro.errors classes all map to stable protocol codes "
+                   "with HTTP statuses; no stray error classes or dangling "
+                   "raise sites")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        errors_src = project.by_module.get(ERRORS_MODULE)
+        if errors_src is None:
+            return
+        table = _class_table(errors_src)
+        error_classes = set(table)
+
+        # -- hierarchy rooted at ReproError --------------------------------
+        for name, (node, _bases) in table.items():
+            if name != ROOT_CLASS and not _derives_from_root(name, table):
+                yield errors_src.finding(
+                    node.lineno, "error-taxonomy",
+                    f"{name} does not derive from {ROOT_CLASS}; callers "
+                    "must be able to catch every library failure with "
+                    f"one `except {ROOT_CLASS}`")
+
+        protocol_src = project.by_module.get(PROTOCOL_MODULE)
+        if protocol_src is None:
+            return
+        codes_dict = _dict_literal(protocol_src, "_ERROR_CODES")
+        if codes_dict is None:
+            yield protocol_src.finding(
+                1, "error-taxonomy",
+                "_ERROR_CODES dict literal not found; the taxonomy map "
+                "must stay statically analyzable")
+            return
+
+        registered: dict[str, str] = {}   # class name -> code
+        seen_codes: dict[str, str] = {}   # code -> first class
+        for key, code in _code_entries(codes_dict):
+            cls_name = _key_class_name(key)
+            if cls_name is None:
+                continue
+            if cls_name != "Exception" and cls_name not in error_classes:
+                yield protocol_src.finding(
+                    key.lineno, "error-taxonomy",
+                    f"_ERROR_CODES registers {cls_name}, which is not a "
+                    f"class of {ERRORS_MODULE} (renamed or removed?)")
+            if code in seen_codes:
+                yield protocol_src.finding(
+                    key.lineno, "error-taxonomy",
+                    f"wire code {code!r} registered for both "
+                    f"{seen_codes[code]} and {cls_name}; codes must be "
+                    "unique for client-side reconstruction")
+            seen_codes[code] = cls_name
+            registered[cls_name] = code
+
+        registered_names = set(registered)
+        for name, (node, bases) in table.items():
+            if not _mro_resolves(name, table, registered_names):
+                yield errors_src.finding(
+                    node.lineno, "error-taxonomy",
+                    f"{name} resolves to no registered wire code; add "
+                    "it (or an ancestor) to _ERROR_CODES")
+            if ROOT_CLASS in bases and name not in registered_names:
+                yield errors_src.finding(
+                    node.lineno, "error-taxonomy",
+                    f"{name} is a direct {ROOT_CLASS} family base but "
+                    "has no exact _ERROR_CODES entry; its whole family "
+                    "would be indistinguishable on the wire")
+
+        status_dict = _dict_literal(protocol_src, "_HTTP_STATUS")
+        if status_dict is None:
+            yield protocol_src.finding(
+                1, "error-taxonomy",
+                "_HTTP_STATUS dict literal not found; the status map "
+                "must stay statically analyzable")
+        else:
+            known_codes = set(seen_codes) | SYNTHETIC_CODES
+            for key, value in zip(status_dict.keys, status_dict.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue
+                if key.value not in known_codes:
+                    yield protocol_src.finding(
+                        key.lineno, "error-taxonomy",
+                        f"_HTTP_STATUS maps unknown code {key.value!r}; "
+                        "statuses must key on registered wire codes")
+                if isinstance(value, ast.Constant) and \
+                        isinstance(value.value, int) and \
+                        not 100 <= value.value <= 599:
+                    yield protocol_src.finding(
+                        key.lineno, "error-taxonomy",
+                        f"code {key.value!r} maps to invalid HTTP "
+                        f"status {value.value}")
+
+        # -- project-wide raise sites and stray definitions -----------------
+        for source in project.files:
+            if source.module == ERRORS_MODULE:
+                continue
+            yield from _RaiseSiteScan(
+                source, error_classes, table).findings()

@@ -1,0 +1,68 @@
+"""``python -m repro.analysis`` — run the invariant checkers.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error — the CI gate
+keys off exactly this contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.analysis.model import load_project
+from repro.analysis.registry import all_checkers, run_checks
+from repro.analysis.report import FORMATS, render
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("Static analysis of repo invariants: replay "
+                     "determinism, lock discipline, error taxonomy, "
+                     "protocol surface, wrapper capabilities."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=sorted(FORMATS), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", action="append", metavar="CHECK",
+        help="run only the named check (repeatable)")
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="list registered checks and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None,
+         out: IO[str] | None = None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_checks:
+        for name, checker in all_checkers().items():
+            out.write(f"{name}: {checker.description}\n")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+
+    project = load_project(paths)
+    try:
+        result = run_checks(project, select=options.select)
+    except ValueError as exc:  # unknown --select name
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    render(result, options.format, out)
+    return 0 if result.ok else 1

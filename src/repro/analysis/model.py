@@ -1,0 +1,330 @@
+"""Data model of the static-analysis suite: findings, sources, projects.
+
+The analyzer is deliberately stdlib-only (``ast`` + ``tokenize``): it
+must run in CI before any dependency is installed and inside the repo's
+own test suite without fixtures beyond plain ``.py`` files.
+
+Three ideas structure the module:
+
+* a :class:`Finding` is one file/line-precise violation of a repo
+  invariant, identified by the *check* that produced it;
+* a :class:`SourceFile` is one parsed module: its AST, its comments
+  (token-level, so trailing annotations like ``# guarded-by: _lock``
+  are visible to checkers), its suppressions, and the function spans
+  used to let a ``def``-line suppression cover a whole function body;
+* a :class:`Project` is the set of files one run analyzes, with the
+  derived module table and the repro-internal import graph checkers
+  like replay-determinism traverse.
+
+Suppression syntax (enforced here, consumed by the runner)::
+
+    # repro-lint: disable=<check>[,<check>...] -- <justification>
+
+The justification is **mandatory**: a suppression without one does not
+suppress anything — it becomes a finding of the built-in
+``suppression`` check instead. This is the policy teeth: every
+exception to an invariant is written down next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding", "Suppression", "SourceFile", "Project",
+    "SUPPRESSION_CHECK", "parse_source", "load_project",
+]
+
+#: the reserved check name under which suppression-hygiene findings
+#: (missing justification, unknown check name) are reported; it cannot
+#: itself be suppressed
+SUPPRESSION_CHECK = "suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$")
+
+_MARKER_RE = re.compile(r"#\s*repro-lint:\s*(?!disable=)([A-Za-z-]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where it is, which invariant, and why it matters."""
+
+    path: str
+    line: int
+    check: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``repro-lint: disable=...`` comment."""
+
+    line: int
+    checks: frozenset[str]
+    justification: str | None
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+
+class SourceFile:
+    """One parsed python source file and its lint-relevant artifacts."""
+
+    def __init__(self, path: Path, text: str, module: str | None) -> None:
+        self.path = path
+        self.text = text
+        self.module = module
+        self.tree = ast.parse(text, filename=str(path))
+        #: line -> trailing/standalone comment text on that line
+        self.comments: dict[int, str] = {}
+        self._read_comments()
+        #: line -> suppression declared on that line
+        self.suppressions: dict[int, Suppression] = {}
+        #: free-form ``repro-lint: <marker>`` annotations (e.g.
+        #: ``replay-root``, ``frozen-surface``)
+        self.markers: frozenset[str] = frozenset()
+        self._read_directives()
+        #: (header start, def line, last line) per function — the
+        #: header extends up through decorators and the contiguous
+        #: comment block above the ``def``, so a suppression there (or
+        #: on the ``def`` line itself) covers the whole body
+        self._function_spans: list[tuple[int, int, int]] = []
+        self._index_functions()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _read_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(
+                io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass
+
+    def _read_directives(self) -> None:
+        markers: set[str] = set()
+        for line, comment in self.comments.items():
+            matched = _SUPPRESS_RE.search(comment)
+            if matched is not None:
+                checks = frozenset(
+                    c.strip() for c in matched.group(1).split(",")
+                    if c.strip())
+                self.suppressions[line] = Suppression(
+                    line=line, checks=checks,
+                    justification=matched.group("why"))
+                continue
+            marker = _MARKER_RE.search(comment)
+            if marker is not None:
+                markers.add(marker.group(1))
+        self.markers = frozenset(markers)
+
+    def _index_functions(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                end = getattr(node, "end_lineno", node.lineno)
+                header = min([node.lineno]
+                             + [d.lineno for d in node.decorator_list])
+                while header > 1 and (header - 1) in self.comments:
+                    header -= 1
+                self._function_spans.append(
+                    (header, node.lineno, end or node.lineno))
+
+    # -- the suppression contract --------------------------------------------
+
+    def suppression_for(self, check: str, line: int) -> Suppression | None:
+        """The *justified* suppression covering (*check*, *line*), if any.
+
+        A suppression covers its own line, and — when placed in a
+        function's header (its ``def`` line, a decorator line, or the
+        contiguous comment block directly above) — every line of that
+        function. Unjustified suppressions never cover anything.
+        """
+        direct = self.suppressions.get(line)
+        if direct is not None and direct.justified and \
+                check in direct.checks:
+            return direct
+        for header, def_line, end_line in self._function_spans:
+            if not header <= line <= end_line:
+                continue
+            for header_line in range(header, def_line + 1):
+                candidate = self.suppressions.get(header_line)
+                if candidate is not None and candidate.justified and \
+                        check in candidate.checks:
+                    return candidate
+        return None
+
+    def finding(self, line: int, check: str, message: str) -> Finding:
+        return Finding(path=str(self.path), line=line, check=check,
+                       message=message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SourceFile {self.path} module={self.module}>"
+
+
+def module_name_of(path: Path) -> str | None:
+    """Dotted module name of *path*, derived from ``__init__.py`` walk.
+
+    Works regardless of the working directory or a ``src/`` prefix: the
+    package root is the outermost ancestor that still carries an
+    ``__init__.py``.
+    """
+    path = path.resolve()
+    if path.suffix != ".py":
+        return None
+    parts: list[str] = []
+    if path.name != "__init__.py":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+def parse_source(path: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    return SourceFile(path=path, text=text, module=module_name_of(path))
+
+
+class Project:
+    """All sources of one analysis run plus derived, shared structure."""
+
+    def __init__(self, files: Iterable[SourceFile]) -> None:
+        self.files: list[SourceFile] = sorted(
+            files, key=lambda f: str(f.path))
+        self.by_module: dict[str, SourceFile] = {
+            f.module: f for f in self.files if f.module is not None}
+        self._import_graph: dict[str, frozenset[str]] | None = None
+
+    def modules(self) -> list[str]:
+        return sorted(self.by_module)
+
+    # -- import graph --------------------------------------------------------
+
+    def import_graph(self) -> dict[str, frozenset[str]]:
+        """module -> project-internal modules it imports (any nesting).
+
+        ``from pkg.mod import name`` resolves to ``pkg.mod.name`` when
+        that is itself a project module (submodule import), else to
+        ``pkg.mod``. Imports under ``if TYPE_CHECKING:`` are excluded —
+        they never run, so they cannot carry runtime nondeterminism.
+        """
+        if self._import_graph is None:
+            self._import_graph = {
+                module: frozenset(self._imports_of(source))
+                for module, source in self.by_module.items()}
+        return self._import_graph
+
+    def _imports_of(self, source: SourceFile) -> set[str]:
+        out: set[str] = set()
+        type_checking_spans = _type_checking_spans(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if any(start <= node.lineno <= end
+                   for start, end in type_checking_spans):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._resolve_module(alias.name)
+                    if target is not None:
+                        out.add(target)
+            else:
+                base = node.module or ""
+                if node.level:  # relative import
+                    package = (source.module or "").split(".")
+                    if source.path.name != "__init__.py":
+                        package = package[:-1]
+                    anchor = package[:len(package) - node.level + 1]
+                    base = ".".join(anchor + ([base] if base else []))
+                for alias in node.names:
+                    deep = self._resolve_module(f"{base}.{alias.name}") \
+                        if base else None
+                    target = deep if deep is not None \
+                        else self._resolve_module(base)
+                    if target is not None:
+                        out.add(target)
+        return out
+
+    def _resolve_module(self, name: str) -> str | None:
+        if name in self.by_module:
+            return name
+        # ``import pkg.sub`` where only pkg/__init__ is a project file
+        while "." in name:
+            name = name.rsplit(".", 1)[0]
+            if name in self.by_module:
+                return name
+        return None
+
+    def reachable_from(self, roots: Iterable[str]
+                       ) -> dict[str, tuple[str, ...]]:
+        """Modules reachable from *roots* via imports, with one witness
+        chain each (``module -> (root, ..., module)``) for messages."""
+        graph = self.import_graph()
+        chains: dict[str, tuple[str, ...]] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in graph and root not in chains:
+                chains[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for imported in sorted(graph.get(current, ())):
+                if imported not in chains:
+                    chains[imported] = chains[current] + (imported,)
+                    queue.append(imported)
+        return chains
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under *paths* (files pass through directly),
+    skipping hidden directories and ``__pycache__``."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(p.startswith(".") or p == "__pycache__"
+                   for p in parts):
+                continue
+            yield candidate
+
+
+def load_project(paths: Iterable[Path]) -> Project:
+    return Project(parse_source(p) for p in iter_python_files(paths))
+
+
+def _type_checking_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name)
+                 and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute)
+            and test.attr == "TYPE_CHECKING")
+        if is_tc and node.body:
+            last = node.body[-1]
+            spans.append((node.body[0].lineno,
+                          getattr(last, "end_lineno", last.lineno)
+                          or last.lineno))
+    return spans

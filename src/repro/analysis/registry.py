@@ -1,0 +1,137 @@
+"""Checker registry: name → checker class, plus the run loop.
+
+A checker encodes one repo invariant as a project-wide scan. Checkers
+self-register via :func:`register`, the CLI enumerates them with
+:func:`all_checkers`, and :func:`run_checks` applies a selection to a
+:class:`~repro.analysis.model.Project` — filtering each raw finding
+through the file's justified suppressions and reporting suppression
+hygiene (the mandatory-justification policy) as findings of its own.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Iterable, Iterator
+
+from repro.analysis.model import (
+    Finding, Project, SourceFile, SUPPRESSION_CHECK,
+)
+
+__all__ = ["Checker", "register", "all_checkers", "run_checks",
+           "RunResult"]
+
+
+class Checker:
+    """Base class: one named invariant scanned over a whole project."""
+
+    #: the check name used in findings, ``--select`` and suppressions
+    name: ClassVar[str] = ""
+    #: one-line description shown by ``--list-checks``
+    description: ClassVar[str] = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- shared AST helpers ----------------------------------------------------
+
+    @staticmethod
+    def classes_of(source: SourceFile) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+    @staticmethod
+    def methods_of(node: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield item
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no name")
+    if cls.name == SUPPRESSION_CHECK:
+        raise ValueError(
+            f"checker name {SUPPRESSION_CHECK!r} is reserved")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> dict[str, type[Checker]]:
+    # Import for the registration side effect; late import avoids a
+    # cycle between the registry and the checker modules.
+    from repro.analysis import checks as _checks  # noqa: F401
+    return dict(sorted(_REGISTRY.items()))
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What one analysis run produced."""
+
+    findings: tuple[Finding, ...]
+    suppressed: int
+    checks: tuple[str, ...]
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _suppression_findings(source: SourceFile,
+                          known_checks: Iterable[str]) -> Iterator[Finding]:
+    known = set(known_checks) | {SUPPRESSION_CHECK}
+    for suppression in source.suppressions.values():
+        if not suppression.justified:
+            yield source.finding(
+                suppression.line, SUPPRESSION_CHECK,
+                "suppression without a justification; write "
+                "`# repro-lint: disable=<check> -- <why this is safe>`")
+        for check in sorted(suppression.checks - known):
+            yield source.finding(
+                suppression.line, SUPPRESSION_CHECK,
+                f"suppression names unknown check {check!r}")
+
+
+def run_checks(project: Project,
+               select: Iterable[str] | None = None,
+               *, on_progress: Callable[[str], None] | None = None,
+               ) -> RunResult:
+    """Run the (selected) checkers over *project*.
+
+    Raw findings covered by a justified suppression are counted, not
+    reported; suppression-hygiene findings are appended under the
+    reserved ``suppression`` check and can never be suppressed
+    themselves.
+    """
+    registry = all_checkers()
+    names = list(select) if select is not None else list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise ValueError(
+            f"unknown checks: {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(registry)}")
+
+    by_path = {str(f.path): f for f in project.files}
+    kept: list[Finding] = []
+    suppressed = 0
+    for name in names:
+        if on_progress is not None:
+            on_progress(name)
+        for finding in registry[name]().check(project):
+            source = by_path.get(finding.path)
+            if source is not None and source.suppression_for(
+                    finding.check, finding.line) is not None:
+                suppressed += 1
+                continue
+            kept.append(finding)
+    for source in project.files:
+        kept.extend(_suppression_findings(source, registry))
+    return RunResult(findings=tuple(sorted(kept)), suppressed=suppressed,
+                     checks=tuple(names), files=len(project.files))

@@ -1,0 +1,94 @@
+"""Reporters: render a RunResult for humans, machines, or GitHub.
+
+* ``text`` — one ``path:line: [check] message`` per finding plus a
+  summary line; the default for local runs.
+* ``json`` — a stable machine-readable document (schema below) for
+  tooling and the analyzer's own tests.
+* ``github`` — ``::error`` workflow commands so findings annotate the
+  offending lines directly in a pull request.
+
+JSON schema::
+
+    {
+      "version": 1,
+      "ok": bool,
+      "files": int,
+      "checks": [str, ...],
+      "suppressed": int,
+      "findings": [
+        {"path": str, "line": int, "check": str, "message": str},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.analysis.registry import RunResult
+
+__all__ = ["render", "FORMATS"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def _render_text(result: RunResult, out: IO[str]) -> None:
+    for finding in result.findings:
+        out.write(f"{finding.location()}: [{finding.check}] "
+                  f"{finding.message}\n")
+    state = "clean" if result.ok else \
+        f"{len(result.findings)} finding(s)"
+    out.write(f"repro-lint: {state} — {result.files} file(s), "
+              f"{len(result.checks)} check(s), "
+              f"{result.suppressed} suppressed\n")
+
+
+def _render_json(result: RunResult, out: IO[str]) -> None:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "files": result.files,
+        "checks": list(result.checks),
+        "suppressed": result.suppressed,
+        "findings": [
+            {"path": f.path, "line": f.line, "check": f.check,
+             "message": f.message}
+            for f in result.findings
+        ],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def _escape_github(value: str) -> str:
+    """Escape per GitHub workflow-command rules (data portion)."""
+    return (value.replace("%", "%25")
+            .replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def _render_github(result: RunResult, out: IO[str]) -> None:
+    for finding in result.findings:
+        message = _escape_github(f"[{finding.check}] {finding.message}")
+        out.write(f"::error file={finding.path},line={finding.line},"
+                  f"title=repro-lint::{message}\n")
+    _render_text(result, out)
+
+
+FORMATS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
+
+
+def render(result: RunResult, fmt: str, out: IO[str]) -> None:
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; available: "
+            f"{', '.join(sorted(FORMATS))}") from None
+    renderer(result, out)

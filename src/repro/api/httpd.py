@@ -99,7 +99,7 @@ class HttpResponse:
         return cls(status=status, body=body, close=close)
 
 
-class _Malformed(Exception):
+class _Malformed(Exception):  # repro-lint: disable=error-taxonomy -- internal framing sentinel: caught inside this module and turned into a canned 400 reply; it never crosses the protocol surface as a typed error
     """Framing failure; carries the canned reply and closes the conn."""
 
     def __init__(self, message: str) -> None:

@@ -22,6 +22,9 @@ against stringly-matched messages.
 
 from __future__ import annotations
 
+# repro-lint: frozen-surface (every dataclass below is a wire envelope:
+# frozen, with field/to_dict/from_dict parity enforced by repro.analysis)
+
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, TYPE_CHECKING
 

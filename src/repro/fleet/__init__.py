@@ -30,7 +30,10 @@ from __future__ import annotations
 import signal
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.client import GovernedClient
 
 from repro.errors import FleetError
 from repro.fleet.balancer import Backend, EpochBalancer, SessionState
@@ -130,7 +133,7 @@ class Fleet:
         return sorted(p.key for p in self.supervisor.processes()
                       if p.role == "replica")
 
-    def client(self, **kwargs: Any):
+    def client(self, **kwargs: Any) -> "GovernedClient":
         """A :class:`GovernedClient` session through the router."""
         from repro.api.client import GovernedClient
 

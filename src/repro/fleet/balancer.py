@@ -62,21 +62,22 @@ class Backend:
         self.timeout = timeout
         self.failure_threshold = failure_threshold
         # -- observed state (prober + passive updates) -----------------------
-        self.healthy = False
+        self.healthy = False  # guarded-by: _lock
         self.ready = role == "leader"
         #: highest applied epoch this backend has been seen to serve
-        self.epoch = -1
+        self.epoch = -1  # guarded-by: _lock
         self.lag = 0
-        self.consecutive_failures = 0
+        self.consecutive_failures = 0  # guarded-by: _lock
         #: True once consecutive_failures crossed the threshold; reset
         #: by the next successful probe (e.g. a supervisor restart)
-        self.evicted = False
-        self.evictions = 0
+        self.evicted = False  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
         # -- traffic ---------------------------------------------------------
-        self.inflight = 0
-        self.routed = 0
+        self.inflight = 0  # guarded-by: _lock
+        self.routed = 0  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._pool: list[http.client.HTTPConnection] = []
+        self._pool: list[http.client.HTTPConnection] = \
+            []  # guarded-by: _lock
 
     # -- connection pool -----------------------------------------------------
 
@@ -172,8 +173,13 @@ class Backend:
         return crossed
 
     def observe_epoch(self, epoch: int | None) -> None:
-        if isinstance(epoch, int) and epoch > self.epoch:
-            self.epoch = epoch
+        # Check-then-act must be atomic: two probe/response threads
+        # racing here could let a lower epoch overwrite a higher one,
+        # and the router would briefly route floor-gated reads to a
+        # backend it believes is behind (or ahead) of where it is.
+        with self._lock:
+            if isinstance(epoch, int) and epoch > self.epoch:
+                self.epoch = epoch
 
     def enter(self) -> None:
         with self._lock:
@@ -197,8 +203,9 @@ class Backend:
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<Backend {self.key} {self.role} epoch={self.epoch} "
-                f"healthy={self.healthy}>")
+        with self._lock:
+            return (f"<Backend {self.key} {self.role} "
+                    f"epoch={self.epoch} healthy={self.healthy}>")
 
 
 @dataclass
@@ -217,11 +224,13 @@ class EpochBalancer:
     """Session table + candidate ordering over a set of backends."""
 
     def __init__(self, *, session_capacity: int = SESSION_CAPACITY) -> None:
-        self._backends: "OrderedDict[str, Backend]" = OrderedDict()
-        self._sessions: "OrderedDict[str, SessionState]" = OrderedDict()
+        self._backends: "OrderedDict[str, Backend]" = \
+            OrderedDict()  # guarded-by: _lock
+        self._sessions: "OrderedDict[str, SessionState]" = \
+            OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
         self.session_capacity = session_capacity
-        self._rr = 0
+        self._rr = 0  # guarded-by: _lock
 
     # -- topology ------------------------------------------------------------
 
@@ -350,5 +359,6 @@ class EpochBalancer:
         return ordered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<EpochBalancer backends={len(self._backends)} "
-                f"sessions={len(self._sessions)}>")
+        with self._lock:
+            return (f"<EpochBalancer backends={len(self._backends)} "
+                    f"sessions={len(self._sessions)}>")

@@ -136,8 +136,8 @@ class AnswerCache:
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple[str, bool], CachedAnswer]" = \
-            OrderedDict()
-        self.stats = AnswerCacheStats()
+            OrderedDict()  # guarded-by: _lock
+        self.stats = AnswerCacheStats()  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:
@@ -266,6 +266,9 @@ class AnswerCache:
             return list(self._entries.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<AnswerCache {len(self)} entr"
-                f"{'y' if len(self) == 1 else 'ies'}, "
-                f"hits={self.stats.hits} misses={self.stats.misses}>")
+        with self._lock:
+            count = len(self._entries)
+            return (f"<AnswerCache {count} entr"
+                    f"{'y' if count == 1 else 'ies'}, "
+                    f"hits={self.stats.hits} "
+                    f"misses={self.stats.misses}>")

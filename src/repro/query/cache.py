@@ -61,8 +61,7 @@ def canonical_omq_key(query: OMQ) -> str:
     """
     pi = ",".join(str(feature) for feature in query.pi)
     phi = ";".join(sorted(t.n3() for t in query.phi))
-    digest = hashlib.sha256(f"π={pi}|φ={phi}".encode()).hexdigest()
-    return digest
+    return hashlib.sha256(f"π={pi}|φ={phi}".encode()).hexdigest()
 
 
 def concepts_of_result(result: RewritingResult) -> frozenset[IRI]:
@@ -164,8 +163,9 @@ class RewriteCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[str, CachedRewriting]" = OrderedDict()
-        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CachedRewriting]" = \
+            OrderedDict()  # guarded-by: _lock
+        self.stats = CacheStats()  # guarded-by: _lock
         #: guards _entries and stats together; reentrant so explicit
         #: invalidation may be called from evolution listeners that fire
         #: while a store is in progress on the same thread.
@@ -325,6 +325,8 @@ class RewriteCache:
             return list(self._entries.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"<RewriteCache {len(self._entries)}/{self.max_entries} "
-                f"entries, {self.stats.hits} hits, "
-                f"{self.stats.misses} misses>")
+        with self._lock:
+            return (f"<RewriteCache "
+                    f"{len(self._entries)}/{self.max_entries} "
+                    f"entries, {self.stats.hits} hits, "
+                    f"{self.stats.misses} misses>")

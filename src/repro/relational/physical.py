@@ -151,14 +151,15 @@ class ScanCache:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._entries: dict[ScanKey, _Inflight] = {}
+        self._entries: dict[ScanKey, _Inflight] = {}  # guarded-by: _lock
         #: wrapper → data_version last seen; when a wrapper's version
         #: moves on, its superseded entries are evicted so a
         #: long-running cache cannot accumulate one generation of
         #: materialized relations per data write
-        self._versions: dict[str, int] = {}
-        self._fingerprint: "OntologyFingerprint | None" = None
-        self.stats = ScanStats()
+        self._versions: dict[str, int] = {}  # guarded-by: _lock
+        self._fingerprint: "OntologyFingerprint | None" = \
+            None  # guarded-by: _lock
+        self.stats = ScanStats()  # guarded-by: _lock
 
     def __len__(self) -> int:
         with self._lock:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import Any, TYPE_CHECKING, Iterable
 
 from repro.core.ontology import EvolutionEvent, OntologyFingerprint
 from repro.core.release import Release
@@ -46,6 +46,7 @@ from repro.service.epoch_lock import EpochLock
 from repro.rdf.term import IRI
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.client import GovernedClient
     from repro.api.endpoint import ProtocolEndpoint
     from repro.wrappers.base import Wrapper
 
@@ -216,7 +217,8 @@ class GovernedService:
             self._endpoint = ProtocolEndpoint(self)
         return self._endpoint
 
-    def client(self, *, pin: bool = False, timeout: float | None = None):
+    def client(self, *, pin: bool = False,
+               timeout: float | None = None) -> "GovernedClient":
         """A :class:`~repro.api.client.GovernedClient` session over
         this service (the documented way to consume it)."""
         from repro.api.client import GovernedClient
@@ -374,7 +376,7 @@ class GovernedService:
             }
         return report
 
-    def attach_drift_monitor(self, monitor) -> None:
+    def attach_drift_monitor(self, monitor: Any) -> None:
         """Attach a change-stream drift monitor (e.g. a
         :class:`~repro.streaming.drift_feed.CollectionDriftMonitor`):
         :meth:`poll_drift` will tail it for in-flight schema drift."""
@@ -419,7 +421,7 @@ class GovernedService:
             timeout=self.drain_timeout)).raise_for_error()
         return response.triples_added
 
-    def register_wrapper(self, wrapper: "Wrapper", **kwargs,
+    def register_wrapper(self, wrapper: "Wrapper", **kwargs: Any,
                          ) -> dict[str, int]:
         """Writer-side :meth:`MDM.register_wrapper` (same keywords).
 

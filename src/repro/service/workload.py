@@ -20,9 +20,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.physical import IdFilter
 
 from repro.core.ontology import BDIOntology
-from repro.core.release import new_release
+from repro.core.release import Release, new_release
 from repro.evolution.industrial import LI_ET_AL_COUNTS
 from repro.evolution.release_builder import build_release
 from repro.mdm.system import MDM
@@ -57,11 +61,13 @@ class LatencyWrapper(StaticWrapper):
     pool exploits.
     """
 
-    def __init__(self, *args, latency: float = 0.0, **kwargs) -> None:
+    def __init__(self, *args: Any, latency: float = 0.0,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.latency = latency
 
-    def fetch_rows(self, columns=None, id_filter=None) -> list[dict]:
+    def fetch_rows(self, columns: "Sequence[str] | None" = None,
+                   id_filter: "IdFilter | None" = None) -> list[dict]:
         if self.latency > 0:
             time.sleep(self.latency)
         return super().fetch_rows(columns=columns, id_filter=id_filter)
@@ -142,7 +148,7 @@ def next_version_release(scenario: IndustrialServingScenario,
                          slug: str = "twitter_api",
                          rows_per_wrapper: int = 24,
                          latency: float = 0.0,
-                         version: int = 2):
+                         version: int = 2) -> Release:
     """A ready-to-apply v*version* release for one of the scenario's APIs.
 
     The new wrapper maps the same features (same attribute names keep

@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Replica pulls in the MDM/service stack; import it lazily so the
     # storage primitives stay importable from inside that stack.
     if name in ("Replica", "FileTailer", "HttpTailer", "TailBatch"):

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Mapping, TYPE_CHECKING
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
 from repro.core.ontology import EvolutionEvent
 from repro.core.release import Release
@@ -141,7 +141,8 @@ def decode_graph(lines: list[str]) -> Graph:
 
 
 def encode_release(release: Release,
-                   absorbed_concepts=None) -> dict[str, Any]:
+                   absorbed_concepts: "Iterable[Any] | None" = None,
+                   ) -> dict[str, Any]:
     """A release (plus its absorbed concepts) as a JSON-safe payload."""
     return {
         "wrapper_name": release.wrapper_name,

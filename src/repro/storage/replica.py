@@ -32,7 +32,7 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import GatewayError, JournalCorruptedError
 from repro.storage.codec import ChangeRecord, decode_record_line
@@ -40,6 +40,9 @@ from repro.storage.journal import (
     INDEX_EVERY, _SEQ_TAIL, apply_record, live_mutations,
     start_offset_for,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.client import GovernedClient
 
 __all__ = ["Replica", "FileTailer", "HttpTailer", "TailBatch"]
 
@@ -174,7 +177,7 @@ class Replica:
     :attr:`service`).
     """
 
-    def __init__(self, tailer, *, max_workers: int = 4,
+    def __init__(self, tailer: Any, *, max_workers: int = 4,
                  drain_timeout: float | None = None) -> None:
         from repro.mdm.system import MDM
         from repro.service.serving import GovernedService
@@ -204,11 +207,11 @@ class Replica:
         self._thread: threading.Thread | None = None
 
     @classmethod
-    def follow_file(cls, path: str | Path, **kwargs) -> "Replica":
+    def follow_file(cls, path: str | Path, **kwargs: Any) -> "Replica":
         return cls(FileTailer(path), **kwargs)
 
     @classmethod
-    def follow_url(cls, base_url: str, **kwargs) -> "Replica":
+    def follow_url(cls, base_url: str, **kwargs: Any) -> "Replica":
         return cls(HttpTailer(base_url), **kwargs)
 
     # -- catch-up ------------------------------------------------------------
@@ -312,7 +315,8 @@ class Replica:
             self._thread = None
         self.service.close()
 
-    def client(self, *, pin: bool = False, timeout: float | None = None):
+    def client(self, *, pin: bool = False,
+               timeout: float | None = None) -> "GovernedClient":
         """A protocol client session over this replica's service."""
         return self.service.client(pin=pin, timeout=timeout)
 

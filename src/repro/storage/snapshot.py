@@ -127,7 +127,7 @@ class Snapshot:
         return cls.from_dict(payload)
 
 
-def take_snapshot(target, seq: int) -> Snapshot:
+def take_snapshot(target: Any, seq: int) -> Snapshot:
     """Capture *target* (an MDM-shaped object) at journal seq *seq*.
 
     Must run with no concurrent mutation (the caller holds the service

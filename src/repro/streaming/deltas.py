@@ -32,6 +32,9 @@ __all__ = ["DeltaBatch", "RowTuple", "incremental_env_enabled"]
 RowTuple = tuple[object, ...]
 
 
+# repro-lint: disable=replay-determinism -- deployment kill switch read
+# once at engine construction; it selects *whether* maintenance runs,
+# never what a maintained result contains (patch == recompute either way).
 def incremental_env_enabled() -> bool:
     """False when ``REPRO_INCREMENTAL=0`` — the operational kill switch
     for incremental answer maintenance (the engine then evicts and

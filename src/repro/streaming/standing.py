@@ -110,19 +110,21 @@ class StandingQuery:
         self.min_delta_rows = min_delta_rows
         self.max_delta_fraction = max_delta_fraction
         self.lock = threading.RLock()
-        self.refreshes = 0
-        self.patches = 0
-        self.reseeds = 0
+        self.refreshes = 0  # guarded-by: lock
+        self.patches = 0  # guarded-by: lock
+        self.reseeds = 0  # guarded-by: lock
         self.root: DeltaNode
         self.scan_states: list[ScanState]
-        self._feeds: dict[str, _ScanFeed]
-        self.result: Counter[RowTuple]
+        self._feeds: dict[str, _ScanFeed]  # guarded-by: lock
+        self.result: Counter[RowTuple]  # guarded-by: lock
         self.relation: Relation
-        self.seeded = False
+        self.seeded = False  # guarded-by: lock
         self._build()
 
     # -- construction --------------------------------------------------------
 
+    # repro-lint: disable=guarded-by -- called from __init__ (sole
+    # reference) and from _reseed, whose callers hold the lock.
     def _build(self) -> None:
         """(Re)create the state tree empty; feeds group leaves by
         wrapper so each source's delta is fetched once per refresh."""
@@ -143,18 +145,26 @@ class StandingQuery:
     def data_versions(self) -> tuple[tuple[str, object], ...]:
         """The evidence tuple the answer cache stores: which data state
         the maintained result reflects."""
-        return tuple(sorted((feed.name, feed.version)
-                            for feed in self._feeds.values()))
+        with self.lock:
+            return tuple(sorted((feed.name, feed.version)
+                                for feed in self._feeds.values()))
 
     def state_rows(self) -> int:
         return self.root.state_rows()
 
     def snapshot(self) -> dict[str, int]:
-        """Maintenance counters (standing-query observability)."""
-        return {"refreshes": self.refreshes, "patches": self.patches,
-                "reseeds": self.reseeds,
-                "result_rows": len(self.relation),
-                "state_rows": self.root.state_rows()}
+        """Maintenance counters (standing-query observability).
+
+        Takes the lock: a refresh bumps several counters and swaps the
+        relation as one logical step, and a monitor must never see a
+        half-applied mix (e.g. the new relation with the old counters).
+        """
+        with self.lock:
+            return {"refreshes": self.refreshes,
+                    "patches": self.patches,
+                    "reseeds": self.reseeds,
+                    "result_rows": len(self.relation),
+                    "state_rows": self.root.state_rows()}
 
     # -- maintenance ---------------------------------------------------------
 
@@ -236,6 +246,8 @@ class StandingQuery:
 
     # -- internals -----------------------------------------------------------
 
+    # repro-lint: disable=guarded-by -- sole callers are seed/refresh,
+    # which hold the lock for the whole maintenance step.
     def _reseed(self, provider: ScanProvider,
                 reason: str) -> RefreshOutcome:
         self._build()
@@ -328,6 +340,8 @@ class StandingQuery:
                 f"{exc.args[0]!r}; the source likely evolved under the "
                 "wrapper") from None
 
+    # repro-lint: disable=guarded-by -- callers (refresh/_reseed) hold
+    # the lock around the fold and the relation swap.
     def _fold_result(self, out: DeltaBatch) -> bool:
         changed = False
         for row, count in out.tuples():
@@ -339,6 +353,8 @@ class StandingQuery:
                 del self.result[row]
         return changed
 
+    # repro-lint: disable=guarded-by -- called from __init__ via _build
+    # (sole reference) and from maintenance steps that hold the lock.
     def _materialize(self) -> Relation:
         """The maintained bag as a Relation (same ``result`` schema as
         :meth:`~repro.query.planner.PhysicalPlan.execute`, so bag

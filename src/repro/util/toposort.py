@@ -16,7 +16,7 @@ __all__ = ["CycleError", "topological_sort", "is_dag"]
 N = TypeVar("N", bound=Hashable)
 
 
-class CycleError(ValueError):
+class CycleError(ValueError):  # repro-lint: disable=error-taxonomy -- algorithmic precondition failure in a pure utility; call sites catch it and re-raise the taxonomy error appropriate to their layer
     """Raised when a graph handed to :func:`topological_sort` has a cycle.
 
     The offending nodes (those left with unresolved predecessors) are

@@ -1,0 +1,32 @@
+"""Clean fixture protocol surface (parsed, never imported)."""
+
+from dataclasses import dataclass, field
+
+from repro import errors
+
+_ERROR_CODES = {
+    errors.ReproError: ("repro_error", True),
+    errors.QueryError: ("query_error", True),
+    errors.StorageError: ("storage_error", True),
+}
+
+_HTTP_STATUS = {
+    "repro_error": 500,
+    "query_error": 400,
+    "storage_error": 500,
+    "not_found": 404,
+}
+
+
+@dataclass(frozen=True)
+class TidyEnvelope:
+    a: str
+    b: int
+    local: object = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict:
+        return {"a": self.a, "b": self.b}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TidyEnvelope":
+        return cls(a=raw["a"], b=raw["b"])

@@ -1,0 +1,13 @@
+"""Clean fixture taxonomy (parsed, never imported)."""
+
+
+class ReproError(Exception):
+    """Fixture taxonomy root."""
+
+
+class QueryError(ReproError):
+    """Registered family."""
+
+
+class StorageError(ReproError):
+    """Registered family."""

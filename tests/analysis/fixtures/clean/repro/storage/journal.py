@@ -1,0 +1,29 @@
+"""Clean fixture journal: deterministic, lock-disciplined, with one
+justified suppression exercising the policy (parsed, never run)."""
+
+import threading
+
+from repro import errors
+
+
+class Journal:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list = []  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+
+    def apply_record(self, record) -> int:
+        with self._lock:
+            self._entries.append(record)
+            self._seq += 1
+            return self._seq
+
+    def order(self, items) -> list:
+        return sorted({item for item in items})
+
+    # repro-lint: disable=guarded-by -- sole caller is apply_record,
+    # which holds the lock for the whole append.
+    def _tail(self):
+        if not self._entries:
+            raise errors.StorageError("empty journal")
+        return self._entries[-1]

@@ -1,0 +1,53 @@
+"""Seeded protocol violations (fixture — parsed, never imported)."""
+
+from dataclasses import dataclass, field
+
+from repro import errors
+
+_ERROR_CODES = {
+    errors.ReproError: ("repro_error", True),
+    errors.QueryError: ("query_error", True),
+    # dangling registration: no such class in the fixture taxonomy
+    errors.VanishedError: ("vanished", True),
+    # duplicate wire code
+    errors.OrphanError: ("query_error", True),
+}
+
+_HTTP_STATUS = {
+    "repro_error": 500,
+    "query_error": 400,
+    # unknown code
+    "mystery_code": 418,
+    # invalid status value
+    "vanished": 9000,
+}
+
+
+@dataclass
+class LeakyEnvelope:
+    """Violation: a protocol dataclass that is not frozen."""
+
+    a: str
+
+    def to_dict(self) -> dict:
+        return {"a": self.a}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "LeakyEnvelope":
+        return cls(a=raw["a"])
+
+
+@dataclass(frozen=True)
+class SkewedEnvelope:
+    """Violations: to_dict misses `b`; from_dict passes non-wire `local`."""
+
+    a: str
+    b: int
+    local: object = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict:
+        return {"a": self.a}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SkewedEnvelope":
+        return cls(a=raw["a"], b=raw["b"], local=None)

@@ -1,0 +1,19 @@
+"""Seeded taxonomy violations (fixture — parsed, never imported)."""
+
+
+class ReproError(Exception):
+    """Fixture taxonomy root."""
+
+
+class QueryError(ReproError):
+    """Registered family: clean."""
+
+
+class OrphanError(Exception):
+    """Violation: does not derive from ReproError (and resolves to no
+    registered code)."""
+
+
+class GhostError(ReproError):
+    """Violation: direct ReproError family base without an exact
+    _ERROR_CODES entry."""

@@ -1,0 +1,34 @@
+"""Seeded determinism + lock violations (fixture — parsed, never run)."""
+
+import random
+import threading
+import time
+
+from repro import errors
+
+
+class Journal:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list = []  # guarded-by: _lock
+
+    def apply_record(self, record) -> tuple:
+        stamp = time.time()
+        pick = random.random()
+        self._entries.append(record)
+        return stamp, pick
+
+    def checkpoint(self) -> float:
+        # unjustified suppression: suppresses nothing, and is itself
+        # reported under the reserved `suppression` check
+        return time.time()  # repro-lint: disable=replay-determinism
+
+    def order(self, items) -> list:
+        return list({item for item in items})
+
+    def lookup(self, seq: int):
+        with self._lock:
+            for entry in self._entries:
+                if entry.seq == seq:
+                    return entry
+        raise errors.VanishedError(seq)

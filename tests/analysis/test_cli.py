@@ -1,0 +1,105 @@
+"""CLI contract: exit codes, reporter formats, the JSON schema.
+
+The subprocess tests run the module exactly as CI does
+(``python -m repro.analysis``), so they prove the gate wiring, not
+just the library behavior.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=120)
+
+
+class TestExitCodes:
+    def test_seeded_violations_exit_nonzero(self):
+        proc = run_cli(str(FIXTURES / "flagged"))
+        assert proc.returncode == 1
+        assert "replay-determinism" in proc.stdout
+
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli(str(FIXTURES / "clean"))
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
+
+    def test_src_is_self_clean(self):
+        proc = run_cli("src")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_cli("no/such/dir")
+        assert proc.returncode == 2
+
+    def test_unknown_select_is_usage_error(self):
+        proc = run_cli("src", "--select", "bogus")
+        assert proc.returncode == 2
+        assert "unknown checks" in proc.stderr
+
+
+class TestJsonReporter:
+    def test_schema(self):
+        proc = run_cli(str(FIXTURES / "flagged"), "--format", "json")
+        document = json.loads(proc.stdout)
+        assert document["version"] == 1
+        assert document["ok"] is False
+        assert isinstance(document["files"], int)
+        assert isinstance(document["suppressed"], int)
+        assert set(document["checks"]) >= {
+            "replay-determinism", "guarded-by", "error-taxonomy",
+            "frozen-protocol", "wrapper-capabilities"}
+        for finding in document["findings"]:
+            assert set(finding) == {"path", "line", "check", "message"}
+            assert isinstance(finding["line"], int)
+
+    def test_findings_sorted_and_deterministic(self):
+        first = run_cli(str(FIXTURES / "flagged"), "--format", "json")
+        second = run_cli(str(FIXTURES / "flagged"), "--format", "json")
+        assert first.stdout == second.stdout
+        locs = [(f["path"], f["line"])
+                for f in json.loads(first.stdout)["findings"]]
+        assert locs == sorted(locs)
+
+
+class TestGithubReporter:
+    def test_error_annotations(self):
+        proc = run_cli(str(FIXTURES / "flagged"), "--format", "github")
+        lines = [l for l in proc.stdout.splitlines()
+                 if l.startswith("::error ")]
+        assert lines
+        assert all("file=" in l and "line=" in l for l in lines)
+
+
+class TestInProcess:
+    def test_list_checks(self):
+        out = io.StringIO()
+        assert main(["--list-checks"], out=out) == 0
+        listed = out.getvalue()
+        for name in ("replay-determinism", "guarded-by", "error-taxonomy",
+                     "frozen-protocol", "wrapper-capabilities"):
+            assert name in listed
+
+    def test_select_single_check(self):
+        out = io.StringIO()
+        code = main([str(FIXTURES / "flagged"),
+                     "--select", "guarded-by"], out=out)
+        assert code == 1
+        body = out.getvalue()
+        assert "[guarded-by]" in body
+        assert "[frozen-protocol]" not in body

@@ -1,0 +1,179 @@
+"""Unit tests for the analyzer's data model: suppressions, markers,
+module naming, and the import graph."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.model import (
+    Project, SourceFile, SUPPRESSION_CHECK, load_project, module_name_of,
+)
+from repro.analysis.registry import run_checks
+
+
+def source(text: str, path: str = "mod.py",
+           module: str | None = "mod") -> SourceFile:
+    return SourceFile(Path(path), textwrap.dedent(text), module)
+
+
+class TestSuppressionParsing:
+    def test_justified_suppression_parses(self):
+        src = source("x = 1  # repro-lint: disable=guarded-by -- why\n")
+        supp = src.suppressions[1]
+        assert supp.checks == frozenset({"guarded-by"})
+        assert supp.justification == "why"
+        assert supp.justified
+
+    def test_multi_check_suppression(self):
+        src = source(
+            "x = 1  # repro-lint: disable=a,b -- covers both\n")
+        assert src.suppressions[1].checks == frozenset({"a", "b"})
+
+    def test_unjustified_suppression_never_covers(self):
+        src = source("x = 1  # repro-lint: disable=guarded-by\n")
+        assert not src.suppressions[1].justified
+        assert src.suppression_for("guarded-by", 1) is None
+
+    def test_suppression_covers_only_named_checks(self):
+        src = source("x = 1  # repro-lint: disable=guarded-by -- why\n")
+        assert src.suppression_for("guarded-by", 1) is not None
+        assert src.suppression_for("replay-determinism", 1) is None
+
+    def test_def_line_suppression_covers_function_body(self):
+        src = source("""\
+            def helper():  # repro-lint: disable=guarded-by -- caller locks
+                a = 1
+                return a
+            """)
+        assert src.suppression_for("guarded-by", 2) is not None
+        assert src.suppression_for("guarded-by", 3) is not None
+
+    def test_header_comment_suppression_covers_function_body(self):
+        src = source("""\
+            # repro-lint: disable=guarded-by -- caller holds the lock
+            # across both statements.
+            def helper():
+                return 1
+            """)
+        assert src.suppression_for("guarded-by", 4) is not None
+
+    def test_suppression_does_not_leak_past_function_end(self):
+        src = source("""\
+            def helper():  # repro-lint: disable=guarded-by -- why
+                return 1
+
+            x = 2
+            """)
+        assert src.suppression_for("guarded-by", 4) is None
+
+    def test_markers_parse(self):
+        src = source("# repro-lint: frozen-surface\nx = 1\n")
+        assert "frozen-surface" in src.markers
+
+
+class TestSuppressionHygiene:
+    def test_unjustified_suppression_becomes_finding(self):
+        src = source("x = 1  # repro-lint: disable=guarded-by\n")
+        result = run_checks(Project([src]))
+        assert any(f.check == SUPPRESSION_CHECK and "justification"
+                   in f.message for f in result.findings)
+
+    def test_unknown_check_name_becomes_finding(self):
+        src = source("x = 1  # repro-lint: disable=no-such -- reason\n")
+        result = run_checks(Project([src]))
+        assert any(f.check == SUPPRESSION_CHECK and "no-such"
+                   in f.message for f in result.findings)
+
+    def test_clean_file_yields_no_findings(self):
+        src = source("x = 1\n")
+        assert run_checks(Project([src])).ok
+
+
+class TestModuleNaming:
+    def test_module_name_from_init_walk(self, tmp_path):
+        pkg = tmp_path / "repro" / "storage"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        target = pkg / "journal.py"
+        target.write_text("x = 1\n")
+        assert module_name_of(target) == "repro.storage.journal"
+
+    def test_script_outside_package_is_top_level(self, tmp_path):
+        target = tmp_path / "script.py"
+        target.write_text("x = 1\n")
+        assert module_name_of(target) == "script"
+
+
+class TestImportGraph:
+    def _project(self, tmp_path, files: dict[str, str]) -> Project:
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        return load_project([tmp_path])
+
+    def test_reachability_with_witness_chain(self, tmp_path):
+        project = self._project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "from pkg import b\n",
+            "pkg/b.py": "import pkg.c\n",
+            "pkg/c.py": "x = 1\n",
+            "pkg/island.py": "y = 2\n",
+        })
+        chains = project.reachable_from(["pkg.a"])
+        # `from pkg import b` resolves to the submodule pkg.b itself
+        assert set(chains) == {"pkg.a", "pkg.b", "pkg.c"}
+        assert chains["pkg.c"] == ("pkg.a", "pkg.b", "pkg.c")
+        assert "pkg.island" not in chains
+
+    def test_type_checking_imports_excluded(self, tmp_path):
+        project = self._project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": """\
+                from typing import TYPE_CHECKING
+                if TYPE_CHECKING:
+                    from pkg import b
+                """,
+            "pkg/b.py": "x = 1\n",
+        })
+        chains = project.reachable_from(["pkg.a"])
+        assert "pkg.b" not in chains
+
+    def test_relative_imports_resolve(self, tmp_path):
+        project = self._project(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "from . import b\n",
+            "pkg/b.py": "x = 1\n",
+        })
+        assert "pkg.b" in project.reachable_from(["pkg.a"])
+
+
+class TestRegistry:
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError, match="unknown checks"):
+            run_checks(Project([]), select=["does-not-exist"])
+
+    def test_reserved_and_duplicate_names_rejected(self):
+        from repro.analysis.registry import Checker, register
+
+        class Nameless(Checker):
+            name = ""
+
+        with pytest.raises(ValueError, match="no name"):
+            register(Nameless)
+
+        class Reserved(Checker):
+            name = SUPPRESSION_CHECK
+
+        with pytest.raises(ValueError, match="reserved"):
+            register(Reserved)
+
+        class Duplicate(Checker):
+            name = "guarded-by"
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register(Duplicate)

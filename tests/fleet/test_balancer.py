@@ -136,3 +136,37 @@ class TestPayloadParsing:
             {"query": "q"},
         ]}).encode()) == 4
         assert _pin_of(b"\xff") == -1
+
+
+class TestObserveEpochAtomicity:
+    def test_lower_epoch_never_overwrites_higher(self):
+        b = backend("r0", epoch=0)
+        b.observe_epoch(7)
+        b.observe_epoch(3)
+        assert b.epoch == 7
+        b.observe_epoch(None)
+        assert b.epoch == 7
+
+    def test_concurrent_observers_converge_on_the_max(self):
+        # Regression: observe_epoch used an unlocked check-then-act, so
+        # two racing probe threads could let a lower epoch win and the
+        # router would route floor-gated reads to a backend it believed
+        # was elsewhere in time.
+        import threading
+
+        b = backend("r0", epoch=-1)
+        barrier = threading.Barrier(8)
+        epochs = list(range(1, 401))
+
+        def observer(offset: int) -> None:
+            barrier.wait()
+            for epoch in epochs[offset::8]:
+                b.observe_epoch(epoch)
+
+        threads = [threading.Thread(target=observer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.epoch == max(epochs)

@@ -202,3 +202,28 @@ def test_env_flag_parsing(monkeypatch):
     assert not incremental_env_enabled()
     monkeypatch.setenv("REPRO_INCREMENTAL", "1")
     assert incremental_env_enabled()
+
+
+def test_snapshot_is_atomic_with_refresh(monkeypatch):
+    # Regression: snapshot() read the counters and the relation without
+    # the lock, so a monitor polling during a refresh could see the new
+    # relation paired with the old counters (or vice versa). Holding
+    # the query's RLock inside refresh() must not deadlock snapshot().
+    import threading
+
+    scenario = build_supersede(with_evolution=True)
+    sq = standing(scenario, make_plan(scenario))
+    seen: list[dict] = []
+
+    def monitor() -> None:
+        for _ in range(50):
+            seen.append(sq.snapshot())
+
+    with sq.lock:  # snapshot must block until maintenance releases
+        t = threading.Thread(target=monitor)
+        t.start()
+        sq.refreshes += 1
+        sq.refreshes -= 1
+    t.join(timeout=30)
+    assert not t.is_alive()
+    assert all(s["result_rows"] == len(sq.relation) for s in seen)
