@@ -1,10 +1,10 @@
-"""Columnar vectorized execution vs. the row-at-a-time engine, plus the
-full answer cache.
+"""Encoded columnar execution vs. the vectorized and row-at-a-time
+engines, plus the full answer cache.
 
-Not a paper figure — this benchmarks the vectorized physical layer
-(``src/repro/relational/columnar.py``) and the answer cache
-(``src/repro/query/answer_cache.py``) grown on top of the reproduction
-(see ``docs/architecture.md``). Two asserted workloads:
+Not a paper figure — this benchmarks the physical layer
+(``src/repro/relational/columnar.py``, ``physical.py``) and the answer
+cache (``src/repro/query/answer_cache.py``) grown on top of the
+reproduction (see ``docs/architecture.md``). Three asserted workloads:
 
 * **fanout walk, columnar vs. rows** — a batch of three-way walks
   (hub ⋈ satellite ⋈ satellite) where each hub row matches ``FANOUT``
@@ -14,13 +14,18 @@ Not a paper figure — this benchmarks the vectorized physical layer
   per-row itemgetters; the vectorized engine gathers whole columns
   over index lists and dedups in one zip pass. Must be **≥1.5×**
   faster (typically ~2×).
+* **fanout walk, encoded vs. vectorized** — the same batch on the
+  encoded tier: dictionary-encoded join keys probed as dense int
+  codes, scan→join→project fused into one gather-index pass, and
+  DISTINCT computed on packed code lanes before any value is decoded.
+  Must be **≥1.4×** faster than the (PR 7) vectorized engine.
 * **answer cache** — the same query answered twice on the production
   path. The warm repeat is served from the
   :class:`~repro.query.answer_cache.AnswerCache` without touching a
   single wrapper or physical operator; it must be **≥50×** faster
   than the cold evaluation (in practice: a dict lookup).
 
-Both engines run over the same plans and shared scans; bag-equality of
+All engines run over the same plans and shared scans; bag-equality of
 their answers is asserted — the same guarantee the randomized
 equivalence suite (``tests/query/test_planner.py``) checks structurally.
 """
@@ -42,8 +47,8 @@ B = Namespace("urn:columnar:")
 
 HUB_ROWS = 2000
 SATELLITES = 6
-FANOUT = 4        # satellite rows per hub id → FANOUT² joined rows/id
-METRIC_SPACE = 8  # duplicate-heavy metrics: DISTINCT collapses output
+FANOUT = 4        # satellite rows per hub id → FANOUT³ joined rows/id
+METRIC_SPACE = 4  # duplicate-heavy metrics: DISTINCT collapses output
 
 
 def _canon(relation) -> list[tuple]:
@@ -61,8 +66,8 @@ def _best_of(fn, repeat: int = 3) -> float:
 
 def build_scenario():
     """A hub concept joined to ``SATELLITES`` satellite concepts; each
-    query walks hub → satA → satB, joining ``FANOUT²`` rows per hub id
-    before DISTINCT collapses the metric combinations."""
+    query walks hub → satA → satB → satC, joining ``FANOUT³`` rows per
+    hub id before DISTINCT collapses the metric combinations."""
     rng = random.Random(20260807)
     ontology = BDIOntology()
     g = ontology.globals
@@ -70,7 +75,13 @@ def build_scenario():
     hub = g.add_concept(B.Hub)
     g.add_feature(hub, B.hid, is_id=True)
     g.add_feature(hub, B.hubMetric)
-    hub_rows = [{"hid": i, "hubMetric": rng.randint(0, 99)}
+    # String-typed IDs and metrics — the shape wrapper data actually
+    # has (API identifiers, QoS labels) and the dictionary encoder's
+    # home turf: the row/vectorized engines re-hash these strings at
+    # every join and dedup, the encoded tier hashes each distinct
+    # value once and runs on int codes.
+    hub_rows = [{"hid": f"app-{i:05d}",
+                 "hubMetric": f"lag-{rng.randint(0, 99):02d}"}
                 for i in range(HUB_ROWS)]
     hub_wrapper = StaticWrapper("wHub", "SH", ["hid"], ["hubMetric"],
                                 hub_rows)
@@ -86,7 +97,8 @@ def build_scenario():
         sat = g.add_concept(B[f"Sat{i}"])
         metric = g.add_feature(sat, B[f"m{i}"])
         g.add_property(hub, B[f"links{i}"], sat)
-        rows = [{"hid": h, "m": rng.randrange(METRIC_SPACE)}
+        rows = [{"hid": f"app-{h:05d}",
+                 "m": f"qos-{rng.randrange(METRIC_SPACE)}"}
                 for h in range(HUB_ROWS) for _ in range(FANOUT)]
         wrapper = StaticWrapper(f"wSat{i}", f"SS{i}", ["hid"], ["m"],
                                 rows)
@@ -99,17 +111,21 @@ def build_scenario():
         satellites.append((i, sat, metric))
 
     queries = []
-    for i, sat_a, metric_a in satellites[:SATELLITES // 2]:
-        j, sat_b, metric_b = satellites[i + SATELLITES // 2]
+    for i, sat_a, metric_a in satellites[:SATELLITES // 3]:
+        j, sat_b, metric_b = satellites[i + SATELLITES // 3]
+        k, sat_c, metric_c = satellites[i + 2 * (SATELLITES // 3)]
         queries.append(f"""
-            SELECT ?x ?y ?z WHERE {{
-                VALUES (?x ?y ?z)
-                    {{ (<{B.hubMetric}> <{metric_a}> <{metric_b}>) }}
+            SELECT ?x ?y ?z ?w WHERE {{
+                VALUES (?x ?y ?z ?w)
+                    {{ (<{B.hubMetric}> <{metric_a}> <{metric_b}>
+                        <{metric_c}>) }}
                 <{B.Hub}> G:hasFeature <{B.hubMetric}> .
                 <{B.Hub}> <{B[f"links{i}"]}> <{sat_a}> .
                 <{sat_a}> G:hasFeature <{metric_a}> .
                 <{B.Hub}> <{B[f"links{j}"]}> <{sat_b}> .
-                <{sat_b}> G:hasFeature <{metric_b}>
+                <{sat_b}> G:hasFeature <{metric_b}> .
+                <{B.Hub}> <{B[f"links{k}"]}> <{sat_c}> .
+                <{sat_c}> G:hasFeature <{metric_c}>
             }}""")
     return ontology, queries
 
@@ -119,18 +135,23 @@ def test_columnar_execution(write_result, write_json):
 
     # The engine comparison disables the answer cache (it would serve
     # every repeat from memory and measure nothing); shared scan caches
-    # factor wrapper fetches out of both sides, so the delta is the
-    # execution engine itself.
-    vec = QueryEngine(ontology, use_answer_cache=False)
+    # factor wrapper fetches out of all sides, so the delta is the
+    # execution engine itself. `enc` is the default engine (encoded
+    # tier); `vec` pins the PR 7 vectorized path; `row` the original
+    # row-at-a-time engine.
+    enc = QueryEngine(ontology, use_answer_cache=False)
+    vec = QueryEngine(ontology, encoded=False, use_answer_cache=False)
     row = QueryEngine(ontology, vectorized=False, use_answer_cache=False)
-    vec_scans, row_scans = ScanCache(), ScanCache()
+    enc_scans, vec_scans, row_scans = ScanCache(), ScanCache(), ScanCache()
 
     # Warm rewrite caches + assert engine equivalence per query.
     out_rows = 0
     for query in queries:
         a = vec.answer(query, scan_cache=vec_scans)
         b = row.answer(query, scan_cache=row_scans)
+        c = enc.answer(query, scan_cache=enc_scans)
         assert _canon(a) == _canon(b)
+        assert _canon(a) == _canon(c)
         out_rows += len(a)
 
     # -- workload 1: fanout walk batch, columnar vs. row engine ---------
@@ -140,7 +161,12 @@ def test_columnar_execution(write_result, write_json):
                                              scan_cache=vec_scans))
     join_speedup = row_s / vec_s
 
-    # -- workload 2: full answer cache ----------------------------------
+    # -- workload 2: encoded tier vs. the vectorized engine -------------
+    enc_s = _best_of(lambda: enc.answer_many(queries,
+                                             scan_cache=enc_scans))
+    encoded_speedup = vec_s / enc_s
+
+    # -- workload 3: full answer cache ----------------------------------
     served = QueryEngine(ontology)  # answer cache on (the default)
     cache = ScanCache()
 
@@ -172,7 +198,7 @@ def test_columnar_execution(write_result, write_json):
 
     joined = HUB_ROWS * FANOUT * FANOUT * len(queries)
     content = "\n".join([
-        "Columnar vectorized execution & full answer cache",
+        "Encoded columnar execution & full answer cache",
         "",
         f"hub: {HUB_ROWS} rows; {SATELLITES} satellites × "
         f"{HUB_ROWS * FANOUT} rows (fanout {FANOUT}); "
@@ -181,7 +207,10 @@ def test_columnar_execution(write_result, write_json):
         "",
         "fanout walk batch (same plans, shared scans):",
         f"  row engine  {row_s * 1e3:8.2f} ms",
-        f"  vectorized  {vec_s * 1e3:8.2f} ms   {join_speedup:5.2f}×",
+        f"  vectorized  {vec_s * 1e3:8.2f} ms   {join_speedup:5.2f}× "
+        "vs rows",
+        f"  encoded     {enc_s * 1e3:8.2f} ms   {encoded_speedup:5.2f}× "
+        "vs vectorized",
         "",
         "full answer cache (production path):",
         f"  cold evaluate {cold_s * 1e3:10.3f} ms",
@@ -200,7 +229,9 @@ def test_columnar_execution(write_result, write_json):
         "output_rows": out_rows,
         "row_engine_seconds": row_s,
         "vectorized_seconds": vec_s,
+        "encoded_seconds": enc_s,
         "join_speedup": round(join_speedup, 2),
+        "encoded_speedup": round(encoded_speedup, 2),
         "cold_seconds": cold_s,
         "warm_seconds": warm_s,
         "answer_cache_speedup": round(cache_speedup, 2),
@@ -210,6 +241,9 @@ def test_columnar_execution(write_result, write_json):
     assert join_speedup >= 1.5, (
         f"vectorized engine only {join_speedup:.2f}× over the row "
         "engine on the fanout walk batch")
+    assert encoded_speedup >= 1.4, (
+        f"encoded tier only {encoded_speedup:.2f}× over the "
+        "vectorized engine on the fanout walk batch")
     assert cache_speedup >= 50.0, (
         f"warm answer-cache hit only {cache_speedup:.0f}× over cold "
         "evaluation")

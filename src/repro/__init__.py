@@ -52,7 +52,7 @@ from repro.relational import ColumnBatch
 from repro.service import EpochLock, GovernedService, ServedAnswer
 from repro.storage import ChangeRecord, Journal, Replica, Snapshot
 
-__version__ = "1.7.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BDIOntology", "Release", "new_release",

@@ -459,6 +459,24 @@ class ProtocolEndpoint:
                     "max_workers": service.max_workers,
                     "journal": service.journal_info()
                     if hasattr(service, "journal_info") else None,
+                    # Last-run operator timings: per-query PlanMetrics
+                    # trees plus per-wrapper scan aggregates, so fleet
+                    # operators can spot a slow wrapper from /describe
+                    # without attaching a profiler. Rides in the
+                    # free-form service dict — the envelope itself is
+                    # frozen.
+                    "plan_metrics": {
+                        "queries": [
+                            {"query": key, "metrics": tree.snapshot()}
+                            for key, tree
+                            in service.mdm.engine.plan_metrics_log()],
+                        "wrapper_timings":
+                            service.mdm.engine.wrapper_timings(),
+                        "adaptive":
+                            service.mdm.engine.adaptive_memo.snapshot()
+                            if service.mdm.engine.adaptive_memo
+                            is not None else None,
+                    },
                 },
                 elapsed_ms=_elapsed(started))
         except Exception as exc:

@@ -204,6 +204,27 @@ def describe_service(service: "GovernedService") -> str:
             f"{journal.get('seq')} (boot {journal.get('boot_id')}, "
             f"snapshot seq {journal.get('snapshot_seq')}, "
             f"replica lag {lag})")
+    engine = service.mdm.engine
+    memo = engine.adaptive_memo
+    if memo is None:
+        lines.append("  adaptive planner: disabled")
+    else:
+        snap = memo.snapshot()
+        lines.append(
+            f"  adaptive planner: {snap['scan_observations']} scan / "
+            f"{snap['join_observations']} join observation(s), "
+            f"memo version {snap['version']}")
+    timings = engine.wrapper_timings()
+    if timings:
+        lines.append("  observed scan timings (recent runs):")
+        for wrapper in sorted(timings):
+            entry = timings[wrapper]
+            filtered = (f", {entry['filtered']} semi-join filtered"
+                        if entry["filtered"] else "")
+            lines.append(
+                f"    {wrapper}: {entry['scans']} scan(s), "
+                f"{entry['rows']} row(s), "
+                f"{float(entry['seconds']) * 1e3:.2f} ms{filtered}")
     return "\n".join(lines) + "\n" + describe_cache(service.mdm.cache)
 
 

@@ -432,8 +432,8 @@ class MDM:
     def rewrite(self, omq: str | OMQ) -> RewritingResult:
         return self.engine.rewrite(omq)
 
-    def explain(self, omq: str | OMQ) -> str:
-        return self.engine.explain(omq)
+    def explain(self, omq: str | OMQ, analyze: bool = False) -> str:
+        return self.engine.explain(omq, analyze=analyze)
 
     def describe(self) -> str:
         return describe_global_graph(self.ontology)

@@ -36,9 +36,11 @@ from repro.query.answer_cache import (
 from repro.query.cache import CacheStats, RewriteCache, \
     canonical_omq_key
 from repro.query.omq import OMQ, parse_omq
-from repro.query.planner import PhysicalPlan, plan_ucq
+from repro.query.planner import CardinalityMemo, PhysicalPlan, \
+    adaptive_env_enabled, plan_ucq
 from repro.query.rewriter import RewritingResult, rewrite
 from repro.relational.algebra import DataProvider
+from repro.relational.metrics import PlanMetrics, scan_timings
 from repro.relational.physical import (
     CachingScanProvider, ScanCache, ScanProvider, as_scan_provider,
 )
@@ -51,6 +53,9 @@ __all__ = ["QueryEngine"]
 #: default bound of the SPARQL-text → OMQ parse memo (LRU entries)
 PARSE_MEMO_MAX = 1024
 
+#: per-query PlanMetrics trees retained for explain/describe (LRU)
+METRICS_LOG_MAX = 32
+
 
 class QueryEngine:
     """Analyst-facing query interface over a BDI ontology."""
@@ -61,6 +66,8 @@ class QueryEngine:
                  use_cache: bool = True,
                  use_planner: bool = True,
                  vectorized: bool = True,
+                 encoded: bool = True,
+                 adaptive: bool | None = None,
                  answer_cache: AnswerCache | None = None,
                  use_answer_cache: bool = True,
                  incremental: bool | None = None,
@@ -86,6 +93,26 @@ class QueryEngine:
         #: boundary); False = the row-at-a-time engine over the same
         #: plans — the baseline ``bench_columnar`` compares against.
         self.vectorized = vectorized
+        #: run the encoded tier on top of the columnar engine (joins on
+        #: dictionary codes, fused scan→…→project pipelines); False =
+        #: the plain PR 7 vectorized engine, the encoded benchmark's
+        #: comparison baseline. Only meaningful while ``vectorized``.
+        self.encoded = encoded
+        #: observed-cardinality feedback into planning (None when off —
+        #: via ``adaptive=False``, the ``REPRO_ADAPTIVE=0`` environment
+        #: kill switch, or because the planner itself is off). The memo
+        #: is epoch-validated per evaluation and versioned; memoized
+        #: plans re-plan when it learns something new.
+        self.adaptive_memo: CardinalityMemo | None = (
+            CardinalityMemo() if use_planner and (
+                adaptive if adaptive is not None
+                else adaptive_env_enabled())
+            else None)
+        #: canonical OMQ key → last run's PlanMetrics tree (LRU-bounded
+        #: observability feed of explain(analyze=True) and describe)
+        self._metrics_log: "OrderedDict[str, PlanMetrics]" = \
+            OrderedDict()  # guarded-by: _metrics_lock
+        self._metrics_lock = threading.Lock()
         #: release-aware rewriting cache (None when use_cache is False);
         #: pass a shared instance to pool engines over one ontology.
         self.cache: RewriteCache | None = (
@@ -171,8 +198,13 @@ class QueryEngine:
                        scan_cache: ScanCache | None) -> ScanProvider:
         """The physical scan provider one evaluation runs against."""
         scans = as_scan_provider(provider, self.ontology.physical_wrapper)
+        if scan_cache is not None or self.adaptive_memo is not None:
+            fingerprint = self.ontology.fingerprint()
+            if scan_cache is not None:
+                scan_cache.validate(fingerprint)
+            if self.adaptive_memo is not None:
+                self.adaptive_memo.validate(fingerprint)
         if scan_cache is not None:
-            scan_cache.validate(self.ontology.fingerprint())
             scans = CachingScanProvider(scans, scan_cache)
         return scans
 
@@ -184,17 +216,40 @@ class QueryEngine:
         (whose construction issues SPARQL feature→attribute lookups)
         rides along: plan once, execute per call. The memo lives and
         dies with the cached rewriting — release-aware invalidation of
-        the rewrite cache invalidates the plan too. Cardinality
-        estimates are frozen at first planning; they only steer join
-        order, so staleness can never change an answer.
+        the rewrite cache invalidates the plan too. With the adaptive
+        tier on, a memoized plan also goes stale when the cardinality
+        memo has learned something since it was planned
+        (``memo_version``) — the next call re-plans with the observed
+        numbers. Estimates only steer join order, so staleness can
+        never change an answer.
         """
         plans: dict[bool, PhysicalPlan] = \
             result.__dict__.setdefault("_plans", {})
+        memo = self.adaptive_memo
         plan = plans.get(distinct)
+        if plan is not None and memo is not None \
+                and plan.memo_version != memo.version:
+            plan = None  # the memo learned something: re-plan
         if plan is None:
-            plan = plan_ucq(self.ontology, result.ucq, scans, distinct)
+            plan = plan_ucq(self.ontology, result.ucq, scans, distinct,
+                            memo=memo)
             plans[distinct] = plan
         return plan
+
+    def _record_metrics(self, key: str, plan: PhysicalPlan,
+                        scans: ScanProvider) -> None:
+        """Fold one execution's metrics into the adaptive memo and the
+        bounded observability log."""
+        metrics = plan.last_metrics
+        if metrics is None:
+            return
+        if self.adaptive_memo is not None:
+            self.adaptive_memo.observe(metrics, scans.data_version)
+        with self._metrics_lock:
+            self._metrics_log[key] = metrics
+            self._metrics_log.move_to_end(key)
+            while len(self._metrics_log) > METRICS_LOG_MAX:
+                self._metrics_log.popitem(last=False)
 
     def _evaluate(self, omq: OMQ, key: str | None,
                   provider: DataProvider | None,
@@ -216,10 +271,13 @@ class QueryEngine:
         # wrappers) — explicit providers have no data_version evidence,
         # so answers computed against them are never cached.
         cache = self.answer_cache if provider is None else None
-        if cache is None:
-            return plan.execute(scans, vectorized=self.vectorized)
         if key is None:
             key = canonical_omq_key(omq)
+        if cache is None:
+            relation = plan.execute(scans, vectorized=self.vectorized,
+                                    encoded=self.encoded)
+            self._record_metrics(key, plan, scans)
+            return relation
         fingerprint = self.ontology.fingerprint()
         versions = tuple(sorted(
             (name, scans.data_version(name))
@@ -234,7 +292,9 @@ class QueryEngine:
                                          scans)
             if patched is not None:
                 return patched
-        relation = plan.execute(scans, vectorized=self.vectorized)
+        relation = plan.execute(scans, vectorized=self.vectorized,
+                                encoded=self.encoded)
+        self._record_metrics(key, plan, scans)
         cache.store(key, distinct, fingerprint, versions, relation)
         return relation
 
@@ -391,13 +451,16 @@ class QueryEngine:
             results.append(outcome)
         return results
 
-    def explain(self, query: OMQ | str) -> str:
+    def explain(self, query: OMQ | str, analyze: bool = False) -> str:
         """Textual account of the rewriting phases, the final UCQ and —
         with the planner on — the physical plan that :meth:`answer`
         executes, with pushed-down columns/filters and shared-scan
         annotations. The physical section renders the same
         :class:`~repro.query.planner.PhysicalPlan` construction the
-        execution path uses, so the two cannot diverge.
+        execution path uses, so the two cannot diverge. With
+        ``analyze=True`` the last run's observed per-operator rows and
+        wall-times are appended (when the query has executed since the
+        plan was built).
         """
         result = self.rewrite(query)
         lines = [result.report(), "", "final UCQ:"]
@@ -413,7 +476,7 @@ class QueryEngine:
         expression = result.ucq.to_expression(self.ontology)
         lines.append(f"  {expression.notation()}")
         lines.append("")
-        lines.append(plan.explain())
+        lines.append(plan.explain(analyze=analyze))
         return "\n".join(lines)
 
     # -- cache administration -----------------------------------------------
@@ -442,3 +505,28 @@ class QueryEngine:
         """Number of memoized SPARQL parses (observability aid)."""
         with self._parse_lock:
             return len(self._parse_memo)
+
+    # -- runtime metrics ------------------------------------------------------
+
+    def plan_metrics_log(self) -> "list[tuple[str, PlanMetrics]]":
+        """Recent executions' metrics trees, oldest first, keyed by
+        canonical OMQ key (LRU-bounded; treat trees as immutable)."""
+        with self._metrics_lock:
+            return list(self._metrics_log.items())
+
+    def wrapper_timings(self) -> dict[str, dict[str, float]]:
+        """Per-wrapper scan aggregates over the retained metrics trees
+        — the describe surface for spotting slow wrappers."""
+        merged: dict[str, dict[str, float]] = {}
+        for _, metrics in self.plan_metrics_log():
+            for wrapper, entry in scan_timings(metrics).items():
+                slot = merged.setdefault(wrapper, {
+                    "scans": 0, "rows": 0, "seconds": 0.0,
+                    "filtered": 0})
+                for counter in ("scans", "rows", "filtered"):
+                    slot[counter] = (int(slot[counter])
+                                     + int(entry[counter]))
+                slot["seconds"] = round(
+                    float(slot["seconds"]) + float(entry["seconds"]),
+                    6)
+        return merged

@@ -22,20 +22,142 @@ Batches are **immutable by convention**: columns may be shared between
 batches (projections alias their child's lists) and with the
 :class:`~repro.relational.rows.Relation` they were converted from via
 :meth:`Relation.columnar <repro.relational.rows.Relation.columnar>`'s
-memo — never mutate a column list you did not build yourself.
+memo — never mutate a column list you did not build yourself. The
+row-value accessors (:meth:`ColumnBatch.column` /
+:meth:`ColumnBatch.column_at`) return defensive copies for exactly that
+reason; operators on the hot path use the explicitly shared
+:meth:`ColumnBatch.raw_column_at` / :meth:`ColumnBatch.dense_columns`
+views instead.
+
+The **encoded tier** (PR 10) lives here too: an :class:`EncodedColumn`
+is a column's dictionary encoding — one small-int code per stored row
+plus the code → value dictionary — built lazily per column and memoized
+on the batch (the memo travels with zero-copy renames, so a scan shared
+through the scan cache encodes each column at most once per fetch).
+Join keys, ID filters and DISTINCT then operate on dense ints instead
+of tuples of arbitrary objects; columns that would not pay for
+themselves (near-unique values) or cannot encode (unhashable values)
+fall back to the raw lists, signalled by ``None``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError
+from repro.relational import accel
 from repro.relational.schema import Attribute, RelationSchema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.relational.rows import Relation
 
-__all__ = ["ColumnBatch", "concat_batches"]
+__all__ = ["ColumnBatch", "EncodedColumn", "concat_batches",
+           "encode_values"]
+
+#: columns at least this long are subject to the high-cardinality
+#: fallback check; shorter ones always encode (the dictionary is tiny)
+ENCODE_MIN_ROWS = 64
+
+#: fallback threshold: encoding aborts once the dictionary exceeds this
+#: fraction of the stored rows — a near-unique column gains nothing
+#: from int codes and would pay dictionary upkeep on every operation
+ENCODE_MAX_DISTINCT_FRACTION = 0.5
+
+
+class EncodedColumn:
+    """The dictionary encoding of one stored column.
+
+    ``codes[i]`` is the small-int code of stored row *i*'s value;
+    ``values[code]`` decodes it; ``index`` is the reverse mapping used
+    to translate foreign values (or a foreign dictionary) into this
+    code space. Codes are dense (``0 .. len(values) - 1``), assigned by
+    first occurrence, and two values that compare equal (``1`` and
+    ``1.0``) share one code — exactly the equality joins and DISTINCT
+    use, so operating on codes is operating on values.
+
+    Instances are immutable by convention and shared between every
+    consumer of the memoizing batch — never mutate them.
+    """
+
+    __slots__ = ("codes", "values", "index", "_vector")
+
+    def __init__(self, codes: "list[int] | Any", values: list[object],
+                 index: dict[object, int]) -> None:
+        self.codes = codes
+        self.values = values
+        self.index = index
+        self._vector: Any = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def codes_vector(self) -> Any:
+        """The stored codes as an int64 numpy vector, memoized.
+
+        Only meaningful when :func:`repro.relational.accel.available`
+        — callers on the accelerated path gather and dedup on this
+        vector instead of the Python list."""
+        if self._vector is None:
+            self._vector = accel.index_array(self.codes)
+        return self._vector
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def remap_onto(self, other: "EncodedColumn") -> list[int]:
+        """Translate *this* code space onto *other*'s.
+
+        Returns ``translate`` with ``translate[code] =`` the matching
+        code in *other*, or ``-1`` when the value does not occur there —
+        the cross-dictionary bridge an int-coded join uses when its two
+        sides were encoded independently. Costs one hash lookup per
+        *distinct* value instead of one per row.
+        """
+        get = other.index.get
+        return [get(value, -1) for value in self.values]
+
+    def select(self, selection: "list[int] | None") -> "list[int] | Any":
+        """The live codes under *selection* (the shared list — or, for
+        an installed accelerated lane, vector — when ``None``; treat it
+        as read-only)."""
+        if selection is None:
+            return self.codes
+        return list(map(self.codes.__getitem__, selection))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EncodedColumn {len(self.codes)} rows, "
+                f"{len(self.values)} distinct>")
+
+
+def encode_values(column: Sequence[object]) -> EncodedColumn | None:
+    """Dictionary-encode *column*, or ``None`` when encoding won't pay.
+
+    Fallback cases: a value is unhashable (codes require a dict), or
+    the column is long (``>= ENCODE_MIN_ROWS``) and near-unique — the
+    dictionary would grow past ``ENCODE_MAX_DISTINCT_FRACTION`` of the
+    rows, checked *during* the build so a doomed encode aborts early.
+    """
+    stored = len(column)
+    limit = (int(stored * ENCODE_MAX_DISTINCT_FRACTION)
+             if stored >= ENCODE_MIN_ROWS else stored)
+    index: dict[object, int] = {}
+    values: list[object] = []
+    codes: list[int] = []
+    append_code = codes.append
+    append_value = values.append
+    setdefault = index.setdefault
+    try:
+        for value in column:
+            code = setdefault(value, len(values))
+            if code == len(values):
+                if code > limit:
+                    return None  # high cardinality: not worth encoding
+                append_value(value)
+            append_code(code)
+    except TypeError:
+        return None  # unhashable value (dict/list cell): raw fallback
+    return EncodedColumn(codes, values, index)
 
 
 class ColumnBatch:
@@ -48,12 +170,15 @@ class ColumnBatch:
     costs one index list, not one copy per surviving column.
     """
 
-    __slots__ = ("schema", "columns", "selection", "_length")
+    __slots__ = ("schema", "columns", "selection", "_length",
+                 "_encodings")
 
     def __init__(self, schema: RelationSchema,
                  columns: Sequence[list[object]],
                  selection: list[int] | None = None,
-                 _length: int | None = None) -> None:
+                 _length: int | None = None,
+                 _encodings: "dict[int, EncodedColumn | None] | None"
+                 = None) -> None:
         if len(columns) != len(schema.attributes):
             raise SchemaError(
                 f"batch for {schema.name} expects "
@@ -61,6 +186,17 @@ class ColumnBatch:
         self.schema = schema
         self.columns = tuple(columns)
         self.selection = selection
+        #: lazily built dictionary encodings, keyed by ``id(column)``.
+        #: The dict object is *shared* with every batch derived through
+        #: a zero-copy aliasing op (rename/reorder/select), so an
+        #: encoding built once — e.g. on the scan batch memoized on its
+        #: Relation — serves every later view of the same column list.
+        #: Safe because aliasing ops never allocate column lists: every
+        #: id in the dict belongs to a list kept alive by a sharing
+        #: batch. ``None`` records a deliberate fallback (unhashable or
+        #: high-cardinality column) so it is not retried.
+        self._encodings: "dict[int, EncodedColumn | None]" = \
+            _encodings if _encodings is not None else {}
         if _length is not None:
             stored = _length
         else:
@@ -115,29 +251,103 @@ class ColumnBatch:
 
     # -- column access -------------------------------------------------------
 
-    def column(self, name: str) -> list[object]:
-        """The live values of one column (selection applied)."""
+    def _index_of(self, name: str) -> int:
         try:
-            index = self.schema.attribute_names.index(name)
+            return self.schema.attribute_names.index(name)
         except ValueError:
             raise SchemaError(
                 f"{self.schema.name} has no attribute {name!r}") from None
-        return self.column_at(index)
+
+    def column(self, name: str) -> list[object]:
+        """The live values of one column (selection applied).
+
+        Always a fresh list the caller owns — mutating it can never
+        corrupt a batch (or the memoized relation pivot) sharing the
+        underlying column.
+        """
+        return self.column_at(self._index_of(name))
 
     def column_at(self, index: int) -> list[object]:
+        """Defensive copy of the live values at column *index*.
+
+        Returning the underlying list when ``selection is None`` let
+        callers corrupt columns shared with memoized relations; use
+        :meth:`raw_column_at` where the (documented read-only) shared
+        view is wanted on a hot path.
+        """
         column = self.columns[index]
         if self.selection is None:
-            return list(column) if not isinstance(column, list) \
-                else column
+            return list(column)
+        return list(map(column.__getitem__, self.selection))
+
+    def raw_column(self, name: str) -> list[object]:
+        """The live values of one column — **shared, read-only**."""
+        return self.raw_column_at(self._index_of(name))
+
+    def raw_column_at(self, index: int) -> list[object]:
+        """Live values at column *index* without a defensive copy.
+
+        When the batch is dense this is the *underlying* column list —
+        shared with every aliasing batch and possibly a memoized
+        relation pivot. Callers must treat it as immutable; operators
+        use it to avoid a copy per join key / gather source.
+        """
+        column = self.columns[index]
+        if self.selection is None:
+            return column
         return list(map(column.__getitem__, self.selection))
 
     def dense_columns(self) -> tuple[list[object], ...]:
-        """Every column with the selection applied (compacted)."""
+        """Every column with the selection applied (compacted).
+
+        Like :meth:`raw_column_at`, dense results share the underlying
+        column lists — treat them as read-only.
+        """
         if self.selection is None:
             return self.columns
         getters = self.selection
         return tuple(list(map(column.__getitem__, getters))
                      for column in self.columns)
+
+    # -- dictionary encoding -------------------------------------------------
+
+    def encoded(self, name: str) -> EncodedColumn | None:
+        """The dictionary encoding of column *name*, or ``None``.
+
+        Codes cover the **stored** rows — apply
+        :attr:`selection` (``EncodedColumn.select(batch.selection)``)
+        to read live rows. Built lazily and memoized in a dict shared
+        across zero-copy views of the same columns, so the scan batch
+        cached on a Relation encodes each column at most once no matter
+        how many queries join through it. ``None`` means the column
+        fell back (unhashable values or high cardinality) — callers
+        use the raw lists instead.
+        """
+        return self.encoded_at(self._index_of(name))
+
+    def encoded_at(self, index: int) -> EncodedColumn | None:
+        column = self.columns[index]
+        # Identity keys the process-local memo only; codes/values never
+        # depend on it, so replayed state stays byte-deterministic.
+        key = id(column)  # repro-lint: disable=replay-determinism -- process-local memo key, never serialized
+        memo = self._encodings
+        if key in memo:
+            return memo[key]
+        encoded = encode_values(column)
+        memo[key] = encoded
+        return encoded
+
+    def install_encoding(self, index: int,
+                         encoded: EncodedColumn | None) -> None:
+        """Pre-seed the encoding memo for column *index*.
+
+        Producers that already hold codes for a freshly gathered column
+        (the fused projection gathers codes and decodes them) install
+        the result so DISTINCT and downstream joins reuse it instead of
+        re-deriving the dictionary.
+        """
+        key = id(self.columns[index])  # repro-lint: disable=replay-determinism -- process-local memo key, never serialized
+        self._encodings[key] = encoded
 
     def compact(self) -> "ColumnBatch":
         """A selection-free copy (no-op when already dense)."""
@@ -166,13 +376,30 @@ class ColumnBatch:
         if self.selection is not None:
             base = self.selection
             indices = [base[i] for i in indices]
-        return ColumnBatch(self.schema, self.columns, indices)
+        return ColumnBatch(self.schema, self.columns, indices,
+                           _encodings=self._encodings)
 
     def filter_in(self, attribute: str,
                   values: frozenset | set) -> "ColumnBatch":
-        """Vectorized membership filter → selection vector."""
-        column = self.column(attribute)
-        keep = [i for i, value in enumerate(column) if value in values]
+        """Vectorized membership filter → selection vector.
+
+        When the column is dictionary-encoded the membership test runs
+        on codes: the value set is translated into an allowed-code set
+        once (one hash per *distinct* value), then every row is a
+        small-int set probe.
+        """
+        index = self._index_of(attribute)
+        encoded = self.encoded_at(index)
+        if encoded is not None:
+            allowed = {code for value, code in encoded.index.items()
+                       if value in values}
+            codes = encoded.select(self.selection)
+            keep = [i for i, code in enumerate(codes)
+                    if code in allowed]
+        else:
+            column = self.raw_column_at(index)
+            keep = [i for i, value in enumerate(column)
+                    if value in values]
         if len(keep) == len(self):
             return self
         return self.select(keep)
@@ -205,8 +432,10 @@ class ColumnBatch:
         schema = RelationSchema(name or f"π({self.schema.name})",
                                 tuple(attrs), None)
         stored = len(self.columns[0]) if self.columns else len(self)
+        # Output columns alias input lists, so the encoding memo (keyed
+        # by column identity) stays valid — share it.
         return ColumnBatch(schema, columns, self.selection,
-                           _length=stored)
+                           _length=stored, _encodings=self._encodings)
 
     def reorder(self, names: Sequence[str]) -> "ColumnBatch":
         """The same batch with columns in *names* order (shared data)."""
@@ -216,25 +445,59 @@ class ColumnBatch:
                            name=self.schema.name)
 
     def distinct(self) -> "ColumnBatch":
-        """First-occurrence dedup over all columns (one zip pass)."""
-        dense = self.dense_columns()
-        if not dense:
+        """First-occurrence dedup over all columns (one zip pass).
+
+        Columns whose dictionary encoding is already built (scan
+        columns shared through the memo, or codes installed by the
+        fused projection) dedup on their int codes, so the zip keys
+        hash small ints instead of arbitrary objects. Codes share the
+        dictionary's equality (``1`` and ``1.0`` take one code), so
+        the result is identical to value dedup.
+        """
+        if not self.columns:
             # Zero-column batches deduplicate to at most one row.
             return ColumnBatch(self.schema, (),
                                _length=min(len(self), 1))
+        memo = self._encodings
+        encodings = [memo.get(id(column))  # repro-lint: disable=replay-determinism -- process-local memo key, never serialized
+                     for column in self.columns]
+        if accel.available() and all(
+                enc is not None for enc in encodings):
+            # Fully encoded batch: dedup on int64 code vectors before
+            # any value (or even the dense gather) is materialized.
+            arrays = [enc.codes_vector() if self.selection is None  # type: ignore[union-attr]
+                      else accel.take(enc.codes_vector(),  # type: ignore[union-attr]
+                                      self.selection)
+                      for enc in encodings]
+            first = accel.first_occurrence_keep(arrays)
+            if first is None:
+                return self.compact()
+            sel = self.selection
+            stored = (first if sel is None
+                      else [sel[k] for k in first])
+            return ColumnBatch(
+                self.schema,
+                tuple(list(map(column.__getitem__, stored))
+                      for column in self.columns),
+                _length=len(first))
+        dense = self.dense_columns()
+        # Any-typed lanes: a lane is either int codes or raw values,
+        # and list invariance would otherwise reject the mix.
+        lanes: list[list[Any]] = [
+            enc.select(self.selection) if enc is not None else live
+            for enc, live in zip(encodings, dense)]
+        keys: Iterable[object]
+        if len(lanes) == 1:
+            keys = lanes[0]  # scalar fast path (codes when encoded)
+        else:
+            keys = zip(*lanes)
         seen: set = set()
         keep: list[int] = []
         add = seen.add
-        if len(dense) == 1:
-            for i, key in enumerate(dense[0]):
-                if key not in seen:
-                    add(key)
-                    keep.append(i)
-        else:
-            for i, key in enumerate(zip(*dense)):
-                if key not in seen:
-                    add(key)
-                    keep.append(i)
+        for i, key in enumerate(keys):
+            if key not in seen:
+                add(key)
+                keep.append(i)
         if len(keep) == len(self):
             return self.compact()
         columns = tuple(list(map(column.__getitem__, keep))

@@ -27,11 +27,15 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, \
+    Sequence, TypeVar
 
 from repro.errors import SchemaError
+from repro.relational import accel
 from repro.relational.algebra import DataProvider
-from repro.relational.columnar import ColumnBatch, concat_batches
+from repro.relational.columnar import ColumnBatch, EncodedColumn, \
+    concat_batches
+from repro.relational.metrics import active_collector
 from repro.relational.rows import Relation
 from repro.relational.schema import Attribute, RelationSchema
 
@@ -42,6 +46,7 @@ __all__ = [
     "IdFilter", "ScanKey", "ScanStats", "ScanCache",
     "ScanProvider", "WrapperScanProvider", "RelationScanProvider",
     "CachingScanProvider", "as_scan_provider",
+    "FusedBatch",
     "PhysicalOperator", "PhysicalScan", "PhysicalHashJoin",
     "PhysicalProject", "PhysicalUnion",
 ]
@@ -405,41 +410,334 @@ def as_scan_provider(provider: "DataProvider | ScanProvider | None",
 
 
 # ---------------------------------------------------------------------------
+# Fused pipelines
+# ---------------------------------------------------------------------------
+
+
+class FusedBatch:
+    """The deferred result of a fused pipeline segment (PR 10).
+
+    The vectorized engine (PR 7) materializes one :class:`ColumnBatch`
+    per operator — every join gathers *every* column of both sides even
+    when the closing projection keeps three of them. A fused segment
+    instead carries
+
+    * ``leaves`` — the scan batches feeding the segment, untouched (so
+      their relation-memoized column pivots and dictionary encodings
+      stay shared across queries), and
+    * ``indices`` — one gather list per leaf mapping each *output* row
+      onto that leaf's stored rows (``None`` = identity over a dense
+      leaf).
+
+    Joins only compose the index lists; values are gathered exactly
+    once, at the closing projection, and only for the columns it
+    outputs. Pipeline breakers (join build, union dedup) remain — they
+    are where a segment's indices are finally consumed.
+
+    Column lookup is by qualified name, first leaf wins — the same
+    leftmost-match rule :meth:`ColumnBatch.rename` applies over a
+    joined batch's concatenated attributes, so self-joins resolve
+    identically in both engines.
+    """
+
+    __slots__ = ("leaves", "indices", "length")
+
+    #: an index entry is ``None`` (identity), a Python int list, or —
+    #: on the accelerated path — an int64 numpy vector; every consumer
+    #: handles all three.
+    def __init__(self, leaves: Sequence[ColumnBatch],
+                 indices: Sequence[Any],
+                 length: int) -> None:
+        self.leaves = tuple(leaves)
+        self.indices = tuple(indices)
+        self.length = length
+
+    @classmethod
+    def from_batch(cls, batch: ColumnBatch) -> "FusedBatch":
+        """Wrap a materialized batch as a single-leaf fused result."""
+        if batch.selection is not None:
+            return cls((batch,), (batch.selection,), len(batch))
+        return cls((batch,), (None,), len(batch))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def locate(self, name: str) -> tuple[int, int]:
+        """``(leaf, column)`` position of attribute *name*."""
+        for leaf_pos, leaf in enumerate(self.leaves):
+            names = leaf.schema.attribute_names
+            if name in names:
+                return leaf_pos, names.index(name)
+        raise SchemaError(
+            f"fused pipeline has no attribute {name!r}")
+
+    def code_lane(self, leaf_pos: int, column: int
+                  ) -> "tuple[EncodedColumn, Any] | None":
+        """``(encoding, per-output-row codes)`` of one leaf column, or
+        ``None`` when the column fell back to raw values. Codes come
+        back as an int64 vector on the accelerated path, a Python list
+        otherwise."""
+        leaf = self.leaves[leaf_pos]
+        encoded = leaf.encoded_at(column)
+        if encoded is None:
+            return None
+        index = self.indices[leaf_pos]
+        if accel.available():
+            if index is None:
+                return encoded, encoded.codes_vector()
+            return encoded, accel.take(encoded.codes_vector(), index)
+        if index is None:
+            return encoded, encoded.codes
+        return encoded, list(map(encoded.codes.__getitem__, index))
+
+    def value_lane(self, leaf_pos: int, column: int) -> list[object]:
+        """Per-output-row raw values of one leaf column (shared when
+        the leaf is dense and untouched — treat as read-only)."""
+        leaf = self.leaves[leaf_pos]
+        data = leaf.columns[column]
+        index = self.indices[leaf_pos]
+        if index is None:
+            return data
+        if accel.is_array(index):
+            index = index.tolist()
+        return list(map(data.__getitem__, index))
+
+    def compose(self, picks: Any) -> tuple[Any, ...]:
+        """Every index list re-gathered through *picks* (output-row
+        positions) — how a join threads its match list through both
+        sides' existing gather state."""
+        out: list[Any] = []
+        use_accel = accel.available()
+        for index in self.indices:
+            if index is None:
+                out.append(picks)  # aliases across leaves: read-only
+            elif use_accel:
+                out.append(accel.take(index, picks))
+            else:
+                out.append(list(map(index.__getitem__, picks)))
+        return tuple(out)
+
+    def materialize(self) -> ColumnBatch:
+        """Gather every leaf column (the unfused interop boundary)."""
+        attrs: list[Attribute] = []
+        columns: list[list[object]] = []
+        for leaf, index in zip(self.leaves, self.indices):
+            attrs.extend(leaf.schema.attributes)
+            if index is None:
+                columns.extend(leaf.columns)
+            else:
+                if accel.is_array(index):
+                    index = index.tolist()
+                columns.extend(
+                    list(map(data.__getitem__, index))
+                    for data in leaf.columns)
+        if len(self.leaves) == 1:
+            name = self.leaves[0].schema.name
+        else:
+            name = "({})".format(
+                "⋈̃".join(leaf.schema.name for leaf in self.leaves))
+        return ColumnBatch(RelationSchema(name, tuple(attrs), None),
+                           columns, _length=self.length)
+
+    def project(self, mapping: Mapping[str, str],
+                schema: RelationSchema,
+                distinct: bool = False) -> ColumnBatch:
+        """Materialize exactly the *mapping*'s columns under *schema*.
+
+        This is where a fused segment's values finally move. Encoded
+        leaf columns are gathered as int codes and decoded afterwards;
+        the gathered codes are installed on the output batch so a
+        downstream DISTINCT (or a union's global dedup over a single
+        branch) reuses them. With ``distinct`` the first-occurrence
+        keep list is computed *on the code lanes first* — packed into
+        single ints when every output column is encoded — and only
+        surviving rows are decoded.
+        """
+        located = [self.locate(src) for src in mapping.values()]
+        if not located:
+            length = min(self.length, 1) if distinct else self.length
+            return ColumnBatch(schema, (), _length=length)
+        encodings: "list[EncodedColumn | None]" = []
+        # Any-typed lanes: a lane holds either int codes or raw
+        # values, and list invariance would otherwise reject the mix.
+        lanes: list[list[Any]] = []
+        for leaf_pos, column in located:
+            coded = self.code_lane(leaf_pos, column)
+            if coded is not None:
+                encodings.append(coded[0])
+                lanes.append(coded[1])
+            else:
+                encodings.append(None)
+                lanes.append(self.value_lane(leaf_pos, column))
+        if distinct:
+            keep = _first_occurrences(lanes)
+            if keep is not None:
+                lanes = [accel.take(lane, keep)
+                         if accel.is_array(lane)
+                         else list(map(lane.__getitem__, keep))
+                         for lane in lanes]
+        length = len(lanes[0])
+        columns: list[list[object]] = []
+        for lane, encoded in zip(lanes, encodings):
+            if encoded is None:
+                columns.append(lane)
+            else:
+                picks = lane.tolist() if accel.is_array(lane) else lane
+                columns.append(
+                    list(map(encoded.values.__getitem__, picks)))
+        batch = ColumnBatch(schema, columns, _length=length)
+        for position, (lane, encoded) in enumerate(
+                zip(lanes, encodings)):
+            if encoded is not None:
+                batch.install_encoding(position, EncodedColumn(
+                    lane, encoded.values, encoded.index))
+        return batch
+
+
+def _first_occurrences(lanes: Sequence[list[Any]],
+                       ) -> "list[int] | None":
+    """Keep list of first-occurrence rows over *lanes*, or ``None``
+    when every row is already unique (keep everything, gather nothing
+    twice). Encoded lanes carry int codes, so the zip keys hash small
+    ints instead of arbitrary objects — same dedup strategy as
+    :meth:`ColumnBatch.distinct`."""
+    if lanes and all(map(accel.is_array, lanes)):
+        return accel.first_occurrence_keep(lanes)
+    keys: Iterable[object]
+    if len(lanes) == 1:
+        keys = lanes[0]
+    else:
+        keys = zip(*lanes)
+    seen: set = set()
+    keep: list[int] = []
+    add = seen.add
+    for i, key in enumerate(keys):
+        if key not in seen:
+            add(key)
+            keep.append(i)
+    if len(keep) == len(lanes[0]):
+        return None
+    return keep
+
+
+# ---------------------------------------------------------------------------
 # Physical operators
 # ---------------------------------------------------------------------------
+
+
+_ExecResult = TypeVar("_ExecResult", Relation, ColumnBatch, FusedBatch)
 
 
 class PhysicalOperator:
     """Base class of physical plan nodes.
 
-    Every operator offers two execution modes over the same plan shape:
-    :meth:`execute` is the original row-at-a-time engine (per-row dicts
-    and itemgetters — kept as the comparison baseline and fallback),
-    :meth:`execute_batch` is the vectorized engine exchanging
-    :class:`~repro.relational.columnar.ColumnBatch` objects, converting
-    to rows only at the plan boundary.
+    Every operator offers three execution tiers over the same plan
+    shape: :meth:`execute` is the original row-at-a-time engine
+    (per-row dicts and itemgetters — kept as the comparison baseline
+    and fallback), :meth:`execute_batch` is the vectorized engine
+    exchanging :class:`~repro.relational.columnar.ColumnBatch` objects,
+    and :meth:`execute_encoded` is the encoded tier (PR 10): joins run
+    on dictionary codes and pipeline-compatible chains fuse into one
+    gather pass (:meth:`execute_fused` / :class:`FusedBatch`).
+
+    The public ``execute*`` methods are thin instrumented wrappers:
+    when the thread has an active
+    :class:`~repro.relational.metrics.MetricsCollector`, each call
+    records a :class:`~repro.relational.metrics.PlanMetrics` frame
+    (rows out, wall time) around the ``_execute*`` implementation.
+    Subclasses override the underscored implementations; each tier
+    defaults to degrading one tier down (encoded → batch → rows), so a
+    custom operator implementing only ``_execute`` still runs inside
+    any plan.
     """
 
     def schema(self) -> RelationSchema:
         raise NotImplementedError
+
+    # -- public entry points (metrics instrumentation) -----------------------
 
     def execute(self, provider: ScanProvider,
                 runtime_filter: IdFilter | None = None) -> Relation:
         """Materialize the node row-at-a-time. *runtime_filter* only
         reaches scans — a parent hash join pushes its build-side key
         set down here."""
-        raise NotImplementedError
+        return self._instrumented(self._execute, provider,
+                                  runtime_filter)
 
     def execute_batch(self, provider: ScanProvider,
                       runtime_filter: IdFilter | None = None,
                       ) -> ColumnBatch:
-        """Vectorized execution: materialize the node as a batch.
+        """Vectorized execution: materialize the node as a batch."""
+        return self._instrumented(self._execute_batch, provider,
+                                  runtime_filter)
 
-        The default adapts :meth:`execute` (row engine) so custom
-        operators keep working inside a vectorized plan; the built-in
-        operators override it with whole-column implementations.
+    def execute_encoded(self, provider: ScanProvider,
+                        runtime_filter: IdFilter | None = None,
+                        ) -> ColumnBatch:
+        """Encoded execution: vectorized, with dictionary-coded join
+        keys and fused pipeline segments where the node supports them.
         """
+        return self._instrumented(self._execute_encoded, provider,
+                                  runtime_filter)
+
+    def execute_fused(self, provider: ScanProvider,
+                      runtime_filter: IdFilter | None = None,
+                      ) -> FusedBatch:
+        """Execute as (part of) a fused pipeline segment: the result
+        is gather state, not materialized columns. Operators that do
+        not fuse return a single-leaf :class:`FusedBatch` wrapping
+        their materialized batch — fusion degrades, never breaks."""
+        return self._instrumented(self._execute_fused, provider,
+                                  runtime_filter)
+
+    def _instrumented(self,
+                      impl: "Callable[[ScanProvider, IdFilter | None],"
+                            " _ExecResult]",
+                      provider: ScanProvider,
+                      runtime_filter: IdFilter | None) -> _ExecResult:
+        collector = active_collector()
+        if collector is None:
+            return impl(provider, runtime_filter)
+        kind, label, detail = self._metrics_entry(runtime_filter)
+        frame = collector.enter(self, kind, label, detail)
+        try:
+            result = impl(provider, runtime_filter)
+        except BaseException:
+            collector.abort(frame)
+            raise
+        collector.exit(frame, len(result))
+        return result
+
+    def _metrics_entry(self, runtime_filter: IdFilter | None
+                       ) -> tuple[str, str, dict[str, object] | None]:
+        """``(kind, label, detail)`` of this node's metrics frame."""
+        name = type(self).__name__
+        return (name.lower(), name, None)
+
+    # -- implementations (overridden by subclasses) --------------------------
+
+    def _execute(self, provider: ScanProvider,
+                 runtime_filter: IdFilter | None = None) -> Relation:
+        raise NotImplementedError
+
+    def _execute_batch(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> ColumnBatch:
+        # Adapts the row engine so custom operators keep working inside
+        # a vectorized plan. Calls the *public* execute — the collector
+        # collapses the re-entrant frame onto this node's own.
         return self.execute(provider, runtime_filter).columnar()
+
+    def _execute_encoded(self, provider: ScanProvider,
+                         runtime_filter: IdFilter | None = None,
+                         ) -> ColumnBatch:
+        return self.execute_batch(provider, runtime_filter)
+
+    def _execute_fused(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> FusedBatch:
+        return FusedBatch.from_batch(
+            self.execute_encoded(provider, runtime_filter))
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         raise NotImplementedError
@@ -471,14 +769,14 @@ class PhysicalScan(PhysicalOperator):
     def schema(self) -> RelationSchema:
         return self.relation_schema
 
-    def execute(self, provider: ScanProvider,
-                runtime_filter: IdFilter | None = None) -> Relation:
+    def _execute(self, provider: ScanProvider,
+                 runtime_filter: IdFilter | None = None) -> Relation:
         return provider.scan(self.wrapper_name, self.columns,
                              runtime_filter)
 
-    def execute_batch(self, provider: ScanProvider,
-                      runtime_filter: IdFilter | None = None,
-                      ) -> ColumnBatch:
+    def _execute_batch(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> ColumnBatch:
         # The row→batch boundary: the wrapper's relation pivots to
         # columns once and the pivot is memoized on the relation, so a
         # scan shared through the ScanCache pays it once per fetch.
@@ -489,6 +787,26 @@ class PhysicalScan(PhysicalOperator):
         batch = provider.scan(self.wrapper_name, self.columns,
                               runtime_filter).columnar()
         return batch.reorder(self.relation_schema.attribute_names)
+
+    def _execute_fused(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> FusedBatch:
+        # No reorder here: fused consumers resolve columns by name, so
+        # the relation-memoized batch — and the dictionary encodings
+        # memoized on it — stays the *same object* for every query
+        # scanning this wrapper, instead of one rename wrapper each.
+        batch = provider.scan(self.wrapper_name, self.columns,
+                              runtime_filter).columnar()
+        return FusedBatch.from_batch(batch)
+
+    def _metrics_entry(self, runtime_filter: IdFilter | None
+                       ) -> tuple[str, str, dict[str, object] | None]:
+        detail: dict[str, object] = {"wrapper": self.wrapper_name}
+        label = f"scan {self.wrapper_name}"
+        if runtime_filter is not None:
+            detail["filtered"] = True
+            label += f" [{runtime_filter.notation()}]"
+        return ("scan", label, detail)
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
@@ -529,8 +847,8 @@ class PhysicalHashJoin(PhysicalOperator):
             f"({b.name}⋈̃{p.name})",
             tuple(b.attributes) + tuple(p.attributes), None)
 
-    def execute(self, provider: ScanProvider,
-                runtime_filter: IdFilter | None = None) -> Relation:
+    def _execute(self, provider: ScanProvider,
+                 runtime_filter: IdFilter | None = None) -> Relation:
         build_rel = self.build.execute(provider)
         out_schema = self.schema()
         if not len(build_rel):
@@ -565,9 +883,9 @@ class PhysicalHashJoin(PhysicalOperator):
                 rows.append(merged)
         return Relation.from_trusted(out_schema, rows)
 
-    def execute_batch(self, provider: ScanProvider,
-                      runtime_filter: IdFilter | None = None,
-                      ) -> ColumnBatch:
+    def _execute_batch(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> ColumnBatch:
         """Vectorized hash join: key columns are zipped once into an
         index table, matches join as two index lists, and every output
         column is gathered in a single pass — no per-match dict
@@ -578,7 +896,7 @@ class PhysicalHashJoin(PhysicalOperator):
 
         build_keys = [c[0] for c in self.conditions]
         probe_keys = [c[1] for c in self.conditions]
-        build_key_columns = [build.column(k) for k in build_keys]
+        build_key_columns = [build.raw_column(k) for k in build_keys]
         table: dict[object, list[int]] = {}
         if len(build_key_columns) == 1:
             for i, key in enumerate(build_key_columns[0]):
@@ -596,7 +914,7 @@ class PhysicalHashJoin(PhysicalOperator):
                 pushed = None  # unhashable key values: fetch unfiltered
         probe = self.probe.execute_batch(provider, pushed)
 
-        probe_key_columns = [probe.column(k) for k in probe_keys]
+        probe_key_columns = [probe.raw_column(k) for k in probe_keys]
         probe_iter: Iterable[object]
         if len(probe_key_columns) == 1:
             probe_iter = probe_key_columns[0]
@@ -631,6 +949,174 @@ class PhysicalHashJoin(PhysicalOperator):
         return ColumnBatch(out_schema, columns,
                            _length=len(build_indices))
 
+    def _execute_encoded(self, provider: ScanProvider,
+                         runtime_filter: IdFilter | None = None,
+                         ) -> ColumnBatch:
+        return self._execute_fused(provider,
+                                   runtime_filter).materialize()
+
+    def _execute_fused(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> FusedBatch:
+        """Fused, int-coded hash join.
+
+        Both sides execute fused; the join never gathers data columns —
+        it only produces two match lists and composes them through the
+        children's gather state. When the (single) key column is
+        dictionary-encoded on both sides, the probe dictionary is
+        remapped onto the build code space once
+        (:meth:`EncodedColumn.remap_onto` — one hash per *distinct*
+        value) and the build table becomes a dense code-indexed bucket
+        list, so the per-row probe is a list index instead of an object
+        hash. When only the *probe* side is encoded (typical shape: a
+        unique-ID build column aborts encoding, its fanned-out foreign
+        side doesn't), each build row hashes once through the probe
+        dictionary's existing value→code index and the bucket list is
+        laid out over the probe code space — the probe loop is still a
+        list index per row. Multi-condition joins and joins with an
+        unencoded probe key fall back to the raw-value hash table over
+        the fused lanes.
+        """
+        build = self.build.execute_fused(provider)
+        if not len(build):
+            # Single empty leaf under the *plan* schema: parents still
+            # resolve every attribute by name, zero rows flow.
+            return FusedBatch.from_batch(
+                ColumnBatch.empty(self.schema()))
+
+        build_keys = [c[0] for c in self.conditions]
+        probe_keys = [c[1] for c in self.conditions]
+        build_located = [build.locate(k) for k in build_keys]
+        build_coded = (build.code_lane(*build_located[0])
+                       if len(self.conditions) == 1 else None)
+
+        pushed: IdFilter | None = None
+        if self.semi_join and isinstance(self.probe, PhysicalScan):
+            if build_coded is not None:
+                # Distinct build keys via the dictionary: decode each
+                # *present* code once (values are hashable by
+                # construction — they were dictionary keys).
+                decode = build_coded[0].values
+                present: "Iterable[int]" = (
+                    accel.unique_codes(build_coded[1])
+                    if accel.is_array(build_coded[1])
+                    else set(build_coded[1]))
+                pushed = IdFilter(probe_keys[0], frozenset(
+                    map(decode.__getitem__, present)))
+            else:
+                try:
+                    pushed = IdFilter(probe_keys[0], frozenset(
+                        build.value_lane(*build_located[0])))
+                except TypeError:
+                    pushed = None  # unhashable keys: fetch unfiltered
+        probe = self.probe.execute_fused(provider, pushed)
+        if not len(probe):
+            return FusedBatch(build.leaves + probe.leaves,
+                              build.compose([]) + probe.compose([]), 0)
+
+        build_sel: Any = []
+        probe_sel: Any = []
+        append_probe = probe_sel.append
+        probe_coded = (probe.code_lane(*probe.locate(probe_keys[0]))
+                       if len(self.conditions) == 1 else None)
+        if build_coded is not None and probe_coded is not None:
+            build_enc, build_codes = build_coded
+            probe_enc, probe_codes = probe_coded
+            translate = probe_enc.remap_onto(build_enc)
+            if accel.available():
+                mapped = accel.translate_codes(translate, probe_codes)
+                match = accel.csr_probe(build_codes, mapped,
+                                        build_enc.cardinality)
+                if match is not None:
+                    build_sel, probe_sel = match
+            else:
+                buckets: "list[list[int] | None]" = \
+                    [None] * build_enc.cardinality
+                for i, code in enumerate(build_codes):
+                    bucket = buckets[code]
+                    if bucket is None:
+                        buckets[code] = [i]
+                    else:
+                        bucket.append(i)
+                for j, probe_code in enumerate(probe_codes):
+                    target = translate[probe_code]
+                    if target < 0:
+                        continue
+                    bucket = buckets[target]
+                    if bucket is None:
+                        continue
+                    build_sel += bucket
+                    if len(bucket) == 1:
+                        append_probe(j)
+                    else:
+                        probe_sel += [j] * len(bucket)
+        elif probe_coded is not None:
+            probe_enc, probe_codes = probe_coded
+            lookup = probe_enc.index.get
+            if accel.available():
+                mapped = [lookup(value, -1) for value in
+                          build.value_lane(*build_located[0])]
+                match = accel.csr_probe(mapped, probe_codes,
+                                        probe_enc.cardinality)
+                if match is not None:
+                    build_sel, probe_sel = match
+            else:
+                buckets = [None] * probe_enc.cardinality
+                for i, value in enumerate(
+                        build.value_lane(*build_located[0])):
+                    code = lookup(value)
+                    if code is None:
+                        continue
+                    bucket = buckets[code]
+                    if bucket is None:
+                        buckets[code] = [i]
+                    else:
+                        bucket.append(i)
+                for j, probe_code in enumerate(probe_codes):
+                    bucket = buckets[probe_code]
+                    if bucket is None:
+                        continue
+                    build_sel += bucket
+                    if len(bucket) == 1:
+                        append_probe(j)
+                    else:
+                        probe_sel += [j] * len(bucket)
+        else:
+            build_lanes = [build.value_lane(*loc)
+                           for loc in build_located]
+            table: dict[object, list[int]] = {}
+            if len(build_lanes) == 1:
+                for i, key in enumerate(build_lanes[0]):
+                    table.setdefault(key, []).append(i)
+            else:
+                for i, key in enumerate(zip(*build_lanes)):
+                    table.setdefault(key, []).append(i)
+            probe_lanes = [probe.value_lane(*probe.locate(k))
+                           for k in probe_keys]
+            probe_iter: Iterable[object] = (
+                probe_lanes[0] if len(probe_lanes) == 1
+                else zip(*probe_lanes))
+            get = table.get
+            for j, key in enumerate(probe_iter):
+                matches = get(key)
+                if matches is None:
+                    continue
+                build_sel += matches
+                if len(matches) == 1:
+                    append_probe(j)
+                else:
+                    probe_sel += [j] * len(matches)
+
+        return FusedBatch(build.leaves + probe.leaves,
+                          build.compose(build_sel)
+                          + probe.compose(probe_sel),
+                          len(build_sel))
+
+    def _metrics_entry(self, runtime_filter: IdFilter | None
+                       ) -> tuple[str, str, dict[str, object] | None]:
+        conds = ",".join(f"{b}={p}" for b, p in self.conditions)
+        return ("join", f"⋈ₕ[{conds}]", {"conditions": conds})
+
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
         conds = ",".join(f"{b}={p}" for b, p in self.conditions)
@@ -663,20 +1149,49 @@ class PhysicalProject(PhysicalOperator):
             for out_name, in_name in self.mapping.items())
         return RelationSchema(f"π({child_schema.name})", attrs, None)
 
-    def execute(self, provider: ScanProvider,
-                runtime_filter: IdFilter | None = None) -> Relation:
+    def _execute(self, provider: ScanProvider,
+                 runtime_filter: IdFilter | None = None) -> Relation:
         child_rows = self.child.execute(provider)
         items = tuple(self.mapping.items())
         rows = [{out: row[src] for out, src in items}
                 for row in child_rows]
         return Relation.from_trusted(self.schema(), rows)
 
-    def execute_batch(self, provider: ScanProvider,
-                      runtime_filter: IdFilter | None = None,
-                      ) -> ColumnBatch:
+    def _execute_batch(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> ColumnBatch:
         # Vectorized projection is a rename: output columns alias the
         # child's lists, no data moves at all.
         return self.child.execute_batch(provider).rename(self.mapping)
+
+    def _execute_encoded(self, provider: ScanProvider,
+                         runtime_filter: IdFilter | None = None,
+                         ) -> ColumnBatch:
+        # The closing projection is where a fused pipeline finally
+        # gathers values — and only for the mapped columns.
+        return self.child.execute_fused(
+            provider, runtime_filter).project(self.mapping,
+                                              self.schema())
+
+    def execute_encoded_distinct(self, provider: ScanProvider
+                                 ) -> ColumnBatch:
+        """Project with branch-local dedup fused in (a distinct
+        union's pre-pass): first occurrences are computed on the code
+        lanes *before* any value is gathered or decoded."""
+        return self._instrumented(self._execute_encoded_distinct,
+                                  provider, None)
+
+    def _execute_encoded_distinct(self, provider: ScanProvider,
+                                  runtime_filter: IdFilter | None
+                                  = None) -> ColumnBatch:
+        return self.child.execute_fused(
+            provider, runtime_filter).project(self.mapping,
+                                              self.schema(),
+                                              distinct=True)
+
+    def _metrics_entry(self, runtime_filter: IdFilter | None
+                       ) -> tuple[str, str, dict[str, object] | None]:
+        return ("project", f"π[{len(self.mapping)} cols]", None)
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
@@ -709,8 +1224,8 @@ class PhysicalUnion(PhysicalOperator):
     def schema(self) -> RelationSchema:
         return self.branches[0].schema()
 
-    def execute(self, provider: ScanProvider,
-                runtime_filter: IdFilter | None = None) -> Relation:
+    def _execute(self, provider: ScanProvider,
+                 runtime_filter: IdFilter | None = None) -> Relation:
         # Branch schemas are validated compatible, so branch rows are
         # adopted as-is (consumers treat result rows as immutable);
         # distinct deduplicates during the single pass.
@@ -730,9 +1245,9 @@ class PhysicalUnion(PhysicalOperator):
                 rows.append(row)
         return Relation.from_trusted(self.schema(), rows)
 
-    def execute_batch(self, provider: ScanProvider,
-                      runtime_filter: IdFilter | None = None,
-                      ) -> ColumnBatch:
+    def _execute_batch(self, provider: ScanProvider,
+                       runtime_filter: IdFilter | None = None,
+                       ) -> ColumnBatch:
         """Vectorized union: branch batches are aligned by attribute
         name, concatenated column-wise, and deduplicated (when
         ``distinct``) in one zip pass over the value columns."""
@@ -741,6 +1256,36 @@ class PhysicalUnion(PhysicalOperator):
                    for branch in self.branches]
         merged = concat_batches(schema, batches)
         return merged.distinct() if self.distinct else merged
+
+    def _execute_encoded(self, provider: ScanProvider,
+                         runtime_filter: IdFilter | None = None,
+                         ) -> ColumnBatch:
+        """Encoded union: each projection branch pre-deduplicates on
+        its own code lanes (so the bulk of duplicate rows never
+        decode), then the global dedup runs over the shrunken concat —
+        and is skipped entirely for a single pre-deduped branch."""
+        schema = self.schema()
+        batches: list[ColumnBatch] = []
+        pre_deduped: list[bool] = []
+        for branch in self.branches:
+            if self.distinct and isinstance(branch, PhysicalProject):
+                batches.append(
+                    branch.execute_encoded_distinct(provider))
+                pre_deduped.append(True)
+            else:
+                batches.append(branch.execute_encoded(provider))
+                pre_deduped.append(False)
+        merged = concat_batches(schema, batches)
+        if not self.distinct:
+            return merged
+        if len(batches) == 1 and pre_deduped[0]:
+            return merged
+        return merged.distinct()
+
+    def _metrics_entry(self, runtime_filter: IdFilter | None
+                       ) -> tuple[str, str, dict[str, object] | None]:
+        kind = "distinct" if self.distinct else "all"
+        return ("union", f"∪ {kind}", None)
 
     def explain_lines(self, indent: int = 0) -> list[str]:
         pad = "  " * indent

@@ -43,7 +43,7 @@ class TestErrorHierarchy:
 
 class TestTopLevelAPI:
     def test_version(self):
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.10.0"
 
     def test_exports_resolve(self):
         for name in repro.__all__:
